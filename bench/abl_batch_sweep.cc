@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation (generalizes Figs. 4e/4f/12c): batch-size sweep 1..64 for
+ * all three placement schemes on NVDRAM, OPT-175B compressed — shows
+ * where each scheme's feasibility ends and how throughput scales.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Ablation: batch-size sweep per placement scheme",
+           "generalizes Figs. 4e/4f and 12c");
+
+    AsciiTable t("Throughput (tokens/s) vs batch, OPT-175B(c) NVDRAM");
+    const std::vector<std::string> header{
+        "batch", "Baseline", "HeLM", "All-CPU"};
+    t.set_header(header);
+    t.align_right_from(0);
+
+    csv_begin("abl_batch_sweep");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (std::uint64_t batch : {1, 2, 4, 8, 12, 16, 24, 32, 44, 48, 64}) {
+        std::vector<std::string> cells{std::to_string(batch)};
+        for (auto scheme : {placement::PlacementKind::kBaseline,
+                            placement::PlacementKind::kHelm,
+                            placement::PlacementKind::kAllCpu}) {
+            auto spec = opt175b_spec(mem::ConfigKind::kNvdram, scheme,
+                                     batch, true);
+            spec.keep_records = false;
+            // Schemes with GPU-resident weights spill as the KV cache
+            // grows; infeasible batches report "-".
+            auto result = runtime::simulate_inference(spec);
+            cells.push_back(result.is_ok()
+                                ? format_fixed(
+                                      result->metrics.throughput, 3)
+                                : "-");
+        }
+        csv.row(cells);
+        t.add_row(cells);
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nShape: all three schemes scale with batch until the "
+                 "KV cache exhausts HBM; All-CPU reaches the largest "
+                 "batch (44; paper Sec. V-C).\n";
+    return 0;
+}

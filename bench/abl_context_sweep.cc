@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation (beyond the paper): context-length scaling.  The paper fixes
+ * prompts at 128 tokens; modern serving pushes contexts toward the
+ * model's 2048-token window (and beyond, Sec. II-A's LLaMa-4 remark).
+ * This sweep shows the KV cache eroding the maximum batch and the MHA
+ * decode compute growing with context.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Ablation: context-length sweep",
+           "extends Sec. III-B's fixed 128-token prompts");
+
+    const auto config = model::opt_config(model::OptVariant::kOpt175B);
+    const auto gpu = gpu::GpuSpec::a100_40gb();
+    const auto layers =
+        model::build_layers(config, model::DataType::kInt4Grouped);
+
+    AsciiTable t("OPT-175B(c) All-CPU NVDRAM vs context length");
+    const std::vector<std::string> header{
+        "prompt_tokens", "max_batch", "max_batch_kv_offload",
+        "tbt_ms_b8",     "ttft_ms_b8"};
+    t.set_header(header);
+    t.align_right_from(0);
+
+    csv_begin("abl_context_sweep");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (std::uint64_t prompt : {128, 256, 512, 1024, 1920}) {
+        model::SequenceShape shape;
+        shape.prompt_tokens = prompt;
+        shape.output_tokens = 21;
+        const auto mb_on =
+            runtime::max_batch(gpu, config, layers, 0, shape, true, 4096,
+                               /*kv_on_gpu=*/true);
+        const auto mb_off =
+            runtime::max_batch(gpu, config, layers, 0, shape, true, 4096,
+                               /*kv_on_gpu=*/false);
+
+        runtime::ServingSpec spec;
+        spec.model = config;
+        spec.memory = mem::ConfigKind::kNvdram;
+        spec.placement = placement::PlacementKind::kAllCpu;
+        spec.compress_weights = true;
+        spec.batch = 8;
+        spec.shape = shape;
+        spec.repeats = 2;
+        spec.keep_records = false;
+        auto result = runtime::simulate_inference(spec);
+
+        std::vector<std::string> cells{
+            std::to_string(prompt), std::to_string(mb_on),
+            std::to_string(mb_off)};
+        if (result.is_ok()) {
+            cells.push_back(ms(result->metrics.tbt));
+            cells.push_back(ms(result->metrics.ttft));
+        } else {
+            cells.push_back("-");
+            cells.push_back("-");
+        }
+        csv.row(cells);
+        t.add_row(cells);
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nShape: the on-GPU KV budget collapses roughly as "
+                 "1/context (the paper's 44-batch headroom exists only "
+                 "because its prompts are short); offloading the cache "
+                 "keeps batches large at any context.\n";
+    return 0;
+}

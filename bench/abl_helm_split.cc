@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation (beyond the paper): sweep HeLM's per-layer-type GPU
+ * percentages to show the published (MHA 10%, FFN 30%) split sits near
+ * the balance point of the compute/communication pipeline — the
+ * "automatic latency/throughput tradeoff" the paper's conclusion calls
+ * for.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Ablation: HeLM split-point sweep",
+           "design-choice study for Listing 3's (10, 30) percentages");
+
+    AsciiTable t("TBT (ms) vs HeLM FFN/MHA GPU percentages, "
+                 "OPT-175B(c) b=1 NVDRAM");
+    const std::vector<std::string> header{
+        "ffn_gpu_pct", "mha_gpu_pct", "tbt_ms", "ttft_ms", "gpu_weights"};
+    t.set_header(header);
+    t.align_right_from(0);
+
+    csv_begin("abl_helm_split");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    double best_tbt = 1e9;
+    double best_ffn = 0.0, best_mha = 0.0;
+    for (double ffn_pct : {0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
+        for (double mha_pct : {0.0, 10.0, 25.0}) {
+            auto spec = opt175b_spec(mem::ConfigKind::kNvdram,
+                                     placement::PlacementKind::kHelm, 1,
+                                     true);
+            placement::HelmSplits splits;
+            splits.ffn = {ffn_pct, 100.0 - ffn_pct, 0.0};
+            splits.mha = {mha_pct, 100.0 - mha_pct, 0.0};
+            spec.helm_splits = splits;
+            spec.keep_records = false;
+            const auto result = run_or_die(spec);
+            const std::vector<std::string> cells{
+                format_fixed(ffn_pct, 0), format_fixed(mha_pct, 0),
+                ms(result.metrics.tbt), ms(result.metrics.ttft),
+                format_bytes(result.placement.tier_total(
+                    placement::Tier::kGpu))};
+            csv.row(cells);
+            t.add_row(cells);
+            if (result.metrics.tbt < best_tbt) {
+                best_tbt = result.metrics.tbt;
+                best_ffn = ffn_pct;
+                best_mha = mha_pct;
+            }
+        }
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nBest TBT at (ffn=" << format_fixed(best_ffn, 0)
+              << "%, mha=" << format_fixed(best_mha, 0)
+              << "%): " << format_fixed(best_tbt * 1e3, 1)
+              << " ms.  The paper's (30, 10) choice should be at or "
+                 "near this optimum.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation (beyond the paper): model-size scaling.  The paper evaluates
+ * OPT-30B and OPT-175B; this sweep runs the whole OPT zoo to show where
+ * out-of-core serving starts to bind and how HeLM's advantage grows
+ * with model size (the FFN/MHA imbalance is size-independent in ratio
+ * but size-proportional in milliseconds).
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Ablation: OPT model-size sweep",
+           "generalizes Figs. 4/11 across the OPT zoo");
+
+    AsciiTable t("TBT (ms) per model, NVDRAM, batch 1, int4");
+    const std::vector<std::string> header{
+        "model",    "weights",  "baseline_tbt",
+        "helm_tbt", "helm_gain_%", "dram_helm_tbt", "nv_vs_dram_%"};
+    t.set_header(header);
+    t.align_right_from(1);
+
+    csv_begin("abl_model_scaling");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (auto variant :
+         {model::OptVariant::kOpt1_3B, model::OptVariant::kOpt6_7B,
+          model::OptVariant::kOpt13B, model::OptVariant::kOpt30B,
+          model::OptVariant::kOpt66B, model::OptVariant::kOpt175B}) {
+        const auto config = model::opt_config(variant);
+        runtime::ServingSpec spec;
+        spec.model = config;
+        spec.memory = mem::ConfigKind::kNvdram;
+        spec.compress_weights = true;
+        spec.batch = 1;
+        spec.repeats = 2;
+        spec.keep_records = false;
+
+        spec.placement = placement::PlacementKind::kBaseline;
+        const auto base = run_or_die(spec);
+        spec.placement = placement::PlacementKind::kHelm;
+        const auto helm_nv = run_or_die(spec);
+        spec.memory = mem::ConfigKind::kDram;
+        const auto helm_dram = run_or_die(spec);
+
+        const auto layers = model::build_layers(
+            config, model::DataType::kInt4Grouped);
+        const double gain =
+            100.0 * (1.0 - helm_nv.metrics.tbt / base.metrics.tbt);
+        const double gap =
+            100.0 *
+            (helm_nv.metrics.tbt / helm_dram.metrics.tbt - 1.0);
+        const std::vector<std::string> cells{
+            config.name,
+            format_bytes(model::model_weight_bytes(layers)),
+            ms(base.metrics.tbt),
+            ms(helm_nv.metrics.tbt),
+            format_fixed(gain, 1),
+            ms(helm_dram.metrics.tbt),
+            format_fixed(gap, 1)};
+        csv.row(cells);
+        t.add_row(cells);
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nShape: HeLM's relative gain is stable across sizes "
+                 "(the imbalance it fixes is structural), while "
+                 "absolute per-token savings scale with the model; "
+                 "small models fit on-GPU and see little effect.\n";
+    return 0;
+}

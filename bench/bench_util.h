@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench prints (a) a human-readable table of the rows the paper's
+ * figure plots and (b) a machine-readable CSV block delimited by
+ * "# CSV <tag>" lines, so the figures can be re-plotted directly from
+ * bench output.
+ */
+#ifndef HELM_BENCH_BENCH_UTIL_H
+#define HELM_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/helm.h"
+
+namespace helm::bench {
+
+/** Run a spec or abort the bench with the failure reason. */
+inline runtime::RunResult
+run_or_die(const runtime::ServingSpec &spec)
+{
+    auto result = runtime::simulate_inference(spec);
+    if (!result.is_ok()) {
+        std::fprintf(stderr, "bench: simulation failed: %s\n",
+                     result.status().to_string().c_str());
+        std::exit(1);
+    }
+    return std::move(result).value();
+}
+
+/** Milliseconds with 2 decimals. */
+inline std::string
+ms(Seconds s)
+{
+    return format_fixed(s * 1e3, 2);
+}
+
+/** Begin a named CSV block on stdout. */
+inline void
+csv_begin(const std::string &tag)
+{
+    std::cout << "# CSV " << tag << "\n";
+}
+
+/** End the current CSV block. */
+inline void
+csv_end()
+{
+    std::cout << "# END\n\n";
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "Library: helm-sim " << version() << " — "
+              << paper_citation() << "\n\n";
+}
+
+/** The paper's serving spec skeleton for OPT-175B experiments. */
+inline runtime::ServingSpec
+opt175b_spec(mem::ConfigKind memory, placement::PlacementKind placement,
+             std::uint64_t batch, bool compressed)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt175B);
+    spec.memory = memory;
+    spec.placement = placement;
+    spec.compress_weights = compressed;
+    spec.batch = batch;
+    spec.repeats = 2; // first repeat discarded per Sec. III-C
+    return spec;
+}
+
+} // namespace helm::bench
+
+#endif // HELM_BENCH_BENCH_UTIL_H

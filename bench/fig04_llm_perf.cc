@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 4 reproduction: TTFT, TBT, and throughput for OPT-30B (DRAM /
+ * NVDRAM / MemoryMode at batch 1 and 32) and OPT-175B (SSD / FSDAX /
+ * NVDRAM / MemoryMode at batch 1 and 8), uncompressed, Table II
+ * configurations (Sec. IV-B).
+ *
+ * Paper shape to reproduce:
+ *  - SSD slowest, FSDAX ~33% better, NVDRAM better still, MemoryMode
+ *    between NVDRAM and DRAM, DRAM fastest.
+ *  - OPT-30B NVDRAM: TTFT +33%/+15% and TBT +33%/+31% over DRAM at
+ *    batch 1/32; throughput -19%/-23%.
+ *  - Throughput grows near-linearly with batch (Figs. 4e/4f).
+ */
+#include "bench_util.h"
+
+namespace {
+
+struct Row
+{
+    const char *model;
+    helm::mem::ConfigKind memory;
+    std::uint64_t batch;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Fig. 4: LLM serving metrics across memory configurations",
+           "Figs. 4a-4f (TTFT, TBT, throughput)");
+
+    const std::vector<Row> rows{
+        {"OPT-30B", mem::ConfigKind::kDram, 1},
+        {"OPT-30B", mem::ConfigKind::kNvdram, 1},
+        {"OPT-30B", mem::ConfigKind::kMemoryMode, 1},
+        {"OPT-30B", mem::ConfigKind::kDram, 32},
+        {"OPT-30B", mem::ConfigKind::kNvdram, 32},
+        {"OPT-30B", mem::ConfigKind::kMemoryMode, 32},
+        {"OPT-175B", mem::ConfigKind::kSsd, 1},
+        {"OPT-175B", mem::ConfigKind::kFsdax, 1},
+        {"OPT-175B", mem::ConfigKind::kNvdram, 1},
+        {"OPT-175B", mem::ConfigKind::kMemoryMode, 1},
+        {"OPT-175B", mem::ConfigKind::kSsd, 8},
+        {"OPT-175B", mem::ConfigKind::kFsdax, 8},
+        {"OPT-175B", mem::ConfigKind::kNvdram, 8},
+        {"OPT-175B", mem::ConfigKind::kMemoryMode, 8},
+    };
+
+    AsciiTable t("Fig. 4: uncompressed serving metrics");
+    const std::vector<std::string> header{
+        "model", "config", "batch", "ttft_ms", "tbt_ms", "tokens_per_s"};
+    t.set_header(header);
+    t.align_right_from(2);
+
+    csv_begin("fig4");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (const auto &row : rows) {
+        runtime::ServingSpec spec;
+        spec.model = *model::opt_config_by_name(row.model);
+        spec.memory = row.memory;
+        spec.batch = row.batch;
+        spec.repeats = 2;
+        spec.keep_records = false;
+        const auto result = run_or_die(spec);
+        const std::vector<std::string> cells{
+            row.model,
+            mem::config_kind_name(row.memory),
+            std::to_string(row.batch),
+            ms(result.metrics.ttft),
+            ms(result.metrics.tbt),
+            format_fixed(result.metrics.throughput, 3)};
+        csv.row(cells);
+        t.add_row(cells);
+    }
+    csv_end();
+    t.print(std::cout);
+
+    // Headline deltas.
+    auto tbt_of = [&](const char *model_name, mem::ConfigKind memory,
+                      std::uint64_t batch) {
+        runtime::ServingSpec spec;
+        spec.model = *model::opt_config_by_name(model_name);
+        spec.memory = memory;
+        spec.batch = batch;
+        spec.repeats = 2;
+        spec.keep_records = false;
+        return run_or_die(spec).metrics;
+    };
+    const auto dram1 = tbt_of("OPT-30B", mem::ConfigKind::kDram, 1);
+    const auto nv1 = tbt_of("OPT-30B", mem::ConfigKind::kNvdram, 1);
+    std::cout << "\nOPT-30B NVDRAM vs DRAM (batch 1): TBT +"
+              << format_fixed(100.0 * (nv1.tbt / dram1.tbt - 1.0), 1)
+              << " % (paper: +33.0 %), throughput "
+              << format_fixed(
+                     100.0 * (nv1.throughput / dram1.throughput - 1.0), 1)
+              << " % (paper: -19.0 %)\n";
+    const auto ssd = tbt_of("OPT-175B", mem::ConfigKind::kSsd, 1);
+    const auto fsdax = tbt_of("OPT-175B", mem::ConfigKind::kFsdax, 1);
+    std::cout << "OPT-175B FSDAX vs SSD (batch 1): TBT "
+              << format_fixed(100.0 * (1.0 - fsdax.tbt / ssd.tbt), 1)
+              << " % better (paper: 33.5 %)\n";
+    return 0;
+}

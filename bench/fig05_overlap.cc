@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fig. 5 reproduction: compute/communication overlap during prefill and
+ * decode — average per-layer weight-transfer time (bars) vs average
+ * compute time (line), per memory configuration and batch size,
+ * uncompressed; plus the all-DRAM ideal transfer line for OPT-175B.
+ *
+ * Paper shape to reproduce:
+ *  - OPT-30B prefill compute rises ~15x from batch 1 to 32 (compute
+ *    bound); decode stays memory bound even at batch 32.
+ *  - OPT-175B is memory bound in both stages; the DRAM ideal improves
+ *    transfer ~32.8% over NVDIMM and ~22.4% over MemoryMode.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Fig. 5: compute/communication overlap (uncompressed)",
+           "Figs. 5a-5d");
+
+    struct Case
+    {
+        const char *model;
+        mem::ConfigKind memory;
+        std::uint64_t batch;
+    };
+    const std::vector<Case> cases{
+        {"OPT-30B", mem::ConfigKind::kDram, 1},
+        {"OPT-30B", mem::ConfigKind::kNvdram, 1},
+        {"OPT-30B", mem::ConfigKind::kMemoryMode, 1},
+        {"OPT-30B", mem::ConfigKind::kDram, 32},
+        {"OPT-30B", mem::ConfigKind::kNvdram, 32},
+        {"OPT-30B", mem::ConfigKind::kMemoryMode, 32},
+        {"OPT-175B", mem::ConfigKind::kSsd, 1},
+        {"OPT-175B", mem::ConfigKind::kFsdax, 1},
+        {"OPT-175B", mem::ConfigKind::kNvdram, 1},
+        {"OPT-175B", mem::ConfigKind::kMemoryMode, 1},
+        {"OPT-175B", mem::ConfigKind::kSsd, 8},
+        {"OPT-175B", mem::ConfigKind::kFsdax, 8},
+        {"OPT-175B", mem::ConfigKind::kNvdram, 8},
+        {"OPT-175B", mem::ConfigKind::kMemoryMode, 8},
+    };
+
+    AsciiTable t("Fig. 5: average per-layer transfer (bar) vs compute "
+                 "(line), ms");
+    const std::vector<std::string> header{
+        "model",       "config",     "batch",
+        "stage",       "transfer_ms", "compute_ms"};
+    t.set_header(header);
+    t.align_right_from(2);
+
+    csv_begin("fig5");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (const auto &c : cases) {
+        runtime::ServingSpec spec;
+        spec.model = *model::opt_config_by_name(c.model);
+        spec.memory = c.memory;
+        spec.batch = c.batch;
+        spec.repeats = 2;
+        const auto result = run_or_die(spec);
+        for (auto stage : {gpu::Stage::kPrefill, gpu::Stage::kDecode}) {
+            const auto s =
+                runtime::summarize_overlap(result.records, stage, 1);
+            const std::vector<std::string> cells{
+                c.model,
+                mem::config_kind_name(c.memory),
+                std::to_string(c.batch),
+                gpu::stage_name(stage),
+                ms(s.avg_transfer),
+                ms(s.avg_compute)};
+            csv.row(cells);
+            t.add_row(cells);
+        }
+    }
+    csv_end();
+    t.print(std::cout);
+
+    // The all-DRAM ideal transfer line for OPT-175B (paper runs the
+    // model with 8 decoder blocks on DRAM to measure this; we can run
+    // the full model on the DRAM configuration directly).
+    runtime::ServingSpec ideal;
+    ideal.model = *model::opt_config_by_name("OPT-175B");
+    ideal.memory = mem::ConfigKind::kDram;
+    ideal.batch = 1;
+    ideal.repeats = 2;
+    const auto dram = run_or_die(ideal);
+    const auto dram_decode = runtime::summarize_overlap(
+        dram.records, gpu::Stage::kDecode, 1);
+
+    ideal.memory = mem::ConfigKind::kNvdram;
+    const auto nv = run_or_die(ideal);
+    const auto nv_decode =
+        runtime::summarize_overlap(nv.records, gpu::Stage::kDecode, 1);
+    ideal.memory = mem::ConfigKind::kMemoryMode;
+    const auto mm = run_or_die(ideal);
+    const auto mm_decode =
+        runtime::summarize_overlap(mm.records, gpu::Stage::kDecode, 1);
+
+    std::cout << "\nOPT-175B decode, all-DRAM ideal transfer = "
+              << ms(dram_decode.avg_transfer) << " ms\n";
+    std::cout << "  improvement over NVDIMM:     "
+              << format_fixed(100.0 * (1.0 - dram_decode.avg_transfer /
+                                                 nv_decode.avg_transfer),
+                              1)
+              << " % (paper: 32.78 %)\n";
+    std::cout << "  improvement over MemoryMode: "
+              << format_fixed(100.0 * (1.0 - dram_decode.avg_transfer /
+                                                 mm_decode.avg_transfer),
+                              1)
+              << " % (paper: 22.41 %)\n";
+    return 0;
+}

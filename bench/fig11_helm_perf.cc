@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 11 reproduction: HeLM's impact on (a) compute/communication
+ * overlap during decode and (b) TTFT/TBT, OPT-175B compressed, batch 1,
+ * on NVDRAM / MemoryMode / DRAM (Sec. V-B).
+ *
+ * Paper shape to reproduce:
+ *  - FFN transfer time falls ~49%, MHA transfer rises ~33%, and the
+ *    pipeline balances.
+ *  - TTFT/TBT improve ~27% on NVDRAM (within ~9% of DRAM) and ~32% on
+ *    MemoryMode (within ~2% of DRAM).
+ */
+#include <map>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Fig. 11: HeLM latency results",
+           "Fig. 11a (overlap) and Fig. 11b (TTFT/TBT), batch 1");
+
+    const std::vector<mem::ConfigKind> configs{
+        mem::ConfigKind::kNvdram, mem::ConfigKind::kMemoryMode,
+        mem::ConfigKind::kDram};
+
+    AsciiTable overlap("Fig. 11a: decode overlap (ms), OPT-175B(c) b=1");
+    const std::vector<std::string> oheader{
+        "config", "scheme",   "mha_compute", "ffn_load",
+        "ffn_compute", "mha_load"};
+    overlap.set_header(oheader);
+    overlap.align_right_from(2);
+
+    AsciiTable perf("Fig. 11b: TTFT and TBT (ms)");
+    const std::vector<std::string> pheader{"config", "scheme", "ttft_ms",
+                                           "tbt_ms"};
+    perf.set_header(pheader);
+    perf.align_right_from(2);
+
+    csv_begin("fig11");
+    CsvWriter csv(std::cout);
+    csv.header({"config", "scheme", "ttft_ms", "tbt_ms", "mha_compute_ms",
+                "ffn_load_ms", "ffn_compute_ms", "mha_load_ms"});
+
+    std::map<std::pair<std::string, std::string>, double> tbt;
+    for (auto memory : configs) {
+        for (auto scheme : {placement::PlacementKind::kBaseline,
+                            placement::PlacementKind::kHelm}) {
+            auto spec = opt175b_spec(memory, scheme, 1, true);
+            const auto result = run_or_die(spec);
+            const auto s = runtime::summarize_overlap(
+                result.records, gpu::Stage::kDecode, 1);
+            const std::string cfg = mem::config_kind_name(memory);
+            const std::string sch = placement::placement_kind_name(scheme);
+            tbt[{cfg, sch}] = result.metrics.tbt;
+            overlap.add_row({cfg, sch, ms(s.avg_mha_compute),
+                             ms(s.avg_ffn_transfer),
+                             ms(s.avg_ffn_compute),
+                             ms(s.avg_mha_transfer)});
+            perf.add_row({cfg, sch, ms(result.metrics.ttft),
+                          ms(result.metrics.tbt)});
+            csv.row({cfg, sch, ms(result.metrics.ttft),
+                     ms(result.metrics.tbt), ms(s.avg_mha_compute),
+                     ms(s.avg_ffn_transfer), ms(s.avg_ffn_compute),
+                     ms(s.avg_mha_transfer)});
+        }
+    }
+    csv_end();
+    overlap.print(std::cout);
+    std::cout << "\n";
+    perf.print(std::cout);
+
+    const double nv_impr =
+        100.0 * (1.0 - tbt[{"NVDRAM", "HeLM"}] /
+                           tbt[{"NVDRAM", "Baseline"}]);
+    const double mm_impr =
+        100.0 * (1.0 - tbt[{"MemoryMode", "HeLM"}] /
+                           tbt[{"MemoryMode", "Baseline"}]);
+    const double nv_gap = 100.0 * (tbt[{"NVDRAM", "HeLM"}] /
+                                       tbt[{"DRAM", "HeLM"}] -
+                                   1.0);
+    const double mm_gap = 100.0 * (tbt[{"MemoryMode", "HeLM"}] /
+                                       tbt[{"DRAM", "HeLM"}] -
+                                   1.0);
+    std::cout << "\nHeLM TBT improvement:  NVDRAM "
+              << format_fixed(nv_impr, 1)
+              << " % (paper: 27.4 %), MemoryMode "
+              << format_fixed(mm_impr, 1) << " % (paper: 32.3 %)\n";
+    std::cout << "Distance from DRAM:    NVDRAM "
+              << format_fixed(nv_gap, 1)
+              << " % (paper: 8.9 %), MemoryMode "
+              << format_fixed(mm_gap, 1) << " % (paper: 1.6 %)\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 13 + Table III reproduction: projected HeLM (batch 1) TTFT/TBT
+ * and All-CPU throughput on CXL-based systems, OPT-175B compressed
+ * (Sec. V-D).
+ *
+ * Paper shape to reproduce:
+ *  - HeLM improves TTFT/TBT by ~27% (CXL-FPGA) and ~21% (CXL-ASIC).
+ *  - All-CPU nets 4.74x / 5.04x throughput going baseline b8 -> b44.
+ *  - CXL-FPGA trails NVDIMM; CXL-ASIC beats it.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Fig. 13: CXL performance projections",
+           "Table III + Figs. 13a/13b");
+
+    // Table III.
+    {
+        AsciiTable t("Table III: CXL configurations");
+        t.set_header({"name", "memory technology", "bandwidth"});
+        t.add_row({"CXL-FPGA", "DDR4-3200 x1",
+                   format_bandwidth(
+                       mem::make_cxl_fpga()->read_bandwidth(kGiB))});
+        t.add_row({"CXL-ASIC", "DDR5-4800 x1",
+                   format_bandwidth(
+                       mem::make_cxl_asic()->read_bandwidth(kGiB))});
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    const std::vector<mem::ConfigKind> configs{
+        mem::ConfigKind::kNvdram, mem::ConfigKind::kCxlFpga,
+        mem::ConfigKind::kCxlAsic};
+
+    // ---- Fig. 13a: HeLM TTFT/TBT ---------------------------------------
+    AsciiTable a("Fig. 13a: HeLM vs baseline latency (ms), batch 1");
+    a.set_header({"config", "scheme", "ttft_ms", "tbt_ms", "tbt_impr_%"});
+    a.align_right_from(2);
+    csv_begin("fig13a");
+    CsvWriter csv(std::cout);
+    csv.header({"config", "scheme", "ttft_ms", "tbt_ms"});
+    for (auto memory : configs) {
+        double base_tbt = 0.0;
+        for (auto scheme : {placement::PlacementKind::kBaseline,
+                            placement::PlacementKind::kHelm}) {
+            auto spec = opt175b_spec(memory, scheme, 1, true);
+            const auto result = run_or_die(spec);
+            std::string improvement = "-";
+            if (scheme == placement::PlacementKind::kBaseline) {
+                base_tbt = result.metrics.tbt;
+            } else {
+                improvement = format_fixed(
+                    100.0 * (1.0 - result.metrics.tbt / base_tbt), 1);
+            }
+            csv.row({mem::config_kind_name(memory),
+                     placement::placement_kind_name(scheme),
+                     ms(result.metrics.ttft), ms(result.metrics.tbt)});
+            a.add_row({mem::config_kind_name(memory),
+                       placement::placement_kind_name(scheme),
+                       ms(result.metrics.ttft), ms(result.metrics.tbt),
+                       improvement});
+        }
+    }
+    csv_end();
+    a.print(std::cout);
+    std::cout << "(paper: HeLM improves TTFT/TBT by 27% on CXL-FPGA and "
+                 "21% on CXL-ASIC)\n\n";
+
+    // ---- Fig. 13b: All-CPU throughput ----------------------------------
+    AsciiTable b("Fig. 13b: All-CPU throughput (tokens/s)");
+    b.set_header({"config", "baseline_b8", "allcpu_b8", "allcpu_b44",
+                  "speedup_b8_to_b44"});
+    b.align_right_from(1);
+    csv_begin("fig13b");
+    CsvWriter csv2(std::cout);
+    csv2.header({"config", "baseline_b8", "allcpu_b8", "allcpu_b44"});
+    for (auto memory : configs) {
+        const auto base8 = run_or_die(opt175b_spec(
+            memory, placement::PlacementKind::kBaseline, 8, true));
+        const auto cpu8 = run_or_die(opt175b_spec(
+            memory, placement::PlacementKind::kAllCpu, 8, true));
+        const auto cpu44 = run_or_die(opt175b_spec(
+            memory, placement::PlacementKind::kAllCpu, 44, true));
+        csv2.row({mem::config_kind_name(memory),
+                  format_fixed(base8.metrics.throughput, 3),
+                  format_fixed(cpu8.metrics.throughput, 3),
+                  format_fixed(cpu44.metrics.throughput, 3)});
+        b.add_row({mem::config_kind_name(memory),
+                   format_fixed(base8.metrics.throughput, 3),
+                   format_fixed(cpu8.metrics.throughput, 3),
+                   format_fixed(cpu44.metrics.throughput, 3),
+                   format_fixed(cpu44.metrics.throughput /
+                                    base8.metrics.throughput,
+                                2) +
+                       "x"});
+    }
+    csv_end();
+    b.print(std::cout);
+    std::cout << "(paper: 4.74x on CXL-FPGA, 5.04x on CXL-ASIC; "
+                 "CXL-FPGA loses ~8% at b8 due to its low bandwidth)\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * throughput of the DES kernel, fair-share channel updates, placement
+ * algorithms, and a full OPT-175B serving simulation.  These guard the
+ * library's own performance, not the paper's results.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/helm.h"
+
+namespace {
+
+using namespace helm;
+
+void
+BM_SimulatorEventThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        const int n = static_cast<int>(state.range(0));
+        for (int i = 0; i < n; ++i)
+            sim.schedule(static_cast<double>(i) * 1e-6, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.events_executed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Range(1024, 1 << 16);
+
+void
+BM_BandwidthChannelFlows(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        sim::BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(25.0));
+        const int n = static_cast<int>(state.range(0));
+        int done = 0;
+        for (int i = 0; i < n; ++i) {
+            ch.start_flow(64 * kMiB + static_cast<Bytes>(i),
+                          Bandwidth::gb_per_s(20.0),
+                          [&done] { ++done; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BandwidthChannelFlows)->Range(8, 512);
+
+void
+BM_BaselinePlacement175B(benchmark::State &state)
+{
+    const auto layers = model::build_layers(
+        model::opt_config(model::OptVariant::kOpt175B),
+        model::DataType::kInt4Grouped);
+    const placement::BaselinePlacement algorithm;
+    for (auto _ : state) {
+        auto map =
+            algorithm.place(layers, placement::Policy::host_offload());
+        benchmark::DoNotOptimize(map.tier_total(placement::Tier::kGpu));
+    }
+}
+BENCHMARK(BM_BaselinePlacement175B);
+
+void
+BM_HelmPlacement175B(benchmark::State &state)
+{
+    const auto layers = model::build_layers(
+        model::opt_config(model::OptVariant::kOpt175B),
+        model::DataType::kInt4Grouped);
+    const placement::HelmPlacement algorithm;
+    for (auto _ : state) {
+        auto map =
+            algorithm.place(layers, placement::Policy::host_offload());
+        benchmark::DoNotOptimize(map.tier_total(placement::Tier::kGpu));
+    }
+}
+BENCHMARK(BM_HelmPlacement175B);
+
+void
+BM_BuildLayers175B(benchmark::State &state)
+{
+    const auto config = model::opt_config(model::OptVariant::kOpt175B);
+    for (auto _ : state) {
+        auto layers =
+            model::build_layers(config, model::DataType::kInt4Grouped);
+        benchmark::DoNotOptimize(layers.size());
+    }
+}
+BENCHMARK(BM_BuildLayers175B);
+
+void
+BM_FullInference175B(benchmark::State &state)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt175B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kHelm;
+    spec.compress_weights = true;
+    spec.batch = static_cast<std::uint64_t>(state.range(0));
+    spec.repeats = 2;
+    spec.keep_records = false;
+    for (auto _ : state) {
+        auto result = runtime::simulate_inference(spec);
+        benchmark::DoNotOptimize(result.is_ok());
+    }
+}
+BENCHMARK(BM_FullInference175B)->Arg(1)->Arg(8);
+
+void
+BM_MaxBatchSearch(benchmark::State &state)
+{
+    const auto config = model::opt_config(model::OptVariant::kOpt175B);
+    const auto layers =
+        model::build_layers(config, model::DataType::kInt4Grouped);
+    const auto gpu = gpu::GpuSpec::a100_40gb();
+    model::SequenceShape shape;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runtime::max_batch(gpu, config, layers, 0, shape, true));
+    }
+}
+BENCHMARK(BM_MaxBatchSearch);
+
+void
+BM_MembenchSweep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto results = membench::sweep({mem::ConfigKind::kNvdram},
+                                       {256 * kMiB, kGiB, 4 * kGiB});
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_MembenchSweep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * One-shot reproduction summary: runs every headline check from
+ * EXPERIMENTS.md against the paper's reported numbers and prints a
+ * PASS/FAIL scorecard — an artifact-evaluation harness in one binary.
+ */
+#include <functional>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace helm;
+using namespace helm::bench;
+
+struct Check
+{
+    std::string name;
+    double paper;
+    double measured;
+    double tol_abs; //!< pass when |measured - paper| <= tol_abs
+    bool passed() const
+    {
+        return std::abs(measured - paper) <= tol_abs;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Reproduction scorecard",
+           "every headline number from EXPERIMENTS.md");
+
+    std::vector<Check> checks;
+    auto metrics = [](mem::ConfigKind memory,
+                      placement::PlacementKind scheme, std::uint64_t batch,
+                      bool compressed) {
+        auto spec = opt175b_spec(memory, scheme, batch, compressed);
+        spec.keep_records = false;
+        return run_or_die(spec).metrics;
+    };
+
+    // --- Max batches -------------------------------------------------
+    {
+        const auto config =
+            model::opt_config(model::OptVariant::kOpt175B);
+        const auto gpu = gpu::GpuSpec::a100_40gb();
+        model::SequenceShape shape;
+        const auto fp16 =
+            model::build_layers(config, model::DataType::kFp16);
+        const auto int4 =
+            model::build_layers(config, model::DataType::kInt4Grouped);
+        const auto map = placement::BaselinePlacement().place(
+            fp16, placement::Policy::host_offload());
+        checks.push_back(
+            {"max batch, baseline fp16", 8.0,
+             static_cast<double>(runtime::max_batch(
+                 gpu, config, fp16,
+                 map.tier_total(placement::Tier::kGpu), shape, false)),
+             0.0});
+        checks.push_back({"max batch, All-CPU int4", 44.0,
+                          static_cast<double>(runtime::max_batch(
+                              gpu, config, int4, 0, shape, true)),
+                          0.0});
+    }
+
+    // --- HeLM latency (Fig. 11) ---------------------------------------
+    const auto base_nv = metrics(mem::ConfigKind::kNvdram,
+                                 placement::PlacementKind::kBaseline, 1,
+                                 true);
+    const auto helm_nv = metrics(mem::ConfigKind::kNvdram,
+                                 placement::PlacementKind::kHelm, 1,
+                                 true);
+    const auto helm_dram = metrics(mem::ConfigKind::kDram,
+                                   placement::PlacementKind::kHelm, 1,
+                                   true);
+    const auto helm_mm = metrics(mem::ConfigKind::kMemoryMode,
+                                 placement::PlacementKind::kHelm, 1,
+                                 true);
+    checks.push_back({"HeLM TBT improvement on NVDRAM (%)", 27.4,
+                      100.0 * (1.0 - helm_nv.tbt / base_nv.tbt), 5.0});
+    checks.push_back({"HeLM NVDRAM vs DRAM gap (%)", 8.9,
+                      100.0 * (helm_nv.tbt / helm_dram.tbt - 1.0), 4.0});
+    checks.push_back({"HeLM MemoryMode vs DRAM gap (%)", 1.6,
+                      100.0 * (helm_mm.tbt / helm_dram.tbt - 1.0), 3.0});
+
+    // --- All-CPU throughput (Fig. 12) -----------------------------------
+    const auto base8 = metrics(mem::ConfigKind::kNvdram,
+                               placement::PlacementKind::kBaseline, 8,
+                               true);
+    const auto cpu44 = metrics(mem::ConfigKind::kNvdram,
+                               placement::PlacementKind::kAllCpu, 44,
+                               true);
+    const auto cpu44_dram = metrics(mem::ConfigKind::kDram,
+                                    placement::PlacementKind::kAllCpu, 44,
+                                    true);
+    checks.push_back({"All-CPU throughput gain (x)", 5.0,
+                      cpu44.throughput / base8.throughput, 0.75});
+    checks.push_back({"All-CPU NVDRAM vs DRAM gap (%)", 6.0,
+                      100.0 * (1.0 - cpu44.throughput /
+                                         cpu44_dram.throughput),
+                      6.0});
+
+    // --- Placement distributions (Sec. V-A) -----------------------------
+    {
+        const auto layers = model::build_layers(
+            model::opt_config(model::OptVariant::kOpt175B),
+            model::DataType::kInt4Grouped);
+        const auto disk_map = placement::BaselinePlacement().place(
+            layers, placement::Policy::disk_offload());
+        const auto host_map = placement::BaselinePlacement().place(
+            layers, placement::Policy::host_offload());
+        checks.push_back({"achieved disk% for (65,15,20)", 58.6,
+                          disk_map.achieved().disk, 1.0});
+        checks.push_back({"achieved cpu% for (0,80,20)", 91.7,
+                          host_map.achieved().cpu, 1.0});
+        const auto helm_map = placement::HelmPlacement().place(
+            layers, placement::Policy::host_offload());
+        checks.push_back({"HeLM overall GPU share (%)", 33.0,
+                          helm_map.achieved().gpu, 2.0});
+    }
+
+    // --- Fig. 3 anchors ---------------------------------------------------
+    {
+        auto nv = mem::make_config(mem::ConfigKind::kNvdram);
+        checks.push_back(
+            {"NVDRAM h2d at 4 GiB (GB/s)", 19.91,
+             membench::measure_copy(nv, 4 * kGiB,
+                                    membench::CopyDirection::kHostToGpu)
+                 .bandwidth.as_gb_per_s(),
+             0.3});
+        auto nv1 = mem::make_config(mem::ConfigKind::kNvdram);
+        nv1.set_numa_node(1);
+        checks.push_back(
+            {"NVDRAM d2h peak (GB/s)", 3.26,
+             membench::measure_copy(nv1, kGiB,
+                                    membench::CopyDirection::kGpuToHost)
+                 .bandwidth.as_gb_per_s(),
+             0.15});
+    }
+
+    // --- Table IV anchors ---------------------------------------------------
+    {
+        auto spec = opt175b_spec(mem::ConfigKind::kNvdram,
+                                 placement::PlacementKind::kBaseline, 1,
+                                 true);
+        const auto result = run_or_die(spec);
+        const auto s = runtime::summarize_overlap(
+            result.records, gpu::Stage::kDecode, 1);
+        checks.push_back({"Table IV baseline r1 (decode b1)", 0.36,
+                          s.mha_compute_over_ffn_load(), 0.08});
+        checks.push_back({"Table IV baseline r2 (decode b1)", 1.85,
+                          s.ffn_compute_over_mha_load(), 0.30});
+    }
+
+    // --- Scorecard -------------------------------------------------------
+    AsciiTable t("Scorecard");
+    t.set_header({"check", "paper", "measured", "tolerance", "status"});
+    t.align_right_from(1);
+    int failures = 0;
+    for (const auto &check : checks) {
+        if (!check.passed())
+            ++failures;
+        t.add_row({check.name, format_fixed(check.paper, 2),
+                   format_fixed(check.measured, 2),
+                   check.tol_abs == 0.0 ? "exact"
+                                        : format_fixed(check.tol_abs, 2),
+                   check.passed() ? "PASS" : "FAIL"});
+    }
+    t.print(std::cout);
+    std::cout << "\n" << (checks.size() - failures) << "/"
+              << checks.size() << " headline checks pass\n";
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table IV reproduction: compute/communication overlap ratios for every
+ * (allocation policy, batch, stage) under NVDRAM and the two CXL
+ * configurations, OPT-175B compressed (Sec. V-D).
+ *
+ * Paper anchors (NVDRAM column): baseline b1 decode 0.36 / 1.85; HeLM
+ * b1 decode 0.71 / 1.40; All-CPU b44 decode 0.35 / 1.33.  CXL-FPGA sits
+ * far below 1 everywhere; CXL-ASIC is the only configuration whose
+ * HeLM prefill MHA-compute/FFN-load ratio crosses 1.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Table IV: overlap ratios across allocation policies and "
+           "CXL configurations",
+           "Table IV (OPT-175B compressed)");
+
+    const std::vector<mem::ConfigKind> configs{
+        mem::ConfigKind::kNvdram, mem::ConfigKind::kCxlFpga,
+        mem::ConfigKind::kCxlAsic};
+
+    struct Row
+    {
+        placement::PlacementKind scheme;
+        std::uint64_t batch;
+    };
+    const std::vector<Row> rows{
+        {placement::PlacementKind::kBaseline, 1},
+        {placement::PlacementKind::kBaseline, 8},
+        {placement::PlacementKind::kHelm, 1},
+        {placement::PlacementKind::kHelm, 8},
+        {placement::PlacementKind::kAllCpu, 44},
+    };
+
+    AsciiTable t("Table IV: MHA compute/FFN load and FFN compute/MHA "
+                 "load ratios");
+    std::vector<std::string> header{"policy", "batch", "stage"};
+    for (auto memory : configs) {
+        header.push_back(std::string("r1:") +
+                         mem::config_kind_name(memory));
+    }
+    for (auto memory : configs) {
+        header.push_back(std::string("r2:") +
+                         mem::config_kind_name(memory));
+    }
+    t.set_header(header);
+    t.align_right_from(1);
+
+    csv_begin("table4");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (const auto &row : rows) {
+        for (auto stage : {gpu::Stage::kPrefill, gpu::Stage::kDecode}) {
+            std::vector<std::string> cells{
+                placement::placement_kind_name(row.scheme),
+                std::to_string(row.batch), gpu::stage_name(stage)};
+            std::vector<std::string> r2_cells;
+            for (auto memory : configs) {
+                auto spec =
+                    opt175b_spec(memory, row.scheme, row.batch, true);
+                const auto result = run_or_die(spec);
+                const auto s = runtime::summarize_overlap(result.records,
+                                                          stage, 1);
+                cells.push_back(
+                    format_fixed(s.mha_compute_over_ffn_load(), 2));
+                r2_cells.push_back(
+                    format_fixed(s.ffn_compute_over_mha_load(), 2));
+            }
+            cells.insert(cells.end(), r2_cells.begin(), r2_cells.end());
+            csv.row(cells);
+            t.add_row(cells);
+        }
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nr1 = MHA compute / FFN load; r2 = FFN compute / MHA "
+                 "load.  A ratio of 1 is perfect overlap; <1 memory-"
+                 "bound, >1 compute-bound (Table IV caption).\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+#include "common/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace helm {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+ArgParser::add_option(const std::string &name,
+                      const std::string &description,
+                      const std::string &default_value)
+{
+    HELM_ASSERT(options_.find(name) == options_.end(),
+                "duplicate option declaration");
+    Option opt;
+    opt.description = description;
+    opt.default_value = default_value;
+    opt.value = default_value;
+    options_.emplace(name, std::move(opt));
+    order_.push_back(name);
+}
+
+void
+ArgParser::add_switch(const std::string &name,
+                      const std::string &description)
+{
+    HELM_ASSERT(options_.find(name) == options_.end(),
+                "duplicate option declaration");
+    Option opt;
+    opt.description = description;
+    opt.is_switch = true;
+    options_.emplace(name, std::move(opt));
+    order_.push_back(name);
+}
+
+Status
+ArgParser::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+Status
+ArgParser::parse(const std::vector<std::string> &args)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            return Status::invalid_argument("unknown flag --" + name);
+        Option &opt = it->second;
+        opt.set = true;
+        if (opt.is_switch) {
+            if (has_inline) {
+                return Status::invalid_argument(
+                    "switch --" + name + " takes no value");
+            }
+            opt.value = "true";
+            continue;
+        }
+        if (has_inline) {
+            opt.value = inline_value;
+        } else {
+            if (i + 1 >= args.size()) {
+                return Status::invalid_argument("flag --" + name +
+                                                " needs a value");
+            }
+            opt.value = args[++i];
+        }
+    }
+    return Status::ok();
+}
+
+std::string
+ArgParser::get(const std::string &name) const
+{
+    auto it = options_.find(name);
+    HELM_ASSERT(it != options_.end(), "undeclared option queried");
+    return it->second.value;
+}
+
+bool
+ArgParser::is_set(const std::string &name) const
+{
+    auto it = options_.find(name);
+    HELM_ASSERT(it != options_.end(), "undeclared option queried");
+    return it->second.set;
+}
+
+std::uint64_t
+ArgParser::get_u64(const std::string &name) const
+{
+    const std::string value = get(name);
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        return 0;
+    return parsed;
+}
+
+double
+ArgParser::get_double(const std::string &name) const
+{
+    const std::string value = get(name);
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str())
+        return 0.0;
+    return parsed;
+}
+
+std::string
+ArgParser::help() const
+{
+    std::ostringstream out;
+    out << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const std::string &name : order_) {
+        const Option &opt = options_.at(name);
+        out << "  --" << name;
+        if (!opt.is_switch) {
+            out << " <value>";
+            if (!opt.default_value.empty())
+                out << " (default: " << opt.default_value << ")";
+        }
+        out << "\n      " << opt.description << "\n";
+    }
+    return out.str();
+}
+
+} // namespace helm

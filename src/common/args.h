@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools and examples.
+ *
+ * Supports `--name value`, `--name=value`, boolean switches, typed
+ * accessors with defaults, positional arguments, and generated help —
+ * enough for helmsim's subcommands without an external dependency.
+ */
+#ifndef HELM_COMMON_ARGS_H
+#define HELM_COMMON_ARGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helm {
+
+/**
+ * Declarative flag set + parser.  Declare options, parse argv, read
+ * typed values.  Unknown flags are errors; positionals are collected in
+ * order.
+ */
+class ArgParser
+{
+  public:
+    /**
+     * @param program Name shown in help.
+     * @param description One-line summary shown in help.
+     */
+    ArgParser(std::string program, std::string description);
+
+    /** Declare a value option (`--name <value>` / `--name=<value>`). */
+    void add_option(const std::string &name,
+                    const std::string &description,
+                    const std::string &default_value = "");
+
+    /** Declare a boolean switch (`--name`, no value). */
+    void add_switch(const std::string &name,
+                    const std::string &description);
+
+    /**
+     * Parse arguments (argv[0] is skipped).  On failure the parser
+     * state is unspecified; report the error and show help().
+     */
+    Status parse(int argc, const char *const *argv);
+
+    /** Parse from a vector (tests). */
+    Status parse(const std::vector<std::string> &args);
+
+    /** Value of an option (its default if never set). */
+    std::string get(const std::string &name) const;
+
+    /** True when a switch was given (or an option explicitly set). */
+    bool is_set(const std::string &name) const;
+
+    /** Typed accessors; fall back to the default on parse failure. */
+    std::uint64_t get_u64(const std::string &name) const;
+    double get_double(const std::string &name) const;
+
+    /** Positional arguments, in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Rendered usage text. */
+    std::string help() const;
+
+  private:
+    struct Option
+    {
+        std::string description;
+        std::string value;
+        std::string default_value;
+        bool is_switch = false;
+        bool set = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_; //!< declaration order for help
+    std::vector<std::string> positionals_;
+};
+
+} // namespace helm
+
+#endif // HELM_COMMON_ARGS_H

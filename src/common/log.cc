@@ -1,0 +1,81 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace helm {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kTrace:
+        return "TRACE";
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kOff:
+        return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+parse_log_level(const std::string &name)
+{
+    if (name == "trace")
+        return LogLevel::kTrace;
+    if (name == "debug")
+        return LogLevel::kDebug;
+    if (name == "info")
+        return LogLevel::kInfo;
+    if (name == "warn")
+        return LogLevel::kWarn;
+    if (name == "error")
+        return LogLevel::kError;
+    if (name == "off")
+        return LogLevel::kOff;
+    return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void
+log_emit(LogLevel level, const char *file, int line,
+         const std::string &message)
+{
+    // Strip the directory prefix for readability.
+    const char *base = file;
+    for (const char *p = file; *p; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line,
+                 message.c_str());
+}
+
+} // namespace detail
+} // namespace helm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal leveled logging.
+ *
+ * The library is quiet by default (kWarn); benches and examples can raise
+ * verbosity to trace placement decisions and per-layer timing.  Output goes
+ * to stderr so bench stdout stays machine-parseable.
+ */
+#ifndef HELM_COMMON_LOG_H
+#define HELM_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace helm {
+
+enum class LogLevel
+{
+    kTrace = 0,
+    kDebug = 1,
+    kInfo = 2,
+    kWarn = 3,
+    kError = 4,
+    kOff = 5,
+};
+
+/** Global log threshold; messages below it are dropped. */
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/** Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn. */
+LogLevel parse_log_level(const std::string &name);
+
+namespace detail {
+void log_emit(LogLevel level, const char *file, int line,
+              const std::string &message);
+} // namespace detail
+
+/**
+ * Stream-style log statement: HELM_LOG(kInfo) << "x = " << x;
+ * The message is only formatted when the level is enabled.
+ */
+#define HELM_LOG(level)                                                     \
+    for (bool helm_log_once_ =                                              \
+             (::helm::LogLevel::level >= ::helm::log_level());              \
+         helm_log_once_; helm_log_once_ = false)                            \
+    ::helm::detail::LogLine(::helm::LogLevel::level, __FILE__, __LINE__)
+
+namespace detail {
+
+/** Accumulates one log line and emits it on destruction. */
+class LogLine
+{
+  public:
+    LogLine(LogLevel level, const char *file, int line)
+        : level_(level), file_(file), line_(line)
+    {}
+
+    ~LogLine() { log_emit(level_, file_, line_, stream_.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    const char *file_;
+    int line_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+} // namespace helm
+
+#endif // HELM_COMMON_LOG_H

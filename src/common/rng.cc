@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace helm {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    HELM_ASSERT(bound > 0, "next_below requires bound > 0");
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::next_in_range(std::int64_t lo, std::int64_t hi)
+{
+    HELM_ASSERT(lo <= hi, "next_in_range requires lo <= hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double
+Rng::next_double()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::next_gaussian()
+{
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    // Box-Muller; avoid log(0) by nudging u1 away from zero.
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+} // namespace helm

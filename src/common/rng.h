@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The workload generator and the property tests need reproducible
+ * randomness that is stable across platforms and standard-library
+ * versions, so we ship a SplitMix64 seeder plus xoshiro256** rather than
+ * relying on std::mt19937's distribution implementations.
+ */
+#ifndef HELM_COMMON_RNG_H
+#define HELM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace helm {
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+ * Seeded via SplitMix64 so that any 64-bit seed yields a good state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform in [0, bound) without modulo bias (Lemire's method). */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    double next_gaussian();
+
+  private:
+    std::uint64_t state_[4];
+    bool have_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace helm
+
+#endif // HELM_COMMON_RNG_H

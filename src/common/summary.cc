@@ -1,0 +1,77 @@
+#include "common/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace helm {
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+    s.count = values.size();
+    s.min = values.front();
+    s.max = values.front();
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(s.count);
+    double var = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        var += d * d;
+    }
+    s.stddev = std::sqrt(var / static_cast<double>(s.count));
+    return s;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+mean_discarding_first(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    if (values.size() == 1)
+        return values.front();
+    double sum = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i)
+        sum += values[i];
+    return sum / static_cast<double>(values.size() - 1);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double
+relative_delta(double a, double b)
+{
+    return b == 0.0 ? 0.0 : (a - b) / b;
+}
+
+} // namespace helm

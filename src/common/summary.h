@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers.
+ *
+ * The paper reports "the arithmetic mean across all its values except the
+ * first, which we discard to account for cold start effects" — that exact
+ * reduction lives here (mean_discarding_first) next to the usual
+ * mean/min/max/stddev/percentile reductions the benches need.
+ */
+#ifndef HELM_COMMON_SUMMARY_H
+#define HELM_COMMON_SUMMARY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace helm {
+
+/** Descriptive statistics of a sample vector. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0; //!< population standard deviation
+};
+
+/** Compute summary statistics; empty input yields an all-zero Summary. */
+Summary summarize(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Mean of values[1..], per the paper's cold-start discard rule.  If only
+ * one value exists it is returned as-is (nothing to discard against).
+ */
+double mean_discarding_first(const std::vector<double> &values);
+
+/** Linear-interpolated percentile, p in [0,100]; 0 for empty input. */
+double percentile(std::vector<double> values, double p);
+
+/** Relative difference (a-b)/b; 0 when b == 0. */
+double relative_delta(double a, double b);
+
+} // namespace helm
+
+#endif // HELM_COMMON_SUMMARY_H

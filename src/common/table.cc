@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace helm {
+
+void
+AsciiTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+AsciiTable::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::align_right(std::size_t index)
+{
+    if (right_aligned_.size() <= index)
+        right_aligned_.resize(index + 1, false);
+    right_aligned_[index] = true;
+}
+
+void
+AsciiTable::align_right_from(std::size_t first_index)
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    for (std::size_t i = first_index; i < cols; ++i)
+        align_right(i);
+}
+
+void
+AsciiTable::print(std::ostream &out) const
+{
+    // Compute column widths across header and body.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            bool right = i < right_aligned_.size() && right_aligned_[i];
+            std::size_t pad = widths[i] - cell.size();
+            out << (i ? "  " : "");
+            if (right)
+                out << std::string(pad, ' ') << cell;
+            else
+                out << cell << std::string(pad, ' ');
+        }
+        out << '\n';
+    };
+
+    if (!title_.empty())
+        out << title_ << '\n';
+    if (!header_.empty()) {
+        emit_row(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w;
+        total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+AsciiTable::to_string() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace helm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Strong-ish unit helpers used throughout helm-sim.
+ *
+ * The simulator deals almost exclusively in three physical quantities:
+ * byte counts, time intervals, and bandwidths.  We keep byte counts as
+ * unsigned 64-bit integers (sizes are exact) and time/bandwidth as doubles
+ * (they are products of a calibrated analytical model).  This header
+ * provides conversion constants, parsing, and human-readable formatting so
+ * the rest of the code never hand-rolls `1024.0 * 1024.0 * ...`
+ * expressions.
+ */
+#ifndef HELM_COMMON_UNITS_H
+#define HELM_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace helm {
+
+/** Exact byte count. */
+using Bytes = std::uint64_t;
+
+/** Time interval in seconds. */
+using Seconds = double;
+
+/** Binary (IEC) size constants. */
+inline constexpr Bytes kKiB = 1024ull;
+inline constexpr Bytes kMiB = 1024ull * kKiB;
+inline constexpr Bytes kGiB = 1024ull * kMiB;
+inline constexpr Bytes kTiB = 1024ull * kGiB;
+
+/** Decimal (SI) size constants, used for bandwidth denominators. */
+inline constexpr Bytes kKB = 1000ull;
+inline constexpr Bytes kMB = 1000ull * kKB;
+inline constexpr Bytes kGB = 1000ull * kMB;
+inline constexpr Bytes kTB = 1000ull * kGB;
+
+/** Time constants. */
+inline constexpr Seconds kUsec = 1e-6;
+inline constexpr Seconds kMsec = 1e-3;
+
+/**
+ * Bandwidth in bytes per second.
+ *
+ * A tiny value type rather than a bare double so that call sites read
+ * `Bandwidth::gb_per_s(28.0)` instead of a magic `28e9`.  All arithmetic
+ * needed by the simulator (min/scale/transfer-time) is provided here.
+ */
+class Bandwidth
+{
+  public:
+    constexpr Bandwidth() = default;
+
+    /** Construct from raw bytes/second. */
+    static constexpr Bandwidth
+    bytes_per_s(double bps)
+    {
+        Bandwidth b;
+        b.bps_ = bps;
+        return b;
+    }
+
+    /** Construct from GB/s (decimal, as memory vendors quote). */
+    static constexpr Bandwidth
+    gb_per_s(double gbps)
+    {
+        return bytes_per_s(gbps * static_cast<double>(kGB));
+    }
+
+    /** Construct from MB/s. */
+    static constexpr Bandwidth
+    mb_per_s(double mbps)
+    {
+        return bytes_per_s(mbps * static_cast<double>(kMB));
+    }
+
+    constexpr double raw() const { return bps_; }
+    constexpr double as_gb_per_s() const { return bps_ / static_cast<double>(kGB); }
+    constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+    /** Seconds needed to move @p bytes at this bandwidth. */
+    constexpr Seconds
+    transfer_time(Bytes bytes) const
+    {
+        return bps_ > 0.0 ? static_cast<double>(bytes) / bps_ : 0.0;
+    }
+
+    /** Scale bandwidth by a unitless factor (efficiency, sharing, ...). */
+    constexpr Bandwidth
+    scaled(double factor) const
+    {
+        return bytes_per_s(bps_ * factor);
+    }
+
+    friend constexpr bool
+    operator==(Bandwidth a, Bandwidth b)
+    {
+        return a.bps_ == b.bps_;
+    }
+    friend constexpr bool
+    operator<(Bandwidth a, Bandwidth b)
+    {
+        return a.bps_ < b.bps_;
+    }
+    friend constexpr bool
+    operator>(Bandwidth a, Bandwidth b)
+    {
+        return a.bps_ > b.bps_;
+    }
+    friend constexpr bool
+    operator<=(Bandwidth a, Bandwidth b)
+    {
+        return a.bps_ <= b.bps_;
+    }
+    friend constexpr bool
+    operator>=(Bandwidth a, Bandwidth b)
+    {
+        return a.bps_ >= b.bps_;
+    }
+
+  private:
+    double bps_ = 0.0;
+};
+
+/** Slower of two links in series (e.g. host memory feeding PCIe). */
+constexpr Bandwidth
+min_bw(Bandwidth a, Bandwidth b)
+{
+    return a < b ? a : b;
+}
+
+/** Faster of two links. */
+constexpr Bandwidth
+max_bw(Bandwidth a, Bandwidth b)
+{
+    return a > b ? a : b;
+}
+
+/** Render a byte count as e.g. "3.38 GiB" / "47.98 MiB" / "512 B". */
+std::string format_bytes(Bytes bytes);
+
+/** Render a time as e.g. "12.4 ms" / "3.1 s" / "830 us". */
+std::string format_seconds(Seconds s);
+
+/** Render a bandwidth as e.g. "24.53 GB/s". */
+std::string format_bandwidth(Bandwidth bw);
+
+} // namespace helm
+
+#endif // HELM_COMMON_UNITS_H

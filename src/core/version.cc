@@ -1,0 +1,18 @@
+#include "core/version.h"
+
+namespace helm {
+
+const char *
+version()
+{
+    return "1.0.0";
+}
+
+const char *
+paper_citation()
+{
+    return "Gupta & Dwarkadas, \"Improving the Performance of Out-of-Core "
+           "LLM Inference Using Heterogeneous Host Memory\", IISWC 2025";
+}
+
+} // namespace helm

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Library version and provenance strings.
+ */
+#ifndef HELM_CORE_VERSION_H
+#define HELM_CORE_VERSION_H
+
+namespace helm {
+
+/** Semantic version of the library. */
+const char *version();
+
+/** One-line citation of the reproduced paper. */
+const char *paper_citation();
+
+} // namespace helm
+
+#endif // HELM_CORE_VERSION_H

@@ -1,0 +1,158 @@
+#include "gpu/compute_model.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "mem/calibration.h"
+#include "model/dtype.h"
+
+namespace helm::gpu {
+
+using model::LayerType;
+
+const char *
+stage_name(Stage stage)
+{
+    return stage == Stage::kPrefill ? "prefill" : "decode";
+}
+
+namespace {
+
+/** Tokens entering the layer this step. */
+std::uint64_t
+step_tokens(const LayerWork &work)
+{
+    return work.stage == Stage::kPrefill ? work.prompt_tokens : 1;
+}
+
+} // namespace
+
+double
+layer_flops(const LayerWork &work)
+{
+    HELM_ASSERT(work.config != nullptr, "LayerWork.config required");
+    const double b = static_cast<double>(work.batch);
+    const double h = static_cast<double>(work.config->hidden);
+    const double f = static_cast<double>(work.config->ffn_hidden);
+    const double v = static_cast<double>(work.config->vocab);
+    const double s = static_cast<double>(step_tokens(work));
+    const double ctx = static_cast<double>(
+        work.stage == Stage::kPrefill ? work.prompt_tokens
+                                      : work.context_tokens);
+
+    const double kv = static_cast<double>(work.config->kv_dim());
+    const double ffn_mats = work.config->gated_ffn ? 3.0 : 2.0;
+    switch (work.layer) {
+      case LayerType::kInputEmbedding:
+        // Table lookups + position add: no GEMM work.
+        return 2.0 * b * s * h;
+      case LayerType::kMha:
+        // q/out projections (h x h) + k/v projections (h x kv_dim);
+        // attention: scores (b, heads, s, ctx) + apply, 2 x 2*b*s*ctx*h.
+        return 4.0 * b * s * h * h + 4.0 * b * s * h * kv +
+               4.0 * b * s * ctx * h;
+      case LayerType::kFfn:
+        // fc1/fc2 (+ gate for SwiGLU), each (b*s, h) x (h, f)-shaped.
+        return 2.0 * ffn_mats * b * s * h * f;
+      case LayerType::kOutputEmbedding:
+        // LM head on the final position only (FlexGen computes logits
+        // for the last token of each sequence).
+        return 2.0 * b * h * v;
+    }
+    HELM_ASSERT(false, "unknown LayerType");
+    return 0.0;
+}
+
+Bytes
+layer_hbm_bytes(const LayerWork &work)
+{
+    HELM_ASSERT(work.config != nullptr, "LayerWork.config required");
+    const std::uint64_t b = work.batch;
+    const std::uint64_t h = work.config->hidden;
+    const std::uint64_t f = work.config->ffn_hidden;
+    const std::uint64_t v = work.config->vocab;
+    const std::uint64_t s = step_tokens(work);
+    const std::uint64_t ctx = work.stage == Stage::kPrefill
+                                  ? work.prompt_tokens
+                                  : work.context_tokens;
+    constexpr std::uint64_t e = 2; // FP16 element size
+
+    const std::uint64_t kv = work.config->kv_dim();
+    const std::uint64_t ffn_mats = work.config->gated_ffn ? 3 : 2;
+    switch (work.layer) {
+      case LayerType::kInputEmbedding:
+        // Embedding rows gathered + hidden state written.
+        return (b * s * h + b * s * h) * e;
+      case LayerType::kMha: {
+        // Weights (FP16 working form) + in/out activations + KV write
+        // for this step's tokens + KV read of the whole context.
+        const std::uint64_t weights = 2 * h * h + 2 * h * kv;
+        const std::uint64_t acts = 3 * b * s * h;
+        const std::uint64_t kv_write = 2 * b * s * kv;
+        const std::uint64_t kv_read = 2 * b * ctx * kv;
+        return (weights + acts + kv_write + kv_read) * e;
+      }
+      case LayerType::kFfn: {
+        const std::uint64_t weights = ffn_mats * h * f;
+        const std::uint64_t acts = b * s * (2 * h + f);
+        return (weights + acts) * e;
+      }
+      case LayerType::kOutputEmbedding:
+        return (v * h + b * (h + v)) * e;
+    }
+    HELM_ASSERT(false, "unknown LayerType");
+    return 0;
+}
+
+Bytes
+layer_dequant_bytes(const LayerWork &work)
+{
+    HELM_ASSERT(work.config != nullptr, "LayerWork.config required");
+    if (!work.compressed)
+        return 0;
+    const std::uint64_t h = work.config->hidden;
+    const std::uint64_t f = work.config->ffn_hidden;
+    const std::uint64_t v = work.config->vocab;
+    constexpr std::uint64_t e = 2;
+    // Only matrix weights are quantized (model/transformer.cc), and the
+    // dequant cost scales with the *uncompressed* bytes produced.
+    switch (work.layer) {
+      case LayerType::kInputEmbedding:
+        // Embedding lookup dequantizes only the gathered rows.
+        return work.batch * step_tokens(work) * h * e;
+      case LayerType::kMha:
+        return (2 * h * h + 2 * h * work.config->kv_dim()) * e;
+      case LayerType::kFfn:
+        return (work.config->gated_ffn ? 3 : 2) * h * f * e;
+      case LayerType::kOutputEmbedding:
+        return v * h * e;
+    }
+    HELM_ASSERT(false, "unknown LayerType");
+    return 0;
+}
+
+double
+gemm_efficiency_at(const GpuSpec &gpu, std::uint64_t rows)
+{
+    namespace cal = helm::mem::cal;
+    const double m = static_cast<double>(rows);
+    const double ramp =
+        gpu.gemm_efficiency * m / (m + cal::kGpuGemmHalfSaturationRows);
+    return std::max(cal::kGpuGemmEfficiencyFloor, ramp);
+}
+
+Seconds
+layer_compute_time(const GpuSpec &gpu, const LayerWork &work)
+{
+    const double eff =
+        gemm_efficiency_at(gpu, work.batch * step_tokens(work));
+    const double flop_time =
+        layer_flops(work) / (gpu.peak_fp16_flops * eff);
+    const double hbm_time =
+        gpu.effective_hbm().transfer_time(layer_hbm_bytes(work));
+    const double dequant_time =
+        gpu.dequant_bandwidth.transfer_time(layer_dequant_bytes(work));
+    return std::max(flop_time, hbm_time) + dequant_time;
+}
+
+} // namespace helm::gpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Roofline compute-time model for transformer layers.
+ *
+ * Prefill processes the whole prompt in GEMMs (compute-bound at large
+ * batch x sequence); decode processes one token per step in GEMVs
+ * (memory-bound) — Fig. 1.  Layer time is the roofline max of the FLOP
+ * term and the HBM-traffic term, plus a dequantization term when the
+ * layer's matrix weights are stored 4-bit compressed (Sec. IV-B).
+ */
+#ifndef HELM_GPU_COMPUTE_MODEL_H
+#define HELM_GPU_COMPUTE_MODEL_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "gpu/gpu.h"
+#include "model/transformer.h"
+
+namespace helm::gpu {
+
+/** Inference stage (Fig. 1). */
+enum class Stage
+{
+    kPrefill,
+    kDecode,
+};
+
+/** Printable name. */
+const char *stage_name(Stage stage);
+
+/** Everything the roofline needs to know about one layer execution. */
+struct LayerWork
+{
+    const model::TransformerConfig *config = nullptr;
+    model::LayerType layer = model::LayerType::kMha;
+    Stage stage = Stage::kPrefill;
+    std::uint64_t batch = 1;
+    std::uint64_t prompt_tokens = 128; //!< prefill sequence length
+    std::uint64_t context_tokens = 128; //!< KV length at this decode step
+    bool compressed = false; //!< matrix weights stored 4-bit on GPU
+};
+
+/** Floating-point operations for one execution of the layer. */
+double layer_flops(const LayerWork &work);
+
+/** HBM bytes moved by one execution (weights + activations + KV). */
+Bytes layer_hbm_bytes(const LayerWork &work);
+
+/** FP16 bytes of the layer's matrix weights (the dequant payload). */
+Bytes layer_dequant_bytes(const LayerWork &work);
+
+/**
+ * Achieved GEMM efficiency for a GEMM of @p rows rows (batch x tokens):
+ * ramps toward GpuSpec::gemm_efficiency as rows grow (small GEMMs cannot
+ * fill the tensor cores).
+ */
+double gemm_efficiency_at(const GpuSpec &gpu, std::uint64_t rows);
+
+/**
+ * Roofline execution time:
+ *   max(flops / effective_flops, hbm_bytes / effective_hbm)
+ *   + dequant_bytes / dequant_bandwidth          (compressed runs)
+ * The per-layer launch/sync overhead is added by the scheduler, not
+ * here, so that overlap accounting stays exact.
+ */
+Seconds layer_compute_time(const GpuSpec &gpu, const LayerWork &work);
+
+} // namespace helm::gpu
+
+#endif // HELM_GPU_COMPUTE_MODEL_H

@@ -1,0 +1,62 @@
+#include "mem/bandwidth_curve.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace helm::mem {
+
+BandwidthCurve::BandwidthCurve(Bandwidth flat)
+{
+    HELM_ASSERT(flat.raw() > 0.0, "curve bandwidth must be positive");
+    points_.push_back(Point{1, flat});
+}
+
+BandwidthCurve::BandwidthCurve(std::vector<Point> points)
+    : points_(std::move(points))
+{
+    HELM_ASSERT(!points_.empty(), "curve needs at least one point");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        HELM_ASSERT(points_[i].size > 0, "curve sizes must be positive");
+        HELM_ASSERT(points_[i].bandwidth.raw() > 0.0,
+                    "curve bandwidth must be positive");
+        if (i > 0) {
+            HELM_ASSERT(points_[i].size > points_[i - 1].size,
+                        "curve sizes must be strictly increasing");
+        }
+    }
+}
+
+Bandwidth
+BandwidthCurve::at(Bytes buffer_size) const
+{
+    if (buffer_size == 0 || buffer_size <= points_.front().size)
+        return points_.front().bandwidth;
+    if (buffer_size >= points_.back().size)
+        return points_.back().bandwidth;
+    // Find the bracketing segment.
+    std::size_t hi = 1;
+    while (points_[hi].size < buffer_size)
+        ++hi;
+    const Point &a = points_[hi - 1];
+    const Point &b = points_[hi];
+    const double la = std::log2(static_cast<double>(a.size));
+    const double lb = std::log2(static_cast<double>(b.size));
+    const double lx = std::log2(static_cast<double>(buffer_size));
+    const double t = (lx - la) / (lb - la);
+    const double bw = a.bandwidth.raw() +
+                      t * (b.bandwidth.raw() - a.bandwidth.raw());
+    return Bandwidth::bytes_per_s(bw);
+}
+
+BandwidthCurve
+BandwidthCurve::scaled(double factor) const
+{
+    HELM_ASSERT(factor > 0.0, "scale factor must be positive");
+    std::vector<Point> scaled_points = points_;
+    for (auto &point : scaled_points)
+        point.bandwidth = point.bandwidth.scaled(factor);
+    return BandwidthCurve(std::move(scaled_points));
+}
+
+} // namespace helm::mem

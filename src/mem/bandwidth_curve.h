@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Buffer-size-dependent bandwidth curves.
+ *
+ * Several devices (most notably Optane, Fig. 3a) deliver different
+ * streaming bandwidth depending on the working-set size: small buffers
+ * stay within the AIT buffer / prefetch window, large buffers decay.
+ * BandwidthCurve interpolates between calibrated (size, GB/s) anchor
+ * points, linearly in log2(size), which matches how such curves look on
+ * the customary log-x bandwidth plots.
+ */
+#ifndef HELM_MEM_BANDWIDTH_CURVE_H
+#define HELM_MEM_BANDWIDTH_CURVE_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace helm::mem {
+
+/**
+ * Piecewise log-linear interpolation over (buffer size -> bandwidth)
+ * anchor points.  Below the first anchor the first value holds; above the
+ * last anchor the last value holds.
+ */
+class BandwidthCurve
+{
+  public:
+    struct Point
+    {
+        Bytes size;
+        Bandwidth bandwidth;
+    };
+
+    /** A constant curve. */
+    explicit BandwidthCurve(Bandwidth flat);
+
+    /** Anchor points; must be non-empty with strictly increasing sizes. */
+    explicit BandwidthCurve(std::vector<Point> points);
+
+    /** Interpolated bandwidth for a transfer of @p buffer_size bytes. */
+    Bandwidth at(Bytes buffer_size) const;
+
+    /** Multiply every anchor by @p factor (e.g. NUMA derate). */
+    BandwidthCurve scaled(double factor) const;
+
+    const std::vector<Point> &points() const { return points_; }
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace helm::mem
+
+#endif // HELM_MEM_BANDWIDTH_CURVE_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Calibration anchors for every memory/GPU device model.
+ *
+ * helm-sim substitutes the paper's physical testbed (dual-socket Ice Lake
+ * with DDR4-2933 + Optane 200-series DIMMs, NVIDIA A100-40GB on PCIe
+ * Gen4 x16) with device models whose bandwidth/latency curves are pinned
+ * to the numbers the paper reports, falling back to the Optane literature
+ * it cites (Izraelevitz et al. [30], Peng et al. [31], Yang et al. [32])
+ * where the paper gives no number.  Every constant cites its source so
+ * that re-calibrating against different hardware is a one-file change.
+ *
+ * EXPERIMENTS.md section "Calibration" documents the derivations.
+ */
+#ifndef HELM_MEM_CALIBRATION_H
+#define HELM_MEM_CALIBRATION_H
+
+#include "common/units.h"
+
+namespace helm::mem::cal {
+
+// ---------------------------------------------------------------------
+// PCIe (Table I: PCIe Gen 4 x16, 32 GB/s theoretical)
+// ---------------------------------------------------------------------
+
+/** Theoretical PCIe Gen4 x16 bandwidth (Table I). */
+inline constexpr double kPcieGen4x16TheoreticalGBs = 32.0;
+
+/**
+ * Achievable host->GPU copy efficiency over PCIe.  Fig. 3a's DRAM curves
+ * plateau near 24.5 GB/s on a 32 GB/s link => ~0.766 efficiency
+ * (protocol + DMA overheads).
+ */
+inline constexpr double kPcieH2dEfficiency = 0.766;
+
+/**
+ * GPU->host runs slightly hotter than host->GPU on this platform;
+ * Fig. 3b's DRAM curves sit near 26.4 GB/s => ~0.825 efficiency.
+ */
+inline constexpr double kPcieD2hEfficiency = 0.825;
+
+/** One-way PCIe Gen4 round-trip contribution per transfer (latency). */
+inline constexpr Seconds kPcieLatency = 1.0e-6;
+
+// ---------------------------------------------------------------------
+// DRAM (Table I: 16 GB DDR4-2933 x2 per controller, 4 controllers/socket)
+// ---------------------------------------------------------------------
+
+/** Aggregate local DRAM read bandwidth per socket (Sec. II-D: 157 GB/s
+ *  across 8 channels => ~78.5 per socket; we keep the per-socket view
+ *  since FlexGen pins to one socket). */
+inline constexpr double kDramReadGBs = 78.5;
+
+/** DDR4 write bandwidth is ~70% of read for streaming stores. */
+inline constexpr double kDramWriteGBs = 55.0;
+
+/** Remote-socket (UPI-crossing) bandwidth derate. */
+inline constexpr double kDramRemoteFactor = 0.70;
+
+/** Idle DRAM load-to-use latency. */
+inline constexpr Seconds kDramLatency = 90e-9;
+
+/** DRAM capacity per socket (Table I: 128 GB/socket, 256 GB total). */
+inline constexpr Bytes kDramCapacityPerSocket = 128ull * kGiB;
+
+// ---------------------------------------------------------------------
+// Optane DCPMM 200-series as NUMA memory ("NVDRAM")
+// ---------------------------------------------------------------------
+// Fig. 3a: NVDRAM host->GPU is ~20% below DRAM up to 4 GB buffers
+// (19.91 GB/s at 4 GB) and decays to 15.52 GB/s at 32 GB (AIT-buffer
+// misses + wear-leveling-induced non-consecutive media placement).
+// The *device* curve below is what a streaming reader sees; the PCIe
+// copy path takes min(device, pcie).
+
+/** Optane read bandwidth at small (<=4 GiB) working sets. */
+inline constexpr double kOptaneReadSmallGBs = 19.91;
+
+/**
+ * One-shot (cold) copy bandwidth at 32 GiB buffers (Fig. 3a's measured
+ * floor): every 4 KiB chunk misses the AIT buffer.
+ */
+inline constexpr double kOptaneColdReadLargeGBs = 15.52;
+
+/** Buffer size at which the cold-read decay begins (Fig. 3a knee). */
+inline constexpr Bytes kOptaneReadKnee = 4ull * kGiB;
+
+/** Buffer size by which the cold decay has fully set in. */
+inline constexpr Bytes kOptaneColdReadFloorAt = 32ull * kGiB;
+
+/**
+ * Steady-state *streaming* read bandwidth decays far more gently with
+ * the resident working set than one-shot copies do with buffer size:
+ * cyclically re-read weights keep the AIT and prefetchers warm.  The
+ * two anchors below are solved from the paper's LLM measurements: the
+ * all-DRAM ideal weight-transfer time is 32.78% better than NVDIMM for
+ * uncompressed OPT-175B (~300 GiB resident, Fig. 5) while MemoryMode
+ * improves on NVDRAM by ~8% there (Fig. 4), and the compressed runs
+ * (~60-85 GiB resident) reproduce Table IV's overlap ratios.
+ */
+inline constexpr Bytes kOptaneStreamKnee = 64ull * kGiB;
+inline constexpr double kOptaneStreamKneeGBs = 19.3;
+inline constexpr Bytes kOptaneStreamFloorAt = 320ull * kGiB;
+inline constexpr double kOptaneStreamFloorGBs = 18.5;
+
+/**
+ * Optane streaming write bandwidth, GPU-local socket (Fig. 3b NVDRAM-1
+ * peak: 3.26 GB/s at 1 GB buffers; "88% lower than DRAM").
+ */
+inline constexpr double kOptaneWriteGBs = 3.26;
+
+/**
+ * Write bandwidth on the other socket (Fig. 3b NVDRAM-0 sits visibly
+ * below NVDRAM-1; Peng et al. [31] report remote Optane writes lose
+ * ~30%).
+ */
+inline constexpr double kOptaneWriteRemoteFactor = 0.68;
+
+/** Remote-socket read derate for Optane (UPI crossing, [31]). */
+inline constexpr double kOptaneReadRemoteFactor = 0.80;
+
+/** Optane idle read latency (Izraelevitz et al. [30]: ~305 ns). */
+inline constexpr Seconds kOptaneLatency = 305e-9;
+
+/** Optane capacity per socket (Table I: 4 x 128 GB, 1 TB total). */
+inline constexpr Bytes kOptaneCapacityPerSocket = 512ull * kGiB;
+
+// ---------------------------------------------------------------------
+// Optane Memory Mode (DRAM as direct-mapped cache in front of Optane)
+// ---------------------------------------------------------------------
+
+/**
+ * Hit-path derate vs raw DRAM: the DRAM cache adds tag/metadata traffic.
+ * Fig. 6: compressed OPT-175B (resident set < cache) on MemoryMode lands
+ * within 6% of the DRAM ideal.
+ */
+inline constexpr double kMemoryModeHitFactor = 0.95;
+
+/**
+ * Miss-path streaming bandwidth (fetch from Optane + fill DRAM cache +
+ * metadata).  Derived from Fig. 5: DRAM-ideal weight transfer is 32.78%
+ * faster than NVDIMM and 22.41% faster than MemoryMode for uncompressed
+ * OPT-175B (324.5 GB resident vs 256 GB cache => ~79% hit ratio);
+ * solving the harmonic mix for the miss path gives ~10.3 GB/s.
+ */
+inline constexpr double kMemoryModeMissGBs = 10.3;
+
+// ---------------------------------------------------------------------
+// Optane as storage (Table II "SSD" and "FSDAX" rows)
+// ---------------------------------------------------------------------
+
+/**
+ * FSDAX: ext4-DAX file reads from Optane require a bounce buffer in DRAM
+ * before the DMA to the GPU (Sec. IV-B).  The file-read stage itself
+ * streams at roughly the Optane read rate minus filesystem overhead.
+ */
+inline constexpr double kFsdaxReadGBs = 17.0;
+
+/**
+ * Block-storage mode ("SSD" label): Optane behind ext4 + page cache.
+ * Derived from Fig. 4: FSDAX improves TTFT/TBT by ~33.5% over SSD =>
+ * SSD's effective rate is ~2/3 of FSDAX's end-to-end ~11 GB/s => ~7.4,
+ * before the same bounce-buffer serialization.
+ */
+inline constexpr double kSsdReadGBs = 7.4;
+
+/** Storage write bandwidth (page-cache writeback to Optane). */
+inline constexpr double kStorageWriteGBs = 2.2;
+
+/** File-system/DAX software latency per request. */
+inline constexpr Seconds kStorageLatency = 10e-6;
+
+// ---------------------------------------------------------------------
+// CXL expanders (Table III)
+// ---------------------------------------------------------------------
+
+/** CXL-FPGA [17]: FPGA controller + DDR4-3200 x1. */
+inline constexpr double kCxlFpgaGBs = 5.12;
+
+/** CXL-ASIC [54]: commercial ASIC controller + DDR5-4800 x1. */
+inline constexpr double kCxlAsicGBs = 28.0;
+
+/** CXL adds >= 70 ns to round-trip latency (Sec. II-D, [46]). */
+inline constexpr Seconds kCxlAddedLatency = 70e-9;
+
+/** CXL write bandwidth relative to read (Sun et al. [17]: ~30% of the
+ *  underlying DRAM vs 47% for reads => writes ~0.64 of reads). */
+inline constexpr double kCxlWriteFactor = 0.64;
+
+// ---------------------------------------------------------------------
+// GPU: NVIDIA A100-40GB (Table I)
+// ---------------------------------------------------------------------
+
+/** HBM2 capacity. */
+inline constexpr Bytes kGpuHbmCapacity = 40ull * kGB;
+
+/** HBM2 bandwidth (Table I: 1555 GB/s). */
+inline constexpr double kGpuHbmGBs = 1555.0;
+
+/** A100 FP16 tensor-core peak (dense): 312 TFLOP/s. */
+inline constexpr double kGpuPeakFp16Tflops = 312.0;
+
+/**
+ * Achieved fraction of peak for FlexGen-style unfused PyTorch GEMMs at
+ * large row counts.  Calibrated against Table IV: the baseline batch-8
+ * prefill ratio (MHA compute / FFN load = 0.52 on NVDRAM) pins the
+ * asymptotic GEMM rate at ~58% of tensor-core peak for OPT-175B shapes.
+ */
+inline constexpr double kGpuGemmEfficiency = 0.58;
+
+/**
+ * GEMM efficiency ramps with the row count m = batch x step-tokens:
+ * eff(m) = max(floor, peak_eff * m / (m + half)).  Small-m GEMMs cannot
+ * fill the tensor cores; the half-saturation row count is calibrated so
+ * the batch-1 prefill MHA compute time reproduces Table IV's HeLM
+ * crossover on CXL-ASIC (ratio 1.12 > 1).  The floor keeps tiny-m GEMV
+ * shapes from dominating the roofline — decode stays HBM-bound.
+ */
+inline constexpr double kGpuGemmHalfSaturationRows = 320.0;
+inline constexpr double kGpuGemmEfficiencyFloor = 0.05;
+
+/** Achieved fraction of HBM bandwidth for GEMV/attention (decode). */
+inline constexpr double kGpuHbmEfficiency = 0.60;
+
+/**
+ * Group-wise 4-bit dequantization throughput, in output (uncompressed)
+ * bytes per second.  Fig. 6: compression inflates compute time 2.5x-13x;
+ * this constant is tuned so that the compressed-run compute line in our
+ * Fig. 6 reproduction lands in that band (see EXPERIMENTS.md).
+ */
+inline constexpr double kGpuDequantGBs = 120.0;
+
+/** Fixed per-layer kernel-launch + sync overhead (FlexGen sync()). */
+inline constexpr Seconds kGpuLayerOverhead = 200e-6;
+
+/**
+ * Fixed GPU reserve: CUDA context, allocator slack, cuBLAS workspace.
+ * On top of this the runtime reserves weight staging buffers: one
+ * largest-layer FP16 buffer for the in-flight transfer; compressed runs
+ * add a second FP16 dequantization workspace plus two compressed-stream
+ * buffers.  Jointly calibrated so the paper's max batch sizes reproduce
+ * exactly: OPT-175B baseline uncompressed -> 8, All-CPU compressed ->
+ * 44 (Secs. IV-B and V-C).
+ */
+inline constexpr Bytes kGpuBaseReserve =
+    static_cast<Bytes>(2.1 * static_cast<double>(kGiB));
+
+} // namespace helm::mem::cal
+
+#endif // HELM_MEM_CALIBRATION_H

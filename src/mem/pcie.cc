@@ -1,0 +1,77 @@
+#include "mem/pcie.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "mem/calibration.h"
+
+namespace helm::mem {
+
+namespace {
+
+/**
+ * Usable per-lane bandwidth in GB/s after line coding, per the PCIe
+ * comparison table the paper cites [47].
+ */
+double
+per_lane_gbs(int generation)
+{
+    switch (generation) {
+      case 3:
+        return 0.985;
+      case 4:
+        return 1.969;
+      case 5:
+        return 3.938;
+      case 6:
+        return 7.563;
+      default:
+        HELM_ASSERT(false, "unsupported PCIe generation");
+        return 0.0;
+    }
+}
+
+} // namespace
+
+PcieLink::PcieLink(int generation, int lanes)
+    : generation_(generation), lanes_(lanes)
+{
+    HELM_ASSERT(generation >= 3 && generation <= 6,
+                "PCIe generation must be 3..6");
+    HELM_ASSERT(lanes >= 1 && lanes <= 16, "PCIe lanes must be 1..16");
+}
+
+Bandwidth
+PcieLink::theoretical() const
+{
+    return Bandwidth::gb_per_s(per_lane_gbs(generation_) *
+                               static_cast<double>(lanes_));
+}
+
+Bandwidth
+PcieLink::h2d_effective() const
+{
+    return theoretical().scaled(cal::kPcieH2dEfficiency);
+}
+
+Bandwidth
+PcieLink::d2h_effective() const
+{
+    return theoretical().scaled(cal::kPcieD2hEfficiency);
+}
+
+Seconds
+PcieLink::latency() const
+{
+    return cal::kPcieLatency;
+}
+
+std::string
+PcieLink::to_string() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "PCIe Gen%d x%d", generation_, lanes_);
+    return buf;
+}
+
+} // namespace helm::mem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PCIe link model connecting host memory to the GPU.
+ *
+ * The A100 in the paper's platform sits on PCIe Gen4 x16 (32 GB/s
+ * theoretical, Table I).  The link model exposes per-direction effective
+ * copy bandwidths (Fig. 3's DRAM plateaus) and supports other
+ * generations for the abl_pcie_gen sensitivity bench.
+ */
+#ifndef HELM_MEM_PCIE_H
+#define HELM_MEM_PCIE_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace helm::mem {
+
+/**
+ * A PCIe point-to-point link.  Value type; cheap to copy.
+ */
+class PcieLink
+{
+  public:
+    /**
+     * @param generation PCIe generation (3..6 supported).
+     * @param lanes Lane count (1..16).
+     */
+    PcieLink(int generation, int lanes);
+
+    /** The paper's platform link: Gen4 x16. */
+    static PcieLink gen4_x16() { return PcieLink(4, 16); }
+
+    int generation() const { return generation_; }
+    int lanes() const { return lanes_; }
+
+    /** Raw protocol bandwidth (per-lane rate x lanes). */
+    Bandwidth theoretical() const;
+
+    /** Effective host->GPU copy bandwidth (DMA + protocol efficiency). */
+    Bandwidth h2d_effective() const;
+
+    /** Effective GPU->host copy bandwidth. */
+    Bandwidth d2h_effective() const;
+
+    /** Per-transfer latency contribution. */
+    Seconds latency() const;
+
+    /** e.g. "PCIe Gen4 x16". */
+    std::string to_string() const;
+
+  private:
+    int generation_;
+    int lanes_;
+};
+
+} // namespace helm::mem
+
+#endif // HELM_MEM_PCIE_H

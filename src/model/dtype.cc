@@ -1,0 +1,56 @@
+#include "model/dtype.h"
+
+#include "common/status.h"
+
+namespace helm::model {
+
+const char *
+data_type_name(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFp32:
+        return "fp32";
+      case DataType::kFp16:
+        return "fp16";
+      case DataType::kInt8:
+        return "int8";
+      case DataType::kInt4Grouped:
+        return "int4-g64";
+    }
+    return "?";
+}
+
+Bytes
+tensor_bytes(std::uint64_t elements, DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFp32:
+        return elements * 4;
+      case DataType::kFp16:
+        return elements * 2;
+      case DataType::kInt8:
+        return elements;
+      case DataType::kInt4Grouped: {
+        // 4 bits per element, packed two per byte, plus per-group scale
+        // and zero-point in FP16.
+        const std::uint64_t payload = (elements + 1) / 2;
+        const std::uint64_t groups =
+            (elements + kQuantGroupSize - 1) / kQuantGroupSize;
+        return payload + groups * kQuantGroupMetadataBytes;
+      }
+    }
+    HELM_ASSERT(false, "unknown DataType");
+    return 0;
+}
+
+double
+compression_ratio_vs_fp16(DataType dtype)
+{
+    // Use a large representative tensor so partial-group rounding is
+    // negligible.
+    constexpr std::uint64_t kProbe = 1ull << 24;
+    return static_cast<double>(tensor_bytes(kProbe, dtype)) /
+           static_cast<double>(tensor_bytes(kProbe, DataType::kFp16));
+}
+
+} // namespace helm::model

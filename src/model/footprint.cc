@@ -1,0 +1,54 @@
+#include "model/footprint.h"
+
+namespace helm::model {
+
+Bytes
+kv_bytes_per_block(const TransformerConfig &config, std::uint64_t context,
+                   DataType dtype)
+{
+    // K and V each store context x kv_dim elements per block; grouped-
+    // query attention (kv_heads < heads) shrinks this proportionally.
+    return tensor_bytes(2 * context * config.kv_dim(), dtype);
+}
+
+Bytes
+kv_bytes_total(const TransformerConfig &config, std::uint64_t context,
+               DataType dtype)
+{
+    return config.blocks * kv_bytes_per_block(config, context, dtype);
+}
+
+Bytes
+kv_bytes_batch(const TransformerConfig &config, const SequenceShape &shape,
+               std::uint64_t batch, DataType dtype)
+{
+    return batch * kv_bytes_total(config, shape.max_context(), dtype);
+}
+
+Bytes
+hidden_bytes_batch(const TransformerConfig &config,
+                   const SequenceShape &shape, std::uint64_t batch)
+{
+    // FlexGen keeps the current layer's input and output activations:
+    // 2 x (batch x prompt x hidden) FP16 during prefill.
+    return tensor_bytes(2 * batch * shape.prompt_tokens * config.hidden,
+                        DataType::kFp16);
+}
+
+ModelFootprint
+compute_footprint(const TransformerConfig &config, DataType weight_dtype,
+                  const SequenceShape &shape, std::uint64_t batch,
+                  DataType kv_dtype)
+{
+    ModelFootprint fp;
+    const auto layers = build_layers(config, weight_dtype);
+    fp.weights = model_weight_bytes(layers);
+    fp.weights_per_block = decoder_block_bytes(config, weight_dtype);
+    fp.kv_per_block =
+        kv_bytes_per_block(config, shape.max_context(), kv_dtype);
+    fp.kv_total = kv_bytes_batch(config, shape, batch, kv_dtype);
+    fp.hidden = hidden_bytes_batch(config, shape, batch);
+    return fp;
+}
+
+} // namespace helm::model

@@ -1,0 +1,83 @@
+#include "model/opt.h"
+
+namespace helm::model {
+
+std::vector<OptVariant>
+all_opt_variants()
+{
+    return {OptVariant::kOpt125M, OptVariant::kOpt1_3B,
+            OptVariant::kOpt2_7B, OptVariant::kOpt6_7B,
+            OptVariant::kOpt13B,  OptVariant::kOpt30B,
+            OptVariant::kOpt66B,  OptVariant::kOpt175B};
+}
+
+TransformerConfig
+opt_config(OptVariant variant)
+{
+    TransformerConfig c;
+    switch (variant) {
+      case OptVariant::kOpt125M:
+        c.name = "OPT-125M";
+        c.hidden = 768;
+        c.heads = 12;
+        c.blocks = 12;
+        break;
+      case OptVariant::kOpt1_3B:
+        c.name = "OPT-1.3B";
+        c.hidden = 2048;
+        c.heads = 32;
+        c.blocks = 24;
+        break;
+      case OptVariant::kOpt2_7B:
+        c.name = "OPT-2.7B";
+        c.hidden = 2560;
+        c.heads = 32;
+        c.blocks = 32;
+        break;
+      case OptVariant::kOpt6_7B:
+        c.name = "OPT-6.7B";
+        c.hidden = 4096;
+        c.heads = 32;
+        c.blocks = 32;
+        break;
+      case OptVariant::kOpt13B:
+        c.name = "OPT-13B";
+        c.hidden = 5120;
+        c.heads = 40;
+        c.blocks = 40;
+        break;
+      case OptVariant::kOpt30B:
+        c.name = "OPT-30B";
+        c.hidden = 7168;
+        c.heads = 56;
+        c.blocks = 48;
+        break;
+      case OptVariant::kOpt66B:
+        c.name = "OPT-66B";
+        c.hidden = 9216;
+        c.heads = 72;
+        c.blocks = 64;
+        break;
+      case OptVariant::kOpt175B:
+        c.name = "OPT-175B";
+        c.hidden = 12288;
+        c.heads = 96;
+        c.blocks = 96;
+        break;
+    }
+    c.ffn_hidden = 4 * c.hidden;
+    return c;
+}
+
+Result<TransformerConfig>
+opt_config_by_name(const std::string &name)
+{
+    for (OptVariant v : all_opt_variants()) {
+        TransformerConfig c = opt_config(v);
+        if (c.name == name)
+            return c;
+    }
+    return Status::not_found("unknown OPT variant: " + name);
+}
+
+} // namespace helm::model

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * OPT model zoo (Zhang et al. [18]).
+ *
+ * Dimensions follow the published OPT configurations; the paper's
+ * evaluation uses OPT-30B (h=7168, 48 blocks -> 98 layers) and OPT-175B
+ * (h=12288, 96 blocks -> 194 layers).  The smaller variants are included
+ * for tests, examples, and scaling sweeps.
+ */
+#ifndef HELM_MODEL_OPT_H
+#define HELM_MODEL_OPT_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/transformer.h"
+
+namespace helm::model {
+
+/** Named OPT variants. */
+enum class OptVariant
+{
+    kOpt125M,
+    kOpt1_3B,
+    kOpt2_7B,
+    kOpt6_7B,
+    kOpt13B,
+    kOpt30B,
+    kOpt66B,
+    kOpt175B,
+};
+
+/** All variants, smallest to largest. */
+std::vector<OptVariant> all_opt_variants();
+
+/** Architecture config of a variant. */
+TransformerConfig opt_config(OptVariant variant);
+
+/** Lookup by name ("OPT-30B", case-sensitive). */
+Result<TransformerConfig> opt_config_by_name(const std::string &name);
+
+} // namespace helm::model
+
+#endif // HELM_MODEL_OPT_H

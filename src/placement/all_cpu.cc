@@ -1,0 +1,22 @@
+#include "placement/all_cpu.h"
+
+namespace helm::placement {
+
+PlacementMap
+AllCpuPlacement::place(const std::vector<model::LayerSpec> &layers,
+                       const Policy &policy) const
+{
+    (void)policy; // All-CPU ignores the requested split by design.
+    PlacementMap map;
+    map.algorithm = name();
+    map.layers.reserve(layers.size());
+    for (const auto &layer : layers) {
+        LayerPlacement placement = make_layer_placement(layer);
+        for (std::size_t i = 0; i < layer.weights.size(); ++i)
+            assign_weight(placement, layer, i, Tier::kCpu);
+        map.layers.push_back(std::move(placement));
+    }
+    return map;
+}
+
+} // namespace helm::placement

@@ -1,0 +1,67 @@
+#include "placement/capacity.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace helm::placement {
+
+SpillReport
+enforce_gpu_capacity(PlacementMap &map,
+                     const std::vector<model::LayerSpec> &layers,
+                     Bytes gpu_weight_budget)
+{
+    HELM_ASSERT(map.layers.size() == layers.size(),
+                "placement/layer list mismatch");
+    SpillReport report;
+    report.gpu_weight_bytes_before = map.tier_total(Tier::kGpu);
+    Bytes gpu_bytes = report.gpu_weight_bytes_before;
+
+    if (gpu_bytes <= gpu_weight_budget) {
+        report.gpu_weight_bytes_after = gpu_bytes;
+        report.fits = true;
+        return report;
+    }
+
+    // Collect every GPU-resident weight (layer, index, bytes).
+    struct Candidate
+    {
+        std::size_t layer;
+        std::size_t weight;
+        Bytes bytes;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t li = 0; li < map.layers.size(); ++li) {
+        const auto &placement = map.layers[li];
+        for (std::size_t wi = 0; wi < placement.weight_tiers.size(); ++wi) {
+            if (placement.weight_tiers[wi] == Tier::kGpu) {
+                candidates.push_back(
+                    Candidate{li, wi, layers[li].weights[wi].bytes()});
+            }
+        }
+    }
+    // Largest first; ties resolve to later layers first so early layers
+    // (whose transfers are exposed at pipeline start) stay resident.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         if (a.bytes != b.bytes)
+                             return a.bytes > b.bytes;
+                         return a.layer > b.layer;
+                     });
+
+    for (const auto &c : candidates) {
+        if (gpu_bytes <= gpu_weight_budget)
+            break;
+        assign_weight(map.layers[c.layer], layers[c.layer], c.weight,
+                      Tier::kCpu);
+        gpu_bytes -= c.bytes;
+        report.spilled_bytes += c.bytes;
+        ++report.spilled_weights;
+    }
+
+    report.gpu_weight_bytes_after = gpu_bytes;
+    report.fits = gpu_bytes <= gpu_weight_budget;
+    return report;
+}
+
+} // namespace helm::placement

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GPU-capacity enforcement: spill weights off the GPU when the placement
+ * plus KV cache plus hidden state would exceed usable HBM.
+ *
+ * FlexGen refuses to run configurations that do not fit; in practice the
+ * operator lowers the GPU percentage until they do.  We model that
+ * adjustment deterministically: weights spill from the GPU tier to the
+ * CPU tier, largest-first, until the budget holds.  Largest-first keeps
+ * HeLM's intent intact (the small bias/norm tensors that anchor its
+ * schedule balance stay resident).
+ */
+#ifndef HELM_PLACEMENT_CAPACITY_H
+#define HELM_PLACEMENT_CAPACITY_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "model/transformer.h"
+#include "placement/placement.h"
+
+namespace helm::placement {
+
+/** Outcome of a capacity-enforcement pass. */
+struct SpillReport
+{
+    Bytes gpu_weight_bytes_before = 0;
+    Bytes gpu_weight_bytes_after = 0;
+    Bytes spilled_bytes = 0;
+    std::size_t spilled_weights = 0;
+    bool fits = false; //!< final placement fits in the budget
+
+    bool spilled() const { return spilled_bytes > 0; }
+};
+
+/**
+ * Spill GPU-resident weights to the CPU tier until the GPU weight
+ * footprint is <= @p gpu_weight_budget.  @p layers must be the layer
+ * list @p map was produced from.
+ *
+ * @return Report; fits == false only if even an empty GPU tier exceeds
+ *         the budget (impossible for non-negative budgets).
+ */
+SpillReport enforce_gpu_capacity(PlacementMap &map,
+                                 const std::vector<model::LayerSpec> &layers,
+                                 Bytes gpu_weight_budget);
+
+} // namespace helm::placement
+
+#endif // HELM_PLACEMENT_CAPACITY_H

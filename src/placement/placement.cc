@@ -1,0 +1,137 @@
+#include "placement/placement.h"
+
+#include "common/status.h"
+#include "placement/all_cpu.h"
+#include "placement/baseline.h"
+#include "placement/helm_placement.h"
+
+namespace helm::placement {
+
+TierSplit
+LayerPlacement::split() const
+{
+    TierSplit s;
+    const double total = static_cast<double>(total_bytes());
+    if (total == 0.0)
+        return s;
+    s.gpu = 100.0 * static_cast<double>(bytes_on(Tier::kGpu)) / total;
+    s.cpu = 100.0 * static_cast<double>(bytes_on(Tier::kCpu)) / total;
+    s.disk = 100.0 * static_cast<double>(bytes_on(Tier::kDisk)) / total;
+    return s;
+}
+
+Bytes
+PlacementMap::tier_total(Tier tier) const
+{
+    Bytes total = 0;
+    for (const auto &layer : layers)
+        total += layer.bytes_on(tier);
+    return total;
+}
+
+TierSplit
+PlacementMap::achieved() const
+{
+    TierSplit s;
+    const double total =
+        static_cast<double>(tier_total(Tier::kGpu) +
+                            tier_total(Tier::kCpu) +
+                            tier_total(Tier::kDisk));
+    if (total == 0.0)
+        return s;
+    s.gpu = 100.0 * static_cast<double>(tier_total(Tier::kGpu)) / total;
+    s.cpu = 100.0 * static_cast<double>(tier_total(Tier::kCpu)) / total;
+    s.disk = 100.0 * static_cast<double>(tier_total(Tier::kDisk)) / total;
+    return s;
+}
+
+TierSplit
+PlacementMap::split_for_type(model::LayerType type) const
+{
+    std::array<Bytes, kNumTiers> sums{0, 0, 0};
+    for (const auto &layer : layers) {
+        if (layer.type != type)
+            continue;
+        for (int t = 0; t < kNumTiers; ++t)
+            sums[t] += layer.tier_bytes[t];
+    }
+    TierSplit s;
+    const double total =
+        static_cast<double>(sums[0] + sums[1] + sums[2]);
+    if (total == 0.0)
+        return s;
+    s.gpu = 100.0 * static_cast<double>(sums[0]) / total;
+    s.cpu = 100.0 * static_cast<double>(sums[1]) / total;
+    s.disk = 100.0 * static_cast<double>(sums[2]) / total;
+    return s;
+}
+
+const char *
+placement_kind_name(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::kBaseline:
+        return "Baseline";
+      case PlacementKind::kHelm:
+        return "HeLM";
+      case PlacementKind::kAllCpu:
+        return "All-CPU";
+      case PlacementKind::kBalanced:
+        return "Balanced";
+    }
+    return "?";
+}
+
+std::unique_ptr<PlacementAlgorithm>
+make_placement(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::kBaseline:
+        return std::make_unique<BaselinePlacement>();
+      case PlacementKind::kHelm:
+        return std::make_unique<HelmPlacement>();
+      case PlacementKind::kAllCpu:
+        return std::make_unique<AllCpuPlacement>();
+      case PlacementKind::kBalanced:
+        HELM_ASSERT(false,
+                    "Balanced needs a BalanceProfile: construct "
+                    "BalancedPlacement directly or run it through the "
+                    "inference engine");
+        return nullptr;
+    }
+    HELM_ASSERT(false, "unknown PlacementKind");
+    return nullptr;
+}
+
+LayerPlacement
+make_layer_placement(const model::LayerSpec &layer)
+{
+    LayerPlacement placement;
+    placement.layer_index = layer.layer_index;
+    placement.type = layer.type;
+    placement.weight_tiers.assign(layer.weights.size(), Tier::kCpu);
+    return placement;
+}
+
+void
+assign_weight(LayerPlacement &placement, const model::LayerSpec &layer,
+              std::size_t w_index, Tier tier)
+{
+    HELM_ASSERT(w_index < layer.weights.size(), "weight index OOB");
+    HELM_ASSERT(placement.weight_tiers.size() == layer.weights.size(),
+                "placement/layer weight count mismatch");
+    // Undo any prior assignment of this slot before recording the new one
+    // (assign_weight is called exactly once per slot by the algorithms,
+    // but the capacity spiller re-assigns).
+    placement.weight_tiers[w_index] = tier;
+    // Recompute tier byte sums from scratch for this layer: weight lists
+    // are short (<= 10 entries), so this stays O(1) in practice and can
+    // never drift out of sync.
+    placement.tier_bytes = {0, 0, 0};
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+        placement.tier_bytes[static_cast<int>(
+            placement.weight_tiers[i])] += layer.weights[i].bytes();
+    }
+}
+
+} // namespace helm::placement

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Weight placement: assignments of every weight tensor to a memory tier.
+ *
+ * A PlacementAlgorithm consumes the model's layer list plus a Policy and
+ * produces a PlacementMap recording, for every weight of every layer,
+ * which tier it lives on.  The map also answers the aggregate questions
+ * the paper asks: achieved vs requested distribution (Sec. V-A), per
+ *-layer-type splits (Figs. 7b/7c/10), and per-layer off-GPU transfer
+ * bytes (the input to the scheduler).
+ */
+#ifndef HELM_PLACEMENT_PLACEMENT_H
+#define HELM_PLACEMENT_PLACEMENT_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "model/transformer.h"
+#include "placement/policy.h"
+
+namespace helm::placement {
+
+/** Percentage split across the three tiers (sums to ~100). */
+struct TierSplit
+{
+    double gpu = 0.0;
+    double cpu = 0.0;
+    double disk = 0.0;
+};
+
+/** Tier assignment for every weight of one layer, in layer-weight order. */
+struct LayerPlacement
+{
+    int layer_index = 0;
+    model::LayerType type = model::LayerType::kMha;
+    std::vector<Tier> weight_tiers; //!< parallel to LayerSpec::weights
+    std::array<Bytes, kNumTiers> tier_bytes{0, 0, 0};
+
+    Bytes
+    bytes_on(Tier tier) const
+    {
+        return tier_bytes[static_cast<int>(tier)];
+    }
+
+    /** Bytes that must cross PCIe before this layer can run. */
+    Bytes
+    off_gpu_bytes() const
+    {
+        return bytes_on(Tier::kCpu) + bytes_on(Tier::kDisk);
+    }
+
+    Bytes
+    total_bytes() const
+    {
+        return tier_bytes[0] + tier_bytes[1] + tier_bytes[2];
+    }
+
+    /** This layer's split, as percentages of its own size. */
+    TierSplit split() const;
+};
+
+/** The full model's placement. */
+struct PlacementMap
+{
+    std::string algorithm; //!< producing algorithm's name
+    std::vector<LayerPlacement> layers;
+
+    /** Total bytes resident on a tier. */
+    Bytes tier_total(Tier tier) const;
+
+    /** Achieved overall distribution (the paper's Sec. V-A check). */
+    TierSplit achieved() const;
+
+    /** Average split across layers of one type (Figs. 7b/7c/10). */
+    TierSplit split_for_type(model::LayerType type) const;
+};
+
+/** Strategy interface for the three schemes the paper evaluates. */
+class PlacementAlgorithm
+{
+  public:
+    virtual ~PlacementAlgorithm() = default;
+
+    /** Short name used in figure legends ("Baseline", "HeLM", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Assign every weight of every layer to a tier.
+     * @param layers The model's layer list (model/transformer.h).
+     * @param policy Requested split; algorithms may override per layer
+     *               type (HeLM) or ignore it entirely (All-CPU).
+     */
+    virtual PlacementMap place(const std::vector<model::LayerSpec> &layers,
+                               const Policy &policy) const = 0;
+};
+
+/** The paper's three schemes plus this library's profile-guided one. */
+enum class PlacementKind
+{
+    kBaseline, //!< FlexGen's Listing 2
+    kHelm,     //!< Listing 3, latency-optimizing
+    kAllCpu,   //!< Sec. V-C, throughput-optimizing
+    kBalanced, //!< profile-guided exact balance (placement/balanced.h)
+};
+
+/** Printable name. */
+const char *placement_kind_name(PlacementKind kind);
+
+/**
+ * Factory for the profile-free schemes.  kBalanced needs a
+ * BalanceProfile (per-layer compute times + bandwidth), so it cannot be
+ * built here — construct BalancedPlacement directly, or let the
+ * inference engine do it (it owns the compute model).
+ */
+std::unique_ptr<PlacementAlgorithm> make_placement(PlacementKind kind);
+
+/** Helper: build a LayerPlacement skeleton for @p layer. */
+LayerPlacement make_layer_placement(const model::LayerSpec &layer);
+
+/** Helper: record weight @p w_index of @p layer as living on @p tier. */
+void assign_weight(LayerPlacement &placement, const model::LayerSpec &layer,
+                   std::size_t w_index, Tier tier);
+
+} // namespace helm::placement
+
+#endif // HELM_PLACEMENT_PLACEMENT_H

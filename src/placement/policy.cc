@@ -1,0 +1,48 @@
+#include "placement/policy.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace helm::placement {
+
+const char *
+tier_name(Tier tier)
+{
+    switch (tier) {
+      case Tier::kGpu:
+        return "gpu";
+      case Tier::kCpu:
+        return "cpu";
+      case Tier::kDisk:
+        return "disk";
+    }
+    return "?";
+}
+
+Status
+Policy::validate() const
+{
+    if (disk_percent < 0.0 || cpu_percent < 0.0 || gpu_percent < 0.0) {
+        return Status::invalid_argument(
+            "policy percentages must be non-negative");
+    }
+    const double sum = disk_percent + cpu_percent + gpu_percent;
+    if (std::abs(sum - 100.0) > 0.01) {
+        return Status::invalid_argument(
+            "policy percentages must sum to 100, got " +
+            std::to_string(sum));
+    }
+    return Status::ok();
+}
+
+std::string
+Policy::to_string() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "(disk=%g, cpu=%g, gpu=%g, %s)",
+                  disk_percent, cpu_percent, gpu_percent,
+                  compress_weights ? "int4" : "fp16");
+    return buf;
+}
+
+} // namespace helm::placement

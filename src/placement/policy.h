@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FlexGen-style placement policy: the user-requested percentage split of
+ * model weights across (storage, host, GPU).
+ *
+ * FlexGen expresses the split in the order (disk, cpu, gpu); HeLM's
+ * listing uses (gpu, cpu, disk).  Policy stores the three percentages by
+ * name so neither ordering can be confused, and exposes both orders for
+ * the allocation loops.
+ */
+#ifndef HELM_PLACEMENT_POLICY_H
+#define HELM_PLACEMENT_POLICY_H
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+
+namespace helm::placement {
+
+/** Where a weight can live (Table II tiers). */
+enum class Tier
+{
+    kGpu = 0,
+    kCpu = 1,
+    kDisk = 2,
+};
+
+inline constexpr int kNumTiers = 3;
+
+/** Printable name ("gpu"/"cpu"/"disk"). */
+const char *tier_name(Tier tier);
+
+/** Requested percentage split plus compression flag. */
+struct Policy
+{
+    double disk_percent = 0.0;
+    double cpu_percent = 80.0;
+    double gpu_percent = 20.0;
+    bool compress_weights = false;
+
+    /** FlexGen's default for host-memory configs (Sec. V-A). */
+    static Policy
+    host_offload()
+    {
+        return Policy{0.0, 80.0, 20.0, false};
+    }
+
+    /** FlexGen's default for storage configs (Sec. V-A): (65, 15, 20). */
+    static Policy
+    disk_offload()
+    {
+        return Policy{65.0, 15.0, 20.0, false};
+    }
+
+    /** Percentages in FlexGen's (disk, cpu, gpu) order (Listing 2). */
+    std::array<double, kNumTiers>
+    disk_cpu_gpu() const
+    {
+        return {disk_percent, cpu_percent, gpu_percent};
+    }
+
+    /** Percentages in HeLM's (gpu, cpu, disk) order (Listing 3). */
+    std::array<double, kNumTiers>
+    gpu_cpu_disk() const
+    {
+        return {gpu_percent, cpu_percent, disk_percent};
+    }
+
+    /** Percentages non-negative and summing to 100 (+-0.01). */
+    Status validate() const;
+
+    /** e.g. "(disk=65, cpu=15, gpu=20, fp16)". */
+    std::string to_string() const;
+};
+
+} // namespace helm::placement
+
+#endif // HELM_PLACEMENT_POLICY_H

@@ -1,0 +1,457 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/log.h"
+#include "common/summary.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace helm::runtime {
+
+using placement::Tier;
+
+placement::Policy
+default_policy(mem::ConfigKind kind)
+{
+    switch (kind) {
+      case mem::ConfigKind::kSsd:
+      case mem::ConfigKind::kFsdax:
+        // Sec. V-A: (storage, host, GPU) = (65, 15, 20).
+        return placement::Policy::disk_offload();
+      default:
+        // Sec. V-A: (0, 80, 20) for host-memory configurations.
+        return placement::Policy::host_offload();
+    }
+}
+
+namespace {
+
+/** One flattened (batch, token, layer) step of the schedule. */
+struct Step
+{
+    std::uint64_t batch_index;
+    std::uint64_t token;
+    int layer;
+    model::LayerType type;
+    gpu::Stage stage;
+    Seconds compute;
+    Bytes cpu_bytes;
+    Bytes disk_bytes;
+    Bytes kv_read_bytes = 0;  //!< host->GPU context fetch (KV offload)
+    Bytes kv_write_bytes = 0; //!< GPU->host KV writeback (KV offload)
+    Bandwidth cpu_cap;     //!< effective host->GPU rate for this chunk
+    Bandwidth disk_cap;    //!< effective storage->GPU rate
+    Bandwidth kv_read_cap; //!< host->GPU rate for the KV chunk
+    Bandwidth kv_write_cap;//!< GPU->host rate for the KV writeback
+};
+
+/**
+ * Drives the zig-zag schedule on the DES kernel.  One instance per run.
+ */
+class ScheduleDriver
+{
+  public:
+    ScheduleDriver(std::vector<Step> steps, const gpu::GpuSpec &gpu,
+                   const mem::HostMemorySystem &system)
+        : steps_(std::move(steps)),
+          gpu_(gpu),
+          system_(system),
+          // The weight-transfer fabric: PCIe DMA normally, but CXL
+          // configurations project direct CXL.mem access whose rate can
+          // exceed the PCIe path (Sec. V-D), so the channel is sized to
+          // whichever is faster; per-flow caps enforce the actual path.
+          pcie_(sim_, "h2d-fabric",
+                max_bw(system.pcie().h2d_effective(),
+                       system.host_to_gpu_bw(kGiB))),
+          d2h_(sim_, "d2h-fabric",
+               max_bw(system.pcie().d2h_effective(),
+                      system.gpu_to_host_bw(kGiB))),
+          gpu_res_(sim_, "gpu-compute", 1)
+    {
+        const std::size_t n = steps_.size();
+        load_issue_.assign(n, 0.0);
+        load_done_.assign(n, 0.0);
+        step_start_.assign(n, 0.0);
+        step_end_.assign(n, 0.0);
+    }
+
+    /** Run to completion; returns total virtual time. */
+    Seconds
+    run()
+    {
+        HELM_ASSERT(!steps_.empty(), "no steps to run");
+        // Pipeline fill: the first layer's weights load un-overlapped.
+        issue_load(0, [this] { start_step(0); });
+        std::uint64_t guard = 0;
+        while (sim_.step()) {
+            if (++guard > 50'000'000) {
+                std::fprintf(stderr,
+                             "DES runaway: t=%g completed=%zu/%zu "
+                             "pcie_flows=%zu pending=%zu\n",
+                             sim_.now(), completed_, steps_.size(),
+                             pcie_.active_flows(), sim_.pending_events());
+                std::abort();
+            }
+        }
+        HELM_ASSERT(completed_ == steps_.size(),
+                    "schedule did not retire all steps");
+        return sim_.now();
+    }
+
+    Seconds load_issue(std::size_t k) const { return load_issue_[k]; }
+    Seconds load_done(std::size_t k) const { return load_done_[k]; }
+    Seconds step_start(std::size_t k) const { return step_start_[k]; }
+    Seconds step_end(std::size_t k) const { return step_end_[k]; }
+    const std::vector<Step> &steps() const { return steps_; }
+
+  private:
+    /**
+     * Begin transferring step @p k's off-GPU weights; @p on_done fires
+     * when the last byte (from either tier) arrives.
+     */
+    void
+    issue_load(std::size_t k, std::function<void()> on_done)
+    {
+        load_issue_[k] = sim_.now();
+        const Step &step = steps_[k];
+        int flows = (step.cpu_bytes > 0 ? 1 : 0) +
+                    (step.disk_bytes > 0 ? 1 : 0) +
+                    (step.kv_read_bytes > 0 ? 1 : 0);
+        if (flows == 0) {
+            load_done_[k] = sim_.now();
+            on_done();
+            return;
+        }
+        auto latch = std::make_shared<sim::CountdownLatch>(
+            static_cast<std::size_t>(flows));
+        latch->on_zero([this, k, on_done = std::move(on_done)] {
+            load_done_[k] = sim_.now();
+            on_done();
+        });
+        if (step.cpu_bytes > 0) {
+            pcie_.start_flow(step.cpu_bytes, step.cpu_cap,
+                             [latch] { latch->arrive(); });
+        }
+        if (step.kv_read_bytes > 0) {
+            // Offloaded context streams in alongside the weights,
+            // contending for the same h2d fabric.
+            pcie_.start_flow(step.kv_read_bytes, step.kv_read_cap,
+                             [latch] { latch->arrive(); });
+        }
+        if (step.disk_bytes > 0) {
+            // Storage flows pay the filesystem/DAX software latency
+            // before bytes start moving.
+            const Seconds lat = system_.storage()->latency();
+            sim_.schedule(lat, [this, k, latch] {
+                pcie_.start_flow(steps_[k].disk_bytes, steps_[k].disk_cap,
+                                 [latch] { latch->arrive(); });
+            });
+        }
+    }
+
+    /** Listing 1 loop body for step @p k. */
+    void
+    start_step(std::size_t k)
+    {
+        step_start_[k] = sim_.now();
+        const bool has_next = k + 1 < steps_.size();
+        const bool has_writeback = steps_[k].kv_write_bytes > 0;
+        auto latch = std::make_shared<sim::CountdownLatch>(
+            1u + (has_next ? 1u : 0u) + (has_writeback ? 1u : 0u));
+        latch->on_zero([this, k] {
+            step_end_[k] = sim_.now();
+            ++completed_;
+            if (k + 1 < steps_.size())
+                start_step(k + 1);
+        });
+        // load_weight(i, j+1): prefetch the next step's weights.
+        if (has_next)
+            issue_load(k + 1, [latch] { latch->arrive(); });
+        // store_cache(i, j): new K/V entries drain to host concurrently
+        // with compute; sync() waits for them too (FlexGen's store path).
+        if (has_writeback) {
+            d2h_.start_flow(steps_[k].kv_write_bytes,
+                            steps_[k].kv_write_cap,
+                            [latch] { latch->arrive(); });
+        }
+        // compute_layer(i, j).
+        gpu_res_.occupy(steps_[k].compute + gpu_.layer_overhead,
+                        [latch] { latch->arrive(); });
+        // sync(): latch zero == everything issued this step retired.
+    }
+
+    std::vector<Step> steps_;
+    const gpu::GpuSpec &gpu_;
+    const mem::HostMemorySystem &system_;
+    sim::Simulator sim_;
+    sim::BandwidthChannel pcie_;
+    sim::BandwidthChannel d2h_;
+    sim::FifoResource gpu_res_;
+    std::vector<Seconds> load_issue_;
+    std::vector<Seconds> load_done_;
+    std::vector<Seconds> step_start_;
+    std::vector<Seconds> step_end_;
+    std::size_t completed_ = 0;
+};
+
+} // namespace
+
+Result<RunResult>
+simulate_inference(const ServingSpec &spec)
+{
+    // ---- Validation -----------------------------------------------------
+    if (spec.batch < 1)
+        return Status::invalid_argument("batch must be >= 1");
+    if (spec.micro_batches < 1)
+        return Status::invalid_argument("micro_batches must be >= 1");
+    if (spec.repeats < 1)
+        return Status::invalid_argument("repeats must be >= 1");
+    if (spec.shape.prompt_tokens < 1 || spec.shape.output_tokens < 1) {
+        return Status::invalid_argument(
+            "prompt and output token counts must be >= 1");
+    }
+    if (spec.model.hidden == 0 || spec.model.blocks == 0)
+        return Status::invalid_argument("model config is incomplete");
+
+    placement::Policy policy =
+        spec.policy.value_or(default_policy(spec.memory));
+    HELM_RETURN_IF_ERROR(policy.validate());
+
+    // ---- Model + placement ---------------------------------------------
+    const model::DataType dtype = spec.compress_weights
+                                      ? model::DataType::kInt4Grouped
+                                      : model::DataType::kFp16;
+    const auto layers = model::build_layers(spec.model, dtype);
+
+    mem::HostMemorySystem system =
+        spec.custom_cxl_bandwidth.has_value()
+            ? mem::HostMemorySystem(
+                  "CXL-custom",
+                  mem::make_cxl_custom("CXL-custom",
+                                       *spec.custom_cxl_bandwidth),
+                  nullptr, spec.pcie)
+            : mem::make_config(spec.memory, spec.pcie);
+
+    const std::uint64_t effective_requests =
+        spec.batch * spec.micro_batches;
+    std::unique_ptr<placement::PlacementAlgorithm> algorithm;
+    if (spec.placement == placement::PlacementKind::kHelm &&
+        spec.helm_splits.has_value()) {
+        algorithm =
+            std::make_unique<placement::HelmPlacement>(*spec.helm_splits);
+    } else if (spec.placement == placement::PlacementKind::kBalanced) {
+        // Profile-guided placement: feed the solver the decode-stage
+        // compute windows (the latency-critical stage), the effective
+        // transfer bandwidth, and the planner's weight budget.
+        placement::BalanceProfile profile;
+        profile.compute_times.reserve(layers.size());
+        for (const auto &layer : layers) {
+            gpu::LayerWork work;
+            work.config = &spec.model;
+            work.layer = layer.type;
+            work.stage = gpu::Stage::kDecode;
+            work.batch = spec.batch;
+            work.prompt_tokens = spec.shape.prompt_tokens;
+            work.context_tokens = spec.shape.prompt_tokens +
+                                  spec.shape.output_tokens / 2;
+            work.compressed = spec.compress_weights;
+            profile.compute_times.push_back(
+                static_cast<double>(spec.micro_batches) *
+                    gpu::layer_compute_time(spec.gpu, work) +
+                spec.gpu.layer_overhead);
+        }
+        // Representative transfer rate: a mid-sized weight chunk.
+        mem::HostMemorySystem probe =
+            mem::make_config(spec.memory, spec.pcie);
+        profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
+        profile.gpu_weight_budget = gpu_weight_budget(
+            spec.gpu, spec.model, layers, spec.shape, effective_requests,
+            spec.compress_weights, !spec.offload_kv_cache);
+        algorithm =
+            std::make_unique<placement::BalancedPlacement>(profile);
+    } else {
+        algorithm = placement::make_placement(spec.placement);
+    }
+    placement::PlacementMap map = algorithm->place(layers, policy);
+
+    // ---- GPU capacity enforcement --------------------------------------
+    const std::uint64_t effective_batch = effective_requests;
+    const bool kv_on_gpu = !spec.offload_kv_cache;
+    placement::SpillReport spill;
+    if (spec.enforce_gpu_capacity) {
+        const Bytes weight_budget = gpu_weight_budget(
+            spec.gpu, spec.model, layers, spec.shape, effective_batch,
+            spec.compress_weights, kv_on_gpu);
+        spill = placement::enforce_gpu_capacity(map, layers, weight_budget);
+    }
+    const Bytes gpu_weights = map.tier_total(Tier::kGpu);
+    const GpuBudget budget = compute_gpu_budget(
+        spec.gpu, spec.model, layers, gpu_weights, spec.shape,
+        effective_batch, spec.compress_weights, kv_on_gpu);
+    if (!budget.fits()) {
+        return Status::capacity_exceeded(
+            "configuration does not fit in GPU memory even after weight "
+            "spilling: " + std::to_string(effective_batch) +
+            " concurrent requests need " + format_bytes(budget.used()) +
+            " of " + format_bytes(budget.hbm_capacity));
+    }
+
+    if (map.tier_total(Tier::kDisk) > 0 && !system.has_storage()) {
+        return Status::invalid_argument(
+            "placement assigns weights to the disk tier but memory "
+            "configuration '" + system.label() + "' has no storage tier");
+    }
+
+    // MemoryMode/Optane: the cycled working set is the host-resident
+    // weights plus, when offloaded, the whole KV cache.
+    Bytes resident = map.tier_total(Tier::kCpu);
+    if (spec.offload_kv_cache) {
+        resident += model::kv_bytes_batch(spec.model, spec.shape,
+                                          effective_batch);
+    }
+    system.set_host_resident_bytes(resident);
+
+    // ---- Flatten the schedule -------------------------------------------
+    const std::uint64_t num_layers = layers.size();
+    const std::uint64_t tokens = spec.shape.output_tokens;
+    std::vector<Step> steps;
+    steps.reserve(spec.repeats * tokens * num_layers);
+
+    for (std::uint64_t rep = 0; rep < spec.repeats; ++rep) {
+        for (std::uint64_t tok = 0; tok < tokens; ++tok) {
+            const gpu::Stage stage =
+                tok == 0 ? gpu::Stage::kPrefill : gpu::Stage::kDecode;
+            for (std::uint64_t li = 0; li < num_layers; ++li) {
+                const auto &layer = layers[li];
+                const auto &lp = map.layers[li];
+                Step step;
+                step.batch_index = rep;
+                step.token = tok;
+                step.layer = static_cast<int>(li);
+                step.type = layer.type;
+                step.stage = stage;
+
+                gpu::LayerWork work;
+                work.config = &spec.model;
+                work.layer = layer.type;
+                work.stage = stage;
+                work.batch = spec.batch;
+                work.prompt_tokens = spec.shape.prompt_tokens;
+                work.context_tokens = spec.shape.prompt_tokens + tok;
+                work.compressed = spec.compress_weights;
+                // Block schedule: one weight load serves micro_batches
+                // back-to-back executions of the layer.
+                step.compute = static_cast<double>(spec.micro_batches) *
+                               gpu::layer_compute_time(spec.gpu, work);
+
+                step.cpu_bytes = lp.bytes_on(Tier::kCpu);
+                step.disk_bytes = lp.bytes_on(Tier::kDisk);
+                step.cpu_cap = step.cpu_bytes > 0
+                                   ? system.host_to_gpu_bw(step.cpu_bytes)
+                                   : Bandwidth();
+                step.disk_cap =
+                    step.disk_bytes > 0
+                        ? system.storage_to_gpu_bw(step.disk_bytes)
+                        : Bandwidth();
+
+                // Offloaded KV cache: MHA layers stream the context in
+                // (decode) and drain new K/V entries out (both stages).
+                if (spec.offload_kv_cache &&
+                    layer.type == model::LayerType::kMha) {
+                    const std::uint64_t kv_dim = spec.model.kv_dim();
+                    const std::uint64_t new_tokens =
+                        stage == gpu::Stage::kPrefill
+                            ? spec.shape.prompt_tokens
+                            : 1;
+                    if (stage == gpu::Stage::kDecode) {
+                        step.kv_read_bytes =
+                            2 * effective_batch *
+                            work.context_tokens * kv_dim * 2;
+                    }
+                    step.kv_write_bytes =
+                        2 * effective_batch * new_tokens * kv_dim * 2;
+                    step.kv_read_cap =
+                        step.kv_read_bytes > 0
+                            ? system.host_to_gpu_bw(step.kv_read_bytes)
+                            : Bandwidth();
+                    step.kv_write_cap = system.gpu_to_host_bw(
+                        step.kv_write_bytes);
+                }
+                steps.push_back(step);
+            }
+        }
+    }
+
+    // ---- Run -------------------------------------------------------------
+    ScheduleDriver driver(std::move(steps), spec.gpu, system);
+    const Seconds total_time = driver.run();
+
+    // ---- Metrics ----------------------------------------------------------
+    RunResult result;
+    result.placement = std::move(map);
+    result.spill = spill;
+    result.budget = budget;
+    result.model_bytes = model::model_weight_bytes(layers);
+
+    const auto &all = driver.steps();
+    const std::uint64_t steps_per_token = num_layers;
+    const std::uint64_t steps_per_batch = tokens * steps_per_token;
+
+    auto token_end = [&](std::uint64_t rep, std::uint64_t tok) {
+        const std::size_t idx =
+            rep * steps_per_batch + tok * steps_per_token +
+            (steps_per_token - 1);
+        return driver.step_end(idx);
+    };
+
+    std::vector<double> ttfts;
+    std::vector<double> tbts;
+    for (std::uint64_t rep = 0; rep < spec.repeats; ++rep) {
+        const Seconds batch_start =
+            rep == 0 ? 0.0 : token_end(rep - 1, tokens - 1);
+        ttfts.push_back(token_end(rep, 0) - batch_start);
+        std::vector<double> gaps;
+        for (std::uint64_t tok = 1; tok < tokens; ++tok)
+            gaps.push_back(token_end(rep, tok) - token_end(rep, tok - 1));
+        tbts.push_back(mean(gaps));
+    }
+
+    result.metrics.per_batch_ttft = ttfts;
+    result.metrics.per_batch_tbt = tbts;
+    result.metrics.ttft = mean_discarding_first(ttfts);
+    result.metrics.tbt = mean_discarding_first(tbts);
+    result.metrics.total_time = total_time;
+    result.metrics.total_tokens =
+        spec.repeats * effective_batch * tokens;
+    result.metrics.throughput =
+        static_cast<double>(result.metrics.total_tokens) / total_time;
+
+    if (spec.keep_records) {
+        result.records.reserve(all.size());
+        for (std::size_t k = 0; k < all.size(); ++k) {
+            LayerStepRecord rec;
+            rec.batch_index = all[k].batch_index;
+            rec.token = all[k].token;
+            rec.layer = all[k].layer;
+            rec.type = all[k].type;
+            rec.stage = all[k].stage;
+            rec.compute_time = all[k].compute;
+            rec.transfer_time = driver.load_done(k) - driver.load_issue(k);
+            rec.transfer_bytes = all[k].cpu_bytes + all[k].disk_bytes;
+            rec.kv_read_bytes = all[k].kv_read_bytes;
+            rec.kv_write_bytes = all[k].kv_write_bytes;
+            rec.transfer_start = driver.load_issue(k);
+            rec.step_start = driver.step_start(k);
+            rec.step_end = driver.step_end(k);
+            result.records.push_back(rec);
+        }
+    }
+    return result;
+}
+
+} // namespace helm::runtime

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The out-of-core inference engine: FlexGen's zig-zag schedule
+ * (paper Listing 1) executed on the discrete-event kernel.
+ *
+ * For every (token, layer) step the engine issues the *next* layer's
+ * weight transfer (host-tier and storage-tier flows contending on the
+ * PCIe channel) concurrently with the current layer's GPU compute, then
+ * synchronizes — `load_weight(i, j+1); compute_layer(i, j); sync()`.
+ * TTFT, TBT, and throughput fall out of the resulting event timeline
+ * (Sec. III-C), and per-step records feed every figure bench.
+ */
+#ifndef HELM_RUNTIME_ENGINE_H
+#define HELM_RUNTIME_ENGINE_H
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/compute_model.h"
+#include "gpu/gpu.h"
+#include "mem/host_system.h"
+#include "model/footprint.h"
+#include "model/transformer.h"
+#include "placement/balanced.h"
+#include "placement/capacity.h"
+#include "placement/helm_placement.h"
+#include "placement/placement.h"
+#include "placement/policy.h"
+#include "runtime/metrics.h"
+#include "runtime/planner.h"
+
+namespace helm::runtime {
+
+/** Complete description of one serving experiment. */
+struct ServingSpec
+{
+    model::TransformerConfig model;
+    mem::ConfigKind memory = mem::ConfigKind::kNvdram;
+    placement::PlacementKind placement =
+        placement::PlacementKind::kBaseline;
+    /** Requested split; defaults per memory kind (Sec. V-A) if unset. */
+    std::optional<placement::Policy> policy;
+    /** HeLM per-layer-type overrides (ablation bench). */
+    std::optional<placement::HelmSplits> helm_splits;
+    bool compress_weights = false; //!< 4-bit group-wise quantization
+    std::uint64_t batch = 1;
+    /**
+     * FlexGen block schedule: number of GPU micro-batches processed per
+     * weight load ("num_gpu_batches").  Each layer's weights transfer
+     * once and compute runs `micro_batches` back-to-back GEMMs of
+     * `batch` requests, amortizing the transfer.  Effective requests in
+     * flight = batch x micro_batches (all must fit the KV budget).
+     */
+    std::uint64_t micro_batches = 1;
+    /**
+     * Offload the KV cache to host memory (FlexGen's cache_cpu_percent
+     * = 100).  Frees the GPU's KV budget — far larger batches fit — at
+     * the cost of moving the context over PCIe every decode step and
+     * writing new KV entries back at the host's *write* bandwidth
+     * (Optane's 3.26 GB/s, Fig. 3b, finally bites).
+     */
+    bool offload_kv_cache = false;
+    model::SequenceShape shape; //!< default 128 in / 21 out (paper)
+    std::uint64_t repeats = 2;  //!< sequential batches; first discarded
+    gpu::GpuSpec gpu = gpu::GpuSpec::a100_40gb();
+    mem::PcieLink pcie = mem::PcieLink::gen4_x16();
+    /**
+     * When set, the host tier becomes a custom CXL expander of this
+     * read bandwidth (Sec. V-D what-if sweeps); `memory` is ignored.
+     */
+    std::optional<Bandwidth> custom_cxl_bandwidth;
+    bool enforce_gpu_capacity = true; //!< spill weights that do not fit
+    bool keep_records = true;         //!< retain per-step records
+};
+
+/** FlexGen's default policy for a memory configuration (Sec. V-A). */
+placement::Policy default_policy(mem::ConfigKind kind);
+
+/** Everything a run produces. */
+struct RunResult
+{
+    InferenceMetrics metrics;
+    std::vector<LayerStepRecord> records; //!< empty if !keep_records
+    placement::PlacementMap placement;    //!< post capacity enforcement
+    placement::SpillReport spill;
+    GpuBudget budget;      //!< GPU memory breakdown at the run batch
+    Bytes model_bytes = 0; //!< total stored weight bytes
+};
+
+/**
+ * Simulate one serving experiment end to end.
+ * Fails with kInvalidArgument / kCapacityExceeded on misconfiguration
+ * (policy not summing to 100, disk weights without a storage tier,
+ * batch that cannot fit even with zero GPU-resident weights, ...).
+ */
+Result<RunResult> simulate_inference(const ServingSpec &spec);
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_ENGINE_H

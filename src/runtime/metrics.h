@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Serving metrics: TTFT, TBT, throughput (paper Sec. III-C) plus the
+ * per-layer-step records every figure-reproduction bench consumes.
+ */
+#ifndef HELM_RUNTIME_METRICS_H
+#define HELM_RUNTIME_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "gpu/compute_model.h"
+#include "model/transformer.h"
+
+namespace helm::runtime {
+
+/** Timing of one (token, layer) step of the zig-zag schedule. */
+struct LayerStepRecord
+{
+    std::uint64_t batch_index = 0; //!< which repeat of the workload
+    std::uint64_t token = 0;       //!< 0 = prefill token
+    int layer = 0;                 //!< schedule index within the model
+    model::LayerType type = model::LayerType::kMha;
+    gpu::Stage stage = gpu::Stage::kPrefill;
+    Seconds compute_time = 0.0;  //!< GPU busy time for this layer
+    Seconds transfer_time = 0.0; //!< duration of this layer's weight +
+                                 //!< KV-read load
+    Bytes transfer_bytes = 0;    //!< off-GPU weight bytes for this layer
+    Bytes kv_read_bytes = 0;     //!< KV fetched from host (offload mode)
+    Bytes kv_write_bytes = 0;    //!< KV written back to host
+    Seconds transfer_start = 0.0;//!< virtual time the load was issued
+    Seconds step_start = 0.0;    //!< virtual time the step began
+    Seconds step_end = 0.0;      //!< virtual time the step retired
+};
+
+/** Aggregate serving metrics. */
+struct InferenceMetrics
+{
+    Seconds ttft = 0.0;      //!< mean time to first token (cold run cut)
+    Seconds tbt = 0.0;       //!< mean time between tokens
+    double throughput = 0.0; //!< tokens/s over the whole process
+    Seconds total_time = 0.0;
+    std::uint64_t total_tokens = 0;
+
+    std::vector<double> per_batch_ttft; //!< seconds, one per repeat
+    std::vector<double> per_batch_tbt;  //!< mean TBT per repeat
+};
+
+/** Per-stage compute/communication averages (Figs. 5, 6, 8, 11, 12). */
+struct OverlapSummary
+{
+    Seconds avg_compute = 0.0;       //!< all layer types
+    Seconds avg_transfer = 0.0;
+    Seconds avg_mha_compute = 0.0;
+    Seconds avg_ffn_compute = 0.0;
+    Seconds avg_mha_transfer = 0.0;
+    Seconds avg_ffn_transfer = 0.0;
+
+    /** Table IV column "MHA compute / FFN load". */
+    double
+    mha_compute_over_ffn_load() const
+    {
+        return avg_ffn_transfer > 0.0 ? avg_mha_compute / avg_ffn_transfer
+                                      : 0.0;
+    }
+
+    /** Table IV column "FFN compute / MHA load". */
+    double
+    ffn_compute_over_mha_load() const
+    {
+        return avg_mha_transfer > 0.0 ? avg_ffn_compute / avg_mha_transfer
+                                      : 0.0;
+    }
+};
+
+/**
+ * Average compute/transfer over decoder-block records of one @p stage,
+ * skipping @p skip_batches initial repeats (cold start discard).
+ */
+OverlapSummary summarize_overlap(const std::vector<LayerStepRecord> &records,
+                                 gpu::Stage stage,
+                                 std::uint64_t skip_batches = 0);
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_METRICS_H

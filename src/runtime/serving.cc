@@ -1,0 +1,66 @@
+#include "runtime/serving.h"
+
+#include "common/summary.h"
+
+namespace helm::runtime {
+
+Result<WorkloadRunResult>
+serve_workload(const ServingSpec &base,
+               const std::vector<workload::Batch> &batches)
+{
+    if (batches.empty())
+        return Status::invalid_argument("workload has no batches");
+    for (const auto &batch : batches) {
+        if (batch.size() == 0)
+            return Status::invalid_argument("workload contains an empty "
+                                            "batch");
+    }
+
+    WorkloadRunResult result;
+    result.per_batch.reserve(batches.size());
+
+    Seconds total_time = 0.0;
+    std::uint64_t total_tokens = 0;
+    std::vector<double> ttfts;
+    std::vector<double> tbts;
+
+    for (const auto &batch : batches) {
+        ServingSpec spec = base;
+        spec.batch = batch.size();
+        spec.shape = batch.shape();
+        spec.repeats = 1;
+        spec.keep_records = false;
+        auto run = simulate_inference(spec);
+        if (!run.is_ok())
+            return run.status();
+
+        result.per_batch.push_back(run->metrics);
+        total_time += run->metrics.total_time;
+        total_tokens += run->metrics.total_tokens;
+        ttfts.push_back(run->metrics.ttft);
+        tbts.push_back(run->metrics.tbt);
+
+        // Padding accounting: every request is padded to the batch's
+        // longest prompt (FlexGen's batching), so shorter prompts carry
+        // dead tokens.
+        for (const auto &req : batch.requests) {
+            result.padded_tokens +=
+                (batch.max_prompt_tokens() - req.prompt_tokens) +
+                (batch.max_output_tokens() - req.output_tokens);
+        }
+    }
+
+    result.aggregate.per_batch_ttft = ttfts;
+    result.aggregate.per_batch_tbt = tbts;
+    result.aggregate.ttft = mean_discarding_first(ttfts);
+    result.aggregate.tbt = mean_discarding_first(tbts);
+    result.aggregate.total_time = total_time;
+    result.aggregate.total_tokens = total_tokens;
+    result.aggregate.throughput =
+        total_time > 0.0
+            ? static_cast<double>(total_tokens) / total_time
+            : 0.0;
+    return result;
+}
+
+} // namespace helm::runtime

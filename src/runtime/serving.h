@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Workload-driven serving: run a stream of (possibly variable-length)
+ * request batches through the engine and aggregate metrics the way the
+ * paper does — per-batch values averaged with the first (cold) batch
+ * discarded, throughput over the whole process (Sec. III-C).
+ *
+ * This is the bridge between workload::Batch (what a client submits)
+ * and ServingSpec (one fixed-shape simulation): each batch runs padded
+ * to its own longest prompt, exactly like FlexGen pads a batch.
+ */
+#ifndef HELM_RUNTIME_SERVING_H
+#define HELM_RUNTIME_SERVING_H
+
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/engine.h"
+#include "workload/workload.h"
+
+namespace helm::runtime {
+
+/** Outcome of serving a whole workload. */
+struct WorkloadRunResult
+{
+    InferenceMetrics aggregate;  //!< cold-discarded means + throughput
+    std::vector<InferenceMetrics> per_batch;
+    std::uint64_t padded_tokens = 0; //!< prompt padding overhead
+};
+
+/**
+ * Serve @p batches sequentially under @p base (its batch/shape/repeats
+ * fields are overridden per submitted batch).
+ *
+ * @param base Template spec: model, memory, placement, compression,
+ *             micro-batches, KV offload, GPU, PCIe all apply.
+ * @param batches Submitted request batches; must be non-empty, and
+ *                every batch must be non-empty.
+ */
+Result<WorkloadRunResult>
+serve_workload(const ServingSpec &base,
+               const std::vector<workload::Batch> &batches);
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_SERVING_H

@@ -1,0 +1,102 @@
+#include "runtime/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "model/transformer.h"
+
+namespace helm::runtime {
+
+namespace {
+
+/** Track (tid) layout inside the trace. */
+enum Track : int
+{
+    kGpuTrack = 0,
+    kTransferTrack = 1,
+};
+
+void
+emit_event(std::ostringstream &out, bool &first, const char *name,
+           const char *category, int tid, Seconds start, Seconds duration,
+           const std::string &args_json)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d",
+                  name, category, start * 1e6, duration * 1e6, tid);
+    out << buf;
+    if (!args_json.empty())
+        out << ",\"args\":" << args_json;
+    out << "}";
+}
+
+} // namespace
+
+std::string
+chrome_trace_json(const std::vector<LayerStepRecord> &records)
+{
+    std::ostringstream out;
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+
+    // Track name metadata.
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":\"GPU compute\"}},\n"
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+           "\"args\":{\"name\":\"h2d transfers\"}}";
+    first = false;
+
+    for (const auto &rec : records) {
+        char name[96];
+        std::snprintf(name, sizeof(name), "%s L%d t%llu",
+                      model::layer_type_name(rec.type), rec.layer,
+                      static_cast<unsigned long long>(rec.token));
+        char args[160];
+        std::snprintf(args, sizeof(args),
+                      "{\"stage\":\"%s\",\"batch\":%llu}",
+                      gpu::stage_name(rec.stage),
+                      static_cast<unsigned long long>(rec.batch_index));
+        emit_event(out, first, name, "compute", kGpuTrack, rec.step_start,
+                   rec.compute_time, args);
+        if (rec.transfer_time > 0.0 &&
+            (rec.transfer_bytes > 0 || rec.kv_read_bytes > 0)) {
+            char load_name[112];
+            std::snprintf(load_name, sizeof(load_name), "load %s L%d",
+                          model::layer_type_name(rec.type), rec.layer);
+            char load_args[160];
+            std::snprintf(
+                load_args, sizeof(load_args),
+                "{\"weight_bytes\":%llu,\"kv_bytes\":%llu}",
+                static_cast<unsigned long long>(rec.transfer_bytes),
+                static_cast<unsigned long long>(rec.kv_read_bytes));
+            emit_event(out, first, load_name, "transfer", kTransferTrack,
+                       rec.transfer_start, rec.transfer_time, load_args);
+        }
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+Status
+write_chrome_trace(const std::vector<LayerStepRecord> &records,
+                   const std::string &path)
+{
+    if (records.empty()) {
+        return Status::failed_precondition(
+            "no records to trace (run with keep_records = true)");
+    }
+    std::ofstream file(path);
+    if (!file.is_open())
+        return Status::invalid_argument("cannot open " + path);
+    file << chrome_trace_json(records);
+    return file.good() ? Status::ok()
+                       : Status::internal("write to " + path + " failed");
+}
+
+} // namespace helm::runtime

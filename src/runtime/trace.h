@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Chrome-trace export of a serving run's timeline.
+ *
+ * Emits the per-step records as a chrome://tracing / Perfetto JSON
+ * document with one track for GPU compute and one for the h2d transfer
+ * fabric, so the compute/communication overlap the paper plots as bar
+ * charts can be inspected interactively, step by step.
+ */
+#ifndef HELM_RUNTIME_TRACE_H
+#define HELM_RUNTIME_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/metrics.h"
+
+namespace helm::runtime {
+
+/**
+ * Render records as a Chrome trace JSON string (the "traceEvents"
+ * array format).  Timestamps are microseconds of virtual time.
+ */
+std::string chrome_trace_json(const std::vector<LayerStepRecord> &records);
+
+/** Write chrome_trace_json() to @p path. */
+Status write_chrome_trace(const std::vector<LayerStepRecord> &records,
+                          const std::string &path);
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_TRACE_H

@@ -1,0 +1,171 @@
+#include "runtime/tuner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+
+namespace helm::runtime {
+
+const char *
+tune_objective_name(TuneObjective objective)
+{
+    return objective == TuneObjective::kLatency ? "latency"
+                                                : "throughput";
+}
+
+std::string
+TuneCandidate::describe() const
+{
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf), "%s b=%llu mb=%llu%s%s",
+        placement::placement_kind_name(spec.placement),
+        static_cast<unsigned long long>(spec.batch),
+        static_cast<unsigned long long>(spec.micro_batches),
+        spec.offload_kv_cache ? " kv-offload" : "",
+        spec.helm_splits.has_value() ? " custom-split" : "");
+    return buf;
+}
+
+namespace {
+
+/** Batch ladder up to (and including) the feasibility edge. */
+std::vector<std::uint64_t>
+batch_ladder(std::uint64_t max_feasible, std::uint64_t limit)
+{
+    std::vector<std::uint64_t> ladder;
+    const std::uint64_t cap = std::min(max_feasible, limit);
+    for (std::uint64_t b = 1; b < cap; b *= 2)
+        ladder.push_back(b);
+    if (cap >= 1)
+        ladder.push_back(cap);
+    return ladder;
+}
+
+bool
+better(const TuneCandidate &a, const TuneCandidate &b,
+       TuneObjective objective)
+{
+    if (objective == TuneObjective::kLatency)
+        return a.metrics.tbt < b.metrics.tbt;
+    return a.metrics.throughput > b.metrics.throughput;
+}
+
+} // namespace
+
+Result<TuneResult>
+auto_tune(const TuneRequest &request)
+{
+    if (request.model.hidden == 0 || request.model.blocks == 0)
+        return Status::invalid_argument("model config is incomplete");
+    if (request.batch_limit < 1)
+        return Status::invalid_argument("batch_limit must be >= 1");
+
+    const auto layers = model::build_layers(
+        request.model, request.compress_weights
+                           ? model::DataType::kInt4Grouped
+                           : model::DataType::kFp16);
+
+    TuneResult result;
+    bool have_best = false;
+
+    struct SchemePoint
+    {
+        placement::PlacementKind kind;
+        std::optional<placement::HelmSplits> splits;
+    };
+    std::vector<SchemePoint> schemes{
+        {placement::PlacementKind::kBaseline, std::nullopt},
+        {placement::PlacementKind::kHelm, std::nullopt},
+        {placement::PlacementKind::kAllCpu, std::nullopt},
+        {placement::PlacementKind::kBalanced, std::nullopt},
+    };
+    // HeLM split-point refinements around the paper's (30, 10).
+    for (double ffn_pct : {20.0, 40.0, 50.0}) {
+        placement::HelmSplits splits;
+        splits.ffn = {ffn_pct, 100.0 - ffn_pct, 0.0};
+        schemes.push_back(
+            SchemePoint{placement::PlacementKind::kHelm, splits});
+    }
+
+    std::vector<std::uint64_t> micro_options{1};
+    if (request.explore_micro_batches) {
+        micro_options.push_back(2);
+        micro_options.push_back(4);
+    }
+    std::vector<bool> kv_options{false};
+    if (request.explore_kv_offload)
+        kv_options.push_back(true);
+
+    for (const auto &scheme : schemes) {
+        for (bool kv_offload : kv_options) {
+            // Feasibility ceiling assumes weights can spill to the host
+            // (the engine's capacity enforcement does exactly that), so
+            // the KV cache alone bounds the request count.  The
+            // scheme's own GPU share then shrinks gracefully at large
+            // batches instead of being rejected outright.
+            const std::uint64_t max_requests = max_batch(
+                request.gpu, request.model, layers, /*gpu_weights=*/0,
+                request.shape, request.compress_weights,
+                request.batch_limit, !kv_offload);
+            if (max_requests == 0) {
+                ++result.infeasible;
+                continue;
+            }
+            for (std::uint64_t micro : micro_options) {
+                for (std::uint64_t batch :
+                     batch_ladder(max_requests / micro,
+                                  request.batch_limit)) {
+                    if (batch == 0)
+                        continue;
+                    ServingSpec spec;
+                    spec.model = request.model;
+                    spec.memory = request.memory;
+                    spec.placement = scheme.kind;
+                    spec.helm_splits = scheme.splits;
+                    spec.compress_weights = request.compress_weights;
+                    spec.batch = batch;
+                    spec.micro_batches = micro;
+                    spec.offload_kv_cache = kv_offload;
+                    spec.shape = request.shape;
+                    spec.repeats = 2;
+                    spec.gpu = request.gpu;
+                    spec.keep_records = false;
+                    auto run = simulate_inference(spec);
+                    if (!run.is_ok()) {
+                        ++result.infeasible;
+                        continue;
+                    }
+                    TuneCandidate candidate;
+                    candidate.spec = spec;
+                    candidate.metrics = run->metrics;
+                    candidate.meets_qos =
+                        !request.tbt_ceiling.has_value() ||
+                        run->metrics.tbt <= *request.tbt_ceiling;
+                    result.explored.push_back(candidate);
+                    if (!candidate.meets_qos)
+                        continue;
+                    if (!have_best ||
+                        better(candidate, result.best,
+                               request.objective)) {
+                        result.best = candidate;
+                        have_best = true;
+                    }
+                }
+            }
+        }
+    }
+
+    if (!have_best) {
+        return Status::not_found(
+            "no candidate satisfies the QoS constraint");
+    }
+    // Most-preferred-first ordering for reporting.
+    std::sort(result.explored.begin(), result.explored.end(),
+              [&](const TuneCandidate &a, const TuneCandidate &b) {
+                  return better(a, b, request.objective);
+              });
+    return result;
+}
+
+} // namespace helm::runtime

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * QoS-driven auto-tuner.
+ *
+ * The paper's conclusion calls for "improved weight placement
+ * algorithms that can automatically make latency/throughput tradeoffs
+ * based on desired quality of service requirements" — this is that
+ * algorithm, built on the simulator: enumerate the placement/batching
+ * design space (scheme, HeLM split points, batch, micro-batches, KV
+ * offload), evaluate each candidate, filter by the TBT ceiling, and
+ * return the best configuration for the chosen objective.
+ */
+#ifndef HELM_RUNTIME_TUNER_H
+#define HELM_RUNTIME_TUNER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/engine.h"
+
+namespace helm::runtime {
+
+/** What the operator optimizes for. */
+enum class TuneObjective
+{
+    kLatency,    //!< minimize TBT
+    kThroughput, //!< maximize tokens/s
+};
+
+/** Printable name. */
+const char *tune_objective_name(TuneObjective objective);
+
+/** The tuning problem. */
+struct TuneRequest
+{
+    model::TransformerConfig model;
+    mem::ConfigKind memory = mem::ConfigKind::kNvdram;
+    bool compress_weights = true;
+    model::SequenceShape shape;
+    TuneObjective objective = TuneObjective::kThroughput;
+    /** QoS constraint: candidates whose TBT exceeds this are rejected. */
+    std::optional<Seconds> tbt_ceiling;
+    std::uint64_t batch_limit = 512; //!< search ceiling
+    bool explore_kv_offload = true;  //!< include cache-offload candidates
+    bool explore_micro_batches = true;
+    gpu::GpuSpec gpu = gpu::GpuSpec::a100_40gb();
+};
+
+/** One evaluated point of the search. */
+struct TuneCandidate
+{
+    ServingSpec spec;
+    InferenceMetrics metrics;
+    bool meets_qos = false;
+    std::string describe() const;
+};
+
+/** The search outcome. */
+struct TuneResult
+{
+    TuneCandidate best;
+    std::vector<TuneCandidate> explored; //!< every feasible candidate
+    std::size_t infeasible = 0;          //!< capacity-rejected points
+};
+
+/**
+ * Run the search.  Fails with kNotFound if no candidate satisfies the
+ * QoS constraint (or nothing fits at all).
+ */
+Result<TuneResult> auto_tune(const TuneRequest &request);
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_TUNER_H

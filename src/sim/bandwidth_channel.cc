@@ -1,0 +1,179 @@
+#include "sim/bandwidth_channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace helm::sim {
+
+namespace {
+
+/**
+ * Bytes below this threshold count as "delivered".  Half a byte: flow
+ * progress is tracked in doubles, and a remainder below one byte is
+ * arithmetic round-off, not payload.  A smaller epsilon can livelock the
+ * clock — the remainder's completion delay underflows the double time
+ * resolution and the completion event stops advancing virtual time.
+ */
+constexpr double kByteEpsilon = 0.5;
+
+} // namespace
+
+BandwidthChannel::BandwidthChannel(Simulator &simulator, std::string name,
+                                   Bandwidth rate)
+    : simulator_(simulator), name_(std::move(name)), rate_(rate)
+{
+    HELM_ASSERT(rate_.raw() > 0.0, "channel rate must be positive");
+    last_update_ = simulator_.now();
+}
+
+BandwidthChannel::~BandwidthChannel()
+{
+    if (pending_event_ != kInvalidEvent)
+        simulator_.cancel(pending_event_);
+}
+
+FlowId
+BandwidthChannel::start_flow(Bytes bytes, Bandwidth cap,
+                             std::function<void()> on_complete)
+{
+    HELM_ASSERT(static_cast<bool>(on_complete),
+                "flow completion callback required");
+    if (bytes == 0) {
+        on_complete();
+        return kInvalidFlow;
+    }
+    advance_to_now();
+    const FlowId id = next_flow_id_++;
+    Flow flow;
+    flow.total_bytes = bytes;
+    flow.remaining_bytes = static_cast<double>(bytes);
+    flow.cap_bps = cap.is_zero() ? 0.0 : cap.raw();
+    flow.on_complete = std::move(on_complete);
+    flows_.emplace(id, std::move(flow));
+    recompute_and_reschedule();
+    return id;
+}
+
+void
+BandwidthChannel::cancel_flow(FlowId id)
+{
+    advance_to_now();
+    if (flows_.erase(id) > 0)
+        recompute_and_reschedule();
+}
+
+Bandwidth
+BandwidthChannel::flow_rate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return Bandwidth();
+    return Bandwidth::bytes_per_s(it->second.rate_bps);
+}
+
+void
+BandwidthChannel::advance_to_now()
+{
+    const Seconds now = simulator_.now();
+    const Seconds elapsed = now - last_update_;
+    last_update_ = now;
+    if (elapsed <= 0.0)
+        return;
+    for (auto &[id, flow] : flows_) {
+        flow.remaining_bytes -= flow.rate_bps * elapsed;
+        if (flow.remaining_bytes < 0.0)
+            flow.remaining_bytes = 0.0;
+    }
+}
+
+void
+BandwidthChannel::water_fill()
+{
+    if (flows_.empty())
+        return;
+    // Sort by cap ascending (uncapped flows last) so we can peel off flows
+    // whose cap is below the running fair share.
+    std::vector<Flow *> order;
+    order.reserve(flows_.size());
+    for (auto &[id, flow] : flows_)
+        order.push_back(&flow);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Flow *a, const Flow *b) {
+                         const double ca = a->cap_bps > 0.0
+                                               ? a->cap_bps
+                                               : std::numeric_limits<
+                                                     double>::infinity();
+                         const double cb = b->cap_bps > 0.0
+                                               ? b->cap_bps
+                                               : std::numeric_limits<
+                                                     double>::infinity();
+                         return ca < cb;
+                     });
+
+    double remaining_rate = rate_.raw();
+    std::size_t remaining_flows = order.size();
+    for (Flow *flow : order) {
+        const double share =
+            remaining_rate / static_cast<double>(remaining_flows);
+        const double cap = flow->cap_bps > 0.0
+                               ? flow->cap_bps
+                               : std::numeric_limits<double>::infinity();
+        flow->rate_bps = std::min(cap, share);
+        remaining_rate -= flow->rate_bps;
+        --remaining_flows;
+    }
+}
+
+void
+BandwidthChannel::recompute_and_reschedule()
+{
+    if (pending_event_ != kInvalidEvent) {
+        simulator_.cancel(pending_event_);
+        pending_event_ = kInvalidEvent;
+    }
+    reap_finished();
+    if (flows_.empty())
+        return;
+    water_fill();
+    // Next event: the earliest flow completion at current rates.
+    Seconds next_completion = std::numeric_limits<Seconds>::infinity();
+    for (const auto &[id, flow] : flows_) {
+        if (flow.rate_bps <= 0.0)
+            continue;
+        next_completion = std::min(next_completion,
+                                   flow.remaining_bytes / flow.rate_bps);
+    }
+    HELM_ASSERT(std::isfinite(next_completion),
+                "active flows but no completion event (rate starvation)");
+    pending_event_ = simulator_.schedule(next_completion, [this] {
+        pending_event_ = kInvalidEvent;
+        advance_to_now();
+        recompute_and_reschedule();
+    });
+}
+
+void
+BandwidthChannel::reap_finished()
+{
+    if (in_reap_)
+        return;
+    in_reap_ = true;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining_bytes <= kByteEpsilon) {
+            bytes_delivered_ += it->second.total_bytes;
+            // Defer the callback to a zero-delay event so that reentrant
+            // start_flow/cancel_flow calls never observe the channel
+            // mid-update.  Delivery order stays deterministic (FIFO at
+            // equal timestamps).
+            simulator_.schedule(0.0, std::move(it->second.on_complete));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    in_reap_ = false;
+}
+
+} // namespace helm::sim

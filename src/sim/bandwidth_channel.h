@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Max-min fair-share bandwidth channel.
+ *
+ * Models a shared link (PCIe, a memory device's read port, a disk) as a
+ * processor-sharing server: all active flows progress simultaneously, each
+ * receiving a max-min fair share of the channel rate, optionally capped by
+ * a per-flow rate (e.g. a flow sourced from Optane cannot exceed Optane's
+ * read bandwidth even if PCIe has headroom).  Rates are recomputed by
+ * water-filling whenever a flow arrives or departs.
+ */
+#ifndef HELM_SIM_BANDWIDTH_CHANNEL_H
+#define HELM_SIM_BANDWIDTH_CHANNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace helm::sim {
+
+/** Opaque flow handle. */
+using FlowId = std::uint64_t;
+
+/** Sentinel for invalid flows. */
+inline constexpr FlowId kInvalidFlow = 0;
+
+/**
+ * A processor-sharing link with per-flow rate caps.
+ *
+ * Invariants:
+ *  - sum of granted rates <= channel rate (within floating-point slack)
+ *  - no flow exceeds its cap
+ *  - allocation is max-min fair among active flows
+ */
+class BandwidthChannel
+{
+  public:
+    /**
+     * @param simulator Owning simulation kernel; must outlive the channel.
+     * @param name Diagnostic name (appears in traces).
+     * @param rate Total channel bandwidth.
+     */
+    BandwidthChannel(Simulator &simulator, std::string name, Bandwidth rate);
+
+    ~BandwidthChannel();
+    BandwidthChannel(const BandwidthChannel &) = delete;
+    BandwidthChannel &operator=(const BandwidthChannel &) = delete;
+
+    /**
+     * Begin transferring @p bytes through the channel.
+     *
+     * @param bytes Payload size; zero-byte flows complete immediately
+     *              (before start_flow returns).
+     * @param cap Per-flow bandwidth ceiling; pass an is_zero() Bandwidth
+     *            for "uncapped".
+     * @param on_complete Invoked (once) when the last byte arrives.
+     * @return Flow handle; kInvalidFlow for zero-byte flows.
+     */
+    FlowId start_flow(Bytes bytes, Bandwidth cap,
+                      std::function<void()> on_complete);
+
+    /** Abort a flow; its completion callback will not run. */
+    void cancel_flow(FlowId id);
+
+    /** Currently active flow count. */
+    std::size_t active_flows() const { return flows_.size(); }
+
+    /** Total bytes delivered across all completed flows. */
+    Bytes bytes_delivered() const { return bytes_delivered_; }
+
+    const std::string &name() const { return name_; }
+    Bandwidth rate() const { return rate_; }
+
+    /** Instantaneous granted rate of a flow (0 if unknown). */
+    Bandwidth flow_rate(FlowId id) const;
+
+  private:
+    struct Flow
+    {
+        Bytes total_bytes = 0;
+        double remaining_bytes;
+        double cap_bps;        //!< 0 means uncapped
+        double rate_bps = 0.0; //!< current granted rate
+        std::function<void()> on_complete;
+    };
+
+    /** Apply progress for the interval [last_update_, now]. */
+    void advance_to_now();
+
+    /** Re-run water-filling and reschedule the next completion event. */
+    void recompute_and_reschedule();
+
+    /** Max-min fair allocation over current flows. */
+    void water_fill();
+
+    /** Fire completions for flows whose remaining bytes reached zero. */
+    void reap_finished();
+
+    Simulator &simulator_;
+    std::string name_;
+    Bandwidth rate_;
+    std::map<FlowId, Flow> flows_; //!< ordered => deterministic iteration
+    FlowId next_flow_id_ = 1;
+    Seconds last_update_ = 0.0;
+    EventId pending_event_ = kInvalidEvent;
+    Bytes bytes_delivered_ = 0;
+    bool in_reap_ = false;
+};
+
+} // namespace helm::sim
+
+#endif // HELM_SIM_BANDWIDTH_CHANNEL_H

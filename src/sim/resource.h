@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FIFO-queued counted resource and a countdown latch.
+ *
+ * FifoResource models an execution engine that can run a bounded number of
+ * activities at once — the GPU compute stream (capacity 1), a DMA engine,
+ * a disk with a fixed queue width.  CountdownLatch joins fan-in
+ * dependencies ("compute of layer j AND load of layer j+1 both done").
+ */
+#ifndef HELM_SIM_RESOURCE_H
+#define HELM_SIM_RESOURCE_H
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace helm::sim {
+
+/**
+ * A counted resource with FIFO admission.  Holders must release exactly
+ * once per grant.
+ */
+class FifoResource
+{
+  public:
+    /**
+     * @param simulator Owning kernel; must outlive the resource.
+     * @param name Diagnostic name.
+     * @param capacity Maximum simultaneous holders (>= 1).
+     */
+    FifoResource(Simulator &simulator, std::string name,
+                 std::size_t capacity);
+
+    FifoResource(const FifoResource &) = delete;
+    FifoResource &operator=(const FifoResource &) = delete;
+
+    /**
+     * Request the resource; @p on_granted runs (possibly immediately,
+     * synchronously) once capacity is available.
+     */
+    void acquire(std::function<void()> on_granted);
+
+    /** Give back one unit; admits the next waiter (via zero-delay event). */
+    void release();
+
+    /**
+     * Convenience: acquire, hold for @p duration, release, then invoke
+     * @p on_done.  This is the common "occupy the GPU for t_compute"
+     * pattern.
+     */
+    void occupy(Seconds duration, std::function<void()> on_done);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t in_use() const { return in_use_; }
+    std::size_t queue_length() const { return waiters_.size(); }
+
+    /** Cumulative busy time integrated over holders (utilization probe). */
+    Seconds busy_time() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void update_busy_integral();
+
+    Simulator &simulator_;
+    std::string name_;
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+    std::deque<std::function<void()>> waiters_;
+    // busy-time integral bookkeeping
+    Seconds busy_accum_ = 0.0;
+    Seconds last_change_ = 0.0;
+};
+
+/**
+ * Fires a callback after count() completions — the join node of a fork/join
+ * dependency graph.
+ */
+class CountdownLatch
+{
+  public:
+    /**
+     * @param count Number of arrive() calls required; zero fires
+     *              immediately when the callback is set.
+     */
+    explicit CountdownLatch(std::size_t count) : remaining_(count) {}
+
+    /** Set the completion callback (must be called exactly once). */
+    void on_zero(std::function<void()> fn);
+
+    /** Signal one completion. */
+    void arrive();
+
+    std::size_t remaining() const { return remaining_; }
+
+  private:
+    std::size_t remaining_;
+    std::function<void()> callback_;
+    bool fired_ = false;
+};
+
+} // namespace helm::sim
+
+#endif // HELM_SIM_RESOURCE_H

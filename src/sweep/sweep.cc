@@ -1,0 +1,190 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "model/zoo.h"
+
+namespace helm::sweep {
+
+Status
+SweepRunner::add_dimension(const std::string &name,
+                           std::vector<std::string> values)
+{
+    if (name.empty())
+        return Status::invalid_argument("dimension needs a name");
+    if (values.empty()) {
+        return Status::invalid_argument("dimension '" + name +
+                                        "' needs at least one value");
+    }
+    for (const auto &dim : dimensions_) {
+        if (dim.name == name) {
+            return Status::invalid_argument("duplicate dimension '" +
+                                            name + "'");
+        }
+    }
+    dimensions_.push_back(Dimension{name, std::move(values)});
+    return Status::ok();
+}
+
+std::size_t
+SweepRunner::point_count() const
+{
+    std::size_t count = 1;
+    for (const auto &dim : dimensions_)
+        count *= dim.values.size();
+    return dimensions_.empty() ? 0 : count;
+}
+
+Dataset
+SweepRunner::run(const PointFn &fn) const
+{
+    HELM_ASSERT(static_cast<bool>(fn), "sweep needs a point function");
+    Dataset dataset;
+    if (dimensions_.empty())
+        return dataset;
+
+    std::vector<std::size_t> index(dimensions_.size(), 0);
+    while (true) {
+        Row point;
+        for (std::size_t d = 0; d < dimensions_.size(); ++d)
+            point[dimensions_[d].name] = dimensions_[d].values[index[d]];
+
+        Row row = point;
+        auto outcome = fn(point);
+        if (outcome.is_ok()) {
+            for (auto &[name, value] : *outcome)
+                row[name] = value;
+        } else {
+            row["error"] = outcome.status().to_string();
+        }
+        dataset.add_row(std::move(row));
+
+        // Odometer increment, last dimension fastest.
+        std::size_t d = dimensions_.size();
+        while (d > 0) {
+            --d;
+            if (++index[d] < dimensions_[d].values.size())
+                break;
+            index[d] = 0;
+            if (d == 0)
+                return dataset;
+        }
+    }
+}
+
+bool
+ServingSweep::is_recognized(const std::string &name)
+{
+    static const std::vector<std::string> known{
+        "model",        "memory",       "placement",
+        "batch",        "micro_batches", "kv_offload",
+        "compress",     "prompt_tokens", "output_tokens"};
+    return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+Status
+ServingSweep::add_dimension(const std::string &name,
+                            std::vector<std::string> values)
+{
+    if (!is_recognized(name)) {
+        return Status::invalid_argument(
+            "unknown sweep dimension '" + name +
+            "' (model, memory, placement, batch, micro_batches, "
+            "kv_offload, compress, prompt_tokens, output_tokens)");
+    }
+    return runner_.add_dimension(name, std::move(values));
+}
+
+namespace {
+
+/** Apply one recognized dimension value to a spec. */
+Status
+apply(runtime::ServingSpec &spec, const std::string &name,
+      const std::string &value)
+{
+    auto as_u64 = [&](std::uint64_t &out) -> Status {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || parsed == 0) {
+            return Status::invalid_argument("bad value '" + value +
+                                            "' for " + name);
+        }
+        out = parsed;
+        return Status::ok();
+    };
+
+    if (name == "model") {
+        auto config = model::find_model(value);
+        if (!config.is_ok())
+            return config.status();
+        spec.model = *config;
+        return Status::ok();
+    }
+    if (name == "memory") {
+        for (auto kind : mem::all_config_kinds()) {
+            if (value == mem::config_kind_name(kind)) {
+                spec.memory = kind;
+                return Status::ok();
+            }
+        }
+        return Status::not_found("unknown memory config: " + value);
+    }
+    if (name == "placement") {
+        for (auto kind : {placement::PlacementKind::kBaseline,
+                          placement::PlacementKind::kHelm,
+                          placement::PlacementKind::kAllCpu}) {
+            if (value == placement::placement_kind_name(kind)) {
+                spec.placement = kind;
+                return Status::ok();
+            }
+        }
+        return Status::not_found("unknown placement scheme: " + value);
+    }
+    if (name == "batch")
+        return as_u64(spec.batch);
+    if (name == "micro_batches")
+        return as_u64(spec.micro_batches);
+    if (name == "prompt_tokens")
+        return as_u64(spec.shape.prompt_tokens);
+    if (name == "output_tokens")
+        return as_u64(spec.shape.output_tokens);
+    if (name == "kv_offload") {
+        spec.offload_kv_cache = value == "1" || value == "true";
+        return Status::ok();
+    }
+    if (name == "compress") {
+        spec.compress_weights = value == "1" || value == "true";
+        return Status::ok();
+    }
+    return Status::invalid_argument("unknown dimension " + name);
+}
+
+} // namespace
+
+Dataset
+ServingSweep::run() const
+{
+    return runner_.run([this](const Row &point) -> Result<Row> {
+        runtime::ServingSpec spec = base_;
+        spec.keep_records = false;
+        for (const auto &[name, value] : point)
+            HELM_RETURN_IF_ERROR(apply(spec, name, value));
+        auto result = runtime::simulate_inference(spec);
+        if (!result.is_ok())
+            return result.status();
+        Row metrics;
+        metrics["ttft_ms"] =
+            format_fixed(result->metrics.ttft * 1e3, 3);
+        metrics["tbt_ms"] = format_fixed(result->metrics.tbt * 1e3, 3);
+        metrics["tokens_per_s"] =
+            format_fixed(result->metrics.throughput, 4);
+        metrics["gpu_used_bytes"] =
+            std::to_string(result->budget.used());
+        return metrics;
+    });
+}
+
+} // namespace helm::sweep

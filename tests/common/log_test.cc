@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the leveled logging facility.
+ */
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace helm {
+namespace {
+
+/** RAII guard restoring the global log level. */
+class LevelGuard
+{
+  public:
+    LevelGuard() : saved_(log_level()) {}
+    ~LevelGuard() { set_log_level(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn)
+{
+    // The library must be quiet by default.
+    EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGet)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kTrace);
+    EXPECT_EQ(log_level(), LogLevel::kTrace);
+    set_log_level(LogLevel::kOff);
+    EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, ParseNames)
+{
+    EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+    EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+    EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+    EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+    // Unknown names fall back to the default.
+    EXPECT_EQ(parse_log_level("chatty"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST(Log, SuppressedLevelsDoNotEvaluateOperands)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kError);
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return 42;
+    };
+    HELM_LOG(kDebug) << "value: " << expensive();
+    EXPECT_EQ(evaluations, 0) << "suppressed logs must not format";
+    HELM_LOG(kError) << "value: " << expensive();
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, EmitsToStderr)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kInfo);
+    ::testing::internal::CaptureStderr();
+    HELM_LOG(kInfo) << "hello " << 123;
+    const std::string output =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(output.find("INFO"), std::string::npos);
+    EXPECT_NE(output.find("hello 123"), std::string::npos);
+    EXPECT_NE(output.find("log_test.cc"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kOff);
+    ::testing::internal::CaptureStderr();
+    HELM_LOG(kError) << "should not appear";
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+} // namespace
+} // namespace helm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for common/rng.h and common/summary.h.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/summary.h"
+
+namespace helm {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.next_in_range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    // All 7 values should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.next_gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Summary, EmptyInput)
+{
+    EXPECT_EQ(summarize({}).count, 0u);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean_discarding_first({}), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Summary, BasicStats)
+{
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, MeanDiscardingFirstMatchesPaperRule)
+{
+    // "arithmetic mean across all its values except the first"
+    EXPECT_DOUBLE_EQ(mean_discarding_first({100.0, 2.0, 4.0}), 3.0);
+    // A single sample has nothing to discard against.
+    EXPECT_DOUBLE_EQ(mean_discarding_first({7.0}), 7.0);
+}
+
+TEST(Summary, Percentile)
+{
+    std::vector<double> v{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+    // Out-of-range p clamps.
+    EXPECT_DOUBLE_EQ(percentile(v, 150), 50.0);
+}
+
+TEST(Summary, RelativeDelta)
+{
+    EXPECT_DOUBLE_EQ(relative_delta(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relative_delta(90.0, 100.0), -0.1);
+    EXPECT_DOUBLE_EQ(relative_delta(1.0, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace helm

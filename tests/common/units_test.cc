@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for common/units.h: Bandwidth arithmetic and formatting.
+ */
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace helm {
+namespace {
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+    EXPECT_EQ(kGB, 1000000000u);
+    EXPECT_EQ(kTiB, 1024u * kGiB);
+}
+
+TEST(Units, BandwidthConstruction)
+{
+    EXPECT_DOUBLE_EQ(Bandwidth::gb_per_s(1.0).raw(), 1e9);
+    EXPECT_DOUBLE_EQ(Bandwidth::mb_per_s(1.0).raw(), 1e6);
+    EXPECT_DOUBLE_EQ(Bandwidth::bytes_per_s(42.0).raw(), 42.0);
+    EXPECT_DOUBLE_EQ(Bandwidth::gb_per_s(25.0).as_gb_per_s(), 25.0);
+}
+
+TEST(Units, BandwidthDefaultIsZero)
+{
+    Bandwidth bw;
+    EXPECT_TRUE(bw.is_zero());
+    EXPECT_FALSE(Bandwidth::gb_per_s(1.0).is_zero());
+}
+
+TEST(Units, TransferTime)
+{
+    const Bandwidth bw = Bandwidth::gb_per_s(10.0);
+    EXPECT_DOUBLE_EQ(bw.transfer_time(10 * kGB), 1.0);
+    EXPECT_DOUBLE_EQ(bw.transfer_time(100 * kGB), 10.0);
+    EXPECT_DOUBLE_EQ(bw.transfer_time(0), 0.0);
+    // Zero bandwidth yields zero time rather than dividing by zero.
+    EXPECT_DOUBLE_EQ(Bandwidth().transfer_time(kGB), 0.0);
+}
+
+TEST(Units, BandwidthScaled)
+{
+    const Bandwidth bw = Bandwidth::gb_per_s(20.0).scaled(0.5);
+    EXPECT_DOUBLE_EQ(bw.as_gb_per_s(), 10.0);
+}
+
+TEST(Units, BandwidthComparisons)
+{
+    const Bandwidth a = Bandwidth::gb_per_s(1.0);
+    const Bandwidth b = Bandwidth::gb_per_s(2.0);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a >= a);
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Units, MinMaxBandwidth)
+{
+    const Bandwidth a = Bandwidth::gb_per_s(5.0);
+    const Bandwidth b = Bandwidth::gb_per_s(7.0);
+    EXPECT_EQ(min_bw(a, b), a);
+    EXPECT_EQ(min_bw(b, a), a);
+    EXPECT_EQ(max_bw(a, b), b);
+    EXPECT_EQ(max_bw(b, a), b);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+    EXPECT_EQ(format_bytes(kMiB), "1.00 MiB");
+    EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+    EXPECT_EQ(format_bytes(kGiB + kGiB / 2), "1.50 GiB");
+    EXPECT_EQ(format_bytes(0), "0 B");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(format_seconds(1.5), "1.50 s");
+    EXPECT_EQ(format_seconds(0.0125), "12.5 ms");
+    EXPECT_EQ(format_seconds(12.5e-6), "12.5 us");
+    EXPECT_EQ(format_seconds(500e-9), "500 ns");
+    EXPECT_EQ(format_seconds(-0.5), "-500 ms");
+}
+
+TEST(Units, FormatBandwidth)
+{
+    EXPECT_EQ(format_bandwidth(Bandwidth::gb_per_s(24.5)), "24.5 GB/s");
+    EXPECT_EQ(format_bandwidth(Bandwidth::gb_per_s(3.26)), "3.26 GB/s");
+    EXPECT_EQ(format_bandwidth(Bandwidth::mb_per_s(0.5)), "0.50 MB/s");
+}
+
+} // namespace
+} // namespace helm

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the system energy model.
+ */
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "model/opt.h"
+
+namespace helm::energy {
+namespace {
+
+using model::OptVariant;
+
+runtime::RunResult
+run(mem::ConfigKind memory, placement::PlacementKind placement =
+                                placement::PlacementKind::kHelm)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt175B);
+    spec.memory = memory;
+    spec.placement = placement;
+    spec.compress_weights = true;
+    spec.batch = 1;
+    spec.repeats = 2;
+    auto result = runtime::simulate_inference(spec);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return std::move(result).value();
+}
+
+TEST(Energy, RequiresRecords)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt1_3B);
+    spec.keep_records = false;
+    spec.repeats = 1;
+    const auto result = runtime::simulate_inference(spec);
+    ASSERT_TRUE(result.is_ok());
+    const auto energy =
+        estimate_energy(*result, mem::ConfigKind::kNvdram,
+                        gpu::GpuSpec::a100_40gb());
+    EXPECT_EQ(energy.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Energy, BreakdownSumsAndPositivity)
+{
+    const auto result = run(mem::ConfigKind::kNvdram);
+    const auto energy = estimate_energy(
+        *&result, mem::ConfigKind::kNvdram, gpu::GpuSpec::a100_40gb());
+    ASSERT_TRUE(energy.is_ok());
+    EXPECT_GT(energy->gpu_joules, 0.0);
+    EXPECT_GT(energy->host_dynamic_joules, 0.0);
+    EXPECT_GT(energy->host_static_joules, 0.0);
+    EXPECT_GT(energy->pcie_joules, 0.0);
+    EXPECT_GT(energy->cpu_joules, 0.0);
+    EXPECT_NEAR(energy->total_joules(),
+                energy->gpu_joules + energy->host_dynamic_joules +
+                    energy->host_static_joules + energy->pcie_joules +
+                    energy->cpu_joules,
+                1e-9);
+    EXPECT_GT(energy->joules_per_token(), 0.0);
+    EXPECT_NEAR(energy->average_watts(),
+                energy->total_joules() / energy->duration, 1e-9);
+}
+
+TEST(Energy, OptaneStandbyBelowDram)
+{
+    // The substitution argument: 1 TiB of Optane idles below 256 GiB of
+    // DRAM (no refresh), 4x the capacity.
+    EXPECT_LT(DevicePowerModel::optane_1t().static_watts,
+              DevicePowerModel::ddr4_256g().static_watts);
+}
+
+TEST(Energy, OptaneDynamicAboveDram)
+{
+    EXPECT_GT(DevicePowerModel::optane_1t().read_pj_per_byte,
+              DevicePowerModel::ddr4_256g().read_pj_per_byte);
+    EXPECT_GT(DevicePowerModel::optane_1t().write_pj_per_byte,
+              DevicePowerModel::optane_1t().read_pj_per_byte);
+}
+
+TEST(Energy, HostPowerModelCoversEveryConfig)
+{
+    for (auto kind : mem::all_config_kinds()) {
+        const auto m = host_power_model(kind);
+        EXPECT_GT(m.static_watts, 0.0) << mem::config_kind_name(kind);
+        EXPECT_GT(m.read_pj_per_byte, 0.0);
+    }
+    // Memory Mode powers both tiers.
+    EXPECT_GT(host_power_model(mem::ConfigKind::kMemoryMode).static_watts,
+              host_power_model(mem::ConfigKind::kNvdram).static_watts);
+}
+
+TEST(Energy, FasterRunsUseFewerJoulesPerToken)
+{
+    // HeLM's latency win is also an energy win: same work, less static
+    // burn (this is the paper's energy-efficiency thesis end to end).
+    const auto base =
+        run(mem::ConfigKind::kNvdram, placement::PlacementKind::kBaseline);
+    const auto helm = run(mem::ConfigKind::kNvdram,
+                          placement::PlacementKind::kHelm);
+    const auto e_base = estimate_energy(
+        base, mem::ConfigKind::kNvdram, gpu::GpuSpec::a100_40gb());
+    const auto e_helm = estimate_energy(
+        helm, mem::ConfigKind::kNvdram, gpu::GpuSpec::a100_40gb());
+    ASSERT_TRUE(e_base.is_ok());
+    ASSERT_TRUE(e_helm.is_ok());
+    EXPECT_LT(e_helm->joules_per_token(), e_base->joules_per_token());
+}
+
+TEST(Energy, GpuDominatesAtHighUtilization)
+{
+    // Large-batch All-CPU keeps the GPU busy: its joules should dwarf
+    // the host memory's.
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt175B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kAllCpu;
+    spec.compress_weights = true;
+    spec.batch = 44;
+    spec.repeats = 2;
+    const auto result = runtime::simulate_inference(spec);
+    ASSERT_TRUE(result.is_ok());
+    const auto energy = estimate_energy(
+        *result, mem::ConfigKind::kNvdram, gpu::GpuSpec::a100_40gb());
+    ASSERT_TRUE(energy.is_ok());
+    EXPECT_GT(energy->gpu_joules, energy->host_dynamic_joules +
+                                      energy->host_static_joules);
+}
+
+TEST(Energy, PlatformOverridesRespected)
+{
+    const auto result = run(mem::ConfigKind::kNvdram);
+    PlatformPower quiet;
+    quiet.gpu_busy_watts = 0.0;
+    quiet.gpu_idle_watts = 0.0;
+    quiet.host_cpu_watts = 0.0;
+    quiet.pcie_pj_per_byte = 0.0;
+    const auto energy = estimate_energy(
+        result, mem::ConfigKind::kNvdram, gpu::GpuSpec::a100_40gb(),
+        quiet);
+    ASSERT_TRUE(energy.is_ok());
+    EXPECT_DOUBLE_EQ(energy->gpu_joules, 0.0);
+    EXPECT_DOUBLE_EQ(energy->pcie_joules, 0.0);
+    EXPECT_DOUBLE_EQ(energy->cpu_joules, 0.0);
+    EXPECT_GT(energy->host_static_joules, 0.0);
+}
+
+} // namespace
+} // namespace helm::energy

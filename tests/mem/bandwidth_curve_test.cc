@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the log-linear bandwidth curve interpolation.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth_curve.h"
+
+namespace helm::mem {
+namespace {
+
+TEST(BandwidthCurve, FlatCurve)
+{
+    BandwidthCurve curve(Bandwidth::gb_per_s(24.5));
+    EXPECT_DOUBLE_EQ(curve.at(1).as_gb_per_s(), 24.5);
+    EXPECT_DOUBLE_EQ(curve.at(32 * kGiB).as_gb_per_s(), 24.5);
+    EXPECT_DOUBLE_EQ(curve.at(0).as_gb_per_s(), 24.5);
+}
+
+TEST(BandwidthCurve, EndpointsClamp)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {1 * kGiB, Bandwidth::gb_per_s(20.0)},
+        {4 * kGiB, Bandwidth::gb_per_s(10.0)},
+    });
+    EXPECT_DOUBLE_EQ(curve.at(256 * kMiB).as_gb_per_s(), 20.0);
+    EXPECT_DOUBLE_EQ(curve.at(1 * kGiB).as_gb_per_s(), 20.0);
+    EXPECT_DOUBLE_EQ(curve.at(4 * kGiB).as_gb_per_s(), 10.0);
+    EXPECT_DOUBLE_EQ(curve.at(64 * kGiB).as_gb_per_s(), 10.0);
+}
+
+TEST(BandwidthCurve, LogMidpointInterpolation)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {1 * kGiB, Bandwidth::gb_per_s(20.0)},
+        {4 * kGiB, Bandwidth::gb_per_s(10.0)},
+    });
+    // 2 GiB is the log2 midpoint of [1 GiB, 4 GiB].
+    EXPECT_NEAR(curve.at(2 * kGiB).as_gb_per_s(), 15.0, 1e-9);
+}
+
+TEST(BandwidthCurve, MonotoneBetweenAnchors)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {256 * kMiB, Bandwidth::gb_per_s(19.91)},
+        {4 * kGiB, Bandwidth::gb_per_s(19.91)},
+        {32 * kGiB, Bandwidth::gb_per_s(15.52)},
+    });
+    double prev = curve.at(256 * kMiB).as_gb_per_s();
+    for (Bytes size = 256 * kMiB; size <= 32 * kGiB; size *= 2) {
+        const double bw = curve.at(size).as_gb_per_s();
+        EXPECT_LE(bw, prev + 1e-9);
+        prev = bw;
+    }
+}
+
+TEST(BandwidthCurve, ScaledMultipliesEveryAnchor)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {1 * kGiB, Bandwidth::gb_per_s(20.0)},
+        {4 * kGiB, Bandwidth::gb_per_s(10.0)},
+    });
+    const BandwidthCurve half = curve.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.at(1 * kGiB).as_gb_per_s(), 10.0);
+    EXPECT_DOUBLE_EQ(half.at(4 * kGiB).as_gb_per_s(), 5.0);
+    EXPECT_NEAR(half.at(2 * kGiB).as_gb_per_s(), 7.5, 1e-9);
+}
+
+TEST(BandwidthCurve, ThreeSegmentLookupPicksRightSegment)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {1 * kKiB, Bandwidth::gb_per_s(1.0)},
+        {1 * kMiB, Bandwidth::gb_per_s(2.0)},
+        {1 * kGiB, Bandwidth::gb_per_s(4.0)},
+    });
+    EXPECT_GT(curve.at(512 * kKiB).as_gb_per_s(), 1.0);
+    EXPECT_LT(curve.at(512 * kKiB).as_gb_per_s(), 2.0);
+    EXPECT_GT(curve.at(512 * kMiB).as_gb_per_s(), 2.0);
+    EXPECT_LT(curve.at(512 * kMiB).as_gb_per_s(), 4.0);
+}
+
+} // namespace
+} // namespace helm::mem

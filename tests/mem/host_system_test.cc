@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for HostMemorySystem: Table II configurations and
+ * end-to-end transfer-path bandwidth resolution.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/calibration.h"
+#include "mem/host_system.h"
+
+namespace helm::mem {
+namespace {
+
+TEST(HostSystem, ConfigLabels)
+{
+    EXPECT_EQ(make_config(ConfigKind::kDram).label(), "DRAM");
+    EXPECT_EQ(make_config(ConfigKind::kNvdram).label(), "NVDRAM");
+    EXPECT_EQ(make_config(ConfigKind::kMemoryMode).label(), "MemoryMode");
+    EXPECT_EQ(make_config(ConfigKind::kSsd).label(), "SSD");
+    EXPECT_EQ(make_config(ConfigKind::kFsdax).label(), "FSDAX");
+    EXPECT_EQ(make_config(ConfigKind::kCxlFpga).label(), "CXL-FPGA");
+    EXPECT_EQ(make_config(ConfigKind::kCxlAsic).label(), "CXL-ASIC");
+}
+
+TEST(HostSystem, StorageTiersOnlyOnStorageConfigs)
+{
+    EXPECT_FALSE(make_config(ConfigKind::kDram).has_storage());
+    EXPECT_FALSE(make_config(ConfigKind::kNvdram).has_storage());
+    EXPECT_FALSE(make_config(ConfigKind::kMemoryMode).has_storage());
+    EXPECT_TRUE(make_config(ConfigKind::kSsd).has_storage());
+    EXPECT_TRUE(make_config(ConfigKind::kFsdax).has_storage());
+    EXPECT_FALSE(make_config(ConfigKind::kCxlAsic).has_storage());
+}
+
+TEST(HostSystem, StorageConfigsUseDramHostTier)
+{
+    // Fig. 7b: "Storage: SSD/Optane, host: DRAM".
+    EXPECT_EQ(make_config(ConfigKind::kSsd).host()->kind(),
+              MemoryKind::kDram);
+    EXPECT_EQ(make_config(ConfigKind::kFsdax).host()->kind(),
+              MemoryKind::kDram);
+}
+
+TEST(HostSystem, DramHostToGpuIsPcieLimited)
+{
+    const auto sys = make_config(ConfigKind::kDram);
+    const double bw = sys.host_to_gpu_bw(kGiB).as_gb_per_s();
+    EXPECT_NEAR(bw, sys.pcie().h2d_effective().as_gb_per_s(), 1e-9);
+}
+
+TEST(HostSystem, NvdramHostToGpuIsDeviceLimited)
+{
+    const auto sys = make_config(ConfigKind::kNvdram);
+    const double bw = sys.host_to_gpu_bw(kGiB).as_gb_per_s();
+    EXPECT_NEAR(bw, cal::kOptaneReadSmallGBs, 1e-9);
+    EXPECT_LT(bw, sys.pcie().h2d_effective().as_gb_per_s());
+}
+
+TEST(HostSystem, BounceCombinationIsHarmonic)
+{
+    const Bandwidth combined = bounce_combined_bw(
+        Bandwidth::gb_per_s(10.0), Bandwidth::gb_per_s(10.0));
+    EXPECT_NEAR(combined.as_gb_per_s(), 5.0, 1e-9);
+    // Highly asymmetric hops approach the slow hop.
+    const Bandwidth skewed = bounce_combined_bw(
+        Bandwidth::gb_per_s(1.0), Bandwidth::gb_per_s(1000.0));
+    EXPECT_NEAR(skewed.as_gb_per_s(), 1.0, 0.01);
+}
+
+TEST(HostSystem, StorageToGpuSlowerThanHostToGpu)
+{
+    const auto fsdax = make_config(ConfigKind::kFsdax);
+    EXPECT_LT(fsdax.storage_to_gpu_bw(kGiB).raw(),
+              fsdax.host_to_gpu_bw(kGiB).raw());
+}
+
+TEST(HostSystem, FsdaxStorageFasterThanSsdStorage)
+{
+    // Fig. 4: FSDAX improves ~33% over SSD.
+    const auto fsdax = make_config(ConfigKind::kFsdax);
+    const auto ssd = make_config(ConfigKind::kSsd);
+    const double f = fsdax.storage_to_gpu_bw(kGiB).as_gb_per_s();
+    const double s = ssd.storage_to_gpu_bw(kGiB).as_gb_per_s();
+    EXPECT_GT(f, s);
+    EXPECT_NEAR(s / f, 0.66, 0.12);
+}
+
+TEST(HostSystem, FsdaxSlowerThanNvdram)
+{
+    // Sec. IV-B: FSDAX "falls short of reaching NVDRAM's performance"
+    // because of the DRAM bounce buffer.
+    const auto fsdax = make_config(ConfigKind::kFsdax);
+    const auto nvdram = make_config(ConfigKind::kNvdram);
+    EXPECT_LT(fsdax.storage_to_gpu_bw(kGiB).raw(),
+              nvdram.host_to_gpu_bw(kGiB).raw());
+}
+
+TEST(HostSystem, MemoryModeMatchesDramWhenResidentFits)
+{
+    auto mm = make_config(ConfigKind::kMemoryMode);
+    auto dram = make_config(ConfigKind::kDram);
+    mm.set_host_resident_bytes(64 * kGiB);
+    const double mm_bw = mm.host_to_gpu_bw(kGiB).as_gb_per_s();
+    const double dram_bw = dram.host_to_gpu_bw(kGiB).as_gb_per_s();
+    // Within the management derate of DRAM (Fig. 3a overlap).
+    EXPECT_NEAR(mm_bw, dram_bw * cal::kMemoryModeHitFactor, 1e-6);
+}
+
+TEST(HostSystem, MemoryModeBetweenNvdramAndDramWhenThrashing)
+{
+    auto mm = make_config(ConfigKind::kMemoryMode);
+    auto nvdram = make_config(ConfigKind::kNvdram);
+    auto dram = make_config(ConfigKind::kDram);
+    // Uncompressed OPT-175B resident set (Sec. IV-B).
+    mm.set_host_resident_bytes(300 * kGiB);
+    nvdram.set_host_resident_bytes(300 * kGiB);
+    const double mm_bw = mm.host_to_gpu_bw(512 * kMiB).as_gb_per_s();
+    const double nv_bw = nvdram.host_to_gpu_bw(512 * kMiB).as_gb_per_s();
+    const double dram_bw = dram.host_to_gpu_bw(512 * kMiB).as_gb_per_s();
+    EXPECT_GT(mm_bw, nv_bw);
+    EXPECT_LT(mm_bw, dram_bw);
+    // Fig. 4/5 anchors: DRAM ~20-33% faster than MM/NVDRAM there.
+    EXPECT_NEAR(dram_bw / nv_bw, 1.33, 0.07);
+    EXPECT_NEAR(dram_bw / mm_bw, 1.22, 0.07);
+}
+
+TEST(HostSystem, GpuToHostWriteAsymmetry)
+{
+    // Fig. 3b: d2h to Optane collapses to ~3 GB/s.
+    const auto nvdram = make_config(ConfigKind::kNvdram);
+    const auto dram = make_config(ConfigKind::kDram);
+    const double nv = nvdram.gpu_to_host_bw(kGiB).as_gb_per_s();
+    const double dr = dram.gpu_to_host_bw(kGiB).as_gb_per_s();
+    EXPECT_LT(nv, dr * 0.2); // "88% lower"
+}
+
+TEST(HostSystem, NumaNodeSelection)
+{
+    auto sys = make_config(ConfigKind::kNvdram);
+    EXPECT_EQ(sys.numa_node(), 0);
+    sys.set_numa_node(1);
+    EXPECT_EQ(sys.numa_node(), 1);
+    // Node choice changes Optane write bandwidth (Fig. 3b).
+    auto node0 = make_config(ConfigKind::kNvdram);
+    node0.set_numa_node(0);
+    auto node1 = make_config(ConfigKind::kNvdram);
+    node1.set_numa_node(1);
+    EXPECT_LT(node0.gpu_to_host_bw(kGiB).raw(),
+              node1.gpu_to_host_bw(kGiB).raw());
+}
+
+TEST(HostSystem, ColdCopyPathSlowerAtLargeBuffers)
+{
+    const auto nvdram = make_config(ConfigKind::kNvdram);
+    const double cold =
+        nvdram.host_to_gpu_cold_bw(32 * kGiB).as_gb_per_s();
+    const double stream = nvdram.host_to_gpu_bw(512 * kMiB).as_gb_per_s();
+    EXPECT_LT(cold, stream);
+    EXPECT_NEAR(cold, cal::kOptaneColdReadLargeGBs, 1e-6);
+}
+
+TEST(HostSystem, AllConfigKindsConstruct)
+{
+    for (ConfigKind kind : all_config_kinds()) {
+        const auto sys = make_config(kind);
+        EXPECT_GT(sys.host_to_gpu_bw(kGiB).raw(), 0.0);
+        EXPECT_GT(sys.gpu_to_host_bw(kGiB).raw(), 0.0);
+        EXPECT_FALSE(sys.label().empty());
+    }
+}
+
+TEST(HostSystem, CxlBandwidthsBypassThePcieDmaPath)
+{
+    // Sec. V-D projects direct CXL.mem access (Gouk et al. [16]): the
+    // expander's rate applies even when it exceeds the PCIe DMA path.
+    const auto fpga = make_config(ConfigKind::kCxlFpga);
+    const auto asic = make_config(ConfigKind::kCxlAsic);
+    EXPECT_NEAR(fpga.host_to_gpu_bw(kGiB).as_gb_per_s(),
+                cal::kCxlFpgaGBs, 1e-9);
+    EXPECT_NEAR(asic.host_to_gpu_bw(kGiB).as_gb_per_s(),
+                cal::kCxlAsicGBs, 1e-9);
+    EXPECT_GT(asic.host_to_gpu_bw(kGiB).raw(),
+              asic.pcie().h2d_effective().raw());
+}
+
+} // namespace
+} // namespace helm::mem

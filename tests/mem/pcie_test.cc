@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the PCIe link model.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/pcie.h"
+
+namespace helm::mem {
+namespace {
+
+TEST(Pcie, Gen4x16TheoreticalMatchesTable1)
+{
+    const PcieLink link = PcieLink::gen4_x16();
+    // Table I: "PCIe Gen 4 x16 (32.0 GB/s)".
+    EXPECT_NEAR(link.theoretical().as_gb_per_s(), 31.5, 0.6);
+    EXPECT_EQ(link.generation(), 4);
+    EXPECT_EQ(link.lanes(), 16);
+}
+
+TEST(Pcie, EffectiveBelowTheoretical)
+{
+    const PcieLink link = PcieLink::gen4_x16();
+    EXPECT_LT(link.h2d_effective().raw(), link.theoretical().raw());
+    EXPECT_LT(link.d2h_effective().raw(), link.theoretical().raw());
+}
+
+TEST(Pcie, Fig3DramPlateaus)
+{
+    const PcieLink link = PcieLink::gen4_x16();
+    // Fig. 3's DRAM copy plateaus: ~24.5 GB/s h2d, ~26 GB/s d2h.
+    EXPECT_NEAR(link.h2d_effective().as_gb_per_s(), 24.5, 0.8);
+    EXPECT_NEAR(link.d2h_effective().as_gb_per_s(), 26.0, 0.8);
+}
+
+TEST(Pcie, GenerationsScaleRoughlyTwofold)
+{
+    const double g3 = PcieLink(3, 16).theoretical().as_gb_per_s();
+    const double g4 = PcieLink(4, 16).theoretical().as_gb_per_s();
+    const double g5 = PcieLink(5, 16).theoretical().as_gb_per_s();
+    const double g6 = PcieLink(6, 16).theoretical().as_gb_per_s();
+    EXPECT_NEAR(g4 / g3, 2.0, 0.05);
+    EXPECT_NEAR(g5 / g4, 2.0, 0.05);
+    EXPECT_NEAR(g6 / g5, 1.92, 0.08); // PAM4 jump is slightly under 2x
+}
+
+TEST(Pcie, LanesScaleLinearly)
+{
+    const double x8 = PcieLink(4, 8).theoretical().raw();
+    const double x16 = PcieLink(4, 16).theoretical().raw();
+    EXPECT_DOUBLE_EQ(x16, 2.0 * x8);
+}
+
+TEST(Pcie, ToString)
+{
+    EXPECT_EQ(PcieLink::gen4_x16().to_string(), "PCIe Gen4 x16");
+    EXPECT_EQ(PcieLink(5, 8).to_string(), "PCIe Gen5 x8");
+}
+
+TEST(Pcie, LatencyPositive)
+{
+    EXPECT_GT(PcieLink::gen4_x16().latency(), 0.0);
+}
+
+} // namespace
+} // namespace helm::mem

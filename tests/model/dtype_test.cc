@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for dtype size arithmetic and group-wise quantization.
+ */
+#include <gtest/gtest.h>
+
+#include "model/dtype.h"
+
+namespace helm::model {
+namespace {
+
+TEST(Dtype, PlainSizes)
+{
+    EXPECT_EQ(tensor_bytes(100, DataType::kFp32), 400u);
+    EXPECT_EQ(tensor_bytes(100, DataType::kFp16), 200u);
+    EXPECT_EQ(tensor_bytes(100, DataType::kInt8), 100u);
+    EXPECT_EQ(tensor_bytes(0, DataType::kFp16), 0u);
+}
+
+TEST(Dtype, Int4GroupedIncludesMetadata)
+{
+    // One full group: 64 elements -> 32 payload bytes + 4 metadata.
+    EXPECT_EQ(tensor_bytes(64, DataType::kInt4Grouped), 36u);
+    // Two groups.
+    EXPECT_EQ(tensor_bytes(128, DataType::kInt4Grouped), 72u);
+}
+
+TEST(Dtype, Int4PartialGroupsRoundUp)
+{
+    // 65 elements: 33 payload bytes (odd count rounds up) + 2 groups.
+    EXPECT_EQ(tensor_bytes(65, DataType::kInt4Grouped), 33u + 8u);
+    // 1 element: 1 payload byte + 1 group's metadata.
+    EXPECT_EQ(tensor_bytes(1, DataType::kInt4Grouped), 5u);
+}
+
+TEST(Dtype, CompressionRatioNearlyAQuarter)
+{
+    // Paper Sec. IV-B: 4-bit group-wise quantization reduces the model
+    // "to nearly a quarter".
+    const double ratio = compression_ratio_vs_fp16(DataType::kInt4Grouped);
+    EXPECT_NEAR(ratio, 0.28125, 1e-6);
+    EXPECT_DOUBLE_EQ(compression_ratio_vs_fp16(DataType::kFp16), 1.0);
+    EXPECT_DOUBLE_EQ(compression_ratio_vs_fp16(DataType::kFp32), 2.0);
+    EXPECT_DOUBLE_EQ(compression_ratio_vs_fp16(DataType::kInt8), 0.5);
+}
+
+TEST(Dtype, Names)
+{
+    EXPECT_STREQ(data_type_name(DataType::kFp16), "fp16");
+    EXPECT_STREQ(data_type_name(DataType::kInt4Grouped), "int4-g64");
+}
+
+} // namespace
+} // namespace helm::model

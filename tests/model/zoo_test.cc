@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the unified model registry.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/zoo.h"
+
+namespace helm::model {
+namespace {
+
+TEST(Zoo, CoversBothFamilies)
+{
+    const auto models = all_models();
+    EXPECT_EQ(models.size(), 13u); // 8 OPT + 5 LLaMa
+    bool saw_opt = false, saw_llama = false;
+    for (const auto &m : models) {
+        if (m.name.rfind("OPT", 0) == 0)
+            saw_opt = true;
+        if (m.name.rfind("LLaMa", 0) == 0)
+            saw_llama = true;
+    }
+    EXPECT_TRUE(saw_opt);
+    EXPECT_TRUE(saw_llama);
+}
+
+TEST(Zoo, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &m : all_models())
+        names.insert(m.name);
+    EXPECT_EQ(names.size(), all_models().size());
+}
+
+TEST(Zoo, FindAcrossFamilies)
+{
+    ASSERT_TRUE(find_model("OPT-30B").is_ok());
+    ASSERT_TRUE(find_model("LLaMa-2-70B").is_ok());
+    EXPECT_EQ(find_model("OPT-30B")->hidden, 7168u);
+    EXPECT_EQ(find_model("LLaMa-2-70B")->kv_heads, 8u);
+}
+
+TEST(Zoo, MissRedirectsToRegistry)
+{
+    const auto miss = find_model("GPT-J");
+    EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(miss.status().message().find("helmsim models"),
+              std::string::npos);
+}
+
+TEST(Zoo, EveryModelBuildsAndServes)
+{
+    for (const auto &m : all_models()) {
+        const auto layers = build_layers(m);
+        EXPECT_EQ(layers.size(), m.num_layers()) << m.name;
+        EXPECT_GT(model_weight_bytes(layers), 0u) << m.name;
+    }
+}
+
+} // namespace
+} // namespace helm::model

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for Policy validation and ordering helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "placement/policy.h"
+
+namespace helm::placement {
+namespace {
+
+TEST(Policy, DefaultsValid)
+{
+    EXPECT_TRUE(Policy{}.validate().is_ok());
+    EXPECT_TRUE(Policy::host_offload().validate().is_ok());
+    EXPECT_TRUE(Policy::disk_offload().validate().is_ok());
+}
+
+TEST(Policy, PaperDefaults)
+{
+    // Sec. V-A: (65, 15, 20) for storage configs, (0, 80, 20) otherwise.
+    const Policy disk = Policy::disk_offload();
+    EXPECT_DOUBLE_EQ(disk.disk_percent, 65.0);
+    EXPECT_DOUBLE_EQ(disk.cpu_percent, 15.0);
+    EXPECT_DOUBLE_EQ(disk.gpu_percent, 20.0);
+    const Policy host = Policy::host_offload();
+    EXPECT_DOUBLE_EQ(host.disk_percent, 0.0);
+    EXPECT_DOUBLE_EQ(host.cpu_percent, 80.0);
+    EXPECT_DOUBLE_EQ(host.gpu_percent, 20.0);
+}
+
+TEST(Policy, RejectsBadSums)
+{
+    Policy p{10.0, 10.0, 10.0, false};
+    EXPECT_FALSE(p.validate().is_ok());
+    Policy q{0.0, 0.0, 100.1, false};
+    EXPECT_FALSE(q.validate().is_ok());
+}
+
+TEST(Policy, RejectsNegatives)
+{
+    Policy p{-10.0, 90.0, 20.0, false};
+    EXPECT_FALSE(p.validate().is_ok());
+    EXPECT_EQ(p.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Policy, OrderingHelpers)
+{
+    const Policy p{65.0, 15.0, 20.0, false};
+    const auto flexgen = p.disk_cpu_gpu();
+    EXPECT_DOUBLE_EQ(flexgen[0], 65.0);
+    EXPECT_DOUBLE_EQ(flexgen[1], 15.0);
+    EXPECT_DOUBLE_EQ(flexgen[2], 20.0);
+    const auto helm_order = p.gpu_cpu_disk();
+    EXPECT_DOUBLE_EQ(helm_order[0], 20.0);
+    EXPECT_DOUBLE_EQ(helm_order[1], 15.0);
+    EXPECT_DOUBLE_EQ(helm_order[2], 65.0);
+}
+
+TEST(Policy, ToString)
+{
+    Policy p{0.0, 80.0, 20.0, true};
+    EXPECT_EQ(p.to_string(), "(disk=0, cpu=80, gpu=20, int4)");
+}
+
+TEST(Policy, TierNames)
+{
+    EXPECT_STREQ(tier_name(Tier::kGpu), "gpu");
+    EXPECT_STREQ(tier_name(Tier::kCpu), "cpu");
+    EXPECT_STREQ(tier_name(Tier::kDisk), "disk");
+}
+
+} // namespace
+} // namespace helm::placement

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Integration tests pinning the paper's headline results (with
+ * tolerances documented in EXPERIMENTS.md).  These are the assertions
+ * that make the reproduction a reproduction.
+ */
+#include <gtest/gtest.h>
+
+#include "model/opt.h"
+#include "runtime/engine.h"
+
+namespace helm::runtime {
+namespace {
+
+using model::OptVariant;
+using placement::PlacementKind;
+
+RunResult
+run_175b(mem::ConfigKind memory, PlacementKind placement,
+         std::uint64_t batch, bool compressed = true)
+{
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt175B);
+    spec.memory = memory;
+    spec.placement = placement;
+    spec.compress_weights = compressed;
+    spec.batch = batch;
+    spec.repeats = 2;
+    auto result = simulate_inference(spec);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return std::move(result).value();
+}
+
+TEST(PaperResults, HelmImprovesTbtAbout27Percent)
+{
+    // Abstract / Sec. V-B: HeLM improves TBT by ~27% on NVDRAM.
+    const auto baseline =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 1);
+    const auto helm =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kHelm, 1);
+    const double improvement =
+        1.0 - helm.metrics.tbt / baseline.metrics.tbt;
+    EXPECT_GT(improvement, 0.20);
+    EXPECT_LT(improvement, 0.36);
+}
+
+TEST(PaperResults, HelmImprovesTtftSimilarly)
+{
+    // Sec. V-B: TTFT improves by 27.20% alongside TBT's 27.44%.
+    const auto baseline =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 1);
+    const auto helm =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kHelm, 1);
+    const double improvement =
+        1.0 - helm.metrics.ttft / baseline.metrics.ttft;
+    EXPECT_GT(improvement, 0.20);
+    EXPECT_LT(improvement, 0.36);
+}
+
+TEST(PaperResults, HelmNvdramWithinTenPercentOfDram)
+{
+    // Abstract: "within 9%... of an all-DRAM system".
+    const auto nvdram =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kHelm, 1);
+    const auto dram =
+        run_175b(mem::ConfigKind::kDram, PlacementKind::kHelm, 1);
+    const double gap = nvdram.metrics.tbt / dram.metrics.tbt - 1.0;
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, 0.13);
+}
+
+TEST(PaperResults, HelmMemoryModeWithinTwoPercentOfDram)
+{
+    // Sec. V-B: MemoryMode HeLM lands within 1.73% / 1.64% of DRAM.
+    const auto mm =
+        run_175b(mem::ConfigKind::kMemoryMode, PlacementKind::kHelm, 1);
+    const auto dram =
+        run_175b(mem::ConfigKind::kDram, PlacementKind::kHelm, 1);
+    EXPECT_NEAR(mm.metrics.tbt / dram.metrics.tbt, 1.0, 0.05);
+}
+
+TEST(PaperResults, AllCpuFiveXThroughput)
+{
+    // Sec. V-C: baseline batch 8 -> All-CPU batch 44 nets ~5x tokens/s.
+    const auto baseline =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 8);
+    const auto all_cpu =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kAllCpu, 44);
+    const double speedup =
+        all_cpu.metrics.throughput / baseline.metrics.throughput;
+    EXPECT_GT(speedup, 4.0);
+    EXPECT_LT(speedup, 6.5);
+}
+
+TEST(PaperResults, AllCpuNvdramWithinFifteenPercentOfDram)
+{
+    // Abstract: within 6% of All-CPU DRAM; we land slightly wider (see
+    // EXPERIMENTS.md) but well inside the qualitative claim.
+    const auto nvdram =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kAllCpu, 44);
+    const auto dram =
+        run_175b(mem::ConfigKind::kDram, PlacementKind::kAllCpu, 44);
+    const double gap =
+        1.0 - nvdram.metrics.throughput / dram.metrics.throughput;
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, 0.15);
+}
+
+TEST(PaperResults, AllCpuSameLatencyAsBaselineAtEqualBatch)
+{
+    // Sec. V-C: All-CPU costs ~1% TBT at batch 1/8 versus the baseline.
+    const auto baseline =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 8);
+    const auto all_cpu =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kAllCpu, 8);
+    EXPECT_NEAR(all_cpu.metrics.tbt / baseline.metrics.tbt, 1.0, 0.05);
+}
+
+TEST(PaperResults, NvdramSlowerThanDramUncompressed)
+{
+    // Fig. 4: OPT-175B on NVDRAM trails an all-DRAM system.
+    const auto nvdram = run_175b(mem::ConfigKind::kNvdram,
+                                 PlacementKind::kBaseline, 1, false);
+    const auto dram = run_175b(mem::ConfigKind::kDram,
+                               PlacementKind::kBaseline, 1, false);
+    const double slowdown = nvdram.metrics.tbt / dram.metrics.tbt - 1.0;
+    EXPECT_GT(slowdown, 0.10);
+    EXPECT_LT(slowdown, 0.45);
+}
+
+TEST(PaperResults, MemoryModeBetweenNvdramAndDramUncompressed)
+{
+    // Fig. 4: MemoryMode improves on NVDRAM but trails all-DRAM when
+    // the model overflows the DRAM cache.
+    const auto nvdram = run_175b(mem::ConfigKind::kNvdram,
+                                 PlacementKind::kBaseline, 1, false);
+    const auto mm = run_175b(mem::ConfigKind::kMemoryMode,
+                             PlacementKind::kBaseline, 1, false);
+    const auto dram = run_175b(mem::ConfigKind::kDram,
+                               PlacementKind::kBaseline, 1, false);
+    EXPECT_LT(mm.metrics.tbt, nvdram.metrics.tbt);
+    EXPECT_GT(mm.metrics.tbt, dram.metrics.tbt);
+}
+
+TEST(PaperResults, CompressionReducesTransferTime)
+{
+    // Fig. 6: compression reduces weight transfer time by ~72% on
+    // NVDIMM while inflating compute 2.5x-13x.
+    const auto plain = run_175b(mem::ConfigKind::kNvdram,
+                                PlacementKind::kBaseline, 1, false);
+    const auto compressed = run_175b(mem::ConfigKind::kNvdram,
+                                     PlacementKind::kBaseline, 1, true);
+    const auto ps =
+        summarize_overlap(plain.records, gpu::Stage::kDecode, 1);
+    const auto cs =
+        summarize_overlap(compressed.records, gpu::Stage::kDecode, 1);
+    const double transfer_cut = 1.0 - cs.avg_transfer / ps.avg_transfer;
+    EXPECT_NEAR(transfer_cut, 0.72, 0.06);
+    const double compute_inflation = cs.avg_compute / ps.avg_compute;
+    EXPECT_GT(compute_inflation, 2.5);
+    EXPECT_LT(compute_inflation, 13.0);
+}
+
+TEST(PaperResults, Table4BaselineDecodeRatios)
+{
+    // Table IV, NVDRAM(c), batch 1, decode: 0.36 and 1.85.
+    const auto result =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 1);
+    const auto s =
+        summarize_overlap(result.records, gpu::Stage::kDecode, 1);
+    EXPECT_NEAR(s.mha_compute_over_ffn_load(), 0.36, 0.08);
+    EXPECT_NEAR(s.ffn_compute_over_mha_load(), 1.85, 0.30);
+}
+
+TEST(PaperResults, Table4HelmDecodeRatios)
+{
+    // Table IV, HeLM NVDRAM(c), batch 1, decode: 0.71 and 1.40.
+    const auto result =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kHelm, 1);
+    const auto s =
+        summarize_overlap(result.records, gpu::Stage::kDecode, 1);
+    EXPECT_NEAR(s.mha_compute_over_ffn_load(), 0.71, 0.15);
+    EXPECT_NEAR(s.ffn_compute_over_mha_load(), 1.40, 0.25);
+}
+
+TEST(PaperResults, Table4CxlOrdering)
+{
+    // Table IV: CXL-FPGA is far more memory-bound than NVDRAM; CXL-ASIC
+    // far less.
+    const auto nv =
+        run_175b(mem::ConfigKind::kNvdram, PlacementKind::kBaseline, 1);
+    const auto fpga =
+        run_175b(mem::ConfigKind::kCxlFpga, PlacementKind::kBaseline, 1);
+    const auto asic =
+        run_175b(mem::ConfigKind::kCxlAsic, PlacementKind::kBaseline, 1);
+    const double r_nv =
+        summarize_overlap(nv.records, gpu::Stage::kDecode, 1)
+            .mha_compute_over_ffn_load();
+    const double r_fpga =
+        summarize_overlap(fpga.records, gpu::Stage::kDecode, 1)
+            .mha_compute_over_ffn_load();
+    const double r_asic =
+        summarize_overlap(asic.records, gpu::Stage::kDecode, 1)
+            .mha_compute_over_ffn_load();
+    EXPECT_LT(r_fpga, r_nv);
+    EXPECT_GT(r_asic, r_nv);
+    // Table IV absolute anchors: 0.1 (FPGA) and 0.55 (ASIC).
+    EXPECT_NEAR(r_fpga, 0.10, 0.05);
+    EXPECT_NEAR(r_asic, 0.55, 0.15);
+}
+
+TEST(PaperResults, CxlAsicOnlyConfigWithHelmPrefillCrossover)
+{
+    // Sec. V-D: "CXL-ASIC ... the only configuration that achieves FFN
+    // load latency lower than MHA compute latency with HeLM."
+    for (auto kind : {mem::ConfigKind::kNvdram, mem::ConfigKind::kCxlFpga,
+                      mem::ConfigKind::kCxlAsic}) {
+        const auto result = run_175b(kind, PlacementKind::kHelm, 1);
+        const auto s =
+            summarize_overlap(result.records, gpu::Stage::kPrefill, 1);
+        const double ratio = s.mha_compute_over_ffn_load();
+        if (kind == mem::ConfigKind::kCxlAsic)
+            EXPECT_GT(ratio, 1.0);
+        else
+            EXPECT_LT(ratio, 1.0);
+    }
+}
+
+TEST(PaperResults, HelmHelpsOnCxlToo)
+{
+    // Fig. 13a: HeLM improves TTFT/TBT by ~27% (FPGA) and ~21% (ASIC).
+    for (auto kind :
+         {mem::ConfigKind::kCxlFpga, mem::ConfigKind::kCxlAsic}) {
+        const auto baseline =
+            run_175b(kind, PlacementKind::kBaseline, 1);
+        const auto helm = run_175b(kind, PlacementKind::kHelm, 1);
+        const double improvement =
+            1.0 - helm.metrics.tbt / baseline.metrics.tbt;
+        EXPECT_GT(improvement, 0.10) << config_kind_name(kind);
+        EXPECT_LT(improvement, 0.40) << config_kind_name(kind);
+    }
+}
+
+TEST(PaperResults, AllCpuSpeedupHoldsAcrossCxl)
+{
+    // Sec. V-D: 4.74x (FPGA) and 5.04x (ASIC) going baseline b8 ->
+    // All-CPU b44.
+    for (auto kind :
+         {mem::ConfigKind::kCxlFpga, mem::ConfigKind::kCxlAsic}) {
+        const auto baseline =
+            run_175b(kind, PlacementKind::kBaseline, 8);
+        const auto all_cpu = run_175b(kind, PlacementKind::kAllCpu, 44);
+        const double speedup =
+            all_cpu.metrics.throughput / baseline.metrics.throughput;
+        EXPECT_GT(speedup, 3.8) << config_kind_name(kind);
+        EXPECT_LT(speedup, 6.5) << config_kind_name(kind);
+    }
+}
+
+TEST(PaperResults, Opt30bNvdramSlowdownMatchesFig4)
+{
+    // Fig. 4: OPT-30B TBT rises ~30% on NVDRAM vs DRAM (batch 1).
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt30B);
+    spec.batch = 1;
+    spec.repeats = 2;
+    spec.memory = mem::ConfigKind::kNvdram;
+    const auto nvdram = simulate_inference(spec);
+    spec.memory = mem::ConfigKind::kDram;
+    const auto dram = simulate_inference(spec);
+    ASSERT_TRUE(nvdram.is_ok());
+    ASSERT_TRUE(dram.is_ok());
+    const double slowdown =
+        nvdram->metrics.tbt / dram->metrics.tbt - 1.0;
+    EXPECT_GT(slowdown, 0.12);
+    EXPECT_LT(slowdown, 0.40);
+}
+
+TEST(PaperResults, FsdaxBeatsSsdByAThird)
+{
+    // Fig. 4: FSDAX improves TTFT/TBT/throughput by ~33% over SSD for
+    // OPT-175B.
+    const auto ssd = run_175b(mem::ConfigKind::kSsd,
+                              PlacementKind::kBaseline, 1, false);
+    const auto fsdax = run_175b(mem::ConfigKind::kFsdax,
+                                PlacementKind::kBaseline, 1, false);
+    const double improvement =
+        1.0 - fsdax.metrics.tbt / ssd.metrics.tbt;
+    EXPECT_GT(improvement, 0.20);
+    EXPECT_LT(improvement, 0.45);
+}
+
+TEST(PaperResults, StorageConfigsSlowestOverall)
+{
+    // Fig. 4: SSD and FSDAX trail every host-memory configuration.
+    const auto ssd = run_175b(mem::ConfigKind::kSsd,
+                              PlacementKind::kBaseline, 1, false);
+    const auto fsdax = run_175b(mem::ConfigKind::kFsdax,
+                                PlacementKind::kBaseline, 1, false);
+    const auto nvdram = run_175b(mem::ConfigKind::kNvdram,
+                                 PlacementKind::kBaseline, 1, false);
+    EXPECT_GT(ssd.metrics.tbt, fsdax.metrics.tbt);
+    EXPECT_GT(fsdax.metrics.tbt, nvdram.metrics.tbt);
+}
+
+} // namespace
+} // namespace helm::runtime

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for workload-driven serving (runtime/serving.h).
+ */
+#include <gtest/gtest.h>
+
+#include "model/opt.h"
+#include "runtime/serving.h"
+
+namespace helm::runtime {
+namespace {
+
+using model::OptVariant;
+
+ServingSpec
+base_spec()
+{
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt1_3B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kAllCpu;
+    return spec;
+}
+
+TEST(Serving, RejectsEmptyWorkload)
+{
+    EXPECT_EQ(serve_workload(base_spec(), {}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(Serving, RejectsEmptyBatch)
+{
+    std::vector<workload::Batch> batches(1);
+    EXPECT_EQ(serve_workload(base_spec(), batches).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(Serving, PaperWorkloadAggregates)
+{
+    const auto batches = workload::paper_workload(4);
+    const auto result = serve_workload(base_spec(), batches);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result->per_batch.size(), 10u); // 10 repeats (Sec. III-B)
+    EXPECT_EQ(result->aggregate.total_tokens, 10u * 4u * 21u);
+    EXPECT_GT(result->aggregate.throughput, 0.0);
+    EXPECT_EQ(result->padded_tokens, 0u); // fixed-length prompts
+}
+
+TEST(Serving, ColdDiscardMatchesPaperRule)
+{
+    const auto batches = workload::paper_workload(2);
+    const auto result = serve_workload(base_spec(), batches);
+    ASSERT_TRUE(result.is_ok());
+    // Identical batches: aggregate TTFT equals any steady-state batch's.
+    EXPECT_NEAR(result->aggregate.ttft, result->per_batch[1].ttft, 1e-9);
+    EXPECT_EQ(result->aggregate.per_batch_ttft.size(), 10u);
+}
+
+TEST(Serving, VariableLengthBatchesPadPerBatch)
+{
+    workload::WorkloadSpec spec;
+    spec.variable_lengths = true;
+    const auto batches = workload::generate_batches(spec, 8, 4);
+    const auto result = serve_workload(base_spec(), batches);
+    ASSERT_TRUE(result.is_ok());
+    // Mixed prompt lengths must produce padding overhead.
+    EXPECT_GT(result->padded_tokens, 0u);
+    EXPECT_EQ(result->per_batch.size(), 4u);
+}
+
+TEST(Serving, LongerPromptsCostMorePrefill)
+{
+    // Large batch x long prompt so prefill compute rises above the
+    // weight-transfer floor (small prompts are transfer-bound and TTFT
+    // is rightly insensitive to length there).
+    workload::Batch short_batch;
+    workload::Batch long_batch;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        short_batch.requests.push_back({i, 64, 8});
+        long_batch.requests.push_back({i, 1024, 8});
+    }
+    const auto short_run =
+        serve_workload(base_spec(), {short_batch, short_batch});
+    const auto long_run =
+        serve_workload(base_spec(), {long_batch, long_batch});
+    ASSERT_TRUE(short_run.is_ok());
+    ASSERT_TRUE(long_run.is_ok());
+    EXPECT_GT(long_run->aggregate.ttft, short_run->aggregate.ttft);
+}
+
+TEST(Serving, BaseSpecKnobsApply)
+{
+    // Micro-batches on the base spec multiply tokens per batch.
+    const auto batches = workload::paper_workload(2);
+    ServingSpec with_micro = base_spec();
+    with_micro.micro_batches = 3;
+    const auto plain = serve_workload(base_spec(), batches);
+    const auto micro = serve_workload(with_micro, batches);
+    ASSERT_TRUE(plain.is_ok());
+    ASSERT_TRUE(micro.is_ok());
+    EXPECT_EQ(micro->aggregate.total_tokens,
+              3 * plain->aggregate.total_tokens);
+}
+
+TEST(Serving, PropagatesEngineFailures)
+{
+    // A batch too large for the GPU must surface the capacity error.
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt175B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kAllCpu;
+    spec.compress_weights = true;
+    const auto batches = workload::paper_workload(500);
+    EXPECT_EQ(serve_workload(spec, batches).status().code(),
+              StatusCode::kCapacityExceeded);
+}
+
+TEST(Serving, ThroughputConsistent)
+{
+    const auto batches = workload::paper_workload(4);
+    const auto result = serve_workload(base_spec(), batches);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_NEAR(result->aggregate.throughput,
+                static_cast<double>(result->aggregate.total_tokens) /
+                    result->aggregate.total_time,
+                1e-9);
+}
+
+} // namespace
+} // namespace helm::runtime

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the max-min fair-share bandwidth channel.
+ */
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/simulator.h"
+
+namespace helm::sim {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(BandwidthChannel, SingleUncappedFlow)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_at = -1.0;
+    ch.start_flow(10 * kGB, Bandwidth(), [&] { done_at = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(done_at, 1.0, kTol);
+    EXPECT_EQ(ch.bytes_delivered(), 10 * kGB);
+    EXPECT_EQ(ch.active_flows(), 0u);
+}
+
+TEST(BandwidthChannel, CapSlowerThanChannel)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_at = -1.0;
+    ch.start_flow(10 * kGB, Bandwidth::gb_per_s(2.0),
+                  [&] { done_at = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(done_at, 5.0, kTol);
+}
+
+TEST(BandwidthChannel, CapFasterThanChannelIsIgnored)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_at = -1.0;
+    ch.start_flow(10 * kGB, Bandwidth::gb_per_s(100.0),
+                  [&] { done_at = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(done_at, 1.0, kTol);
+}
+
+TEST(BandwidthChannel, TwoEqualFlowsShareEvenly)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_a = -1.0, done_b = -1.0;
+    ch.start_flow(10 * kGB, Bandwidth(), [&] { done_a = sim.now(); });
+    ch.start_flow(10 * kGB, Bandwidth(), [&] { done_b = sim.now(); });
+    sim.run();
+    // Each flow gets a 5 GB/s share; 10 GB each => both finish at t=2.
+    EXPECT_NEAR(done_a, 2.0, kTol);
+    EXPECT_NEAR(done_b, 2.0, kTol);
+}
+
+TEST(BandwidthChannel, ShortFlowReleasesBandwidthToLongFlow)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_short = -1.0, done_long = -1.0;
+    ch.start_flow(5 * kGB, Bandwidth(), [&] { done_short = sim.now(); });
+    ch.start_flow(15 * kGB, Bandwidth(), [&] { done_long = sim.now(); });
+    sim.run();
+    // Shared 5/5 until the short flow's 5 GB completes at t=1; the long
+    // flow then has 10 GB left at full 10 GB/s => t=2.
+    EXPECT_NEAR(done_short, 1.0, kTol);
+    EXPECT_NEAR(done_long, 2.0, kTol);
+}
+
+TEST(BandwidthChannel, WaterFillingWithMixedCaps)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    // Flow A capped at 2 GB/s; flows B and C uncapped: A gets 2, B and C
+    // split the remaining 8 evenly (4 each) — max-min fairness.
+    FlowId a = ch.start_flow(100 * kGB, Bandwidth::gb_per_s(2.0), [] {});
+    FlowId b = ch.start_flow(100 * kGB, Bandwidth(), [] {});
+    FlowId c = ch.start_flow(100 * kGB, Bandwidth(), [] {});
+    EXPECT_NEAR(ch.flow_rate(a).as_gb_per_s(), 2.0, 1e-9);
+    EXPECT_NEAR(ch.flow_rate(b).as_gb_per_s(), 4.0, 1e-9);
+    EXPECT_NEAR(ch.flow_rate(c).as_gb_per_s(), 4.0, 1e-9);
+    ch.cancel_flow(a);
+    ch.cancel_flow(b);
+    ch.cancel_flow(c);
+}
+
+TEST(BandwidthChannel, RatesNeverExceedChannel)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    std::vector<FlowId> flows;
+    for (int i = 0; i < 7; ++i) {
+        flows.push_back(ch.start_flow(
+            kGB, Bandwidth::gb_per_s(1.0 + i), [] {}));
+    }
+    double total = 0.0;
+    for (FlowId f : flows)
+        total += ch.flow_rate(f).as_gb_per_s();
+    EXPECT_LE(total, 10.0 + 1e-9);
+    for (FlowId f : flows)
+        ch.cancel_flow(f);
+}
+
+TEST(BandwidthChannel, ZeroByteFlowCompletesImmediately)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    bool done = false;
+    const FlowId id = ch.start_flow(0, Bandwidth(), [&] { done = true; });
+    EXPECT_TRUE(done); // synchronous for empty payloads
+    EXPECT_EQ(id, kInvalidFlow);
+}
+
+TEST(BandwidthChannel, CancelledFlowNeverCompletes)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    bool done = false;
+    const FlowId id = ch.start_flow(10 * kGB, Bandwidth(),
+                                    [&] { done = true; });
+    sim.run_until(0.5);
+    ch.cancel_flow(id);
+    sim.run();
+    EXPECT_FALSE(done);
+    EXPECT_EQ(ch.bytes_delivered(), 0u);
+}
+
+TEST(BandwidthChannel, ChainedFlowsFromCompletionCallback)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(1.0));
+    Seconds second_done = -1.0;
+    ch.start_flow(1 * kGB, Bandwidth(), [&] {
+        ch.start_flow(1 * kGB, Bandwidth(),
+                      [&] { second_done = sim.now(); });
+    });
+    sim.run();
+    EXPECT_NEAR(second_done, 2.0, kTol);
+}
+
+TEST(BandwidthChannel, LateArrivalSlowsExistingFlow)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_a = -1.0;
+    ch.start_flow(10 * kGB, Bandwidth(), [&] { done_a = sim.now(); });
+    sim.schedule(0.5, [&] {
+        ch.start_flow(100 * kGB, Bandwidth(), [] {});
+    });
+    sim.run_until(10.0);
+    // Flow A: 5 GB in the first 0.5 s, then 5 GB/s => done at 1.5 s.
+    EXPECT_NEAR(done_a, 1.5, kTol);
+}
+
+TEST(BandwidthChannel, SubByteRemainderDoesNotLivelock)
+{
+    // Regression: remainders below one byte used to stall virtual time.
+    Simulator sim;
+    BandwidthChannel ch(sim, "link",
+                        Bandwidth::bytes_per_s(3.0000000001e9));
+    int completed = 0;
+    for (int i = 0; i < 50; ++i) {
+        ch.start_flow(333333333 + static_cast<Bytes>(i * 7),
+                      Bandwidth::bytes_per_s(1.7e9 + i * 1.3e5),
+                      [&] { ++completed; });
+    }
+    sim.run();
+    EXPECT_EQ(completed, 50);
+    EXPECT_LT(sim.events_executed(), 100000u);
+}
+
+TEST(BandwidthChannel, ManySequentialFlowsAccumulateBytes)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Bytes expected = 0;
+    std::function<void(int)> launch = [&](int remaining) {
+        if (remaining == 0)
+            return;
+        const Bytes size = 100 * kMiB + static_cast<Bytes>(remaining);
+        expected += size;
+        ch.start_flow(size, Bandwidth(),
+                      [&, remaining] { launch(remaining - 1); });
+    };
+    launch(20);
+    sim.run();
+    EXPECT_EQ(ch.bytes_delivered(), expected);
+}
+
+} // namespace
+} // namespace helm::sim

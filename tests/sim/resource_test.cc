@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for FifoResource and CountdownLatch.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace helm::sim {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(FifoResource, ImmediateGrantWhenFree)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    bool granted = false;
+    res.acquire([&] { granted = true; });
+    EXPECT_TRUE(granted); // synchronous when capacity is available
+    EXPECT_EQ(res.in_use(), 1u);
+    res.release();
+    EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(FifoResource, QueuedWaiterAdmittedOnRelease)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    std::vector<int> order;
+    res.acquire([&] { order.push_back(1); });
+    res.acquire([&] { order.push_back(2); });
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(res.queue_length(), 1u);
+    res.release();
+    sim.run(); // admission is a zero-delay event
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(FifoResource, FifoOrderAmongWaiters)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    std::vector<int> order;
+    res.occupy(1.0, [&] { order.push_back(0); });
+    for (int i = 1; i <= 3; ++i)
+        res.occupy(1.0, [&, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(FifoResource, CapacityTwoRunsTwoConcurrently)
+{
+    Simulator sim;
+    FifoResource res(sim, "copy-engines", 2);
+    std::vector<Seconds> done;
+    for (int i = 0; i < 4; ++i)
+        res.occupy(1.0, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_NEAR(done[0], 1.0, kTol);
+    EXPECT_NEAR(done[1], 1.0, kTol);
+    EXPECT_NEAR(done[2], 2.0, kTol);
+    EXPECT_NEAR(done[3], 2.0, kTol);
+}
+
+TEST(FifoResource, OccupySerializesOnUnitCapacity)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    Seconds first = -1, second = -1;
+    res.occupy(2.0, [&] { first = sim.now(); });
+    res.occupy(3.0, [&] { second = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(first, 2.0, kTol);
+    EXPECT_NEAR(second, 5.0, kTol);
+}
+
+TEST(FifoResource, ZeroDurationOccupy)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    bool done = false;
+    res.occupy(0.0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(FifoResource, BusyTimeIntegratesUtilization)
+{
+    Simulator sim;
+    FifoResource res(sim, "gpu", 1);
+    res.occupy(2.0, [] {});
+    res.occupy(3.0, [] {});
+    sim.run();
+    // 5 seconds of busy time on a capacity-1 resource.
+    EXPECT_NEAR(res.busy_time(), 5.0, kTol);
+}
+
+TEST(CountdownLatch, FiresAfterExactCount)
+{
+    CountdownLatch latch(3);
+    int fired = 0;
+    latch.on_zero([&] { ++fired; });
+    latch.arrive();
+    latch.arrive();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(latch.remaining(), 1u);
+    latch.arrive();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(CountdownLatch, ZeroCountFiresOnCallbackInstall)
+{
+    CountdownLatch latch(0);
+    bool fired = false;
+    latch.on_zero([&] { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+TEST(CountdownLatch, ArrivalsBeforeCallbackInstall)
+{
+    CountdownLatch latch(2);
+    latch.arrive();
+    latch.arrive();
+    bool fired = false;
+    latch.on_zero([&] { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+} // namespace
+} // namespace helm::sim

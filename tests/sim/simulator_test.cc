@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel (sim/simulator.h).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace helm::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsFireFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator sim;
+    Seconds observed = -1.0;
+    sim.schedule(5.5, [&] { observed = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(observed, 5.5);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    std::vector<Seconds> times;
+    sim.schedule(1.0, [&] {
+        times.push_back(sim.now());
+        sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id)); // second cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelOneOfMany)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    const EventId id = sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.run_until(2.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator sim;
+    sim.run_until(7.0);
+    EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulator, EventsExecutedCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(static_cast<double>(i), [] {});
+    sim.run();
+    EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, ZeroDelayEventsRunAtCurrentTime)
+{
+    Simulator sim;
+    Seconds t = -1.0;
+    sim.schedule(2.0, [&] {
+        sim.schedule(0.0, [&] { t = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Simulator, StepExecutesExactlyOne)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(1.0, [&] { ++count; });
+    sim.schedule(2.0, [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+} // namespace
+} // namespace helm::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * End-to-end smoke test: the full stack simulates a small model without
+ * error and produces sane metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "core/helm.h"
+
+namespace helm {
+namespace {
+
+TEST(Smoke, Version)
+{
+    EXPECT_STREQ(version(), "1.0.0");
+    EXPECT_NE(std::string(paper_citation()).find("IISWC"),
+              std::string::npos);
+}
+
+TEST(Smoke, SimulateSmallModelOnNvdram)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kBaseline;
+    spec.batch = 2;
+    spec.repeats = 2;
+
+    auto result = runtime::simulate_inference(spec);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_GT(result->metrics.ttft, 0.0);
+    EXPECT_GT(result->metrics.tbt, 0.0);
+    EXPECT_GT(result->metrics.throughput, 0.0);
+    EXPECT_EQ(result->metrics.total_tokens, 2u * 2u * 21u);
+    EXPECT_FALSE(result->records.empty());
+}
+
+TEST(Smoke, HelmBeatsBaselineOnNvdram175B)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt175B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.compress_weights = true;
+    spec.batch = 1;
+    spec.repeats = 2;
+
+    spec.placement = placement::PlacementKind::kBaseline;
+    auto baseline = runtime::simulate_inference(spec);
+    ASSERT_TRUE(baseline.is_ok()) << baseline.status().to_string();
+
+    spec.placement = placement::PlacementKind::kHelm;
+    auto helm = runtime::simulate_inference(spec);
+    ASSERT_TRUE(helm.is_ok()) << helm.status().to_string();
+
+    EXPECT_LT(helm->metrics.tbt, baseline->metrics.tbt);
+}
+
+} // namespace
+} // namespace helm

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the sweep framework: Dataset and the serving-aware
+ * cartesian runner.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/opt.h"
+#include "sweep/sweep.h"
+
+namespace helm::sweep {
+namespace {
+
+Dataset
+sample_dataset()
+{
+    Dataset d;
+    d.add_row({{"memory", "NVDRAM"}, {"batch", "1"}, {"tbt", "5.6"}});
+    d.add_row({{"memory", "NVDRAM"}, {"batch", "8"}, {"tbt", "5.7"}});
+    d.add_row({{"memory", "DRAM"}, {"batch", "1"}, {"tbt", "4.9"}});
+    d.add_row({{"memory", "DRAM"}, {"batch", "8"}, {"tbt", "5.0"}});
+    return d;
+}
+
+TEST(Dataset, SchemaAccumulatesInOrder)
+{
+    Dataset d;
+    d.add_row({{"a", "1"}});
+    d.add_row({{"b", "2"}, {"a", "3"}});
+    EXPECT_EQ(d.columns(), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.cell(0, "b"), ""); // absent cell
+    EXPECT_EQ(d.cell(1, "a"), "3");
+}
+
+TEST(Dataset, NumericParsing)
+{
+    const Dataset d = sample_dataset();
+    EXPECT_DOUBLE_EQ(d.numeric(0, "tbt"), 5.6);
+    EXPECT_DOUBLE_EQ(d.numeric(0, "memory"), 0.0); // non-numeric
+}
+
+TEST(Dataset, DistinctAndFilter)
+{
+    const Dataset d = sample_dataset();
+    EXPECT_EQ(d.distinct("memory"),
+              (std::vector<std::string>{"NVDRAM", "DRAM"}));
+    const Dataset nv = d.filter("memory", "NVDRAM");
+    EXPECT_EQ(nv.size(), 2u);
+    EXPECT_DOUBLE_EQ(nv.mean_of("tbt"), 5.65);
+}
+
+TEST(Dataset, Aggregates)
+{
+    const Dataset d = sample_dataset();
+    EXPECT_DOUBLE_EQ(d.min_of("tbt"), 4.9);
+    EXPECT_DOUBLE_EQ(d.max_of("tbt"), 5.7);
+    EXPECT_NEAR(d.mean_of("tbt"), 5.3, 1e-12);
+    EXPECT_DOUBLE_EQ(Dataset().mean_of("x"), 0.0);
+}
+
+TEST(Dataset, PivotTable)
+{
+    const Dataset d = sample_dataset();
+    const std::string text =
+        d.pivot("memory", "batch", "tbt", 1).to_string();
+    EXPECT_NE(text.find("NVDRAM"), std::string::npos);
+    EXPECT_NE(text.find("5.6"), std::string::npos);
+    EXPECT_NE(text.find("4.9"), std::string::npos);
+    // Missing combinations render as "-".
+    Dataset sparse;
+    sparse.add_row({{"r", "x"}, {"c", "1"}, {"v", "10"}});
+    sparse.add_row({{"r", "y"}, {"c", "2"}, {"v", "20"}});
+    const std::string sparse_text =
+        sparse.pivot("r", "c", "v", 0).to_string();
+    EXPECT_NE(sparse_text.find("-"), std::string::npos);
+}
+
+TEST(Dataset, CsvRoundTripShape)
+{
+    std::ostringstream out;
+    sample_dataset().write_csv(out);
+    const std::string csv = out.str();
+    // Rows are std::map-backed, so the schema lands alphabetically.
+    EXPECT_NE(csv.find("batch,memory,tbt"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5); // header+4
+}
+
+TEST(SweepRunner, CartesianEnumeration)
+{
+    SweepRunner runner;
+    ASSERT_TRUE(runner.add_dimension("a", {"1", "2", "3"}).is_ok());
+    ASSERT_TRUE(runner.add_dimension("b", {"x", "y"}).is_ok());
+    EXPECT_EQ(runner.point_count(), 6u);
+    int calls = 0;
+    const Dataset d = runner.run([&](const Row &point) -> Result<Row> {
+        ++calls;
+        Row metrics;
+        metrics["concat"] = point.at("a") + point.at("b");
+        return metrics;
+    });
+    EXPECT_EQ(calls, 6);
+    EXPECT_EQ(d.size(), 6u);
+    // Last dimension varies fastest.
+    EXPECT_EQ(d.cell(0, "concat"), "1x");
+    EXPECT_EQ(d.cell(1, "concat"), "1y");
+    EXPECT_EQ(d.cell(2, "concat"), "2x");
+    EXPECT_EQ(d.cell(5, "concat"), "3y");
+}
+
+TEST(SweepRunner, ErrorsBecomeErrorColumn)
+{
+    SweepRunner runner;
+    ASSERT_TRUE(runner.add_dimension("v", {"ok", "bad"}).is_ok());
+    const Dataset d = runner.run([](const Row &point) -> Result<Row> {
+        if (point.at("v") == "bad")
+            return Status::invalid_argument("boom");
+        return Row{{"out", "fine"}};
+    });
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.cell(0, "out"), "fine");
+    EXPECT_NE(d.cell(1, "error").find("boom"), std::string::npos);
+}
+
+TEST(SweepRunner, RejectsBadDimensions)
+{
+    SweepRunner runner;
+    EXPECT_FALSE(runner.add_dimension("", {"1"}).is_ok());
+    EXPECT_FALSE(runner.add_dimension("a", {}).is_ok());
+    ASSERT_TRUE(runner.add_dimension("a", {"1"}).is_ok());
+    EXPECT_FALSE(runner.add_dimension("a", {"2"}).is_ok());
+}
+
+TEST(ServingSweep, RecognizedDimensions)
+{
+    EXPECT_TRUE(ServingSweep::is_recognized("memory"));
+    EXPECT_TRUE(ServingSweep::is_recognized("kv_offload"));
+    EXPECT_FALSE(ServingSweep::is_recognized("bogus"));
+    runtime::ServingSpec base;
+    base.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    ServingSweep sweep(base);
+    EXPECT_FALSE(sweep.add_dimension("bogus", {"1"}).is_ok());
+}
+
+TEST(ServingSweep, EndToEndGrid)
+{
+    runtime::ServingSpec base;
+    base.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    base.repeats = 1;
+    ServingSweep sweep(base);
+    ASSERT_TRUE(
+        sweep.add_dimension("memory", {"NVDRAM", "DRAM"}).is_ok());
+    ASSERT_TRUE(
+        sweep.add_dimension("placement", {"Baseline", "All-CPU"})
+            .is_ok());
+    ASSERT_TRUE(sweep.add_dimension("batch", {"1", "4"}).is_ok());
+    EXPECT_EQ(sweep.point_count(), 8u);
+    const Dataset d = sweep.run();
+    ASSERT_EQ(d.size(), 8u);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        EXPECT_EQ(d.cell(i, "error"), "") << "row " << i;
+        EXPECT_GT(d.numeric(i, "tokens_per_s"), 0.0);
+        EXPECT_GT(d.numeric(i, "tbt_ms"), 0.0);
+    }
+    // DRAM never slower than NVDRAM at matched points.
+    const Dataset nv = d.filter("memory", "NVDRAM");
+    const Dataset dr = d.filter("memory", "DRAM");
+    EXPECT_LE(dr.mean_of("tbt_ms"), nv.mean_of("tbt_ms"));
+}
+
+TEST(ServingSweep, BadModelValueReportsError)
+{
+    runtime::ServingSpec base;
+    base.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    base.repeats = 1;
+    ServingSweep sweep(base);
+    ASSERT_TRUE(sweep.add_dimension("model", {"GPT-J"}).is_ok());
+    const Dataset d = sweep.run();
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NE(d.cell(0, "error"), "");
+}
+
+} // namespace
+} // namespace helm::sweep

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for workload-file loading/saving.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/workload.h"
+
+namespace helm::workload {
+namespace {
+
+class WorkloadFileTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    void
+    write(const std::string &content)
+    {
+        std::ofstream file(path_);
+        file << content;
+    }
+
+    std::string path_ = "/tmp/helm_workload_test.txt";
+};
+
+TEST_F(WorkloadFileTest, ParsesBatchesAndComments)
+{
+    write("# header comment\n"
+          "128 21\n"
+          "64 21   # inline comment\n"
+          "\n"
+          "256 8\n");
+    const auto batches = load_workload_file(path_);
+    ASSERT_TRUE(batches.is_ok()) << batches.status().to_string();
+    ASSERT_EQ(batches->size(), 2u);
+    EXPECT_EQ((*batches)[0].size(), 2u);
+    EXPECT_EQ((*batches)[1].size(), 1u);
+    EXPECT_EQ((*batches)[0].requests[0].prompt_tokens, 128u);
+    EXPECT_EQ((*batches)[0].requests[1].prompt_tokens, 64u);
+    EXPECT_EQ((*batches)[1].requests[0].output_tokens, 8u);
+    // Ids assigned in file order.
+    EXPECT_EQ((*batches)[0].requests[0].id, 0u);
+    EXPECT_EQ((*batches)[1].requests[0].id, 2u);
+}
+
+TEST_F(WorkloadFileTest, MissingFile)
+{
+    const auto batches = load_workload_file("/nonexistent/workload");
+    EXPECT_EQ(batches.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WorkloadFileTest, MalformedLineReportsLineNumber)
+{
+    write("128 21\nbananas\n");
+    const auto batches = load_workload_file(path_);
+    ASSERT_FALSE(batches.is_ok());
+    EXPECT_NE(batches.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(WorkloadFileTest, ZeroTokensRejected)
+{
+    write("0 21\n");
+    EXPECT_EQ(load_workload_file(path_).status().code(),
+              StatusCode::kInvalidArgument);
+    write("128 0\n");
+    EXPECT_EQ(load_workload_file(path_).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkloadFileTest, TrailingContentRejected)
+{
+    write("128 21 99\n");
+    const auto batches = load_workload_file(path_);
+    ASSERT_FALSE(batches.is_ok());
+    EXPECT_NE(batches.status().message().find("trailing"),
+              std::string::npos);
+}
+
+TEST_F(WorkloadFileTest, EmptyFileRejected)
+{
+    write("# only comments\n\n");
+    EXPECT_EQ(load_workload_file(path_).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkloadFileTest, RoundTrip)
+{
+    const auto original = paper_workload(3);
+    ASSERT_TRUE(save_workload_file(original, path_).is_ok());
+    const auto loaded = load_workload_file(path_);
+    ASSERT_TRUE(loaded.is_ok());
+    ASSERT_EQ(loaded->size(), original.size());
+    for (std::size_t b = 0; b < original.size(); ++b) {
+        ASSERT_EQ((*loaded)[b].size(), original[b].size());
+        for (std::size_t r = 0; r < original[b].requests.size(); ++r) {
+            EXPECT_EQ((*loaded)[b].requests[r].prompt_tokens,
+                      original[b].requests[r].prompt_tokens);
+            EXPECT_EQ((*loaded)[b].requests[r].output_tokens,
+                      original[b].requests[r].output_tokens);
+        }
+    }
+}
+
+TEST_F(WorkloadFileTest, SaveToBadPathFails)
+{
+    EXPECT_FALSE(save_workload_file(paper_workload(1),
+                                    "/nonexistent-dir/wl.txt")
+                     .is_ok());
+}
+
+} // namespace
+} // namespace helm::workload

@@ -1,0 +1,562 @@
+/**
+ * @file
+ * helmsim — the command-line front end to the library.
+ *
+ * Subcommands:
+ *   run       simulate one serving configuration, print metrics
+ *   tune      QoS auto-tuner: best plan for an objective (+ TBT ceiling)
+ *   membench  host<->GPU copy bandwidth sweep (Fig. 3 methodology)
+ *   models    list the model registry
+ *   configs   list the Table II memory configurations
+ *
+ * Examples:
+ *   helmsim run --model OPT-175B --memory NVDRAM --placement HeLM --int4
+ *   helmsim run --model LLaMa-2-70B --batch 32 --kv-offload --int4 \
+ *       --trace /tmp/trace.json --energy
+ *   helmsim tune --model OPT-175B --memory NVDRAM \
+ *       --objective throughput --tbt-ms 4500
+ */
+#include <iostream>
+
+#include "common/args.h"
+#include "core/helm.h"
+#include "model/zoo.h"
+
+namespace {
+
+using namespace helm;
+
+int
+cmd_models()
+{
+    AsciiTable table("Model registry");
+    table.set_header({"name", "params", "fp16 size", "int4 size",
+                      "layers", "kv_heads", "kv/seq@2048"});
+    table.align_right_from(1);
+    for (const auto &config : model::all_models()) {
+        const auto fp16 =
+            model::build_layers(config, model::DataType::kFp16);
+        const auto int4 =
+            model::build_layers(config, model::DataType::kInt4Grouped);
+        char params[32];
+        std::snprintf(params, sizeof(params), "%.1fB",
+                      static_cast<double>(config.parameter_count()) /
+                          1e9);
+        table.add_row(
+            {config.name, params,
+             format_bytes(model::model_weight_bytes(fp16)),
+             format_bytes(model::model_weight_bytes(int4)),
+             std::to_string(config.num_layers()),
+             std::to_string(config.effective_kv_heads()),
+             format_bytes(model::kv_bytes_total(config, 2048))});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmd_configs()
+{
+    AsciiTable table("Memory configurations (paper Table II + III)");
+    table.set_header({"label", "host tier", "storage tier",
+                      "host->gpu @1GiB", "gpu->host @1GiB"});
+    table.align_right_from(3);
+    for (auto kind : mem::all_config_kinds()) {
+        const auto sys = mem::make_config(kind);
+        table.add_row(
+            {sys.label(),
+             mem::memory_kind_name(sys.host()->kind()),
+             sys.has_storage()
+                 ? mem::memory_kind_name(sys.storage()->kind())
+                 : "-",
+             format_bandwidth(sys.host_to_gpu_bw(kGiB)),
+             format_bandwidth(sys.gpu_to_host_bw(kGiB))});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+Result<mem::ConfigKind>
+parse_memory(const std::string &name)
+{
+    for (auto kind : mem::all_config_kinds()) {
+        if (name == mem::config_kind_name(kind))
+            return kind;
+    }
+    return Status::not_found("unknown memory config: " + name +
+                             " (run `helmsim configs`)");
+}
+
+Result<placement::PlacementKind>
+parse_placement(const std::string &name)
+{
+    for (auto kind : {placement::PlacementKind::kBaseline,
+                      placement::PlacementKind::kHelm,
+                      placement::PlacementKind::kBalanced,
+                      placement::PlacementKind::kAllCpu}) {
+        if (name == placement::placement_kind_name(kind))
+            return kind;
+    }
+    return Status::not_found("unknown placement scheme: " + name +
+                             " (Baseline, HeLM, Balanced, All-CPU)");
+}
+
+void
+add_common_options(ArgParser &parser)
+{
+    parser.add_option("model", "model name (see `helmsim models`)",
+                      "OPT-175B");
+    parser.add_option("memory", "memory configuration (see "
+                                "`helmsim configs`)",
+                      "NVDRAM");
+    parser.add_switch("int4", "4-bit group-wise weight quantization");
+    parser.add_option("prompt-tokens", "input prompt length", "128");
+    parser.add_option("output-tokens", "tokens to generate", "21");
+    parser.add_switch("help", "show this help");
+}
+
+int
+cmd_run(const std::vector<std::string> &args)
+{
+    ArgParser parser("helmsim run",
+                     "simulate one out-of-core serving configuration");
+    add_common_options(parser);
+    parser.add_option("placement", "Baseline | HeLM | All-CPU",
+                      "Baseline");
+    parser.add_option("batch", "GPU batch size", "1");
+    parser.add_option("micro-batches",
+                      "micro-batches per weight load (block schedule)",
+                      "1");
+    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+    parser.add_option("repeats", "workload repeats (first discarded)",
+                      "3");
+    parser.add_option("trace", "write a Chrome trace to this path", "");
+    parser.add_switch("energy", "print the energy breakdown");
+    parser.add_option("cxl-gbps",
+                      "override the host tier with a custom CXL "
+                      "expander of this bandwidth",
+                      "0");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    const auto model_config = model::find_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    const auto scheme = parse_placement(parser.get("placement"));
+    for (const Status &s :
+         {model_config.status(), memory.status(), scheme.status()}) {
+        if (!s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    runtime::ServingSpec spec;
+    spec.model = *model_config;
+    spec.memory = *memory;
+    spec.placement = *scheme;
+    spec.compress_weights = parser.is_set("int4");
+    spec.batch = parser.get_u64("batch");
+    spec.micro_batches = parser.get_u64("micro-batches");
+    spec.offload_kv_cache = parser.is_set("kv-offload");
+    spec.repeats = parser.get_u64("repeats");
+    spec.shape.prompt_tokens = parser.get_u64("prompt-tokens");
+    spec.shape.output_tokens = parser.get_u64("output-tokens");
+    if (parser.get_double("cxl-gbps") > 0.0) {
+        spec.custom_cxl_bandwidth =
+            Bandwidth::gb_per_s(parser.get_double("cxl-gbps"));
+    }
+
+    const auto result = runtime::simulate_inference(spec);
+    if (!result.is_ok()) {
+        std::cerr << "simulation failed: " << result.status().to_string()
+                  << "\n";
+        return 1;
+    }
+
+    AsciiTable table("Results");
+    table.set_header({"metric", "value"});
+    table.add_row({"TTFT", format_seconds(result->metrics.ttft)});
+    table.add_row({"TBT", format_seconds(result->metrics.tbt)});
+    table.add_row({"throughput",
+                   format_fixed(result->metrics.throughput, 3) +
+                       " tokens/s"});
+    const auto split = result->placement.achieved();
+    table.add_row({"weights gpu/cpu/disk",
+                   format_fixed(split.gpu, 1) + " / " +
+                       format_fixed(split.cpu, 1) + " / " +
+                       format_fixed(split.disk, 1) + " %"});
+    table.add_row({"GPU memory",
+                   format_bytes(result->budget.used()) + " of " +
+                       format_bytes(result->budget.hbm_capacity)});
+    if (result->spill.spilled()) {
+        table.add_row({"spilled weights",
+                       format_bytes(result->spill.spilled_bytes)});
+    }
+    table.print(std::cout);
+
+    if (parser.is_set("energy")) {
+        const auto energy = energy::estimate_energy(
+            *result, spec.memory, spec.gpu);
+        if (energy.is_ok()) {
+            std::cout << "energy: "
+                      << format_fixed(energy->joules_per_token(), 1)
+                      << " J/token ("
+                      << format_fixed(energy->average_watts(), 0)
+                      << " W average)\n";
+        }
+    }
+    if (!parser.get("trace").empty()) {
+        const Status trace_status = runtime::write_chrome_trace(
+            result->records, parser.get("trace"));
+        if (trace_status.is_ok())
+            std::cout << "trace: " << parser.get("trace") << "\n";
+        else
+            std::cerr << trace_status.to_string() << "\n";
+    }
+    return 0;
+}
+
+int
+cmd_serve(const std::vector<std::string> &args)
+{
+    ArgParser parser("helmsim serve",
+                     "serve a workload file of request batches");
+    add_common_options(parser);
+    parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
+                      "Baseline");
+    parser.add_option("workload",
+                      "workload file: '<prompt> <output>' per line, "
+                      "blank line = batch boundary",
+                      "");
+    parser.add_option("micro-batches", "micro-batches per weight load",
+                      "1");
+    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+    if (parser.get("workload").empty()) {
+        std::cerr << "serve needs --workload <file>\n";
+        return 2;
+    }
+    const auto batches =
+        workload::load_workload_file(parser.get("workload"));
+    if (!batches.is_ok()) {
+        std::cerr << batches.status().to_string() << "\n";
+        return 1;
+    }
+    const auto model_config = model::find_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    const auto scheme = parse_placement(parser.get("placement"));
+    for (const Status &s :
+         {model_config.status(), memory.status(), scheme.status()}) {
+        if (!s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    runtime::ServingSpec base;
+    base.model = *model_config;
+    base.memory = *memory;
+    base.placement = *scheme;
+    base.compress_weights = parser.is_set("int4");
+    base.micro_batches = parser.get_u64("micro-batches");
+    base.offload_kv_cache = parser.is_set("kv-offload");
+
+    const auto result = runtime::serve_workload(base, *batches);
+    if (!result.is_ok()) {
+        std::cerr << "serving failed: " << result.status().to_string()
+                  << "\n";
+        return 1;
+    }
+
+    AsciiTable table("Workload results");
+    table.set_header({"batch", "requests", "prompt", "ttft", "tbt"});
+    table.align_right_from(1);
+    for (std::size_t b = 0; b < result->per_batch.size(); ++b) {
+        table.add_row(
+            {std::to_string(b),
+             std::to_string((*batches)[b].size()),
+             std::to_string((*batches)[b].max_prompt_tokens()),
+             format_seconds(result->per_batch[b].ttft),
+             format_seconds(result->per_batch[b].tbt)});
+    }
+    table.print(std::cout);
+    std::cout << "aggregate: TTFT "
+              << format_seconds(result->aggregate.ttft) << ", TBT "
+              << format_seconds(result->aggregate.tbt) << ", "
+              << format_fixed(result->aggregate.throughput, 2)
+              << " tokens/s over "
+              << format_seconds(result->aggregate.total_time)
+              << " (padding overhead: " << result->padded_tokens
+              << " tokens)\n";
+    return 0;
+}
+
+int
+cmd_tune(const std::vector<std::string> &args)
+{
+    ArgParser parser("helmsim tune",
+                     "find the best serving plan for an objective");
+    add_common_options(parser);
+    parser.add_option("objective", "latency | throughput", "throughput");
+    parser.add_option("tbt-ms", "QoS: maximum time between tokens", "0");
+    parser.add_option("batch-limit", "search ceiling", "256");
+    parser.add_switch("no-kv-offload",
+                      "exclude cache-offload candidates");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+    const auto model_config = model::find_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    if (!model_config.is_ok() || !memory.is_ok()) {
+        std::cerr << model_config.status().to_string() << " "
+                  << memory.status().to_string() << "\n";
+        return 2;
+    }
+
+    runtime::TuneRequest request;
+    request.model = *model_config;
+    request.memory = *memory;
+    request.compress_weights = parser.is_set("int4");
+    request.shape.prompt_tokens = parser.get_u64("prompt-tokens");
+    request.shape.output_tokens = parser.get_u64("output-tokens");
+    request.objective = parser.get("objective") == "latency"
+                            ? runtime::TuneObjective::kLatency
+                            : runtime::TuneObjective::kThroughput;
+    if (parser.get_double("tbt-ms") > 0.0)
+        request.tbt_ceiling = parser.get_double("tbt-ms") * 1e-3;
+    request.batch_limit = parser.get_u64("batch-limit");
+    request.explore_kv_offload = !parser.is_set("no-kv-offload");
+
+    const auto tuned = runtime::auto_tune(request);
+    if (!tuned.is_ok()) {
+        std::cerr << tuned.status().to_string() << "\n";
+        return 1;
+    }
+    std::cout << "best: " << tuned->best.describe() << "\n"
+              << "  TTFT " << format_seconds(tuned->best.metrics.ttft)
+              << ", TBT " << format_seconds(tuned->best.metrics.tbt)
+              << ", "
+              << format_fixed(tuned->best.metrics.throughput, 2)
+              << " tokens/s  (" << tuned->explored.size()
+              << " candidates explored)\n";
+    return 0;
+}
+
+/** Split "a,b,c" into {"a","b","c"}. */
+std::vector<std::string>
+split_csv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+cmd_sweep(const std::vector<std::string> &args)
+{
+    ArgParser parser(
+        "helmsim sweep",
+        "cartesian parameter sweep; repeat --dim name=v1,v2,...");
+    parser.add_option("dim",
+                      "dimension spec name=v1,v2 (repeatable via "
+                      "comma-separated --dims)",
+                      "");
+    parser.add_option("dims",
+                      "semicolon-separated dimension specs, e.g. "
+                      "\"memory=NVDRAM,DRAM;batch=1,8\"",
+                      "");
+    parser.add_option("pivot",
+                      "render a pivot table: row,col,value (e.g. "
+                      "\"memory,batch,tokens_per_s\")",
+                      "");
+    parser.add_switch("int4", "compress weights at every point");
+    parser.add_switch("help", "show this help");
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    runtime::ServingSpec base;
+    base.model = model::opt_config(model::OptVariant::kOpt175B);
+    base.compress_weights = parser.is_set("int4");
+    base.repeats = 2;
+    sweep::ServingSweep serving_sweep(base);
+
+    std::vector<std::string> specs;
+    if (!parser.get("dim").empty())
+        specs.push_back(parser.get("dim"));
+    if (!parser.get("dims").empty()) {
+        std::size_t start = 0;
+        const std::string &dims = parser.get("dims");
+        while (start <= dims.size()) {
+            const std::size_t semi = dims.find(';', start);
+            if (semi == std::string::npos) {
+                specs.push_back(dims.substr(start));
+                break;
+            }
+            specs.push_back(dims.substr(start, semi - start));
+            start = semi + 1;
+        }
+    }
+    if (specs.empty()) {
+        std::cerr << "no dimensions given\n" << parser.help();
+        return 2;
+    }
+    for (const std::string &spec_text : specs) {
+        const std::size_t eq = spec_text.find('=');
+        if (eq == std::string::npos) {
+            std::cerr << "bad dimension spec: " << spec_text << "\n";
+            return 2;
+        }
+        const Status added = serving_sweep.add_dimension(
+            spec_text.substr(0, eq), split_csv(spec_text.substr(eq + 1)));
+        if (!added.is_ok()) {
+            std::cerr << added.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    std::cerr << "sweeping " << serving_sweep.point_count()
+              << " points...\n";
+    const sweep::Dataset dataset = serving_sweep.run();
+    dataset.write_csv(std::cout);
+
+    if (!parser.get("pivot").empty()) {
+        const auto parts = split_csv(parser.get("pivot"));
+        if (parts.size() == 3) {
+            std::cout << "\n";
+            dataset.pivot(parts[0], parts[1], parts[2]).print(std::cout);
+        } else {
+            std::cerr << "pivot needs row,col,value\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmd_membench(const std::vector<std::string> &args)
+{
+    ArgParser parser("helmsim membench",
+                     "host<->GPU copy bandwidth sweep (Fig. 3)");
+    parser.add_option("config",
+                      "single configuration to sweep (default: all "
+                      "host-memory configs)",
+                      "");
+    parser.add_switch("help", "show this help");
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    std::vector<mem::ConfigKind> kinds;
+    if (parser.get("config").empty()) {
+        kinds = {mem::ConfigKind::kDram, mem::ConfigKind::kNvdram,
+                 mem::ConfigKind::kMemoryMode};
+    } else {
+        const auto kind = parse_memory(parser.get("config"));
+        if (!kind.is_ok()) {
+            std::cerr << kind.status().to_string() << "\n";
+            return 2;
+        }
+        kinds = {*kind};
+    }
+    AsciiTable table("Copy bandwidth (GB/s)");
+    table.set_header({"config", "node", "buffer", "h2d", "d2h"});
+    table.align_right_from(1);
+    const auto measurements =
+        membench::sweep(kinds, membench::default_buffer_sweep());
+    for (const auto &m : measurements) {
+        if (m.direction != membench::CopyDirection::kHostToGpu)
+            continue;
+        for (const auto &n : measurements) {
+            if (n.direction == membench::CopyDirection::kGpuToHost &&
+                n.config == m.config && n.numa_node == m.numa_node &&
+                n.buffer == m.buffer) {
+                table.add_row(
+                    {m.config, std::to_string(m.numa_node),
+                     format_bytes(m.buffer),
+                     format_fixed(m.bandwidth.as_gb_per_s(), 2),
+                     format_fixed(n.bandwidth.as_gb_per_s(), 2)});
+            }
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "helmsim — out-of-core LLM inference on heterogeneous "
+           "host memory (IISWC'25 reproduction)\n\n"
+           "subcommands:\n"
+           "  run       simulate one serving configuration\n"
+           "  serve     serve a workload file of request batches\n"
+           "  sweep     cartesian parameter sweep with pivot tables\n"
+           "  tune      QoS auto-tuner\n"
+           "  membench  copy bandwidth sweep (Fig. 3)\n"
+           "  models    list the model registry\n"
+           "  configs   list memory configurations\n\n"
+           "`helmsim <subcommand> --help` for options.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> rest;
+    for (int i = 2; i < argc; ++i)
+        rest.emplace_back(argv[i]);
+
+    if (command == "run")
+        return cmd_run(rest);
+    if (command == "sweep")
+        return cmd_sweep(rest);
+    if (command == "serve")
+        return cmd_serve(rest);
+    if (command == "tune")
+        return cmd_tune(rest);
+    if (command == "membench")
+        return cmd_membench(rest);
+    if (command == "models")
+        return cmd_models();
+    if (command == "configs")
+        return cmd_configs();
+    if (command == "--help" || command == "help") {
+        usage();
+        return 0;
+    }
+    std::cerr << "unknown subcommand: " << command << "\n\n";
+    usage();
+    return 2;
+}
