@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_autotune.dir/abl_autotune.cc.o"
+  "CMakeFiles/abl_autotune.dir/abl_autotune.cc.o.d"
+  "abl_autotune"
+  "abl_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

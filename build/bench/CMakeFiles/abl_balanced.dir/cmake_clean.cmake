@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_balanced.dir/abl_balanced.cc.o"
+  "CMakeFiles/abl_balanced.dir/abl_balanced.cc.o.d"
+  "abl_balanced"
+  "abl_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batch_sweep.dir/abl_batch_sweep.cc.o"
+  "CMakeFiles/abl_batch_sweep.dir/abl_batch_sweep.cc.o.d"
+  "abl_batch_sweep"
+  "abl_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

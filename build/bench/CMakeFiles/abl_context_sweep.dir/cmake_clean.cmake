@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_context_sweep.dir/abl_context_sweep.cc.o"
+  "CMakeFiles/abl_context_sweep.dir/abl_context_sweep.cc.o.d"
+  "abl_context_sweep"
+  "abl_context_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_context_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gqa_llama.dir/abl_gqa_llama.cc.o"
+  "CMakeFiles/abl_gqa_llama.dir/abl_gqa_llama.cc.o.d"
+  "abl_gqa_llama"
+  "abl_gqa_llama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gqa_llama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_helm_split.dir/abl_helm_split.cc.o"
+  "CMakeFiles/abl_helm_split.dir/abl_helm_split.cc.o.d"
+  "abl_helm_split"
+  "abl_helm_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_helm_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kv_offload.dir/abl_kv_offload.cc.o"
+  "CMakeFiles/abl_kv_offload.dir/abl_kv_offload.cc.o.d"
+  "abl_kv_offload"
+  "abl_kv_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kv_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

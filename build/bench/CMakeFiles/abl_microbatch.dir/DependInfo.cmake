@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_microbatch.cc" "bench/CMakeFiles/abl_microbatch.dir/abl_microbatch.cc.o" "gcc" "bench/CMakeFiles/abl_microbatch.dir/abl_microbatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/helm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/helm_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/helm_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/helm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/membench/CMakeFiles/helm_membench.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/helm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/helm_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/helm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/helm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/helm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/helm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

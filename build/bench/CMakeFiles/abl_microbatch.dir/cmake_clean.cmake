@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_microbatch.dir/abl_microbatch.cc.o"
+  "CMakeFiles/abl_microbatch.dir/abl_microbatch.cc.o.d"
+  "abl_microbatch"
+  "abl_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_scaling.dir/abl_model_scaling.cc.o"
+  "CMakeFiles/abl_model_scaling.dir/abl_model_scaling.cc.o.d"
+  "abl_model_scaling"
+  "abl_model_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

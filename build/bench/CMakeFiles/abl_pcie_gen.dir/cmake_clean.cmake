@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pcie_gen.dir/abl_pcie_gen.cc.o"
+  "CMakeFiles/abl_pcie_gen.dir/abl_pcie_gen.cc.o.d"
+  "abl_pcie_gen"
+  "abl_pcie_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pcie_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

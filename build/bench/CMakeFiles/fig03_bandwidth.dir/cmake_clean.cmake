@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bandwidth.dir/fig03_bandwidth.cc.o"
+  "CMakeFiles/fig03_bandwidth.dir/fig03_bandwidth.cc.o.d"
+  "fig03_bandwidth"
+  "fig03_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_overlap.dir/fig05_overlap.cc.o"
+  "CMakeFiles/fig05_overlap.dir/fig05_overlap.cc.o.d"
+  "fig05_overlap"
+  "fig05_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

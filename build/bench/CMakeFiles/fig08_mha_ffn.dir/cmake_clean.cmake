@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mha_ffn.dir/fig08_mha_ffn.cc.o"
+  "CMakeFiles/fig08_mha_ffn.dir/fig08_mha_ffn.cc.o.d"
+  "fig08_mha_ffn"
+  "fig08_mha_ffn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mha_ffn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_helm_dist.dir/fig10_helm_dist.cc.o"
+  "CMakeFiles/fig10_helm_dist.dir/fig10_helm_dist.cc.o.d"
+  "fig10_helm_dist"
+  "fig10_helm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_helm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_allcpu.dir/fig12_allcpu.cc.o"
+  "CMakeFiles/fig12_allcpu.dir/fig12_allcpu.cc.o.d"
+  "fig12_allcpu"
+  "fig12_allcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_allcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cxl.dir/fig13_cxl.cc.o"
+  "CMakeFiles/fig13_cxl.dir/fig13_cxl.cc.o.d"
+  "fig13_cxl"
+  "fig13_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_summary.dir/repro_summary.cc.o"
+  "CMakeFiles/repro_summary.dir/repro_summary.cc.o.d"
+  "repro_summary"
+  "repro_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

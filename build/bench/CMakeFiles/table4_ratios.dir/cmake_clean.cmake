@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ratios.dir/table4_ratios.cc.o"
+  "CMakeFiles/table4_ratios.dir/table4_ratios.cc.o.d"
+  "table4_ratios"
+  "table4_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_whatif.dir/cxl_whatif.cpp.o"
+  "CMakeFiles/cxl_whatif.dir/cxl_whatif.cpp.o.d"
+  "cxl_whatif"
+  "cxl_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_report.dir/serving_report.cpp.o"
+  "CMakeFiles/serving_report.dir/serving_report.cpp.o.d"
+  "serving_report"
+  "serving_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cc" "src/common/CMakeFiles/helm_common.dir/args.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/args.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/helm_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/helm_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/helm_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/helm_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/status.cc.o.d"
+  "/root/repo/src/common/summary.cc" "src/common/CMakeFiles/helm_common.dir/summary.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/summary.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/helm_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/table.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/common/CMakeFiles/helm_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/helm_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

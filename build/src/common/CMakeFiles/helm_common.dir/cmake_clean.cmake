@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_common.dir/args.cc.o"
+  "CMakeFiles/helm_common.dir/args.cc.o.d"
+  "CMakeFiles/helm_common.dir/csv.cc.o"
+  "CMakeFiles/helm_common.dir/csv.cc.o.d"
+  "CMakeFiles/helm_common.dir/log.cc.o"
+  "CMakeFiles/helm_common.dir/log.cc.o.d"
+  "CMakeFiles/helm_common.dir/rng.cc.o"
+  "CMakeFiles/helm_common.dir/rng.cc.o.d"
+  "CMakeFiles/helm_common.dir/status.cc.o"
+  "CMakeFiles/helm_common.dir/status.cc.o.d"
+  "CMakeFiles/helm_common.dir/summary.cc.o"
+  "CMakeFiles/helm_common.dir/summary.cc.o.d"
+  "CMakeFiles/helm_common.dir/table.cc.o"
+  "CMakeFiles/helm_common.dir/table.cc.o.d"
+  "CMakeFiles/helm_common.dir/units.cc.o"
+  "CMakeFiles/helm_common.dir/units.cc.o.d"
+  "libhelm_common.a"
+  "libhelm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

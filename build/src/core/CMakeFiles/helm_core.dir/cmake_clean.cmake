@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_core.dir/version.cc.o"
+  "CMakeFiles/helm_core.dir/version.cc.o.d"
+  "libhelm_core.a"
+  "libhelm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/helm_core.dir/version.cc.o: \
+ /root/repo/src/core/version.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/../core/version.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_energy.dir/energy_model.cc.o"
+  "CMakeFiles/helm_energy.dir/energy_model.cc.o.d"
+  "libhelm_energy.a"
+  "libhelm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/compute_model.cc" "src/gpu/CMakeFiles/helm_gpu.dir/compute_model.cc.o" "gcc" "src/gpu/CMakeFiles/helm_gpu.dir/compute_model.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/gpu/CMakeFiles/helm_gpu.dir/gpu.cc.o" "gcc" "src/gpu/CMakeFiles/helm_gpu.dir/gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/helm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/helm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

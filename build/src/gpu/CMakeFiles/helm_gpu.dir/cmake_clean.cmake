@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_gpu.dir/compute_model.cc.o"
+  "CMakeFiles/helm_gpu.dir/compute_model.cc.o.d"
+  "CMakeFiles/helm_gpu.dir/gpu.cc.o"
+  "CMakeFiles/helm_gpu.dir/gpu.cc.o.d"
+  "libhelm_gpu.a"
+  "libhelm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

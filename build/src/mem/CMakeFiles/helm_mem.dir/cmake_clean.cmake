@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_mem.dir/bandwidth_curve.cc.o"
+  "CMakeFiles/helm_mem.dir/bandwidth_curve.cc.o.d"
+  "CMakeFiles/helm_mem.dir/device.cc.o"
+  "CMakeFiles/helm_mem.dir/device.cc.o.d"
+  "CMakeFiles/helm_mem.dir/host_system.cc.o"
+  "CMakeFiles/helm_mem.dir/host_system.cc.o.d"
+  "CMakeFiles/helm_mem.dir/pcie.cc.o"
+  "CMakeFiles/helm_mem.dir/pcie.cc.o.d"
+  "libhelm_mem.a"
+  "libhelm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

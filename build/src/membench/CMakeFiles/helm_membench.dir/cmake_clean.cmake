@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_membench.dir/membench.cc.o"
+  "CMakeFiles/helm_membench.dir/membench.cc.o.d"
+  "libhelm_membench.a"
+  "libhelm_membench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_membench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for helm_membench.
+# This may be replaced when dependencies are built.

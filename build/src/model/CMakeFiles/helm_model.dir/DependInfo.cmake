@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dtype.cc" "src/model/CMakeFiles/helm_model.dir/dtype.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/dtype.cc.o.d"
+  "/root/repo/src/model/footprint.cc" "src/model/CMakeFiles/helm_model.dir/footprint.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/footprint.cc.o.d"
+  "/root/repo/src/model/llama.cc" "src/model/CMakeFiles/helm_model.dir/llama.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/llama.cc.o.d"
+  "/root/repo/src/model/opt.cc" "src/model/CMakeFiles/helm_model.dir/opt.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/opt.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/helm_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/transformer.cc.o.d"
+  "/root/repo/src/model/weight.cc" "src/model/CMakeFiles/helm_model.dir/weight.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/weight.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/model/CMakeFiles/helm_model.dir/zoo.cc.o" "gcc" "src/model/CMakeFiles/helm_model.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_model.dir/dtype.cc.o"
+  "CMakeFiles/helm_model.dir/dtype.cc.o.d"
+  "CMakeFiles/helm_model.dir/footprint.cc.o"
+  "CMakeFiles/helm_model.dir/footprint.cc.o.d"
+  "CMakeFiles/helm_model.dir/llama.cc.o"
+  "CMakeFiles/helm_model.dir/llama.cc.o.d"
+  "CMakeFiles/helm_model.dir/opt.cc.o"
+  "CMakeFiles/helm_model.dir/opt.cc.o.d"
+  "CMakeFiles/helm_model.dir/transformer.cc.o"
+  "CMakeFiles/helm_model.dir/transformer.cc.o.d"
+  "CMakeFiles/helm_model.dir/weight.cc.o"
+  "CMakeFiles/helm_model.dir/weight.cc.o.d"
+  "CMakeFiles/helm_model.dir/zoo.cc.o"
+  "CMakeFiles/helm_model.dir/zoo.cc.o.d"
+  "libhelm_model.a"
+  "libhelm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/all_cpu.cc" "src/placement/CMakeFiles/helm_placement.dir/all_cpu.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/all_cpu.cc.o.d"
+  "/root/repo/src/placement/balanced.cc" "src/placement/CMakeFiles/helm_placement.dir/balanced.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/balanced.cc.o.d"
+  "/root/repo/src/placement/baseline.cc" "src/placement/CMakeFiles/helm_placement.dir/baseline.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/baseline.cc.o.d"
+  "/root/repo/src/placement/capacity.cc" "src/placement/CMakeFiles/helm_placement.dir/capacity.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/capacity.cc.o.d"
+  "/root/repo/src/placement/helm_placement.cc" "src/placement/CMakeFiles/helm_placement.dir/helm_placement.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/helm_placement.cc.o.d"
+  "/root/repo/src/placement/placement.cc" "src/placement/CMakeFiles/helm_placement.dir/placement.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/placement.cc.o.d"
+  "/root/repo/src/placement/policy.cc" "src/placement/CMakeFiles/helm_placement.dir/policy.cc.o" "gcc" "src/placement/CMakeFiles/helm_placement.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/helm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_placement.dir/all_cpu.cc.o"
+  "CMakeFiles/helm_placement.dir/all_cpu.cc.o.d"
+  "CMakeFiles/helm_placement.dir/balanced.cc.o"
+  "CMakeFiles/helm_placement.dir/balanced.cc.o.d"
+  "CMakeFiles/helm_placement.dir/baseline.cc.o"
+  "CMakeFiles/helm_placement.dir/baseline.cc.o.d"
+  "CMakeFiles/helm_placement.dir/capacity.cc.o"
+  "CMakeFiles/helm_placement.dir/capacity.cc.o.d"
+  "CMakeFiles/helm_placement.dir/helm_placement.cc.o"
+  "CMakeFiles/helm_placement.dir/helm_placement.cc.o.d"
+  "CMakeFiles/helm_placement.dir/placement.cc.o"
+  "CMakeFiles/helm_placement.dir/placement.cc.o.d"
+  "CMakeFiles/helm_placement.dir/policy.cc.o"
+  "CMakeFiles/helm_placement.dir/policy.cc.o.d"
+  "libhelm_placement.a"
+  "libhelm_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cc" "src/runtime/CMakeFiles/helm_runtime.dir/engine.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/engine.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/runtime/CMakeFiles/helm_runtime.dir/metrics.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/metrics.cc.o.d"
+  "/root/repo/src/runtime/planner.cc" "src/runtime/CMakeFiles/helm_runtime.dir/planner.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/planner.cc.o.d"
+  "/root/repo/src/runtime/serving.cc" "src/runtime/CMakeFiles/helm_runtime.dir/serving.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/serving.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/runtime/CMakeFiles/helm_runtime.dir/trace.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/trace.cc.o.d"
+  "/root/repo/src/runtime/tuner.cc" "src/runtime/CMakeFiles/helm_runtime.dir/tuner.cc.o" "gcc" "src/runtime/CMakeFiles/helm_runtime.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/helm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/helm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/helm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/helm_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/helm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_runtime.dir/engine.cc.o"
+  "CMakeFiles/helm_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/helm_runtime.dir/metrics.cc.o"
+  "CMakeFiles/helm_runtime.dir/metrics.cc.o.d"
+  "CMakeFiles/helm_runtime.dir/planner.cc.o"
+  "CMakeFiles/helm_runtime.dir/planner.cc.o.d"
+  "CMakeFiles/helm_runtime.dir/serving.cc.o"
+  "CMakeFiles/helm_runtime.dir/serving.cc.o.d"
+  "CMakeFiles/helm_runtime.dir/trace.cc.o"
+  "CMakeFiles/helm_runtime.dir/trace.cc.o.d"
+  "CMakeFiles/helm_runtime.dir/tuner.cc.o"
+  "CMakeFiles/helm_runtime.dir/tuner.cc.o.d"
+  "libhelm_runtime.a"
+  "libhelm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_sim.dir/bandwidth_channel.cc.o"
+  "CMakeFiles/helm_sim.dir/bandwidth_channel.cc.o.d"
+  "CMakeFiles/helm_sim.dir/resource.cc.o"
+  "CMakeFiles/helm_sim.dir/resource.cc.o.d"
+  "CMakeFiles/helm_sim.dir/simulator.cc.o"
+  "CMakeFiles/helm_sim.dir/simulator.cc.o.d"
+  "libhelm_sim.a"
+  "libhelm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_sweep.dir/dataset.cc.o"
+  "CMakeFiles/helm_sweep.dir/dataset.cc.o.d"
+  "CMakeFiles/helm_sweep.dir/sweep.cc.o"
+  "CMakeFiles/helm_sweep.dir/sweep.cc.o.d"
+  "libhelm_sweep.a"
+  "libhelm_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

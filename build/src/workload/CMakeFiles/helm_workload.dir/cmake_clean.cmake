@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helm_workload.dir/workload.cc.o"
+  "CMakeFiles/helm_workload.dir/workload.cc.o.d"
+  "libhelm_workload.a"
+  "libhelm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_membench.dir/membench/membench_test.cc.o"
+  "CMakeFiles/test_membench.dir/membench/membench_test.cc.o.d"
+  "test_membench"
+  "test_membench.pdb"
+  "test_membench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_membench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

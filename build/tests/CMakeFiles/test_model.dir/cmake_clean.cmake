@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/dtype_test.cc.o"
+  "CMakeFiles/test_model.dir/model/dtype_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/llama_test.cc.o"
+  "CMakeFiles/test_model.dir/model/llama_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/opt_footprint_test.cc.o"
+  "CMakeFiles/test_model.dir/model/opt_footprint_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/transformer_test.cc.o"
+  "CMakeFiles/test_model.dir/model/transformer_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/zoo_test.cc.o"
+  "CMakeFiles/test_model.dir/model/zoo_test.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

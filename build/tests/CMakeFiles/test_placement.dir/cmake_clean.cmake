@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement.dir/placement/balanced_test.cc.o"
+  "CMakeFiles/test_placement.dir/placement/balanced_test.cc.o.d"
+  "CMakeFiles/test_placement.dir/placement/baseline_test.cc.o"
+  "CMakeFiles/test_placement.dir/placement/baseline_test.cc.o.d"
+  "CMakeFiles/test_placement.dir/placement/capacity_test.cc.o"
+  "CMakeFiles/test_placement.dir/placement/capacity_test.cc.o.d"
+  "CMakeFiles/test_placement.dir/placement/helm_allcpu_test.cc.o"
+  "CMakeFiles/test_placement.dir/placement/helm_allcpu_test.cc.o.d"
+  "CMakeFiles/test_placement.dir/placement/policy_test.cc.o"
+  "CMakeFiles/test_placement.dir/placement/policy_test.cc.o.d"
+  "test_placement"
+  "test_placement.pdb"
+  "test_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/block_schedule_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/block_schedule_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/engine_misc_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/engine_misc_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/engine_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/engine_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/planner_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/planner_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/serving_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/serving_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/trace_tuner_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/trace_tuner_test.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

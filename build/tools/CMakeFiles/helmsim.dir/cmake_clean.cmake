@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helmsim.dir/helmsim.cc.o"
+  "CMakeFiles/helmsim.dir/helmsim.cc.o.d"
+  "helmsim"
+  "helmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for helmsim.
+# This may be replaced when dependencies are built.
