@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation (extends Secs. V-B/V-C to request streams): arrival rate x
+ * placement scheme x memory kind under the FCFS serving scheduler,
+ * OPT-175B compressed.  Shows where each placement wins under load: at
+ * low rates per-batch latency dominates and HeLM's latency-optimizing
+ * split takes p99 TTFT; as the rate climbs, queueing dominates and
+ * All-CPU's larger feasible batches keep goodput alive after the
+ * GPU-resident schemes saturate.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace helm;
+    using namespace helm::bench;
+
+    banner("Ablation: arrival rate x placement x memory under the "
+           "FCFS scheduler",
+           "extends Secs. V-B/V-C to request-level serving");
+
+    const double kSloTtft = 60.0; // seconds; generous out-of-core SLO
+
+    AsciiTable t("p99 TTFT (s) / goodput (tok/s), OPT-175B(c), "
+                 "Poisson arrivals, SLO TTFT 60 s");
+    const std::vector<std::string> header{
+        "rate_rps",  "memory",      "placement",  "p50_ttft_s",
+        "p99_ttft_s", "p99_queue_s", "goodput_tps", "throughput_tps",
+        "slo_met_pct", "mean_batch"};
+    t.set_header(header);
+    t.align_right_from(0);
+
+    csv_begin("abl_scheduler");
+    CsvWriter csv(std::cout);
+    csv.header(header);
+
+    for (double rate : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        for (auto memory :
+             {mem::ConfigKind::kNvdram, mem::ConfigKind::kDram}) {
+            for (auto scheme : {placement::PlacementKind::kBaseline,
+                                placement::PlacementKind::kHelm,
+                                placement::PlacementKind::kAllCpu}) {
+                auto spec = opt175b_spec(memory, scheme, 1, true);
+                spec.keep_records = false;
+
+                workload::ArrivalSpec arrivals;
+                arrivals.rate = rate;
+                arrivals.duration = 120.0;
+                arrivals.seed = 7; // same stream for every cell
+
+                runtime::SchedulerPolicy policy;
+                policy.max_batch = 0; // auto-size from the GPU budget
+                policy.max_queue_delay = 2.0;
+                runtime::SloSpec slo;
+                slo.ttft_target = kSloTtft;
+
+                auto server = runtime::Server::create(spec, policy, slo);
+                if (!server.is_ok()) {
+                    std::fprintf(stderr, "bench: %s\n",
+                                 server.status().to_string().c_str());
+                    return 1;
+                }
+                auto stream = workload::generate_arrivals(arrivals);
+                if (!stream.is_ok() ||
+                    !server->submit(*stream).is_ok()) {
+                    std::fprintf(stderr, "bench: arrival setup failed\n");
+                    return 1;
+                }
+                auto report = server->run();
+                if (!report.is_ok()) {
+                    std::fprintf(stderr, "bench: %s\n",
+                                 report.status().to_string().c_str());
+                    return 1;
+                }
+
+                const std::vector<std::string> cells{
+                    format_fixed(rate, 2),
+                    mem::config_kind_name(memory),
+                    placement::placement_kind_name(scheme),
+                    format_fixed(report->ttft_percentile(50.0), 2),
+                    format_fixed(report->ttft_percentile(99.0), 2),
+                    format_fixed(report->queueing_delay_percentile(99.0),
+                                 2),
+                    format_fixed(report->goodput, 3),
+                    format_fixed(report->throughput, 3),
+                    format_fixed(100.0 * report->slo_attainment, 1),
+                    format_fixed(report->mean_batch_size, 2)};
+                csv.row(cells);
+                t.add_row(cells);
+            }
+        }
+    }
+    csv_end();
+    t.print(std::cout);
+    std::cout << "\nShape: HeLM holds the lowest p99 TTFT while the "
+                 "queue stays short; past the saturation rate the "
+                 "throughput-optimizing All-CPU split keeps goodput "
+                 "from collapsing (paper Secs. V-B/V-C under load).\n";
+    return 0;
+}

@@ -1,9 +1,10 @@
 /**
  * @file
  * Serving report: run one configuration end to end and produce the full
- * observability bundle — serving metrics, per-stage overlap, the system
- * energy breakdown, and a Chrome trace (chrome://tracing / Perfetto)
- * of the compute/communication timeline.
+ * observability bundle — serving metrics, a request-level SLO section
+ * (Poisson arrivals through the runtime::Server scheduler), per-stage
+ * overlap, the system energy breakdown, and a Chrome trace
+ * (chrome://tracing / Perfetto) of the compute/communication timeline.
  *
  * Usage:
  *   serving_report [model] [memory] [scheme] [batch] [trace.json]
@@ -77,6 +78,53 @@ main(int argc, char **argv)
     metrics.add_row({"total time",
                      format_seconds(result->metrics.total_time)});
     metrics.print(std::cout);
+
+    // ---- Per-request SLO metrics ------------------------------------------
+    // The same configuration behind the request-level Server: a Poisson
+    // stream at 0.5 req/s for two minutes, FCFS batching up to `batch`.
+    runtime::SchedulerPolicy policy;
+    policy.max_batch = batch;
+    policy.max_queue_delay = 2.0;
+    runtime::SloSpec slo;
+    slo.ttft_target = 120.0;
+    auto server = runtime::Server::create(spec, policy, slo);
+    if (server.is_ok()) {
+        workload::ArrivalSpec arrivals;
+        arrivals.rate = 0.5;
+        arrivals.duration = 120.0;
+        server->submit(*workload::generate_arrivals(arrivals));
+        const auto report = server->run();
+        if (report.is_ok()) {
+            std::cout << "\n";
+            AsciiTable per_request(
+                "Per-request SLO metrics (Poisson 0.5 req/s)");
+            per_request.set_header({"metric", "p50", "p90", "p99"});
+            per_request.align_right_from(1);
+            per_request.add_row(
+                {"queueing delay",
+                 format_seconds(report->queueing_delay_percentile(50.0)),
+                 format_seconds(report->queueing_delay_percentile(90.0)),
+                 format_seconds(
+                     report->queueing_delay_percentile(99.0))});
+            per_request.add_row(
+                {"TTFT", format_seconds(report->ttft_percentile(50.0)),
+                 format_seconds(report->ttft_percentile(90.0)),
+                 format_seconds(report->ttft_percentile(99.0))});
+            per_request.add_row(
+                {"e2e latency",
+                 format_seconds(report->e2e_percentile(50.0)),
+                 format_seconds(report->e2e_percentile(90.0)),
+                 format_seconds(report->e2e_percentile(99.0))});
+            per_request.print(std::cout);
+            std::cout << "goodput: " << format_fixed(report->goodput, 2)
+                      << " tokens/s under a "
+                      << format_seconds(slo.ttft_target)
+                      << " TTFT SLO ("
+                      << format_fixed(100.0 * report->slo_attainment, 1)
+                      << " % of " << report->completed
+                      << " requests met it)\n";
+        }
+    }
 
     // ---- Overlap ----------------------------------------------------------
     std::cout << "\n";

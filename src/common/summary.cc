@@ -69,6 +69,19 @@ percentile(std::vector<double> values, double p)
 }
 
 double
+percentile_nearest_rank(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    std::sort(values.begin(), values.end());
+    const double exact = p / 100.0 * static_cast<double>(values.size());
+    std::size_t rank = static_cast<std::size_t>(std::ceil(exact));
+    rank = std::clamp<std::size_t>(rank, 1, values.size());
+    return values[rank - 1];
+}
+
+double
 relative_delta(double a, double b)
 {
     return b == 0.0 ? 0.0 : (a - b) / b;

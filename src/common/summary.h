@@ -40,6 +40,14 @@ double mean_discarding_first(const std::vector<double> &values);
 /** Linear-interpolated percentile, p in [0,100]; 0 for empty input. */
 double percentile(std::vector<double> values, double p);
 
+/**
+ * Exact nearest-rank percentile: the ceil(p/100 * N)-th smallest value
+ * (1-indexed, rank clamped to [1, N]), so the result is always a member
+ * of the sample — the convention SLO reporting uses for p50/p90/p99.
+ * 0 for empty input; p is clamped to [0, 100].
+ */
+double percentile_nearest_rank(std::vector<double> values, double p);
+
 /** Relative difference (a-b)/b; 0 when b == 0. */
 double relative_delta(double a, double b);
 

@@ -60,6 +60,7 @@
 #include "runtime/engine.h"
 #include "runtime/metrics.h"
 #include "runtime/planner.h"
+#include "runtime/scheduler.h"
 #include "runtime/serving.h"
 #include "runtime/trace.h"
 #include "runtime/tuner.h"
@@ -68,6 +69,7 @@
 #include "sweep/sweep.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "workload/arrival.h"
 #include "workload/workload.h"
 
 #endif // HELM_CORE_HELM_H

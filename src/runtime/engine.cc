@@ -201,26 +201,74 @@ class ScheduleDriver
 
 } // namespace
 
+Status
+ServingSpec::validate() const
+{
+    if (batch < 1)
+        return Status::invalid_argument("batch must be >= 1");
+    if (micro_batches < 1)
+        return Status::invalid_argument("micro_batches must be >= 1");
+    if (repeats < 1)
+        return Status::invalid_argument("repeats must be >= 1");
+    if (shape.prompt_tokens < 1 || shape.output_tokens < 1) {
+        return Status::invalid_argument(
+            "prompt and output token counts must be >= 1");
+    }
+    if (model.hidden == 0 || model.blocks == 0)
+        return Status::invalid_argument("model config is incomplete");
+
+    const placement::Policy effective =
+        policy.value_or(default_policy(memory));
+    HELM_RETURN_IF_ERROR(effective.validate());
+
+    // CXL-override rules: the override replaces the host tier with a
+    // storage-less expander, so the bandwidth must be real and the
+    // policy must not route weights to a disk tier that will not exist.
+    if (custom_cxl_bandwidth.has_value()) {
+        if (custom_cxl_bandwidth->as_gb_per_s() <= 0.0) {
+            return Status::invalid_argument(
+                "custom CXL bandwidth must be positive");
+        }
+        if (effective.disk_percent > 0.0) {
+            return Status::invalid_argument(
+                "custom CXL override has no storage tier but the "
+                "policy assigns " +
+                std::to_string(effective.disk_percent) +
+                " % of weights to disk");
+        }
+    }
+
+    // KV/batch feasibility: capacity enforcement can spill every weight
+    // off the GPU, but the KV cache, hidden state, and staging buffers
+    // for the effective batch must still fit.
+    if (enforce_gpu_capacity) {
+        const auto layers = helm::model::build_layers(
+            model, compress_weights ? helm::model::DataType::kInt4Grouped
+                                    : helm::model::DataType::kFp16);
+        const GpuBudget floor = compute_gpu_budget(
+            gpu, model, layers, /*gpu_weight_bytes=*/0, shape,
+            batch * micro_batches, compress_weights, !offload_kv_cache);
+        if (!floor.fits()) {
+            return Status::capacity_exceeded(
+                "configuration does not fit in GPU memory even with "
+                "zero resident weights: " +
+                std::to_string(batch * micro_batches) +
+                " concurrent requests need " +
+                format_bytes(floor.used()) + " of " +
+                format_bytes(floor.hbm_capacity));
+        }
+    }
+    return Status::ok();
+}
+
 Result<RunResult>
 simulate_inference(const ServingSpec &spec)
 {
     // ---- Validation -----------------------------------------------------
-    if (spec.batch < 1)
-        return Status::invalid_argument("batch must be >= 1");
-    if (spec.micro_batches < 1)
-        return Status::invalid_argument("micro_batches must be >= 1");
-    if (spec.repeats < 1)
-        return Status::invalid_argument("repeats must be >= 1");
-    if (spec.shape.prompt_tokens < 1 || spec.shape.output_tokens < 1) {
-        return Status::invalid_argument(
-            "prompt and output token counts must be >= 1");
-    }
-    if (spec.model.hidden == 0 || spec.model.blocks == 0)
-        return Status::invalid_argument("model config is incomplete");
+    HELM_RETURN_IF_ERROR(spec.validate());
 
     placement::Policy policy =
         spec.policy.value_or(default_policy(spec.memory));
-    HELM_RETURN_IF_ERROR(policy.validate());
 
     // ---- Model + placement ---------------------------------------------
     const model::DataType dtype = spec.compress_weights

@@ -72,6 +72,17 @@ struct ServingSpec
     std::optional<Bandwidth> custom_cxl_bandwidth;
     bool enforce_gpu_capacity = true; //!< spill weights that do not fit
     bool keep_records = true;         //!< retain per-step records
+
+    /**
+     * Check the spec before running it: field ranges, policy percentages
+     * summing to 100, CXL-override rules (positive bandwidth, no disk
+     * share without a storage tier), and KV/batch feasibility (the
+     * effective batch must fit the GPU even with zero resident weights).
+     * `Server`, the CLI, and the benches all report the same errors this
+     * way before paying for a simulation; simulate_inference() calls it
+     * first and never runs an invalid spec.
+     */
+    Status validate() const;
 };
 
 /** FlexGen's default policy for a memory configuration (Sec. V-A). */

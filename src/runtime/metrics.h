@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/summary.h"
 #include "common/units.h"
 #include "gpu/compute_model.h"
 #include "model/transformer.h"
@@ -45,6 +46,20 @@ struct InferenceMetrics
 
     std::vector<double> per_batch_ttft; //!< seconds, one per repeat
     std::vector<double> per_batch_tbt;  //!< mean TBT per repeat
+
+    /** Nearest-rank percentile of the per-batch TTFT samples. */
+    Seconds
+    ttft_percentile(double p) const
+    {
+        return percentile_nearest_rank(per_batch_ttft, p);
+    }
+
+    /** Nearest-rank percentile of the per-batch TBT samples. */
+    Seconds
+    tbt_percentile(double p) const
+    {
+        return percentile_nearest_rank(per_batch_tbt, p);
+    }
 };
 
 /** Per-stage compute/communication averages (Figs. 5, 6, 8, 11, 12). */

@@ -1,0 +1,276 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "common/summary.h"
+
+namespace helm::runtime {
+
+namespace {
+
+std::vector<double>
+collect(const std::vector<RequestMetrics> &requests,
+        Seconds RequestMetrics::*field)
+{
+    std::vector<double> values;
+    values.reserve(requests.size());
+    for (const auto &r : requests)
+        values.push_back(r.*field);
+    return values;
+}
+
+} // namespace
+
+Status
+SchedulerPolicy::validate() const
+{
+    if (max_queue_length < 1)
+        return Status::invalid_argument("max_queue_length must be >= 1");
+    if (max_queue_delay < 0.0)
+        return Status::invalid_argument("max_queue_delay must be >= 0");
+    return Status::ok();
+}
+
+Seconds
+ServingReport::queueing_delay_percentile(double p) const
+{
+    return percentile_nearest_rank(
+        collect(requests, &RequestMetrics::queueing_delay), p);
+}
+
+Seconds
+ServingReport::ttft_percentile(double p) const
+{
+    return percentile_nearest_rank(collect(requests, &RequestMetrics::ttft),
+                                   p);
+}
+
+Seconds
+ServingReport::e2e_percentile(double p) const
+{
+    return percentile_nearest_rank(
+        collect(requests, &RequestMetrics::e2e_latency), p);
+}
+
+Result<Server>
+Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
+{
+    // The template's batch/shape/repeats are overridden per formed
+    // batch; pin them to the canonical single-batch form so validation
+    // checks what will actually run.
+    base.batch = std::max<std::uint64_t>(base.batch, 1);
+    base.repeats = 1;
+    base.keep_records = false;
+    HELM_RETURN_IF_ERROR(base.validate());
+    HELM_RETURN_IF_ERROR(policy.validate());
+
+    std::uint64_t ceiling = policy.max_batch;
+    if (ceiling == 0) {
+        // Auto-size against the planner's KV-capacity math: the largest
+        // effective batch that fits HBM with every weight spilled off.
+        const auto layers = model::build_layers(
+            base.model, base.compress_weights
+                            ? model::DataType::kInt4Grouped
+                            : model::DataType::kFp16);
+        const std::uint64_t slots = max_batch(
+            base.gpu, base.model, layers, /*gpu_weight_bytes=*/0,
+            base.shape, base.compress_weights, /*limit=*/4096,
+            !base.offload_kv_cache);
+        if (slots == 0) {
+            return Status::capacity_exceeded(
+                "not even one request fits the GPU at the template "
+                "shape; cannot auto-size the scheduler batch");
+        }
+        ceiling = std::max<std::uint64_t>(slots / base.micro_batches, 1);
+    }
+    return Server(std::move(base), policy, slo, ceiling);
+}
+
+Status
+Server::submit(const workload::Request &request, Seconds arrival)
+{
+    if (arrival < 0.0)
+        return Status::invalid_argument("arrival time must be >= 0");
+    if (request.prompt_tokens < 1 || request.output_tokens < 1) {
+        return Status::invalid_argument(
+            "prompt and output token counts must be >= 1");
+    }
+    pending_.push_back(workload::TimedRequest{request, arrival});
+    return Status::ok();
+}
+
+Status
+Server::submit(const std::vector<workload::TimedRequest> &stream)
+{
+    for (const auto &timed : stream)
+        HELM_RETURN_IF_ERROR(submit(timed.request, timed.arrival));
+    return Status::ok();
+}
+
+Result<InferenceMetrics>
+Server::run_batch(const workload::Batch &batch)
+{
+    if (batch.size() == 0)
+        return Status::invalid_argument("cannot run an empty batch");
+    const auto key = std::make_tuple(batch.size(),
+                                     batch.max_prompt_tokens(),
+                                     batch.max_output_tokens());
+    const auto cached = memo_.find(key);
+    if (cached != memo_.end())
+        return cached->second;
+
+    ServingSpec spec = base_;
+    spec.batch = batch.size();
+    spec.shape = batch.shape();
+    spec.repeats = 1;
+    spec.keep_records = false;
+    auto run = simulate_inference(spec);
+    if (!run.is_ok())
+        return run.status();
+    memo_.emplace(key, run->metrics);
+    return run->metrics;
+}
+
+Result<ServingReport>
+Server::run()
+{
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const workload::TimedRequest &a,
+                        const workload::TimedRequest &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    ServingReport report;
+    report.submitted = pending_.size();
+    if (pending_.empty())
+        return report;
+
+    const std::uint64_t cap = policy_.max_queue_length;
+    // The batch can never outgrow the queue that feeds it.
+    const std::uint64_t slots = std::min(max_batch_, cap);
+    constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+    std::deque<std::size_t> queue; // indices into pending_, FCFS
+    std::size_t next_arrival = 0;  // first request not yet admitted
+    Seconds free_t = 0.0;          // when the engine can next launch
+    Seconds last_completion = pending_.front().arrival;
+
+    // Admit every arrival up to virtual time @p t, shedding requests
+    // that find the queue at capacity.
+    auto admit_until = [&](Seconds t) {
+        while (next_arrival < pending_.size() &&
+               pending_[next_arrival].arrival <= t) {
+            if (queue.size() < cap) {
+                queue.push_back(next_arrival);
+                report.max_queue_depth = std::max<std::uint64_t>(
+                    report.max_queue_depth, queue.size());
+            } else {
+                report.rejected_ids.push_back(
+                    pending_[next_arrival].request.id);
+            }
+            ++next_arrival;
+        }
+    };
+
+    while (!queue.empty() || next_arrival < pending_.size()) {
+        if (queue.empty()) {
+            admit_until(pending_[next_arrival].arrival);
+            continue;
+        }
+        const workload::TimedRequest &head = pending_[queue.front()];
+        const Seconds ready = std::max(head.arrival, free_t);
+        admit_until(ready); // arrivals while the engine was busy
+
+        // Launch when the batch fills, when the head has waited
+        // max_queue_delay past the moment it could start, or once no
+        // further arrival can join — whichever comes first.
+        Seconds launch = ready;
+        if (queue.size() < slots) {
+            const Seconds deadline =
+                std::max(ready, head.arrival + policy_.max_queue_delay);
+            const std::size_t needed = slots - queue.size();
+            const std::size_t filler = next_arrival + needed - 1;
+            const Seconds full_at = filler < pending_.size()
+                                        ? pending_[filler].arrival
+                                        : kNever;
+            launch = std::max(ready, std::min(deadline, full_at));
+            admit_until(launch);
+        }
+
+        workload::Batch batch;
+        std::vector<std::size_t> members;
+        while (!queue.empty() && batch.size() < max_batch_) {
+            members.push_back(queue.front());
+            batch.requests.push_back(pending_[queue.front()].request);
+            queue.pop_front();
+        }
+
+        const auto metrics = run_batch(batch);
+        if (!metrics.is_ok())
+            return metrics.status();
+        const Seconds done = launch + metrics->total_time;
+
+        for (std::size_t member : members) {
+            const workload::TimedRequest &timed = pending_[member];
+            RequestMetrics r;
+            r.id = timed.request.id;
+            r.prompt_tokens = timed.request.prompt_tokens;
+            r.output_tokens = timed.request.output_tokens;
+            r.batch_index = report.batches_formed;
+            r.arrival = timed.arrival;
+            r.queueing_delay = launch - timed.arrival;
+            r.ttft = r.queueing_delay + metrics->ttft;
+            r.tbt = metrics->tbt;
+            r.e2e_latency = done - timed.arrival;
+            r.slo_met = (slo_.ttft_target <= 0.0 ||
+                         r.ttft <= slo_.ttft_target) &&
+                        (slo_.e2e_target <= 0.0 ||
+                         r.e2e_latency <= slo_.e2e_target);
+            report.requests.push_back(r);
+        }
+        ++report.batches_formed;
+        free_t = done;
+        last_completion = done;
+    }
+    pending_.clear();
+
+    report.completed = report.requests.size();
+    report.rejected = report.rejected_ids.size();
+    report.mean_batch_size =
+        report.batches_formed > 0
+            ? static_cast<double>(report.completed) /
+                  static_cast<double>(report.batches_formed)
+            : 0.0;
+    // Makespan: first arrival to last completion.  Tokens are the
+    // requests' own generation budgets — padding is engine overhead,
+    // not served traffic.
+    const Seconds first_arrival =
+        report.requests.empty() ? 0.0 : report.requests.front().arrival;
+    report.makespan = last_completion - first_arrival;
+    std::uint64_t slo_tokens = 0;
+    std::uint64_t slo_met_count = 0;
+    for (const auto &r : report.requests) {
+        report.total_tokens += r.output_tokens;
+        if (r.slo_met) {
+            slo_tokens += r.output_tokens;
+            ++slo_met_count;
+        }
+    }
+    if (report.makespan > 0.0) {
+        report.throughput =
+            static_cast<double>(report.total_tokens) / report.makespan;
+        report.goodput =
+            static_cast<double>(slo_tokens) / report.makespan;
+    }
+    report.slo_attainment =
+        report.completed > 0
+            ? static_cast<double>(slo_met_count) /
+                  static_cast<double>(report.completed)
+            : 0.0;
+    return report;
+}
+
+} // namespace helm::runtime

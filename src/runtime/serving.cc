@@ -1,6 +1,7 @@
 #include "runtime/serving.h"
 
 #include "common/summary.h"
+#include "runtime/scheduler.h"
 
 namespace helm::runtime {
 
@@ -16,6 +17,14 @@ serve_workload(const ServingSpec &base,
                                             "batch");
     }
 
+    // Thin compatibility shim: Server::run_batch() executes each
+    // pre-formed batch exactly as the historical loop did (padded to its
+    // longest prompt, repeats=1); only the validation and execution
+    // moved behind the Server facade.
+    auto server = Server::create(base);
+    if (!server.is_ok())
+        return server.status();
+
     WorkloadRunResult result;
     result.per_batch.reserve(batches.size());
 
@@ -25,20 +34,15 @@ serve_workload(const ServingSpec &base,
     std::vector<double> tbts;
 
     for (const auto &batch : batches) {
-        ServingSpec spec = base;
-        spec.batch = batch.size();
-        spec.shape = batch.shape();
-        spec.repeats = 1;
-        spec.keep_records = false;
-        auto run = simulate_inference(spec);
+        auto run = server->run_batch(batch);
         if (!run.is_ok())
             return run.status();
 
-        result.per_batch.push_back(run->metrics);
-        total_time += run->metrics.total_time;
-        total_tokens += run->metrics.total_tokens;
-        ttfts.push_back(run->metrics.ttft);
-        tbts.push_back(run->metrics.tbt);
+        result.per_batch.push_back(*run);
+        total_time += run->total_time;
+        total_tokens += run->total_tokens;
+        ttfts.push_back(run->ttft);
+        tbts.push_back(run->tbt);
 
         // Padding accounting: every request is padded to the batch's
         // longest prompt (FlexGen's batching), so shorter prompts carry

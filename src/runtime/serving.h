@@ -1,13 +1,19 @@
 /**
  * @file
- * Workload-driven serving: run a stream of (possibly variable-length)
- * request batches through the engine and aggregate metrics the way the
- * paper does — per-batch values averaged with the first (cold) batch
- * discarded, throughput over the whole process (Sec. III-C).
+ * Batch-replay serving — a documented COMPATIBILITY SHIM.
  *
- * This is the bridge between workload::Batch (what a client submits)
- * and ServingSpec (one fixed-shape simulation): each batch runs padded
- * to its own longest prompt, exactly like FlexGen pads a batch.
+ * serve_workload() predates the request-level scheduler: it replays
+ * pre-formed batches sequentially and aggregates metrics the way the
+ * paper does — per-batch values averaged with the first (cold) batch
+ * discarded, throughput over the whole process (Sec. III-C).  Each
+ * batch runs padded to its own longest prompt, exactly like FlexGen
+ * pads a batch, and the aggregates are guaranteed to reproduce the
+ * historical (pre-Server) results bit-for-bit.
+ *
+ * New code should use runtime::Server (runtime/scheduler.h): it adds
+ * request arrival times, FCFS dynamic batching, admission control, and
+ * per-request SLO metrics; this shim now just drives Server's
+ * run_batch() compatibility path.
  */
 #ifndef HELM_RUNTIME_SERVING_H
 #define HELM_RUNTIME_SERVING_H
@@ -30,7 +36,8 @@ struct WorkloadRunResult
 
 /**
  * Serve @p batches sequentially under @p base (its batch/shape/repeats
- * fields are overridden per submitted batch).
+ * fields are overridden per submitted batch).  Compatibility shim over
+ * runtime::Server — prefer Server for new code.
  *
  * @param base Template spec: model, memory, placement, compression,
  *             micro-batches, KV offload, GPU, PCIe all apply.

@@ -1,0 +1,133 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace helm::workload {
+
+Status
+ArrivalSpec::validate() const
+{
+    if (rate <= 0.0)
+        return Status::invalid_argument("arrival rate must be > 0");
+    if (duration <= 0.0)
+        return Status::invalid_argument("arrival duration must be > 0");
+    if (prompt_tokens < 1 || output_tokens < 1) {
+        return Status::invalid_argument(
+            "prompt and output token counts must be >= 1");
+    }
+    return Status::ok();
+}
+
+Result<std::vector<TimedRequest>>
+generate_arrivals(const ArrivalSpec &spec)
+{
+    HELM_RETURN_IF_ERROR(spec.validate());
+
+    Rng rng(spec.seed);
+    std::vector<TimedRequest> stream;
+    Seconds now = 0.0;
+    std::uint64_t next_id = 0;
+
+    while (true) {
+        // Draw the gap to the next arrival.
+        if (spec.kind == ArrivalKind::kPoisson) {
+            // Exponential inter-arrival: -ln(1-u)/rate, u in [0,1).
+            now += -std::log(1.0 - rng.next_double()) / spec.rate;
+        } else {
+            now += 1.0 / spec.rate;
+        }
+        if (now >= spec.duration)
+            break;
+        if (spec.max_requests > 0 && next_id >= spec.max_requests)
+            break;
+
+        TimedRequest timed;
+        timed.arrival = now;
+        timed.request.id = next_id++;
+        timed.request.prompt_tokens =
+            spec.variable_lengths
+                ? sample_c4_prompt_tokens(rng, spec.prompt_tokens,
+                                          spec.min_prompt)
+                : spec.prompt_tokens;
+        timed.request.output_tokens = spec.output_tokens;
+        stream.push_back(timed);
+    }
+    return stream;
+}
+
+Result<std::vector<TimedRequest>>
+load_arrival_trace(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file.is_open())
+        return Status::not_found("cannot open arrival trace " + path);
+
+    std::vector<TimedRequest> stream;
+    std::uint64_t next_id = 0;
+    std::string line;
+    std::size_t line_number = 0;
+
+    while (std::getline(file, line)) {
+        ++line_number;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+
+        std::istringstream fields(line);
+        double arrival = -1.0;
+        std::uint64_t prompt = 0, output = 0;
+        if (!(fields >> arrival >> prompt >> output) || arrival < 0.0 ||
+            prompt == 0 || output == 0) {
+            return Status::invalid_argument(
+                path + ":" + std::to_string(line_number) +
+                ": expected '<arrival_seconds> <prompt_tokens> "
+                "<output_tokens>', got '" +
+                line + "'");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            return Status::invalid_argument(
+                path + ":" + std::to_string(line_number) +
+                ": trailing content '" + extra + "'");
+        }
+        if (!stream.empty() && arrival < stream.back().arrival) {
+            return Status::invalid_argument(
+                path + ":" + std::to_string(line_number) +
+                ": arrival times must be nondecreasing");
+        }
+        stream.push_back(
+            TimedRequest{Request{next_id++, prompt, output}, arrival});
+    }
+    if (stream.empty())
+        return Status::invalid_argument(path + ": no requests");
+    return stream;
+}
+
+Status
+save_arrival_trace(const std::vector<TimedRequest> &requests,
+                   const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file.is_open())
+        return Status::invalid_argument("cannot open " + path);
+    file << "# helm-sim arrival trace: <arrival_seconds> "
+            "<prompt_tokens> <output_tokens>\n";
+    file.precision(17);
+    for (const auto &timed : requests) {
+        file << timed.arrival << " " << timed.request.prompt_tokens << " "
+             << timed.request.output_tokens << "\n";
+    }
+    return file.good() ? Status::ok()
+                       : Status::internal("write to " + path + " failed");
+}
+
+} // namespace helm::workload

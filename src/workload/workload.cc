@@ -36,6 +36,22 @@ Batch::shape() const
     return shape;
 }
 
+std::uint64_t
+sample_c4_prompt_tokens(Rng &rng, std::uint64_t median,
+                        std::uint64_t floor)
+{
+    // Truncated log-normal: median = `median`, sigma chosen so ~95% of
+    // C4-like documents fall within [0.25x, 4x] of the median.
+    const double sigma = 0.7;
+    const double sample = static_cast<double>(median) *
+                          std::exp(sigma * rng.next_gaussian());
+    std::uint64_t tokens =
+        std::max<std::uint64_t>(floor,
+                                static_cast<std::uint64_t>(sample));
+    // Cap at the paper's truncation length.
+    return std::min(tokens, median * 4);
+}
+
 std::vector<Batch>
 generate_batches(const WorkloadSpec &spec, std::uint64_t batch_size,
                  std::uint64_t count)
@@ -56,18 +72,8 @@ generate_batches(const WorkloadSpec &spec, std::uint64_t batch_size,
             Request req;
             req.id = next_id++;
             if (spec.variable_lengths) {
-                // Truncated log-normal: median = spec.prompt_tokens,
-                // sigma chosen so ~95% of C4-like documents fall within
-                // [0.25x, 4x] of the median.
-                const double sigma = 0.7;
-                const double sample =
-                    static_cast<double>(spec.prompt_tokens) *
-                    std::exp(sigma * rng.next_gaussian());
-                req.prompt_tokens = std::max<std::uint64_t>(
-                    spec.min_prompt, static_cast<std::uint64_t>(sample));
-                // Cap at the paper's truncation length.
-                req.prompt_tokens =
-                    std::min(req.prompt_tokens, spec.prompt_tokens * 4);
+                req.prompt_tokens = sample_c4_prompt_tokens(
+                    rng, spec.prompt_tokens, spec.min_prompt);
             } else {
                 req.prompt_tokens = spec.prompt_tokens;
             }

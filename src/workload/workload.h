@@ -59,6 +59,15 @@ struct WorkloadSpec
 };
 
 /**
+ * Sample a C4-like prompt length: truncated log-normal with median
+ * @p median, floored at @p floor and capped at 4x the median (the
+ * paper's truncation).  Shared by the batch generator and the arrival
+ * process so both draw from the same length distribution.
+ */
+std::uint64_t sample_c4_prompt_tokens(Rng &rng, std::uint64_t median,
+                                      std::uint64_t floor);
+
+/**
  * Generate @p count batches of @p batch_size requests each.
  * Fixed-length mode (default) reproduces the paper's setup exactly;
  * variable mode samples prompt lengths from a truncated log-normal

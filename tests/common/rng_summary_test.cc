@@ -116,6 +116,24 @@ TEST(Summary, Percentile)
     EXPECT_DOUBLE_EQ(percentile(v, 150), 50.0);
 }
 
+TEST(Summary, PercentileNearestRank)
+{
+    // Hand-computed against the nearest-rank definition:
+    // rank = ceil(p/100 * N), clamped to [1, N].
+    std::vector<double> v{35, 20, 15, 50, 40}; // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.0), 15.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 30.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 40.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 50.0), 35.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 100.0), 50.0);
+    // Out-of-range p clamps; empty input yields 0.
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 150.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank({}, 50.0), 0.0);
+    // A lone sample is every percentile.
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank({42.0}, 1.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank({42.0}, 99.0), 42.0);
+}
+
 TEST(Summary, RelativeDelta)
 {
     EXPECT_DOUBLE_EQ(relative_delta(110.0, 100.0), 0.1);

@@ -87,6 +87,37 @@ TEST(Engine, RejectsImpossibleBatch)
               StatusCode::kCapacityExceeded);
 }
 
+TEST(Engine, ValidateAcceptsWellFormedSpec)
+{
+    EXPECT_TRUE(small_spec().validate().is_ok());
+}
+
+TEST(Engine, ValidateRejectsWithoutSimulating)
+{
+    // validate() alone flags the same errors simulate_inference would.
+    ServingSpec zero_batch = small_spec();
+    zero_batch.batch = 0;
+    EXPECT_EQ(zero_batch.validate().code(), StatusCode::kInvalidArgument);
+
+    ServingSpec bad_cxl = small_spec();
+    bad_cxl.custom_cxl_bandwidth = Bandwidth::gb_per_s(0.0);
+    EXPECT_EQ(bad_cxl.validate().code(), StatusCode::kInvalidArgument);
+
+    ServingSpec cxl_disk = small_spec();
+    cxl_disk.custom_cxl_bandwidth = Bandwidth::gb_per_s(16.0);
+    cxl_disk.policy = placement::Policy{65.0, 15.0, 20.0, false};
+    EXPECT_EQ(cxl_disk.validate().code(), StatusCode::kInvalidArgument);
+
+    ServingSpec impossible;
+    impossible.model = model::opt_config(OptVariant::kOpt175B);
+    impossible.memory = mem::ConfigKind::kNvdram;
+    impossible.placement = placement::PlacementKind::kAllCpu;
+    impossible.compress_weights = true;
+    impossible.batch = 500;
+    EXPECT_EQ(impossible.validate().code(),
+              StatusCode::kCapacityExceeded);
+}
+
 TEST(Engine, DefaultPolicyMatchesMemoryKind)
 {
     EXPECT_DOUBLE_EQ(default_policy(mem::ConfigKind::kSsd).disk_percent,

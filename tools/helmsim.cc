@@ -4,6 +4,8 @@
  *
  * Subcommands:
  *   run       simulate one serving configuration, print metrics
+ *   serve     request-level serving: an arrival stream through the
+ *             FCFS scheduler, per-request SLO metrics
  *   tune      QoS auto-tuner: best plan for an objective (+ TBT ceiling)
  *   membench  host<->GPU copy bandwidth sweep (Fig. 3 methodology)
  *   models    list the model registry
@@ -13,9 +15,13 @@
  *   helmsim run --model OPT-175B --memory NVDRAM --placement HeLM --int4
  *   helmsim run --model LLaMa-2-70B --batch 32 --kv-offload --int4 \
  *       --trace /tmp/trace.json --energy
+ *   helmsim serve --rate 4 --duration 60 --placement helm \
+ *       --memory nvdram --slo-ttft-ms 20000
  *   helmsim tune --model OPT-175B --memory NVDRAM \
  *       --objective throughput --tbt-ms 4500
  */
+#include <algorithm>
+#include <cctype>
 #include <iostream>
 
 #include "common/args.h"
@@ -25,6 +31,15 @@
 namespace {
 
 using namespace helm;
+
+/** Lower-cased copy, so users can type `helm` / `nvdram` / `HeLM`. */
+std::string
+to_lower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return text;
+}
 
 int
 cmd_models()
@@ -80,7 +95,7 @@ Result<mem::ConfigKind>
 parse_memory(const std::string &name)
 {
     for (auto kind : mem::all_config_kinds()) {
-        if (name == mem::config_kind_name(kind))
+        if (to_lower(name) == to_lower(mem::config_kind_name(kind)))
             return kind;
     }
     return Status::not_found("unknown memory config: " + name +
@@ -94,11 +109,26 @@ parse_placement(const std::string &name)
                       placement::PlacementKind::kHelm,
                       placement::PlacementKind::kBalanced,
                       placement::PlacementKind::kAllCpu}) {
-        if (name == placement::placement_kind_name(kind))
+        if (to_lower(name) ==
+            to_lower(placement::placement_kind_name(kind)))
             return kind;
     }
+    // Accept "all_cpu"/"allcpu" spellings of All-CPU too.
+    const std::string plain = to_lower(name);
+    if (plain == "all_cpu" || plain == "allcpu")
+        return placement::PlacementKind::kAllCpu;
     return Status::not_found("unknown placement scheme: " + name +
                              " (Baseline, HeLM, Balanced, All-CPU)");
+}
+
+Result<model::TransformerConfig>
+parse_model(const std::string &name)
+{
+    for (const auto &config : model::all_models()) {
+        if (to_lower(name) == to_lower(config.name))
+            return config;
+    }
+    return model::find_model(name); // its not-found message
 }
 
 void
@@ -143,7 +173,7 @@ cmd_run(const std::vector<std::string> &args)
         return status.is_ok() ? 0 : 2;
     }
 
-    const auto model_config = model::find_model(parser.get("model"));
+    const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
     const auto scheme = parse_placement(parser.get("placement"));
     for (const Status &s :
@@ -220,56 +250,16 @@ cmd_run(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Batch-replay compatibility path of `helmsim serve` (--workload). */
 int
-cmd_serve(const std::vector<std::string> &args)
+serve_workload_file(const runtime::ServingSpec &base,
+                    const std::string &path)
 {
-    ArgParser parser("helmsim serve",
-                     "serve a workload file of request batches");
-    add_common_options(parser);
-    parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
-                      "Baseline");
-    parser.add_option("workload",
-                      "workload file: '<prompt> <output>' per line, "
-                      "blank line = batch boundary",
-                      "");
-    parser.add_option("micro-batches", "micro-batches per weight load",
-                      "1");
-    parser.add_switch("kv-offload", "keep the KV cache in host memory");
-
-    const Status status = parser.parse(args);
-    if (!status.is_ok() || parser.is_set("help")) {
-        std::cerr << status.to_string() << "\n" << parser.help();
-        return status.is_ok() ? 0 : 2;
-    }
-    if (parser.get("workload").empty()) {
-        std::cerr << "serve needs --workload <file>\n";
-        return 2;
-    }
-    const auto batches =
-        workload::load_workload_file(parser.get("workload"));
+    const auto batches = workload::load_workload_file(path);
     if (!batches.is_ok()) {
         std::cerr << batches.status().to_string() << "\n";
         return 1;
     }
-    const auto model_config = model::find_model(parser.get("model"));
-    const auto memory = parse_memory(parser.get("memory"));
-    const auto scheme = parse_placement(parser.get("placement"));
-    for (const Status &s :
-         {model_config.status(), memory.status(), scheme.status()}) {
-        if (!s.is_ok()) {
-            std::cerr << s.to_string() << "\n";
-            return 2;
-        }
-    }
-
-    runtime::ServingSpec base;
-    base.model = *model_config;
-    base.memory = *memory;
-    base.placement = *scheme;
-    base.compress_weights = parser.is_set("int4");
-    base.micro_batches = parser.get_u64("micro-batches");
-    base.offload_kv_cache = parser.is_set("kv-offload");
-
     const auto result = runtime::serve_workload(base, *batches);
     if (!result.is_ok()) {
         std::cerr << "serving failed: " << result.status().to_string()
@@ -301,6 +291,167 @@ cmd_serve(const std::vector<std::string> &args)
 }
 
 int
+cmd_serve(const std::vector<std::string> &args)
+{
+    ArgParser parser(
+        "helmsim serve",
+        "request-level serving: Poisson/trace arrivals through the "
+        "FCFS scheduler (or --workload for batch replay)");
+    add_common_options(parser);
+    parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
+                      "Baseline");
+    parser.add_option("micro-batches", "micro-batches per weight load",
+                      "1");
+    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+    parser.add_option("rate", "mean request arrivals per second", "4");
+    parser.add_option("duration", "arrival horizon in seconds", "60");
+    parser.add_option("arrival", "poisson | uniform", "poisson");
+    parser.add_option("seed", "arrival stream seed", "42");
+    parser.add_switch("variable-lengths",
+                      "sample C4-like prompt lengths");
+    parser.add_option("arrivals",
+                      "replay an arrival trace file instead of "
+                      "synthesizing one",
+                      "");
+    parser.add_option("max-batch",
+                      "scheduler batch ceiling (0 = auto-size from the "
+                      "GPU budget)",
+                      "0");
+    parser.add_option("max-queue-delay-ms",
+                      "head-of-line wait for batch-mates", "500");
+    parser.add_option("max-queue", "admission cap on waiting requests",
+                      "1024");
+    parser.add_option("slo-ttft-ms", "TTFT target for goodput (0 = off)",
+                      "0");
+    parser.add_option("slo-e2e-ms",
+                      "end-to-end latency target for goodput (0 = off)",
+                      "0");
+    parser.add_option("workload",
+                      "batch-replay mode: workload file '<prompt> "
+                      "<output>' per line, blank line = batch boundary",
+                      "");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    const auto model_config = parse_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    const auto scheme = parse_placement(parser.get("placement"));
+    for (const Status &s :
+         {model_config.status(), memory.status(), scheme.status()}) {
+        if (!s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    runtime::ServingSpec base;
+    base.model = *model_config;
+    base.memory = *memory;
+    base.placement = *scheme;
+    base.compress_weights = parser.is_set("int4");
+    base.micro_batches = parser.get_u64("micro-batches");
+    base.offload_kv_cache = parser.is_set("kv-offload");
+    base.shape.prompt_tokens = parser.get_u64("prompt-tokens");
+    base.shape.output_tokens = parser.get_u64("output-tokens");
+
+    if (!parser.get("workload").empty())
+        return serve_workload_file(base, parser.get("workload"));
+
+    // ---- Arrival stream --------------------------------------------------
+    Result<std::vector<workload::TimedRequest>> stream =
+        Status::internal("unset");
+    if (!parser.get("arrivals").empty()) {
+        stream = workload::load_arrival_trace(parser.get("arrivals"));
+    } else {
+        workload::ArrivalSpec arrivals;
+        arrivals.kind = to_lower(parser.get("arrival")) == "uniform"
+                            ? workload::ArrivalKind::kUniform
+                            : workload::ArrivalKind::kPoisson;
+        arrivals.rate = parser.get_double("rate");
+        arrivals.duration = parser.get_double("duration");
+        arrivals.prompt_tokens = parser.get_u64("prompt-tokens");
+        arrivals.output_tokens = parser.get_u64("output-tokens");
+        arrivals.variable_lengths = parser.is_set("variable-lengths");
+        arrivals.seed = parser.get_u64("seed");
+        stream = workload::generate_arrivals(arrivals);
+    }
+    if (!stream.is_ok()) {
+        std::cerr << stream.status().to_string() << "\n";
+        return 1;
+    }
+
+    // ---- Scheduler + SLO -------------------------------------------------
+    runtime::SchedulerPolicy policy;
+    policy.max_batch = parser.get_u64("max-batch");
+    policy.max_queue_delay =
+        parser.get_double("max-queue-delay-ms") * 1e-3;
+    policy.max_queue_length = parser.get_u64("max-queue");
+    runtime::SloSpec slo;
+    slo.ttft_target = parser.get_double("slo-ttft-ms") * 1e-3;
+    slo.e2e_target = parser.get_double("slo-e2e-ms") * 1e-3;
+
+    auto server = runtime::Server::create(base, policy, slo);
+    if (!server.is_ok()) {
+        std::cerr << "invalid serving spec: "
+                  << server.status().to_string() << "\n";
+        return 2;
+    }
+    const Status submitted = server->submit(*stream);
+    if (!submitted.is_ok()) {
+        std::cerr << submitted.to_string() << "\n";
+        return 2;
+    }
+    const auto report = server->run();
+    if (!report.is_ok()) {
+        std::cerr << "serving failed: " << report.status().to_string()
+                  << "\n";
+        return 1;
+    }
+
+    std::cout << base.model.name << " on "
+              << mem::config_kind_name(base.memory) << " with "
+              << placement::placement_kind_name(base.placement)
+              << ", max batch " << server->effective_max_batch() << "\n";
+    AsciiTable table("ServingReport");
+    table.set_header({"metric", "p50", "p90", "p99"});
+    table.align_right_from(1);
+    auto pct_row = [&](const char *name, auto getter) {
+        table.add_row({name, format_seconds(getter(50.0)),
+                       format_seconds(getter(90.0)),
+                       format_seconds(getter(99.0))});
+    };
+    pct_row("queueing delay", [&](double p) {
+        return report->queueing_delay_percentile(p);
+    });
+    pct_row("TTFT",
+            [&](double p) { return report->ttft_percentile(p); });
+    pct_row("e2e latency",
+            [&](double p) { return report->e2e_percentile(p); });
+    table.print(std::cout);
+
+    std::cout << "requests:    " << report->completed << " completed / "
+              << report->rejected << " rejected of " << report->submitted
+              << " submitted\n"
+              << "batches:     " << report->batches_formed
+              << " formed, mean size "
+              << format_fixed(report->mean_batch_size, 2)
+              << ", peak queue " << report->max_queue_depth << "\n"
+              << "throughput:  "
+              << format_fixed(report->throughput, 2)
+              << " tokens/s over "
+              << format_seconds(report->makespan) << "\n"
+              << "goodput:     " << format_fixed(report->goodput, 2)
+              << " tokens/s under SLO ("
+              << format_fixed(100.0 * report->slo_attainment, 1)
+              << " % of requests met it)\n";
+    return 0;
+}
+
+int
 cmd_tune(const std::vector<std::string> &args)
 {
     ArgParser parser("helmsim tune",
@@ -317,7 +468,7 @@ cmd_tune(const std::vector<std::string> &args)
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
-    const auto model_config = model::find_model(parser.get("model"));
+    const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
     if (!model_config.is_ok() || !memory.is_ok()) {
         std::cerr << model_config.status().to_string() << " "
@@ -515,7 +666,8 @@ usage()
            "host memory (IISWC'25 reproduction)\n\n"
            "subcommands:\n"
            "  run       simulate one serving configuration\n"
-           "  serve     serve a workload file of request batches\n"
+           "  serve     request-level serving: arrival stream through "
+           "the FCFS scheduler\n"
            "  sweep     cartesian parameter sweep with pivot tables\n"
            "  tune      QoS auto-tuner\n"
            "  membench  copy bandwidth sweep (Fig. 3)\n"
