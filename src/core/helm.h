@@ -37,6 +37,7 @@
 #include "energy/energy_model.h"
 #include "gpu/compute_model.h"
 #include "gpu/gpu.h"
+#include "kvcache/kvcache.h"
 #include "mem/bandwidth_curve.h"
 #include "mem/calibration.h"
 #include "mem/device.h"

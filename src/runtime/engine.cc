@@ -31,6 +31,14 @@ default_policy(mem::ConfigKind kind)
 
 namespace {
 
+/** One KV transfer of a step: bytes moving to/from one cache tier. */
+struct KvFlow
+{
+    std::size_t tier = 0; //!< KvCacheConfig tier index
+    Bytes bytes = 0;
+    Bandwidth cap;        //!< effective rate for this chunk
+};
+
 /** One flattened (batch, token, layer) step of the schedule. */
 struct Step
 {
@@ -42,12 +50,17 @@ struct Step
     Seconds compute;
     Bytes cpu_bytes;
     Bytes disk_bytes;
-    Bytes kv_read_bytes = 0;  //!< host->GPU context fetch (KV offload)
-    Bytes kv_write_bytes = 0; //!< GPU->host KV writeback (KV offload)
-    Bandwidth cpu_cap;     //!< effective host->GPU rate for this chunk
-    Bandwidth disk_cap;    //!< effective storage->GPU rate
-    Bandwidth kv_read_cap; //!< host->GPU rate for the KV chunk
-    Bandwidth kv_write_cap;//!< GPU->host rate for the KV writeback
+    Bandwidth cpu_cap;  //!< effective host->GPU rate for this chunk
+    Bandwidth disk_cap; //!< effective storage->GPU rate
+    /** Host-tier -> GPU context fetches (decode steps, MHA layers). */
+    std::vector<KvFlow> kv_reads;
+    /** GPU -> host-tier K/V appends + block demotions. */
+    std::vector<KvFlow> kv_writes;
+    Bytes kv_read_bytes = 0;  //!< sum over kv_reads
+    Bytes kv_write_bytes = 0; //!< sum over kv_writes
+    /** Overlap the reads with the previous step (weight-prefetch path);
+     *  off = the reads gate this step's compute. */
+    bool kv_prefetch = true;
 };
 
 /**
@@ -78,6 +91,8 @@ class ScheduleDriver
         load_done_.assign(n, 0.0);
         step_start_.assign(n, 0.0);
         step_end_.assign(n, 0.0);
+        kv_read_done_.assign(n, -1.0);
+        kv_write_done_.assign(n, -1.0);
     }
 
     /** Run to completion; returns total virtual time. */
@@ -109,6 +124,23 @@ class ScheduleDriver
     Seconds step_end(std::size_t k) const { return step_end_[k]; }
     const std::vector<Step> &steps() const { return steps_; }
 
+    /** Duration of step @p k's KV writeback drain (0 if none). */
+    Seconds
+    kv_write_time(std::size_t k) const
+    {
+        return kv_write_done_[k] >= 0.0
+                   ? kv_write_done_[k] - step_start_[k]
+                   : 0.0;
+    }
+
+    /** Compute stall from un-prefetched KV reads (0 if none). */
+    Seconds
+    kv_stall_time(std::size_t k) const
+    {
+        return kv_read_done_[k] >= 0.0 ? kv_read_done_[k] - step_start_[k]
+                                       : 0.0;
+    }
+
   private:
     /**
      * Begin transferring step @p k's off-GPU weights; @p on_done fires
@@ -119,16 +151,17 @@ class ScheduleDriver
     {
         load_issue_[k] = sim_.now();
         const Step &step = steps_[k];
-        int flows = (step.cpu_bytes > 0 ? 1 : 0) +
-                    (step.disk_bytes > 0 ? 1 : 0) +
-                    (step.kv_read_bytes > 0 ? 1 : 0);
+        const std::size_t kv_flows =
+            step.kv_prefetch ? step.kv_reads.size() : 0;
+        const std::size_t flows = (step.cpu_bytes > 0 ? 1 : 0) +
+                                  (step.disk_bytes > 0 ? 1 : 0) +
+                                  kv_flows;
         if (flows == 0) {
             load_done_[k] = sim_.now();
             on_done();
             return;
         }
-        auto latch = std::make_shared<sim::CountdownLatch>(
-            static_cast<std::size_t>(flows));
+        auto latch = std::make_shared<sim::CountdownLatch>(flows);
         latch->on_zero([this, k, on_done = std::move(on_done)] {
             load_done_[k] = sim_.now();
             on_done();
@@ -137,11 +170,13 @@ class ScheduleDriver
             pcie_.start_flow(step.cpu_bytes, step.cpu_cap,
                              [latch] { latch->arrive(); });
         }
-        if (step.kv_read_bytes > 0) {
-            // Offloaded context streams in alongside the weights,
+        if (step.kv_prefetch) {
+            // Host-resident context streams in alongside the weights,
             // contending for the same h2d fabric.
-            pcie_.start_flow(step.kv_read_bytes, step.kv_read_cap,
-                             [latch] { latch->arrive(); });
+            for (const KvFlow &flow : step.kv_reads) {
+                pcie_.start_flow(flow.bytes, flow.cap,
+                                 [latch] { latch->arrive(); });
+            }
         }
         if (step.disk_bytes > 0) {
             // Storage flows pay the filesystem/DAX software latency
@@ -159,10 +194,10 @@ class ScheduleDriver
     start_step(std::size_t k)
     {
         step_start_[k] = sim_.now();
+        const Step &step = steps_[k];
         const bool has_next = k + 1 < steps_.size();
-        const bool has_writeback = steps_[k].kv_write_bytes > 0;
         auto latch = std::make_shared<sim::CountdownLatch>(
-            1u + (has_next ? 1u : 0u) + (has_writeback ? 1u : 0u));
+            1u + (has_next ? 1u : 0u) + step.kv_writes.size());
         latch->on_zero([this, k] {
             step_end_[k] = sim_.now();
             ++completed_;
@@ -172,16 +207,33 @@ class ScheduleDriver
         // load_weight(i, j+1): prefetch the next step's weights.
         if (has_next)
             issue_load(k + 1, [latch] { latch->arrive(); });
-        // store_cache(i, j): new K/V entries drain to host concurrently
-        // with compute; sync() waits for them too (FlexGen's store path).
-        if (has_writeback) {
-            d2h_.start_flow(steps_[k].kv_write_bytes,
-                            steps_[k].kv_write_cap,
+        // store_cache(i, j): new K/V entries (and demoted blocks) drain
+        // to their host tiers concurrently with compute; sync() waits
+        // for them too (FlexGen's store path).
+        for (const KvFlow &flow : step.kv_writes) {
+            d2h_.start_flow(flow.bytes, flow.cap, [this, k, latch] {
+                kv_write_done_[k] = sim_.now();
+                latch->arrive();
+            });
+        }
+        // compute_layer(i, j).  With prefetch off, the context fetch was
+        // not overlapped with the previous step, so it gates compute.
+        if (!step.kv_prefetch && !step.kv_reads.empty()) {
+            auto reads = std::make_shared<sim::CountdownLatch>(
+                step.kv_reads.size());
+            reads->on_zero([this, k, latch] {
+                kv_read_done_[k] = sim_.now();
+                gpu_res_.occupy(steps_[k].compute + gpu_.layer_overhead,
+                                [latch] { latch->arrive(); });
+            });
+            for (const KvFlow &flow : step.kv_reads) {
+                pcie_.start_flow(flow.bytes, flow.cap,
+                                 [reads] { reads->arrive(); });
+            }
+        } else {
+            gpu_res_.occupy(step.compute + gpu_.layer_overhead,
                             [latch] { latch->arrive(); });
         }
-        // compute_layer(i, j).
-        gpu_res_.occupy(steps_[k].compute + gpu_.layer_overhead,
-                        [latch] { latch->arrive(); });
         // sync(): latch zero == everything issued this step retired.
     }
 
@@ -196,6 +248,8 @@ class ScheduleDriver
     std::vector<Seconds> load_done_;
     std::vector<Seconds> step_start_;
     std::vector<Seconds> step_end_;
+    std::vector<Seconds> kv_read_done_;  //!< -1 = no blocking reads
+    std::vector<Seconds> kv_write_done_; //!< -1 = no writeback
     std::size_t completed_ = 0;
 };
 
@@ -216,6 +270,8 @@ ServingSpec::validate() const
     }
     if (model.hidden == 0 || model.blocks == 0)
         return Status::invalid_argument("model config is incomplete");
+    if (kv_cache.has_value())
+        HELM_RETURN_IF_ERROR(kv_cache->validate());
 
     const placement::Policy effective =
         policy.value_or(default_policy(memory));
@@ -247,7 +303,8 @@ ServingSpec::validate() const
                                     : helm::model::DataType::kFp16);
         const GpuBudget floor = compute_gpu_budget(
             gpu, model, layers, /*gpu_weight_bytes=*/0, shape,
-            batch * micro_batches, compress_weights, !offload_kv_cache);
+            batch * micro_batches, compress_weights,
+            kv_resident_on_gpu());
         if (!floor.fits()) {
             return Status::capacity_exceeded(
                 "configuration does not fit in GPU memory even with "
@@ -259,6 +316,15 @@ ServingSpec::validate() const
         }
     }
     return Status::ok();
+}
+
+kvcache::KvCacheConfig
+ServingSpec::kv_config() const
+{
+    if (kv_cache.has_value())
+        return *kv_cache;
+    return offload_kv_cache ? kvcache::KvCacheConfig::legacy_offload()
+                            : kvcache::KvCacheConfig::gpu_only();
 }
 
 Result<RunResult>
@@ -319,7 +385,7 @@ simulate_inference(const ServingSpec &spec)
         profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
         profile.gpu_weight_budget = gpu_weight_budget(
             spec.gpu, spec.model, layers, spec.shape, effective_requests,
-            spec.compress_weights, !spec.offload_kv_cache);
+            spec.compress_weights, spec.kv_resident_on_gpu());
         algorithm =
             std::make_unique<placement::BalancedPlacement>(profile);
     } else {
@@ -329,7 +395,7 @@ simulate_inference(const ServingSpec &spec)
 
     // ---- GPU capacity enforcement --------------------------------------
     const std::uint64_t effective_batch = effective_requests;
-    const bool kv_on_gpu = !spec.offload_kv_cache;
+    const bool kv_on_gpu = spec.kv_resident_on_gpu();
     placement::SpillReport spill;
     if (spec.enforce_gpu_capacity) {
         const Bytes weight_budget = gpu_weight_budget(
@@ -355,10 +421,46 @@ simulate_inference(const ServingSpec &spec)
             "configuration '" + system.label() + "' has no storage tier");
     }
 
+    // ---- KV cache tiers ---------------------------------------------------
+    // Resolve the managed configuration: the GPU tier's auto capacity is
+    // whatever HBM the planner leaves free at this batch (the batch's
+    // hidden/staging/streaming buffers are already budgeted above).
+    kvcache::KvCacheConfig kv_config = spec.kv_config();
+    for (kvcache::TierSpec &tier : kv_config.tiers) {
+        if (!tier.is_gpu)
+            continue;
+        if (tier.auto_capacity) {
+            tier.capacity = std::max<Bytes>(budget.free_bytes(), 1);
+            tier.auto_capacity = false;
+        } else if (tier.capacity > 0 && spec.enforce_gpu_capacity) {
+            tier.capacity = std::max<Bytes>(
+                std::min(tier.capacity, budget.free_bytes()), 1);
+        }
+    }
+    auto kv_manager_or =
+        kvcache::KvCacheManager::create(kv_config, spec.model);
+    if (!kv_manager_or.is_ok())
+        return kv_manager_or.status();
+    kvcache::KvCacheManager &kv_manager = *kv_manager_or;
+
     // MemoryMode/Optane: the cycled working set is the host-resident
-    // weights plus, when offloaded, the whole KV cache.
+    // weights plus the host-resident share of the KV cache (all of it
+    // in legacy offload mode, the GPU-tier overflow with managed tiers).
     Bytes resident = map.tier_total(Tier::kCpu);
-    if (spec.offload_kv_cache) {
+    if (spec.kv_cache.has_value()) {
+        const Bytes total_kv = model::kv_bytes_batch(
+            spec.model, spec.shape, effective_batch);
+        Bytes gpu_kv = 0;
+        bool gpu_unbounded = false;
+        for (const kvcache::TierSpec &tier : kv_config.tiers) {
+            if (tier.is_gpu) {
+                gpu_kv = tier.capacity;
+                gpu_unbounded = tier.capacity == 0;
+            }
+        }
+        if (!gpu_unbounded && total_kv > gpu_kv)
+            resident += total_kv - gpu_kv;
+    } else if (spec.offload_kv_cache) {
         resident += model::kv_bytes_batch(spec.model, spec.shape,
                                           effective_batch);
     }
@@ -371,9 +473,55 @@ simulate_inference(const ServingSpec &spec)
     steps.reserve(spec.repeats * tokens * num_layers);
 
     for (std::uint64_t rep = 0; rep < spec.repeats; ++rep) {
+        // Each repeat is a fresh batch: the previous batch's blocks
+        // free and the new requests allocate from a clean placement.
+        kv_manager.reset_requests();
+        for (std::uint64_t r = 0; r < effective_batch; ++r)
+            HELM_RETURN_IF_ERROR(kv_manager.add_request(r));
         for (std::uint64_t tok = 0; tok < tokens; ++tok) {
             const gpu::Stage stage =
                 tok == 0 ? gpu::Stage::kPrefill : gpu::Stage::kDecode;
+
+            // Advance the KV manager one token for the whole batch and
+            // turn its per-tier demand into capped flows.  Prefill skips
+            // the context fetch — the K/V it attends to was computed on
+            // the GPU this very step.
+            const std::uint64_t new_tokens =
+                stage == gpu::Stage::kPrefill ? spec.shape.prompt_tokens
+                                              : 1;
+            auto traffic_or = kv_manager.step(
+                new_tokens, stage == gpu::Stage::kDecode);
+            if (!traffic_or.is_ok())
+                return traffic_or.status();
+            const kvcache::StepTraffic &traffic = *traffic_or;
+            std::vector<KvFlow> kv_reads;
+            std::vector<KvFlow> kv_writes;
+            Bytes kv_read_total = 0;
+            Bytes kv_write_total = 0;
+            for (std::size_t t = 0; t < kv_manager.tier_count(); ++t) {
+                const kvcache::TierSpec &tier = kv_manager.tier(t);
+                if (traffic.read_bytes[t] > 0) {
+                    KvFlow flow;
+                    flow.tier = t;
+                    flow.bytes = traffic.read_bytes[t];
+                    flow.cap = tier.read_bw.is_zero()
+                                   ? system.host_to_gpu_bw(flow.bytes)
+                                   : tier.read_bw;
+                    kv_read_total += flow.bytes;
+                    kv_reads.push_back(flow);
+                }
+                if (traffic.write_bytes[t] > 0) {
+                    KvFlow flow;
+                    flow.tier = t;
+                    flow.bytes = traffic.write_bytes[t];
+                    flow.cap = tier.write_bw.is_zero()
+                                   ? system.gpu_to_host_bw(flow.bytes)
+                                   : tier.write_bw;
+                    kv_write_total += flow.bytes;
+                    kv_writes.push_back(flow);
+                }
+            }
+
             for (std::uint64_t li = 0; li < num_layers; ++li) {
                 const auto &layer = layers[li];
                 const auto &lp = map.layers[li];
@@ -407,28 +555,15 @@ simulate_inference(const ServingSpec &spec)
                         ? system.storage_to_gpu_bw(step.disk_bytes)
                         : Bandwidth();
 
-                // Offloaded KV cache: MHA layers stream the context in
-                // (decode) and drain new K/V entries out (both stages).
-                if (spec.offload_kv_cache &&
-                    layer.type == model::LayerType::kMha) {
-                    const std::uint64_t kv_dim = spec.model.kv_dim();
-                    const std::uint64_t new_tokens =
-                        stage == gpu::Stage::kPrefill
-                            ? spec.shape.prompt_tokens
-                            : 1;
-                    if (stage == gpu::Stage::kDecode) {
-                        step.kv_read_bytes =
-                            2 * effective_batch *
-                            work.context_tokens * kv_dim * 2;
-                    }
-                    step.kv_write_bytes =
-                        2 * effective_batch * new_tokens * kv_dim * 2;
-                    step.kv_read_cap =
-                        step.kv_read_bytes > 0
-                            ? system.host_to_gpu_bw(step.kv_read_bytes)
-                            : Bandwidth();
-                    step.kv_write_cap = system.gpu_to_host_bw(
-                        step.kv_write_bytes);
+                // Every MHA layer moves the same KV bytes: the context
+                // streams in from the host tiers (decode) and new K/V
+                // entries + demoted blocks drain out (both stages).
+                if (layer.type == model::LayerType::kMha) {
+                    step.kv_reads = kv_reads;
+                    step.kv_writes = kv_writes;
+                    step.kv_read_bytes = kv_read_total;
+                    step.kv_write_bytes = kv_write_total;
+                    step.kv_prefetch = kv_config.prefetch;
                 }
                 steps.push_back(step);
             }
@@ -445,6 +580,7 @@ simulate_inference(const ServingSpec &spec)
     result.spill = spill;
     result.budget = budget;
     result.model_bytes = model::model_weight_bytes(layers);
+    result.kv_stats = kv_manager.stats();
 
     const auto &all = driver.steps();
     const std::uint64_t steps_per_token = num_layers;
@@ -496,6 +632,24 @@ simulate_inference(const ServingSpec &spec)
             rec.transfer_start = driver.load_issue(k);
             rec.step_start = driver.step_start(k);
             rec.step_end = driver.step_end(k);
+            rec.kv_write_time = driver.kv_write_time(k);
+            rec.kv_stall_time = driver.kv_stall_time(k);
+            if (all[k].kv_read_bytes > 0 || all[k].kv_write_bytes > 0) {
+                auto tier_entry =
+                    [&rec, &kv_manager](std::size_t t) -> KvTierTraffic & {
+                    const std::string &name = kv_manager.tier(t).name;
+                    for (KvTierTraffic &entry : rec.kv_tiers) {
+                        if (entry.tier == name)
+                            return entry;
+                    }
+                    rec.kv_tiers.push_back(KvTierTraffic{name, 0, 0});
+                    return rec.kv_tiers.back();
+                };
+                for (const KvFlow &flow : all[k].kv_reads)
+                    tier_entry(flow.tier).read_bytes += flow.bytes;
+                for (const KvFlow &flow : all[k].kv_writes)
+                    tier_entry(flow.tier).write_bytes += flow.bytes;
+            }
             result.records.push_back(rec);
         }
     }

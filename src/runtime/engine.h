@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "gpu/compute_model.h"
 #include "gpu/gpu.h"
+#include "kvcache/kvcache.h"
 #include "mem/host_system.h"
 #include "model/footprint.h"
 #include "model/transformer.h"
@@ -61,6 +62,17 @@ struct ServingSpec
      * (Optane's 3.26 GB/s, Fig. 3b, finally bites).
      */
     bool offload_kv_cache = false;
+    /**
+     * Managed tiered KV cache (src/kvcache).  When set it supersedes
+     * `offload_kv_cache`: blocks of `block_tokens` tokens are placed
+     * across the configured tiers (GPU first, then host tiers), the
+     * eviction policy demotes blocks when the GPU tier fills, and each
+     * decode step only pays PCIe traffic for the host-resident part of
+     * the context.  `offload_kv_cache = true` is exactly equivalent to
+     * `kv_cache = KvCacheConfig::legacy_offload()` — a single unbounded
+     * host tier — and stays byte-for-byte on the legacy code path.
+     */
+    std::optional<kvcache::KvCacheConfig> kv_cache;
     model::SequenceShape shape; //!< default 128 in / 21 out (paper)
     std::uint64_t repeats = 2;  //!< sequential batches; first discarded
     gpu::GpuSpec gpu = gpu::GpuSpec::a100_40gb();
@@ -83,6 +95,18 @@ struct ServingSpec
      * first and never runs an invalid spec.
      */
     Status validate() const;
+
+    /** True when the whole KV cache lives in HBM (no offload, no
+     *  managed tiers) — the planner then budgets the full cache. */
+    bool
+    kv_resident_on_gpu() const
+    {
+        return !offload_kv_cache && !kv_cache.has_value();
+    }
+
+    /** The KV configuration this spec resolves to: `kv_cache` if set,
+     *  else the gpu_only()/legacy_offload() shim for the bool. */
+    kvcache::KvCacheConfig kv_config() const;
 };
 
 /** FlexGen's default policy for a memory configuration (Sec. V-A). */
@@ -97,6 +121,9 @@ struct RunResult
     placement::SpillReport spill;
     GpuBudget budget;      //!< GPU memory breakdown at the run batch
     Bytes model_bytes = 0; //!< total stored weight bytes
+    /** Tier occupancy/traffic from the KV manager (every run has one —
+     *  the bool paths map to the gpu_only/legacy_offload shims). */
+    kvcache::KvCacheStats kv_stats;
 };
 
 /**

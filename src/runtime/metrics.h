@@ -7,6 +7,7 @@
 #define HELM_RUNTIME_METRICS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/summary.h"
@@ -15,6 +16,14 @@
 #include "model/transformer.h"
 
 namespace helm::runtime {
+
+/** KV bytes one step moved to/from one cache tier (trace track). */
+struct KvTierTraffic
+{
+    std::string tier;        //!< tier name from the KvCacheConfig
+    Bytes read_bytes = 0;    //!< tier -> GPU context fetch
+    Bytes write_bytes = 0;   //!< GPU -> tier appends + demotions
+};
 
 /** Timing of one (token, layer) step of the zig-zag schedule. */
 struct LayerStepRecord
@@ -28,11 +37,17 @@ struct LayerStepRecord
     Seconds transfer_time = 0.0; //!< duration of this layer's weight +
                                  //!< KV-read load
     Bytes transfer_bytes = 0;    //!< off-GPU weight bytes for this layer
-    Bytes kv_read_bytes = 0;     //!< KV fetched from host (offload mode)
-    Bytes kv_write_bytes = 0;    //!< KV written back to host
+    Bytes kv_read_bytes = 0;     //!< KV fetched from host, all tiers
+    Bytes kv_write_bytes = 0;    //!< KV written back to host, all tiers
     Seconds transfer_start = 0.0;//!< virtual time the load was issued
     Seconds step_start = 0.0;    //!< virtual time the step began
     Seconds step_end = 0.0;      //!< virtual time the step retired
+    /** Duration of this step's KV writeback drain (0 if none). */
+    Seconds kv_write_time = 0.0;
+    /** Compute stall waiting for un-prefetched KV reads (0 if none). */
+    Seconds kv_stall_time = 0.0;
+    /** Per-tier KV traffic (empty when the step moved no KV bytes). */
+    std::vector<KvTierTraffic> kv_tiers;
 };
 
 /** Aggregate serving metrics. */

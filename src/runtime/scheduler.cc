@@ -67,18 +67,17 @@ Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
     HELM_RETURN_IF_ERROR(base.validate());
     HELM_RETURN_IF_ERROR(policy.validate());
 
+    const auto layers = model::build_layers(
+        base.model, base.compress_weights ? model::DataType::kInt4Grouped
+                                          : model::DataType::kFp16);
     std::uint64_t ceiling = policy.max_batch;
     if (ceiling == 0) {
         // Auto-size against the planner's KV-capacity math: the largest
         // effective batch that fits HBM with every weight spilled off.
-        const auto layers = model::build_layers(
-            base.model, base.compress_weights
-                            ? model::DataType::kInt4Grouped
-                            : model::DataType::kFp16);
         const std::uint64_t slots = max_batch(
             base.gpu, base.model, layers, /*gpu_weight_bytes=*/0,
             base.shape, base.compress_weights, /*limit=*/4096,
-            !base.offload_kv_cache);
+            base.kv_resident_on_gpu());
         if (slots == 0) {
             return Status::capacity_exceeded(
                 "not even one request fits the GPU at the template "
@@ -86,7 +85,65 @@ Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
         }
         ceiling = std::max<std::uint64_t>(slots / base.micro_batches, 1);
     }
-    return Server(std::move(base), policy, slo, ceiling);
+
+    // Managed KV tiers additionally bound admission by block capacity.
+    // Resolve the GPU tier's auto capacity the way the engine will —
+    // the HBM the planner leaves free at the ceiling's effective batch,
+    // with every weight spilled off — then ask the manager how many
+    // template-shape requests the tiers hold.
+    std::uint64_t kv_block_tokens = 0;
+    std::uint64_t kv_capacity_blocks =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t kv_request_slots = 0;
+    if (base.kv_cache.has_value()) {
+        kvcache::KvCacheConfig kv_config = base.kv_config();
+        for (kvcache::TierSpec &tier : kv_config.tiers) {
+            if (tier.is_gpu && tier.auto_capacity) {
+                const GpuBudget budget = compute_gpu_budget(
+                    base.gpu, base.model, layers, /*gpu_weight_bytes=*/0,
+                    base.shape, ceiling * base.micro_batches,
+                    base.compress_weights, /*kv_on_gpu=*/false);
+                tier.capacity = std::max<Bytes>(budget.free_bytes(), 1);
+                tier.auto_capacity = false;
+            }
+        }
+        auto manager_or =
+            kvcache::KvCacheManager::create(kv_config, base.model);
+        if (!manager_or.is_ok())
+            return manager_or.status();
+        const kvcache::KvCacheManager &manager = *manager_or;
+        const std::uint64_t max_context =
+            base.shape.prompt_tokens + base.shape.output_tokens;
+        const std::uint64_t slots =
+            manager.request_slots(max_context, /*limit=*/4096);
+        if (slots / base.micro_batches == 0) {
+            return Status::capacity_exceeded(
+                "managed KV tiers cannot hold even one request of the "
+                "template shape (" + std::to_string(max_context) +
+                " tokens x " + std::to_string(base.micro_batches) +
+                " micro-batches)");
+        }
+        kv_block_tokens = kv_config.block_tokens;
+        bool unbounded = false;
+        std::uint64_t total_blocks = 0;
+        for (const kvcache::TierSpec &tier : kv_config.tiers) {
+            if (tier.capacity == 0)
+                unbounded = true;
+            else
+                total_blocks += tier.capacity / manager.block_bytes();
+        }
+        if (!unbounded) {
+            kv_capacity_blocks = total_blocks;
+            kv_request_slots = slots;
+            ceiling = std::min(ceiling, slots / base.micro_batches);
+        }
+    }
+
+    Server server(std::move(base), policy, slo, ceiling);
+    server.kv_block_tokens_ = kv_block_tokens;
+    server.kv_capacity_blocks_ = kv_capacity_blocks;
+    server.kv_request_slots_ = kv_request_slots;
+    return server;
 }
 
 Status
@@ -200,13 +257,49 @@ Server::run()
             admit_until(launch);
         }
 
+        // KV admission: the engine pads every member to the batch's
+        // longest context, so a member joins only while the padded
+        // batch still fits the managed tiers' block capacity.
+        const bool kv_bounded =
+            kv_block_tokens_ > 0 &&
+            kv_capacity_blocks_ !=
+                std::numeric_limits<std::uint64_t>::max();
+        auto padded_blocks = [this](std::uint64_t count,
+                                    std::uint64_t context) {
+            const std::uint64_t blocks =
+                (context + kv_block_tokens_ - 1) / kv_block_tokens_;
+            return count * blocks * base_.micro_batches;
+        };
+
         workload::Batch batch;
         std::vector<std::size_t> members;
+        std::uint64_t max_context = 0;
         while (!queue.empty() && batch.size() < max_batch_) {
+            const workload::Request &request =
+                pending_[queue.front()].request;
+            if (kv_bounded) {
+                const std::uint64_t context =
+                    request.prompt_tokens + request.output_tokens;
+                if (padded_blocks(1, context) > kv_capacity_blocks_) {
+                    // Can never fit, alone or otherwise: shed it.
+                    report.rejected_ids.push_back(request.id);
+                    ++report.kv_rejected;
+                    queue.pop_front();
+                    continue;
+                }
+                const std::uint64_t grown =
+                    std::max(max_context, context);
+                if (padded_blocks(batch.size() + 1, grown) >
+                    kv_capacity_blocks_)
+                    break; // batch full by KV capacity
+                max_context = grown;
+            }
             members.push_back(queue.front());
-            batch.requests.push_back(pending_[queue.front()].request);
+            batch.requests.push_back(request);
             queue.pop_front();
         }
+        if (members.empty())
+            continue; // every candidate was shed
 
         const auto metrics = run_batch(batch);
         if (!metrics.is_ok())

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "model/transformer.h"
@@ -10,11 +11,13 @@ namespace helm::runtime {
 
 namespace {
 
-/** Track (tid) layout inside the trace. */
+/** Track (tid) layout inside the trace.  Managed-KV runs add one
+ *  "KV <tier>" track per host tier at kKvTrackBase + tier order. */
 enum Track : int
 {
     kGpuTrack = 0,
     kTransferTrack = 1,
+    kKvTrackBase = 2,
 };
 
 void
@@ -45,11 +48,29 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
     out << "{\"traceEvents\":[\n";
     bool first = true;
 
+    // One KV-traffic track per cache tier that moved bytes, in
+    // first-seen order (the engine records tiers in config order).
+    std::map<std::string, int> kv_tids;
+    for (const auto &rec : records) {
+        for (const auto &tier : rec.kv_tiers) {
+            if (kv_tids.count(tier.tier) == 0) {
+                const int tid =
+                    kKvTrackBase + static_cast<int>(kv_tids.size());
+                kv_tids.emplace(tier.tier, tid);
+            }
+        }
+    }
+
     // Track name metadata.
     out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
            "\"args\":{\"name\":\"GPU compute\"}},\n"
         << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
            "\"args\":{\"name\":\"h2d transfers\"}}";
+    for (const auto &[tier, tid] : kv_tids) {
+        out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+               "\"tid\":" << tid << ",\"args\":{\"name\":\"KV " << tier
+            << "\"}}";
+    }
     first = false;
 
     for (const auto &rec : records) {
@@ -77,6 +98,41 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                 static_cast<unsigned long long>(rec.kv_read_bytes));
             emit_event(out, first, load_name, "transfer", kTransferTrack,
                        rec.transfer_start, rec.transfer_time, load_args);
+        }
+        // Per-tier KV traffic.  Reads span the prefetch window (the
+        // weight-load overlap) unless the step stalled on them; writes
+        // span the writeback drain measured by the driver.
+        for (const auto &tier : rec.kv_tiers) {
+            const int tid = kv_tids.at(tier.tier);
+            if (tier.read_bytes > 0) {
+                const bool stalled = rec.kv_stall_time > 0.0;
+                const Seconds start =
+                    stalled ? rec.step_start : rec.transfer_start;
+                const Seconds duration =
+                    stalled ? rec.kv_stall_time : rec.transfer_time;
+                char read_name[96];
+                std::snprintf(read_name, sizeof(read_name),
+                              "KV read L%d t%llu", rec.layer,
+                              static_cast<unsigned long long>(rec.token));
+                char read_args[96];
+                std::snprintf(
+                    read_args, sizeof(read_args), "{\"bytes\":%llu}",
+                    static_cast<unsigned long long>(tier.read_bytes));
+                emit_event(out, first, read_name, "kv-read", tid, start,
+                           duration, read_args);
+            }
+            if (tier.write_bytes > 0 && rec.kv_write_time > 0.0) {
+                char write_name[96];
+                std::snprintf(write_name, sizeof(write_name),
+                              "KV write L%d t%llu", rec.layer,
+                              static_cast<unsigned long long>(rec.token));
+                char write_args[96];
+                std::snprintf(
+                    write_args, sizeof(write_args), "{\"bytes\":%llu}",
+                    static_cast<unsigned long long>(tier.write_bytes));
+                emit_event(out, first, write_name, "kv-write", tid,
+                           rec.step_start, rec.kv_write_time, write_args);
+            }
         }
     }
     out << "\n]}\n";

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property-based (parameterized) sweeps over the KV-cache manager: the
+ * three invariants its header pins — no bounded tier ever exceeds its
+ * capacity, every block is resident in exactly one tier, and identical
+ * call sequences yield identical placements — must hold across
+ * eviction policies and block sizes under a churny request mix.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "kvcache/kvcache.h"
+#include "model/footprint.h"
+#include "model/opt.h"
+
+namespace helm::kvcache {
+namespace {
+
+using KvCase = std::tuple<EvictionPolicy, std::uint64_t /*block_tokens*/>;
+
+/** Three tiers under pressure: a small GPU tier, a bounded host tier,
+ *  and an unbounded backstop so the script never runs out of space. */
+KvCacheConfig
+stress_config(EvictionPolicy eviction, std::uint64_t block_tokens,
+              Bytes block_bytes)
+{
+    KvCacheConfig config;
+    config.block_tokens = block_tokens;
+    config.eviction = eviction;
+    TierSpec gpu;
+    gpu.name = "gpu";
+    gpu.is_gpu = true;
+    gpu.capacity = 4 * block_bytes;
+    TierSpec fast;
+    fast.name = "fast";
+    fast.capacity = 8 * block_bytes;
+    TierSpec slow;
+    slow.name = "slow";
+    config.tiers = {gpu, fast, slow};
+    return config;
+}
+
+/** One scripted op: add a request, free one, or step the batch. */
+struct Op
+{
+    enum Kind
+    {
+        kAdd,
+        kFree,
+        kStep
+    } kind;
+    std::uint64_t value; //!< id for add/free, new_tokens for step
+    bool count_reads;
+};
+
+/** Deterministic churny script: adds, uneven growth, frees. */
+std::vector<Op>
+make_script(std::uint64_t block_tokens)
+{
+    Rng rng(0xC0FFEEull + block_tokens);
+    std::vector<Op> script;
+    std::uint64_t next_id = 0;
+    std::vector<std::uint64_t> live;
+    for (int round = 0; round < 60; ++round) {
+        const std::uint64_t dice = rng.next_below(10);
+        if (live.size() < 2 || (dice < 3 && live.size() < 8)) {
+            script.push_back({Op::kAdd, next_id, false});
+            live.push_back(next_id++);
+        } else if (dice < 4 && live.size() > 2) {
+            const std::uint64_t pick = rng.next_below(live.size());
+            script.push_back({Op::kFree, live[pick], false});
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else {
+            // Prefill-sized bursts and single-token decode steps.
+            const bool prefill = rng.next_below(4) == 0;
+            const std::uint64_t tokens =
+                prefill ? block_tokens + rng.next_below(2 * block_tokens)
+                        : 1;
+            script.push_back({Op::kStep, tokens, !prefill});
+        }
+    }
+    return script;
+}
+
+void
+apply(KvCacheManager &manager, const Op &op)
+{
+    switch (op.kind) {
+      case Op::kAdd:
+        ASSERT_TRUE(manager.add_request(op.value).is_ok());
+        break;
+      case Op::kFree:
+        ASSERT_TRUE(manager.free_request(op.value).is_ok());
+        break;
+      case Op::kStep: {
+        const auto traffic = manager.step(op.value, op.count_reads);
+        ASSERT_TRUE(traffic.is_ok()) << traffic.status().to_string();
+        break;
+      }
+    }
+}
+
+class KvCacheProperty : public ::testing::TestWithParam<KvCase>
+{
+};
+
+TEST_P(KvCacheProperty, CapacityAndResidencyInvariants)
+{
+    const auto [eviction, block_tokens] = GetParam();
+    const auto model = model::opt_config(model::OptVariant::kOpt1_3B);
+    const Bytes block_bytes =
+        block_tokens * model::kv_bytes_per_block(model, 1) * model.blocks;
+    auto manager_or = KvCacheManager::create(
+        stress_config(eviction, block_tokens, block_bytes), model);
+    ASSERT_TRUE(manager_or.is_ok()) << manager_or.status().to_string();
+    auto manager = *manager_or;
+    ASSERT_EQ(manager.block_bytes(), block_bytes);
+
+    for (const Op &op : make_script(block_tokens)) {
+        apply(manager, op);
+        if (::testing::Test::HasFatalFailure())
+            return;
+
+        const auto &stats = manager.stats();
+        std::uint64_t total_blocks = 0;
+        for (std::size_t i = 0; i < manager.tier_count(); ++i) {
+            const auto &tier = stats.tiers[i];
+            // Occupancy is whole blocks and never exceeds the capacity.
+            EXPECT_EQ(tier.occupancy, tier.blocks * manager.block_bytes());
+            EXPECT_GE(tier.peak_occupancy, tier.occupancy);
+            if (manager.tier(i).capacity > 0) {
+                EXPECT_LE(tier.occupancy, manager.tier(i).capacity);
+                EXPECT_LE(tier.peak_occupancy, manager.tier(i).capacity);
+            }
+            total_blocks += tier.blocks;
+        }
+
+        // Every block is resident in exactly one tier: the per-request
+        // residency both sums to the tier totals and covers exactly the
+        // blocks each request's context needs.
+        std::uint64_t request_blocks = 0;
+        for (const auto &request : manager.request_stats()) {
+            std::uint64_t on_tiers = 0;
+            for (const std::uint64_t count : request.blocks_on_tier)
+                on_tiers += count;
+            EXPECT_EQ(on_tiers,
+                      manager.blocks_for_tokens(request.tokens));
+            request_blocks += on_tiers;
+        }
+        EXPECT_EQ(request_blocks, total_blocks);
+    }
+}
+
+TEST_P(KvCacheProperty, IdenticalSequencesYieldIdenticalPlacements)
+{
+    const auto [eviction, block_tokens] = GetParam();
+    const auto model = model::opt_config(model::OptVariant::kOpt1_3B);
+    const Bytes block_bytes =
+        block_tokens * model::kv_bytes_per_block(model, 1) * model.blocks;
+    const auto config =
+        stress_config(eviction, block_tokens, block_bytes);
+    auto first = KvCacheManager::create(config, model);
+    auto second = KvCacheManager::create(config, model);
+    ASSERT_TRUE(first.is_ok() && second.is_ok());
+
+    for (const Op &op : make_script(block_tokens)) {
+        apply(*first, op);
+        apply(*second, op);
+        if (::testing::Test::HasFatalFailure())
+            return;
+        ASSERT_EQ(first->placement_digest(), second->placement_digest());
+    }
+    EXPECT_EQ(first->stats().demotions, second->stats().demotions);
+    EXPECT_EQ(first->stats().promotions, second->stats().promotions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, KvCacheProperty,
+    ::testing::Combine(
+        ::testing::Values(EvictionPolicy::kLru,
+                          EvictionPolicy::kLongestContextFirst),
+        ::testing::Values(8ull, 16ull, 64ull)),
+    [](const ::testing::TestParamInfo<KvCase> &info) {
+        const EvictionPolicy eviction = std::get<0>(info.param);
+        return std::string(eviction == EvictionPolicy::kLru
+                               ? "Lru"
+                               : "LongestContext") +
+               "Block" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace helm::kvcache

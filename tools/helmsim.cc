@@ -145,6 +145,65 @@ add_common_options(ArgParser &parser)
     parser.add_switch("help", "show this help");
 }
 
+void
+add_kv_options(ArgParser &parser)
+{
+    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+    parser.add_switch("kv-tiering",
+                      "managed tiered KV cache: auto-sized GPU tier "
+                      "backed by a host tier (supersedes --kv-offload)");
+    parser.add_option("kv-host-gb",
+                      "host KV tier capacity in GiB (0 = unbounded)",
+                      "0");
+    parser.add_option("kv-block-tokens", "tokens per KV block", "16");
+    parser.add_option("kv-eviction", "lru | longest-context", "lru");
+    parser.add_switch("kv-no-prefetch",
+                      "expose the context-fetch latency instead of "
+                      "overlapping it with the previous step's compute");
+}
+
+Status
+apply_kv_options(const ArgParser &parser, runtime::ServingSpec *spec)
+{
+    spec->offload_kv_cache = parser.is_set("kv-offload");
+    if (!parser.is_set("kv-tiering"))
+        return Status::ok();
+    kvcache::KvCacheConfig config = kvcache::KvCacheConfig::tiered(
+        static_cast<Bytes>(parser.get_double("kv-host-gb") *
+                           static_cast<double>(kGiB)));
+    config.block_tokens = parser.get_u64("kv-block-tokens");
+    const auto eviction =
+        kvcache::parse_eviction_policy(parser.get("kv-eviction"));
+    if (!eviction.is_ok())
+        return eviction.status();
+    config.eviction = *eviction;
+    config.prefetch = !parser.is_set("kv-no-prefetch");
+    spec->kv_cache = config;
+    return Status::ok();
+}
+
+void
+print_kv_stats(const kvcache::KvCacheStats &stats)
+{
+    AsciiTable table("KV cache tiers");
+    table.set_header({"tier", "capacity", "peak", "read", "written",
+                      "demoted in"});
+    table.align_right_from(1);
+    for (const auto &tier : stats.tiers) {
+        table.add_row(
+            {tier.name,
+             tier.capacity > 0 ? format_bytes(tier.capacity)
+                               : "unbounded",
+             format_bytes(tier.peak_occupancy),
+             format_bytes(tier.read_bytes),
+             format_bytes(tier.write_bytes),
+             format_bytes(tier.demoted_in_bytes)});
+    }
+    table.print(std::cout);
+    std::cout << "kv blocks:   " << stats.demotions << " demoted, "
+              << stats.promotions << " promoted\n";
+}
+
 int
 cmd_run(const std::vector<std::string> &args)
 {
@@ -157,7 +216,7 @@ cmd_run(const std::vector<std::string> &args)
     parser.add_option("micro-batches",
                       "micro-batches per weight load (block schedule)",
                       "1");
-    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+    add_kv_options(parser);
     parser.add_option("repeats", "workload repeats (first discarded)",
                       "3");
     parser.add_option("trace", "write a Chrome trace to this path", "");
@@ -191,7 +250,11 @@ cmd_run(const std::vector<std::string> &args)
     spec.compress_weights = parser.is_set("int4");
     spec.batch = parser.get_u64("batch");
     spec.micro_batches = parser.get_u64("micro-batches");
-    spec.offload_kv_cache = parser.is_set("kv-offload");
+    const Status kv_status = apply_kv_options(parser, &spec);
+    if (!kv_status.is_ok()) {
+        std::cerr << kv_status.to_string() << "\n";
+        return 2;
+    }
     spec.repeats = parser.get_u64("repeats");
     spec.shape.prompt_tokens = parser.get_u64("prompt-tokens");
     spec.shape.output_tokens = parser.get_u64("output-tokens");
@@ -227,6 +290,9 @@ cmd_run(const std::vector<std::string> &args)
                        format_bytes(result->spill.spilled_bytes)});
     }
     table.print(std::cout);
+
+    if (spec.kv_cache.has_value())
+        print_kv_stats(result->kv_stats);
 
     if (parser.is_set("energy")) {
         const auto energy = energy::estimate_energy(
@@ -302,7 +368,7 @@ cmd_serve(const std::vector<std::string> &args)
                       "Baseline");
     parser.add_option("micro-batches", "micro-batches per weight load",
                       "1");
-    parser.add_switch("kv-offload", "keep the KV cache in host memory");
+    add_kv_options(parser);
     parser.add_option("rate", "mean request arrivals per second", "4");
     parser.add_option("duration", "arrival horizon in seconds", "60");
     parser.add_option("arrival", "poisson | uniform", "poisson");
@@ -354,7 +420,11 @@ cmd_serve(const std::vector<std::string> &args)
     base.placement = *scheme;
     base.compress_weights = parser.is_set("int4");
     base.micro_batches = parser.get_u64("micro-batches");
-    base.offload_kv_cache = parser.is_set("kv-offload");
+    const Status kv_status = apply_kv_options(parser, &base);
+    if (!kv_status.is_ok()) {
+        std::cerr << kv_status.to_string() << "\n";
+        return 2;
+    }
     base.shape.prompt_tokens = parser.get_u64("prompt-tokens");
     base.shape.output_tokens = parser.get_u64("output-tokens");
 
@@ -415,7 +485,11 @@ cmd_serve(const std::vector<std::string> &args)
     std::cout << base.model.name << " on "
               << mem::config_kind_name(base.memory) << " with "
               << placement::placement_kind_name(base.placement)
-              << ", max batch " << server->effective_max_batch() << "\n";
+              << ", max batch " << server->effective_max_batch();
+    if (server->kv_request_slots() > 0)
+        std::cout << " (KV tiers hold " << server->kv_request_slots()
+                  << " requests)";
+    std::cout << "\n";
     AsciiTable table("ServingReport");
     table.set_header({"metric", "p50", "p90", "p99"});
     table.align_right_from(1);
@@ -435,7 +509,11 @@ cmd_serve(const std::vector<std::string> &args)
 
     std::cout << "requests:    " << report->completed << " completed / "
               << report->rejected << " rejected of " << report->submitted
-              << " submitted\n"
+              << " submitted";
+    if (report->kv_rejected > 0)
+        std::cout << " (" << report->kv_rejected
+                  << " exceeded KV capacity)";
+    std::cout << "\n"
               << "batches:     " << report->batches_formed
               << " formed, mean size "
               << format_fixed(report->mean_batch_size, 2)
