@@ -1,0 +1,1236 @@
+#include "cluster/cluster_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/log.h"
+#include "common/summary.h"
+#include "model/transformer.h"
+
+namespace helm::cluster {
+
+using runtime::CompiledSchedule;
+using runtime::KvFlowSpec;
+using runtime::LayerStepRecord;
+using runtime::ScheduledStep;
+
+namespace {
+
+/** Largest per-flow cap the compiled steps will ever present to a
+ *  port.  Folding this into the port rate keeps the single-GPU
+ *  degenerate case exact even if a bandwidth curve dips at the probe
+ *  buffer size: one flow can then always run at its full cap. */
+struct CapCeilings
+{
+    Bandwidth read;  //!< host-tier weight + KV-read caps
+    Bandwidth write; //!< KV writeback caps
+    Bandwidth disk;  //!< storage-tier weight caps
+};
+
+CapCeilings
+scan_caps(const CompiledSchedule &shard)
+{
+    CapCeilings caps{};
+    for (const ScheduledStep &step : shard.steps) {
+        caps.read = max_bw(caps.read, step.cpu_cap);
+        caps.disk = max_bw(caps.disk, step.disk_cap);
+        for (const KvFlowSpec &flow : step.kv_reads)
+            caps.read = max_bw(caps.read, flow.cap);
+        for (const KvFlowSpec &flow : step.kv_writes)
+            caps.write = max_bw(caps.write, flow.cap);
+    }
+    return caps;
+}
+
+/** Build a LayerStepRecord from a step plus its observed times. */
+LayerStepRecord
+make_record(const ScheduledStep &step, std::uint64_t gpu_index,
+            std::uint64_t batch_tag, Seconds load_issue, Seconds load_done,
+            Seconds step_start, Seconds step_end, Seconds kv_write_time,
+            Seconds kv_stall_time,
+            const std::vector<std::string> &kv_tier_names)
+{
+    LayerStepRecord rec;
+    rec.gpu_index = gpu_index;
+    rec.batch_index = batch_tag + step.batch_index;
+    rec.token = step.token;
+    rec.layer = step.layer;
+    rec.type = step.type;
+    rec.stage = step.stage;
+    rec.compute_time = step.compute;
+    rec.transfer_time = load_done - load_issue;
+    rec.transfer_bytes = step.cpu_bytes + step.disk_bytes;
+    rec.kv_read_bytes = step.kv_read_bytes;
+    rec.kv_write_bytes = step.kv_write_bytes;
+    rec.transfer_start = load_issue;
+    rec.step_start = step_start;
+    rec.step_end = step_end;
+    rec.kv_write_time = kv_write_time;
+    rec.kv_stall_time = kv_stall_time;
+    if (step.kv_read_bytes > 0 || step.kv_write_bytes > 0) {
+        auto tier_entry =
+            [&rec, &kv_tier_names](
+                std::size_t t) -> runtime::KvTierTraffic & {
+            const std::string &name = kv_tier_names[t];
+            for (runtime::KvTierTraffic &entry : rec.kv_tiers) {
+                if (entry.tier == name)
+                    return entry;
+            }
+            rec.kv_tiers.push_back(runtime::KvTierTraffic{name, 0, 0});
+            return rec.kv_tiers.back();
+        };
+        for (const KvFlowSpec &flow : step.kv_reads)
+            tier_entry(flow.tier).read_bytes += flow.bytes;
+        for (const KvFlowSpec &flow : step.kv_writes)
+            tier_entry(flow.tier).write_bytes += flow.bytes;
+    }
+    return rec;
+}
+
+} // namespace
+
+PortRates
+compute_port_rates(const CompiledSchedule &shard, std::uint64_t sockets,
+                   Bytes cluster_resident_bytes)
+{
+    const mem::HostMemorySystem &sys = shard.system;
+    PortRates rates;
+    rates.h2d = max_bw(sys.pcie().h2d_effective(),
+                       sys.host_to_gpu_bw(kGiB));
+    rates.d2h = max_bw(sys.pcie().d2h_effective(),
+                       sys.gpu_to_host_bw(kGiB));
+
+    // The shared ports run at the host device's streaming rate for the
+    // cluster-wide working set.  Declaring the cluster resident set is
+    // what makes Optane's sustained floor (and MemoryMode's hit ratio)
+    // reflect N GPUs sharing one weight copy.  Device state is shared
+    // with the compiled schedule, but its step caps are pre-computed
+    // snapshots, so the mutation is safe.
+    sys.host()->set_resident_bytes(cluster_resident_bytes);
+    const Bytes probe = std::max<Bytes>(kGiB, cluster_resident_bytes);
+    // CXL expanders are one device behind one link — no socket pooling.
+    const double pool =
+        sys.host()->kind() == mem::MemoryKind::kCxl
+            ? 1.0
+            : static_cast<double>(sockets);
+    const CapCeilings caps = scan_caps(shard);
+    rates.host_read = max_bw(
+        sys.host()->read_bandwidth(probe).scaled(pool), caps.read);
+    rates.host_write = max_bw(
+        sys.host()->write_bandwidth(probe).scaled(pool), caps.write);
+    if (sys.has_storage()) {
+        rates.has_storage = true;
+        rates.storage_read =
+            max_bw(sys.storage()->read_bandwidth(probe), caps.disk);
+        rates.storage_latency = sys.storage()->latency();
+    }
+    return rates;
+}
+
+Bytes
+cluster_resident_bytes(const std::vector<CompiledSchedule> &shards,
+                       Parallelism mode)
+{
+    HELM_ASSERT(!shards.empty(), "no shards");
+    if (mode == Parallelism::kReplica) {
+        // One shared read-only weight copy; KV overflow is private.
+        Bytes total = shards.front().host_weight_bytes;
+        for (const CompiledSchedule &shard : shards) {
+            total += shard.host_resident_bytes - shard.host_weight_bytes;
+        }
+        return total;
+    }
+    Bytes total = 0;
+    for (const CompiledSchedule &shard : shards)
+        total += shard.host_resident_bytes;
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// JobExecutor: one GPU's zig-zag schedule over the shared fabric.  The
+// control flow mirrors the single-GPU ScheduleDriver step for step; the
+// only difference is that every transfer also water-fills on a shared
+// port.
+// ---------------------------------------------------------------------------
+
+class ClusterEngine::JobExecutor
+{
+  public:
+    JobExecutor(ClusterEngine &engine, std::uint64_t g,
+                const CompiledSchedule &compiled, bool keep_records,
+                std::uint64_t batch_tag,
+                std::function<void(const BatchTimeline &)> on_done)
+        : engine_(engine), g_(g), steps_(compiled.steps),
+          kv_tier_names_(compiled.kv_tier_names),
+          tokens_(compiled.tokens), num_layers_(compiled.num_layers),
+          keep_records_(keep_records), batch_tag_(batch_tag),
+          on_done_(std::move(on_done))
+    {
+        const std::size_t n = steps_.size();
+        load_issue_.assign(n, 0.0);
+        load_done_.assign(n, 0.0);
+        step_start_.assign(n, 0.0);
+        step_end_.assign(n, 0.0);
+        kv_read_done_.assign(n, -1.0);
+        kv_write_done_.assign(n, -1.0);
+    }
+
+    void
+    start()
+    {
+        HELM_ASSERT(!steps_.empty(), "no steps to run");
+        start_time_ = engine_.sim_.now();
+        issue_load(0, [this] { start_step(0); });
+    }
+
+  private:
+    void
+    issue_load(std::size_t k, std::function<void()> on_done)
+    {
+        load_issue_[k] = engine_.sim_.now();
+        const ScheduledStep &step = steps_[k];
+        const std::size_t kv_flows =
+            step.kv_prefetch ? step.kv_reads.size() : 0;
+        const std::size_t flows = (step.cpu_bytes > 0 ? 1 : 0) +
+                                  (step.disk_bytes > 0 ? 1 : 0) +
+                                  kv_flows;
+        if (flows == 0) {
+            load_done_[k] = engine_.sim_.now();
+            on_done();
+            return;
+        }
+        auto latch = std::make_shared<sim::CountdownLatch>(flows);
+        latch->on_zero([this, k, on_done = std::move(on_done)] {
+            load_done_[k] = engine_.sim_.now();
+            on_done();
+        });
+        if (step.cpu_bytes > 0) {
+            engine_.host_to_gpu(g_, step.cpu_bytes, step.cpu_cap,
+                                [latch] { latch->arrive(); });
+        }
+        if (step.kv_prefetch) {
+            for (const KvFlowSpec &flow : step.kv_reads) {
+                engine_.host_to_gpu(g_, flow.bytes, flow.cap,
+                                    [latch] { latch->arrive(); });
+            }
+        }
+        if (step.disk_bytes > 0) {
+            engine_.storage_to_gpu(g_, step.disk_bytes, step.disk_cap,
+                                   [latch] { latch->arrive(); });
+        }
+    }
+
+    void
+    start_step(std::size_t k)
+    {
+        step_start_[k] = engine_.sim_.now();
+        const ScheduledStep &step = steps_[k];
+        const bool has_next = k + 1 < steps_.size();
+        auto latch = std::make_shared<sim::CountdownLatch>(
+            1u + (has_next ? 1u : 0u) + step.kv_writes.size());
+        latch->on_zero([this, k] {
+            step_end_[k] = engine_.sim_.now();
+            ++completed_;
+            if (k + 1 < steps_.size())
+                start_step(k + 1);
+            else
+                finish();
+        });
+        if (has_next)
+            issue_load(k + 1, [latch] { latch->arrive(); });
+        for (const KvFlowSpec &flow : step.kv_writes) {
+            engine_.gpu_to_host(g_, flow.bytes, flow.cap,
+                                [this, k, latch] {
+                                    kv_write_done_[k] =
+                                        engine_.sim_.now();
+                                    latch->arrive();
+                                });
+        }
+        if (!step.kv_prefetch && !step.kv_reads.empty()) {
+            auto reads = std::make_shared<sim::CountdownLatch>(
+                step.kv_reads.size());
+            reads->on_zero([this, k, latch] {
+                kv_read_done_[k] = engine_.sim_.now();
+                engine_.occupy_gpu(
+                    g_,
+                    steps_[k].compute + engine_.gpu_.layer_overhead,
+                    [latch] { latch->arrive(); });
+            });
+            for (const KvFlowSpec &flow : step.kv_reads) {
+                engine_.host_to_gpu(g_, flow.bytes, flow.cap,
+                                    [reads] { reads->arrive(); });
+            }
+        } else {
+            engine_.occupy_gpu(g_,
+                               step.compute + engine_.gpu_.layer_overhead,
+                               [latch] { latch->arrive(); });
+        }
+    }
+
+    void
+    finish()
+    {
+        HELM_ASSERT(completed_ == steps_.size(),
+                    "job did not retire all steps");
+        BatchTimeline tl;
+        tl.start = start_time_;
+        tl.end = engine_.sim_.now();
+        tl.tokens = tokens_;
+        const std::uint64_t per_batch = tokens_ * num_layers_;
+        tl.reps = per_batch > 0 ? steps_.size() / per_batch : 0;
+        tl.token_end.reserve(tl.reps * tokens_);
+        for (std::uint64_t rep = 0; rep < tl.reps; ++rep) {
+            for (std::uint64_t tok = 0; tok < tokens_; ++tok) {
+                const std::size_t idx = rep * per_batch +
+                                        tok * num_layers_ +
+                                        (num_layers_ - 1);
+                tl.token_end.push_back(step_end_[idx]);
+            }
+        }
+        if (keep_records_) {
+            tl.records.reserve(steps_.size());
+            for (std::size_t k = 0; k < steps_.size(); ++k) {
+                const Seconds wt = kv_write_done_[k] >= 0.0
+                                       ? kv_write_done_[k] - step_start_[k]
+                                       : 0.0;
+                const Seconds st = kv_read_done_[k] >= 0.0
+                                       ? kv_read_done_[k] - step_start_[k]
+                                       : 0.0;
+                tl.records.push_back(make_record(
+                    steps_[k], g_, batch_tag_, load_issue_[k],
+                    load_done_[k], step_start_[k], step_end_[k], wt, st,
+                    kv_tier_names_));
+            }
+        }
+        // The callback may submit the next job for this GPU.
+        auto on_done = std::move(on_done_);
+        if (on_done)
+            on_done(tl);
+    }
+
+    ClusterEngine &engine_;
+    std::uint64_t g_;
+    std::vector<ScheduledStep> steps_;
+    std::vector<std::string> kv_tier_names_;
+    std::uint64_t tokens_;
+    std::uint64_t num_layers_;
+    bool keep_records_;
+    std::uint64_t batch_tag_;
+    std::function<void(const BatchTimeline &)> on_done_;
+    Seconds start_time_ = 0.0;
+    std::vector<Seconds> load_issue_;
+    std::vector<Seconds> load_done_;
+    std::vector<Seconds> step_start_;
+    std::vector<Seconds> step_end_;
+    std::vector<Seconds> kv_read_done_;
+    std::vector<Seconds> kv_write_done_;
+    std::size_t completed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ClusterEngine
+// ---------------------------------------------------------------------------
+
+ClusterEngine::ClusterEngine(std::uint64_t gpus, const gpu::GpuSpec &gpu,
+                             const PortRates &rates)
+    : gpus_(gpus), gpu_(gpu), rates_(rates)
+{
+    HELM_ASSERT(gpus >= 1, "need at least one GPU");
+    h2d_bytes_.assign(gpus, 0);
+    d2h_bytes_.assign(gpus, 0);
+    jobs_run_.assign(gpus, 0);
+    for (std::uint64_t g = 0; g < gpus; ++g) {
+        const std::string tag = "gpu" + std::to_string(g);
+        h2d_.push_back(std::make_unique<sim::BandwidthChannel>(
+            sim_, tag + "-h2d", rates.h2d));
+        d2h_.push_back(std::make_unique<sim::BandwidthChannel>(
+            sim_, tag + "-d2h", rates.d2h));
+        gpu_res_.push_back(std::make_unique<sim::FifoResource>(
+            sim_, tag + "-compute", 1));
+    }
+    host_read_ = std::make_unique<sim::BandwidthChannel>(
+        sim_, "host-read-port", rates.host_read);
+    host_write_ = std::make_unique<sim::BandwidthChannel>(
+        sim_, "host-write-port", rates.host_write);
+    if (rates.has_storage) {
+        storage_read_ = std::make_unique<sim::BandwidthChannel>(
+            sim_, "storage-read-port", rates.storage_read);
+    }
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+void
+ClusterEngine::dual_flow(sim::BandwidthChannel &local,
+                         sim::BandwidthChannel *port, Bytes bytes,
+                         Bandwidth cap, std::function<void()> on_done)
+{
+    if (bytes == 0 || port == nullptr) {
+        // Degenerate: single-channel semantics (zero-byte flows
+        // complete inline inside start_flow).
+        local.start_flow(bytes, cap, std::move(on_done));
+        return;
+    }
+    // Full byte count on both resources; the transfer is done when the
+    // slower one delivers its last byte.  When the port has slack this
+    // collapses to the local channel's timing exactly.
+    auto latch = std::make_shared<sim::CountdownLatch>(2);
+    latch->on_zero(std::move(on_done));
+    local.start_flow(bytes, cap, [latch] { latch->arrive(); });
+    port->start_flow(bytes, cap, [latch] { latch->arrive(); });
+}
+
+void
+ClusterEngine::host_to_gpu(std::uint64_t g, Bytes bytes, Bandwidth cap,
+                           std::function<void()> on_done)
+{
+    h2d_bytes_[g] += bytes;
+    dual_flow(*h2d_[g], host_read_.get(), bytes, cap, std::move(on_done));
+}
+
+void
+ClusterEngine::storage_to_gpu(std::uint64_t g, Bytes bytes, Bandwidth cap,
+                              std::function<void()> on_done)
+{
+    h2d_bytes_[g] += bytes;
+    const Seconds lat = rates_.storage_latency;
+    sim_.schedule(lat, [this, g, bytes, cap,
+                        on_done = std::move(on_done)]() mutable {
+        dual_flow(*h2d_[g], storage_read_.get(), bytes, cap,
+                  std::move(on_done));
+    });
+}
+
+void
+ClusterEngine::gpu_to_host(std::uint64_t g, Bytes bytes, Bandwidth cap,
+                           std::function<void()> on_done)
+{
+    d2h_bytes_[g] += bytes;
+    dual_flow(*d2h_[g], host_write_.get(), bytes, cap, std::move(on_done));
+}
+
+void
+ClusterEngine::occupy_gpu(std::uint64_t g, Seconds duration,
+                          std::function<void()> on_done)
+{
+    gpu_res_[g]->occupy(duration, std::move(on_done));
+}
+
+void
+ClusterEngine::submit_job(std::uint64_t g,
+                          const CompiledSchedule &compiled,
+                          bool keep_records, std::uint64_t batch_tag,
+                          std::function<void(const BatchTimeline &)> on_done)
+{
+    HELM_ASSERT(g < gpus_, "GPU index out of range");
+    ++jobs_run_[g];
+    executors_.push_back(std::make_unique<JobExecutor>(
+        *this, g, compiled, keep_records, batch_tag, std::move(on_done)));
+    executors_.back()->start();
+}
+
+void
+ClusterEngine::run_to_completion()
+{
+    std::uint64_t guard = 0;
+    while (sim_.step()) {
+        if (++guard > 200'000'000) {
+            std::fprintf(stderr,
+                         "cluster DES runaway: t=%g pending=%zu\n",
+                         sim_.now(), sim_.pending_events());
+            std::abort();
+        }
+    }
+}
+
+std::vector<GpuUtilization>
+ClusterEngine::gpu_stats(Seconds makespan) const
+{
+    std::vector<GpuUtilization> stats;
+    stats.reserve(gpus_);
+    for (std::uint64_t g = 0; g < gpus_; ++g) {
+        GpuUtilization u;
+        u.gpu = g;
+        u.batches = jobs_run_[g];
+        u.compute_busy = gpu_res_[g]->busy_time();
+        u.h2d_bytes = h2d_bytes_[g];
+        u.d2h_bytes = d2h_bytes_[g];
+        u.utilization = makespan > 0.0 ? u.compute_busy / makespan : 0.0;
+        stats.push_back(u);
+    }
+    return stats;
+}
+
+std::vector<PortStats>
+ClusterEngine::port_stats(Seconds makespan) const
+{
+    auto entry = [makespan](const char *name,
+                            const sim::BandwidthChannel &chan) {
+        PortStats p;
+        p.name = name;
+        p.rate = chan.rate();
+        p.bytes = chan.bytes_delivered();
+        const double capacity = chan.rate().raw() * makespan;
+        p.utilization =
+            capacity > 0.0 ? static_cast<double>(p.bytes) / capacity : 0.0;
+        return p;
+    };
+    std::vector<PortStats> ports;
+    ports.push_back(entry("host-read", *host_read_));
+    ports.push_back(entry("host-write", *host_write_));
+    if (storage_read_)
+        ports.push_back(entry("storage-read", *storage_read_));
+    return ports;
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep (tensor) executor: N shard schedules with identical step
+// structure advance together.  Step k's barrier covers every GPU's
+// compute and KV writes plus the prefetch of step k+1's slices on all
+// GPUs — the all-GPUs-stream-at-once pattern that hammers the shared
+// read port.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LockstepExecutor
+{
+  public:
+    LockstepExecutor(ClusterEngine &engine,
+                     const std::vector<CompiledSchedule> &shards,
+                     bool keep_records)
+        : engine_(engine), shards_(shards), keep_records_(keep_records)
+    {
+        const std::size_t n = shards_.front().steps.size();
+        for (const CompiledSchedule &shard : shards_) {
+            HELM_ASSERT(shard.steps.size() == n,
+                        "tensor shards must have equal step counts");
+        }
+        const std::size_t gpus = shards_.size();
+        step_start_.assign(n, 0.0);
+        step_end_.assign(n, 0.0);
+        load_issue_.assign(gpus, std::vector<Seconds>(n, 0.0));
+        load_done_.assign(gpus, std::vector<Seconds>(n, 0.0));
+        kv_write_done_.assign(gpus, std::vector<Seconds>(n, -1.0));
+        kv_read_done_.assign(gpus, std::vector<Seconds>(n, -1.0));
+    }
+
+    Result<BatchTimeline>
+    run()
+    {
+        issue_load(0, [this] { start_step(0); });
+        engine_.run_to_completion();
+        if (completed_ != shards_.front().steps.size())
+            return Status::internal("lockstep run did not finish");
+        return build_timeline();
+    }
+
+  private:
+    std::size_t steps_count() const { return shards_.front().steps.size(); }
+
+    /** Prefetch step @p k's slices on every GPU; @p on_done fires when
+     *  the slowest GPU has its slice. */
+    void
+    issue_load(std::size_t k, std::function<void()> on_done)
+    {
+        const std::size_t gpus = shards_.size();
+        std::size_t loading = 0;
+        for (std::size_t g = 0; g < gpus; ++g) {
+            const ScheduledStep &step = shards_[g].steps[k];
+            const std::size_t flows =
+                (step.cpu_bytes > 0 ? 1 : 0) +
+                (step.disk_bytes > 0 ? 1 : 0) +
+                (step.kv_prefetch ? step.kv_reads.size() : 0);
+            if (flows > 0)
+                ++loading;
+        }
+        if (loading == 0) {
+            for (std::size_t g = 0; g < gpus; ++g) {
+                load_issue_[g][k] = engine_.sim().now();
+                load_done_[g][k] = engine_.sim().now();
+            }
+            on_done();
+            return;
+        }
+        auto outer = std::make_shared<sim::CountdownLatch>(loading);
+        outer->on_zero(std::move(on_done));
+        for (std::size_t g = 0; g < gpus; ++g) {
+            const ScheduledStep &step = shards_[g].steps[k];
+            load_issue_[g][k] = engine_.sim().now();
+            const std::size_t flows =
+                (step.cpu_bytes > 0 ? 1 : 0) +
+                (step.disk_bytes > 0 ? 1 : 0) +
+                (step.kv_prefetch ? step.kv_reads.size() : 0);
+            if (flows == 0) {
+                load_done_[g][k] = engine_.sim().now();
+                continue;
+            }
+            auto inner = std::make_shared<sim::CountdownLatch>(flows);
+            inner->on_zero([this, g, k, outer] {
+                load_done_[g][k] = engine_.sim().now();
+                outer->arrive();
+            });
+            if (step.cpu_bytes > 0) {
+                engine_.host_to_gpu(g, step.cpu_bytes, step.cpu_cap,
+                                    [inner] { inner->arrive(); });
+            }
+            if (step.kv_prefetch) {
+                for (const KvFlowSpec &flow : step.kv_reads) {
+                    engine_.host_to_gpu(g, flow.bytes, flow.cap,
+                                        [inner] { inner->arrive(); });
+                }
+            }
+            if (step.disk_bytes > 0) {
+                engine_.storage_to_gpu(g, step.disk_bytes, step.disk_cap,
+                                       [inner] { inner->arrive(); });
+            }
+        }
+    }
+
+    void
+    start_step(std::size_t k)
+    {
+        step_start_[k] = engine_.sim().now();
+        const std::size_t gpus = shards_.size();
+        const bool has_next = k + 1 < steps_count();
+        std::size_t count = has_next ? 1 : 0;
+        for (std::size_t g = 0; g < gpus; ++g) {
+            count += 1 + shards_[g].steps[k].kv_writes.size();
+        }
+        auto latch = std::make_shared<sim::CountdownLatch>(count);
+        latch->on_zero([this, k] {
+            step_end_[k] = engine_.sim().now();
+            ++completed_;
+            if (k + 1 < steps_count())
+                start_step(k + 1);
+        });
+        if (has_next)
+            issue_load(k + 1, [latch] { latch->arrive(); });
+        for (std::size_t g = 0; g < gpus; ++g) {
+            const ScheduledStep &step = shards_[g].steps[k];
+            for (const KvFlowSpec &flow : step.kv_writes) {
+                engine_.gpu_to_host(g, flow.bytes, flow.cap,
+                                    [this, g, k, latch] {
+                                        kv_write_done_[g][k] =
+                                            engine_.sim().now();
+                                        latch->arrive();
+                                    });
+            }
+            const Seconds busy =
+                step.compute + engine_.gpu_spec().layer_overhead;
+            if (!step.kv_prefetch && !step.kv_reads.empty()) {
+                auto reads = std::make_shared<sim::CountdownLatch>(
+                    step.kv_reads.size());
+                reads->on_zero([this, g, k, busy, latch] {
+                    kv_read_done_[g][k] = engine_.sim().now();
+                    engine_.occupy_gpu(g, busy,
+                                       [latch] { latch->arrive(); });
+                });
+                for (const KvFlowSpec &flow : step.kv_reads) {
+                    engine_.host_to_gpu(g, flow.bytes, flow.cap,
+                                        [reads] { reads->arrive(); });
+                }
+            } else {
+                engine_.occupy_gpu(g, busy, [latch] { latch->arrive(); });
+            }
+        }
+    }
+
+    BatchTimeline
+    build_timeline() const
+    {
+        const CompiledSchedule &head = shards_.front();
+        BatchTimeline tl;
+        tl.start = 0.0;
+        tl.end = engine_.sim().now();
+        tl.tokens = head.tokens;
+        const std::uint64_t per_batch = head.tokens * head.num_layers;
+        tl.reps = per_batch > 0 ? steps_count() / per_batch : 0;
+        for (std::uint64_t rep = 0; rep < tl.reps; ++rep) {
+            for (std::uint64_t tok = 0; tok < head.tokens; ++tok) {
+                const std::size_t idx = rep * per_batch +
+                                        tok * head.num_layers +
+                                        (head.num_layers - 1);
+                tl.token_end.push_back(step_end_[idx]);
+            }
+        }
+        if (keep_records_) {
+            for (std::size_t g = 0; g < shards_.size(); ++g) {
+                for (std::size_t k = 0; k < steps_count(); ++k) {
+                    const Seconds wt =
+                        kv_write_done_[g][k] >= 0.0
+                            ? kv_write_done_[g][k] - step_start_[k]
+                            : 0.0;
+                    const Seconds st =
+                        kv_read_done_[g][k] >= 0.0
+                            ? kv_read_done_[g][k] - step_start_[k]
+                            : 0.0;
+                    tl.records.push_back(make_record(
+                        shards_[g].steps[k], g, 0, load_issue_[g][k],
+                        load_done_[g][k], step_start_[k], step_end_[k],
+                        wt, st, shards_[g].kv_tier_names));
+                }
+            }
+        }
+        return tl;
+    }
+
+    ClusterEngine &engine_;
+    const std::vector<CompiledSchedule> &shards_;
+    bool keep_records_;
+    std::vector<Seconds> step_start_;
+    std::vector<Seconds> step_end_;
+    std::vector<std::vector<Seconds>> load_issue_;
+    std::vector<std::vector<Seconds>> load_done_;
+    std::vector<std::vector<Seconds>> kv_write_done_;
+    std::vector<std::vector<Seconds>> kv_read_done_;
+    std::size_t completed_ = 0;
+};
+
+} // namespace
+
+Result<BatchTimeline>
+ClusterEngine::run_lockstep(const std::vector<CompiledSchedule> &shards,
+                            bool keep_records)
+{
+    if (shards.size() != gpus_)
+        return Status::invalid_argument("one shard per GPU required");
+    if (shards.front().steps.empty())
+        return Status::invalid_argument("empty shard schedule");
+    for (std::uint64_t g = 0; g < gpus_; ++g)
+        ++jobs_run_[g];
+    LockstepExecutor exec(*this, shards, keep_records);
+    return exec.run();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline executor: stage s owns GPU s and a contiguous layer range.
+// Per (rep, token) a stage streams its layer weights once (prefetched
+// while the previous token computes), runs micro_batches compute
+// chunks, and forwards each chunk's activations to stage s+1 through
+// host memory (d2h on the sender's link + shared write port, then h2d
+// on the receiver's link + shared read port).  Token t+1 enters stage 0
+// when token t retires from the last stage.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PipeFlow
+{
+    Bytes bytes = 0;
+    Bandwidth cap;
+    bool from_storage = false;
+};
+
+/** Everything stage s does for one (rep, token). */
+struct TokenWork
+{
+    std::uint64_t rep = 0;
+    std::uint64_t tok = 0; //!< token within the rep
+    gpu::Stage stage = gpu::Stage::kPrefill;
+    model::LayerType type = model::LayerType::kMha;
+    int first_layer = 0;
+    Seconds compute_total = 0.0;
+    std::vector<PipeFlow> weights;
+    std::vector<KvFlowSpec> kv_reads;          //!< prefetched with weights
+    std::vector<KvFlowSpec> kv_reads_blocking; //!< gate the first chunk
+    std::vector<KvFlowSpec> kv_writes;
+    Bytes cpu_bytes = 0;
+    Bytes disk_bytes = 0;
+    Bytes kv_read_bytes = 0;
+    Bytes kv_write_bytes = 0;
+};
+
+class PipelineExecutor
+{
+  public:
+    PipelineExecutor(ClusterEngine &engine,
+                     const std::vector<CompiledSchedule> &stages,
+                     std::uint64_t micro_batches,
+                     const runtime::ServingSpec &base, bool keep_records)
+        : engine_(engine), stages_(stages), micro_(micro_batches),
+          keep_records_(keep_records)
+    {
+        const std::uint64_t S = stages_.size();
+        tokens_per_rep_ = stages_.front().tokens;
+        const std::uint64_t per_batch =
+            tokens_per_rep_ * stages_.front().num_layers;
+        reps_ = per_batch > 0 ? stages_.front().steps.size() / per_batch
+                              : 0;
+        total_ = reps_ * tokens_per_rep_;
+
+        // Flatten each stage's steps into per-token work units.
+        const Seconds overhead = engine_.gpu_spec().layer_overhead;
+        work_.resize(S);
+        for (std::uint64_t s = 0; s < S; ++s) {
+            const CompiledSchedule &stage = stages_[s];
+            const std::uint64_t L = stage.num_layers;
+            HELM_ASSERT(stage.tokens == tokens_per_rep_ &&
+                            stage.steps.size() == reps_ * tokens_per_rep_ * L,
+                        "pipeline stages disagree on schedule shape");
+            work_[s].reserve(total_);
+            for (std::uint64_t t = 0; t < total_; ++t) {
+                TokenWork w;
+                w.rep = t / tokens_per_rep_;
+                w.tok = t % tokens_per_rep_;
+                for (std::uint64_t li = 0; li < L; ++li) {
+                    const ScheduledStep &step = stage.steps[t * L + li];
+                    if (li == 0) {
+                        w.stage = step.stage;
+                        w.type = step.type;
+                        w.first_layer = step.layer;
+                    }
+                    w.compute_total += step.compute + overhead;
+                    if (step.cpu_bytes > 0) {
+                        w.weights.push_back(
+                            {step.cpu_bytes, step.cpu_cap, false});
+                        w.cpu_bytes += step.cpu_bytes;
+                    }
+                    if (step.disk_bytes > 0) {
+                        w.weights.push_back(
+                            {step.disk_bytes, step.disk_cap, true});
+                        w.disk_bytes += step.disk_bytes;
+                    }
+                    auto &reads = step.kv_prefetch ? w.kv_reads
+                                                   : w.kv_reads_blocking;
+                    for (const KvFlowSpec &flow : step.kv_reads)
+                        reads.push_back(flow);
+                    for (const KvFlowSpec &flow : step.kv_writes)
+                        w.kv_writes.push_back(flow);
+                    w.kv_read_bytes += step.kv_read_bytes;
+                    w.kv_write_bytes += step.kv_write_bytes;
+                }
+                work_[s].push_back(std::move(w));
+            }
+        }
+
+        // Micro-batch activation handoffs: ceil(batch / M) requests per
+        // chunk, prompt-length hidden states during prefill, one
+        // token's worth during decode (fp16).
+        const std::uint64_t batch_eff =
+            base.batch * base.micro_batches;
+        const std::uint64_t mb = (batch_eff + micro_ - 1) / micro_;
+        const Bytes hidden = base.model.hidden;
+        prefill_act_ = 2 * mb * base.shape.prompt_tokens * hidden;
+        decode_act_ = 2 * mb * hidden;
+
+        idx_.assign(S, 0);
+        mb_started_.assign(S, 0);
+        mb_done_.assign(S, 0);
+        writes_pending_.assign(S, 0);
+        kv_fetch_state_.assign(S, 0);
+        arrived_.assign(S, std::vector<std::uint64_t>(total_, 0));
+        load_issued_.assign(S, std::vector<char>(total_, 0));
+        load_ready_.assign(S, std::vector<char>(total_, 0));
+        load_issue_t_.assign(S, std::vector<Seconds>(total_, 0.0));
+        load_done_t_.assign(S, std::vector<Seconds>(total_, 0.0));
+        first_start_t_.assign(S, std::vector<Seconds>(total_, 0.0));
+        token_done_t_.assign(S, std::vector<Seconds>(total_, 0.0));
+        last_write_t_.assign(S, -1.0);
+        token_end_.assign(total_, 0.0);
+    }
+
+    Result<BatchTimeline>
+    run()
+    {
+        const std::uint64_t S = stages_.size();
+        // Pipeline fill: every stage streams its first token's weights
+        // un-overlapped; stage 0's first token is ready immediately.
+        arrived_[0][0] = micro_;
+        for (std::uint64_t s = 0; s < S; ++s)
+            issue_load(s, 0);
+        engine_.run_to_completion();
+        if (finished_ != total_)
+            return Status::internal("pipeline run did not finish");
+        return build_timeline();
+    }
+
+  private:
+    void
+    issue_load(std::uint64_t s, std::uint64_t t)
+    {
+        if (t >= total_ || load_issued_[s][t])
+            return;
+        load_issued_[s][t] = 1;
+        load_issue_t_[s][t] = engine_.sim().now();
+        const TokenWork &w = work_[s][t];
+        const std::size_t flows = w.weights.size() + w.kv_reads.size();
+        if (flows == 0) {
+            load_done_t_[s][t] = engine_.sim().now();
+            load_ready_[s][t] = 1;
+            advance(s);
+            return;
+        }
+        auto latch = std::make_shared<sim::CountdownLatch>(flows);
+        latch->on_zero([this, s, t] {
+            load_done_t_[s][t] = engine_.sim().now();
+            load_ready_[s][t] = 1;
+            advance(s);
+        });
+        for (const PipeFlow &flow : w.weights) {
+            if (flow.from_storage) {
+                engine_.storage_to_gpu(s, flow.bytes, flow.cap,
+                                       [latch] { latch->arrive(); });
+            } else {
+                engine_.host_to_gpu(s, flow.bytes, flow.cap,
+                                    [latch] { latch->arrive(); });
+            }
+        }
+        for (const KvFlowSpec &flow : w.kv_reads) {
+            engine_.host_to_gpu(s, flow.bytes, flow.cap,
+                                [latch] { latch->arrive(); });
+        }
+    }
+
+    /** Start every chunk of stage @p s's current token that has both
+     *  its activations and its weights; called on every state change. */
+    void
+    advance(std::uint64_t s)
+    {
+        const std::uint64_t t = idx_[s];
+        if (t >= total_ || !load_ready_[s][t])
+            return;
+        if (arrived_[s][t] == 0 && mb_started_[s] == 0)
+            return;
+        const TokenWork &w = work_[s][t];
+        // Un-prefetched context reads gate the token's first chunk.
+        if (!w.kv_reads_blocking.empty() && kv_fetch_state_[s] < 2) {
+            if (kv_fetch_state_[s] == 0) {
+                kv_fetch_state_[s] = 1;
+                auto reads = std::make_shared<sim::CountdownLatch>(
+                    w.kv_reads_blocking.size());
+                reads->on_zero([this, s] {
+                    kv_fetch_state_[s] = 2;
+                    advance(s);
+                });
+                for (const KvFlowSpec &flow : w.kv_reads_blocking) {
+                    engine_.host_to_gpu(s, flow.bytes, flow.cap,
+                                        [reads] { reads->arrive(); });
+                }
+            }
+            return;
+        }
+        while (mb_started_[s] < micro_ &&
+               arrived_[s][t] > mb_started_[s]) {
+            const std::uint64_t m = mb_started_[s]++;
+            if (m == 0)
+                on_token_started(s, t);
+            (void)m; // chunks are interchangeable past this point
+            engine_.occupy_gpu(s, w.compute_total / micro_,
+                               [this, s, t] { chunk_done(s, t); });
+        }
+    }
+
+    void
+    on_token_started(std::uint64_t s, std::uint64_t t)
+    {
+        first_start_t_[s][t] = engine_.sim().now();
+        const TokenWork &w = work_[s][t];
+        // store_cache: K/V appends drain concurrently with compute and
+        // hold the token open until they land.
+        writes_pending_[s] = w.kv_writes.size();
+        last_write_t_[s] = -1.0;
+        for (const KvFlowSpec &flow : w.kv_writes) {
+            engine_.gpu_to_host(s, flow.bytes, flow.cap, [this, s, t] {
+                last_write_t_[s] = engine_.sim().now();
+                --writes_pending_[s];
+                maybe_complete(s, t);
+            });
+        }
+        // Zig-zag: prefetch the next token's weights behind compute.
+        issue_load(s, t + 1);
+    }
+
+    void
+    chunk_done(std::uint64_t s, std::uint64_t t)
+    {
+        const std::uint64_t S = stages_.size();
+        if (s + 1 < S) {
+            const Bytes act = work_[s][t].tok == 0 ? prefill_act_
+                                                   : decode_act_;
+            const Bandwidth w_cap =
+                stages_[s].system.gpu_to_host_bw(act);
+            const Bandwidth r_cap =
+                stages_[s + 1].system.host_to_gpu_bw(act);
+            engine_.gpu_to_host(s, act, w_cap, [this, s, t, act, r_cap] {
+                engine_.host_to_gpu(s + 1, act, r_cap, [this, s, t] {
+                    ++arrived_[s + 1][t];
+                    advance(s + 1);
+                });
+            });
+        }
+        ++mb_done_[s];
+        maybe_complete(s, t);
+        advance(s);
+    }
+
+    void
+    maybe_complete(std::uint64_t s, std::uint64_t t)
+    {
+        if (idx_[s] != t || mb_done_[s] != micro_ ||
+            writes_pending_[s] != 0)
+            return;
+        token_done_t_[s][t] = engine_.sim().now();
+        idx_[s] = t + 1;
+        mb_started_[s] = 0;
+        mb_done_[s] = 0;
+        kv_fetch_state_[s] = 0;
+        if (s + 1 == stages_.size()) {
+            token_end_[t] = engine_.sim().now();
+            ++finished_;
+            // Autoregressive feedback: the next token enters stage 0.
+            if (t + 1 < total_) {
+                arrived_[0][t + 1] = micro_;
+                advance(0);
+            }
+        }
+        advance(s);
+    }
+
+    BatchTimeline
+    build_timeline() const
+    {
+        BatchTimeline tl;
+        tl.start = 0.0;
+        tl.end = engine_.sim().now();
+        tl.reps = reps_;
+        tl.tokens = tokens_per_rep_;
+        tl.token_end = token_end_;
+        if (keep_records_) {
+            for (std::uint64_t s = 0; s < stages_.size(); ++s) {
+                for (std::uint64_t t = 0; t < total_; ++t) {
+                    const TokenWork &w = work_[s][t];
+                    LayerStepRecord rec;
+                    rec.gpu_index = s;
+                    rec.batch_index = w.rep;
+                    rec.token = w.tok;
+                    rec.layer = w.first_layer;
+                    rec.type = w.type;
+                    rec.stage = w.stage;
+                    rec.compute_time = w.compute_total;
+                    rec.transfer_time =
+                        load_done_t_[s][t] - load_issue_t_[s][t];
+                    rec.transfer_bytes = w.cpu_bytes + w.disk_bytes;
+                    rec.kv_read_bytes = w.kv_read_bytes;
+                    rec.kv_write_bytes = w.kv_write_bytes;
+                    rec.transfer_start = load_issue_t_[s][t];
+                    rec.step_start = first_start_t_[s][t];
+                    rec.step_end = token_done_t_[s][t];
+                    for (const KvFlowSpec &flow : w.kv_reads) {
+                        rec.kv_tiers.push_back(runtime::KvTierTraffic{
+                            stages_[s].kv_tier_names[flow.tier],
+                            flow.bytes, 0});
+                    }
+                    for (const KvFlowSpec &flow : w.kv_writes) {
+                        rec.kv_tiers.push_back(runtime::KvTierTraffic{
+                            stages_[s].kv_tier_names[flow.tier], 0,
+                            flow.bytes});
+                    }
+                    tl.records.push_back(std::move(rec));
+                }
+            }
+        }
+        return tl;
+    }
+
+    ClusterEngine &engine_;
+    const std::vector<CompiledSchedule> &stages_;
+    std::uint64_t micro_;
+    bool keep_records_;
+    std::uint64_t tokens_per_rep_ = 0;
+    std::uint64_t reps_ = 0;
+    std::uint64_t total_ = 0; //!< tokens across all reps
+    Bytes prefill_act_ = 0;
+    Bytes decode_act_ = 0;
+    std::vector<std::vector<TokenWork>> work_; //!< [stage][token]
+    std::vector<std::uint64_t> idx_;
+    std::vector<std::uint64_t> mb_started_;
+    std::vector<std::uint64_t> mb_done_;
+    std::vector<std::uint64_t> writes_pending_;
+    std::vector<int> kv_fetch_state_; //!< 0 idle / 1 inflight / 2 done
+    std::vector<std::vector<std::uint64_t>> arrived_;
+    std::vector<std::vector<char>> load_issued_;
+    std::vector<std::vector<char>> load_ready_;
+    std::vector<std::vector<Seconds>> load_issue_t_;
+    std::vector<std::vector<Seconds>> load_done_t_;
+    std::vector<std::vector<Seconds>> first_start_t_;
+    std::vector<std::vector<Seconds>> token_done_t_;
+    std::vector<Seconds> last_write_t_;
+    std::vector<Seconds> token_end_;
+    std::uint64_t finished_ = 0;
+};
+
+} // namespace
+
+Result<BatchTimeline>
+ClusterEngine::run_pipeline(const std::vector<CompiledSchedule> &stages,
+                            std::uint64_t micro_batches,
+                            const runtime::ServingSpec &base,
+                            bool keep_records)
+{
+    if (stages.size() != gpus_)
+        return Status::invalid_argument("one stage per GPU required");
+    if (micro_batches < 1)
+        return Status::invalid_argument("micro_batches must be >= 1");
+    for (std::uint64_t g = 0; g < gpus_; ++g)
+        ++jobs_run_[g];
+    PipelineExecutor exec(*this, stages, micro_batches, base,
+                          keep_records);
+    return exec.run();
+}
+
+// ---------------------------------------------------------------------------
+// Saturation runs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Engine-identical warm-batch metrics over a rep-major timeline. */
+void
+timeline_latencies(const BatchTimeline &tl, Seconds *ttft, Seconds *tbt)
+{
+    std::vector<double> ttfts;
+    std::vector<double> tbts;
+    auto end_of = [&tl](std::uint64_t rep, std::uint64_t tok) {
+        return tl.token_end[rep * tl.tokens + tok];
+    };
+    for (std::uint64_t rep = 0; rep < tl.reps; ++rep) {
+        const Seconds batch_start =
+            rep == 0 ? tl.start : end_of(rep - 1, tl.tokens - 1);
+        ttfts.push_back(end_of(rep, 0) - batch_start);
+        std::vector<double> gaps;
+        for (std::uint64_t tok = 1; tok < tl.tokens; ++tok)
+            gaps.push_back(end_of(rep, tok) - end_of(rep, tok - 1));
+        tbts.push_back(mean(gaps));
+    }
+    *ttft = mean_discarding_first(ttfts);
+    *tbt = mean_discarding_first(tbts);
+}
+
+} // namespace
+
+Result<SaturationResult>
+run_saturated(const ClusterSpec &spec, bool keep_records)
+{
+    HELM_RETURN_IF_ERROR(spec.validate());
+    const std::uint64_t N = spec.gpus;
+    SaturationResult out;
+
+    if (spec.parallelism == Parallelism::kReplica) {
+        auto compiled_or = runtime::compile_schedule(spec.serving);
+        if (!compiled_or.is_ok())
+            return compiled_or.status();
+        const CompiledSchedule &compiled = *compiled_or;
+        const Bytes resident =
+            compiled.host_weight_bytes +
+            N * (compiled.host_resident_bytes -
+                 compiled.host_weight_bytes);
+        const PortRates rates =
+            compute_port_rates(compiled, spec.sockets, resident);
+        ClusterEngine engine(N, spec.serving.gpu, rates);
+        std::vector<BatchTimeline> timelines(N);
+        const std::uint64_t per_batch =
+            compiled.tokens * compiled.num_layers;
+        const std::uint64_t reps =
+            per_batch > 0 ? compiled.steps.size() / per_batch : 0;
+        for (std::uint64_t g = 0; g < N; ++g) {
+            engine.submit_job(
+                g, compiled, keep_records, /*batch_tag=*/g * reps,
+                [&timelines, g](const BatchTimeline &tl) {
+                    timelines[g] = tl;
+                });
+        }
+        engine.run_to_completion();
+        Seconds makespan = 0.0;
+        for (const BatchTimeline &tl : timelines)
+            makespan = std::max(makespan, tl.end);
+        out.makespan = makespan;
+        out.total_tokens =
+            N * reps * compiled.effective_batch * compiled.tokens;
+        out.aggregate_throughput =
+            makespan > 0.0
+                ? static_cast<double>(out.total_tokens) / makespan
+                : 0.0;
+        timeline_latencies(timelines.front(), &out.ttft, &out.tbt);
+        out.gpus = engine.gpu_stats(makespan);
+        out.ports = engine.port_stats(makespan);
+        for (BatchTimeline &tl : timelines) {
+            out.records.insert(out.records.end(),
+                               std::make_move_iterator(tl.records.begin()),
+                               std::make_move_iterator(tl.records.end()));
+        }
+        return out;
+    }
+
+    // Sharded modes: one schedule per GPU.
+    std::vector<CompiledSchedule> shards;
+    shards.reserve(N);
+    if (spec.parallelism == Parallelism::kTensor) {
+        for (std::uint64_t g = 0; g < N; ++g) {
+            runtime::ShardOptions shard;
+            shard.kind = runtime::ShardOptions::Kind::kTensor;
+            shard.count = N;
+            shard.index = g;
+            auto compiled_or =
+                runtime::compile_schedule(spec.serving, shard);
+            if (!compiled_or.is_ok())
+                return compiled_or.status();
+            shards.push_back(std::move(*compiled_or));
+        }
+    } else {
+        const auto layers = model::build_layers(
+            spec.serving.model,
+            spec.serving.compress_weights
+                ? model::DataType::kInt4Grouped
+                : model::DataType::kFp16);
+        auto ranges_or = partition_layers(layers, N);
+        if (!ranges_or.is_ok())
+            return ranges_or.status();
+        for (std::uint64_t g = 0; g < N; ++g) {
+            runtime::ShardOptions shard;
+            shard.kind = runtime::ShardOptions::Kind::kPipeline;
+            shard.count = N;
+            shard.index = g;
+            shard.layer_begin = (*ranges_or)[g].first;
+            shard.layer_end = (*ranges_or)[g].second;
+            auto compiled_or =
+                runtime::compile_schedule(spec.serving, shard);
+            if (!compiled_or.is_ok())
+                return compiled_or.status();
+            shards.push_back(std::move(*compiled_or));
+        }
+    }
+
+    const Bytes resident =
+        cluster_resident_bytes(shards, spec.parallelism);
+    const PortRates rates =
+        compute_port_rates(shards.front(), spec.sockets, resident);
+    ClusterEngine engine(N, spec.serving.gpu, rates);
+
+    Result<BatchTimeline> tl_or =
+        spec.parallelism == Parallelism::kTensor
+            ? engine.run_lockstep(shards, keep_records)
+            : engine.run_pipeline(
+                  shards,
+                  spec.micro_batches > 0 ? spec.micro_batches : N,
+                  spec.serving, keep_records);
+    if (!tl_or.is_ok())
+        return tl_or.status();
+    BatchTimeline &tl = *tl_or;
+
+    out.makespan = tl.end - tl.start;
+    out.total_tokens =
+        tl.reps * shards.front().effective_batch * tl.tokens;
+    out.aggregate_throughput =
+        out.makespan > 0.0
+            ? static_cast<double>(out.total_tokens) / out.makespan
+            : 0.0;
+    timeline_latencies(tl, &out.ttft, &out.tbt);
+    out.gpus = engine.gpu_stats(out.makespan);
+    out.ports = engine.port_stats(out.makespan);
+    out.records = std::move(tl.records);
+    return out;
+}
+
+} // namespace helm::cluster

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request-level serving over the cluster.
+ *
+ * ClusterServer is the multi-GPU analogue of runtime::Server:
+ * submit() requests with arrival times, run() once, read a report.
+ * Mode determines the dispatch structure:
+ *
+ *  - replica, 1 GPU:  delegates wholesale to runtime::Server — metrics
+ *                     are bit-for-bit the single-GPU serve path.
+ *  - replica, N GPUs: a Router assigns each arrival to a per-GPU FCFS
+ *                     queue; each GPU forms batches under the shared
+ *                     SchedulerPolicy and executes them on the
+ *                     contended fabric (one DES timeline for all GPUs).
+ *  - tensor/pipeline: one global FCFS queue; every formed batch runs
+ *                     sharded across all GPUs.
+ */
+#ifndef HELM_CLUSTER_CLUSTER_SERVER_H
+#define HELM_CLUSTER_CLUSTER_SERVER_H
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "runtime/scheduler.h"
+#include "workload/workload.h"
+
+namespace helm::cluster {
+
+class ClusterServer
+{
+  public:
+    /**
+     * Validate the spec, size the batch ceiling (policy.max_batch = 0
+     * auto-sizes against the *shard* geometry — tensor shards hold
+     * 1/N of the KV heads, pipeline stages the weakest stage), and
+     * derive the managed-KV admission bound.
+     */
+    static Result<ClusterServer> create(ClusterSpec spec);
+
+    /** Queue one request. */
+    Status submit(const workload::Request &request, Seconds arrival);
+    /** Queue a whole arrival stream. */
+    Status submit(const std::vector<workload::TimedRequest> &stream);
+
+    /** Serve every submitted request to completion. */
+    Result<ClusterReport> run();
+
+    /** The per-batch ceiling in force. */
+    std::uint64_t effective_max_batch() const { return max_batch_; }
+    /** Managed-KV admission slots (0 = unmanaged/unbounded). */
+    std::uint64_t kv_request_slots() const { return kv_request_slots_; }
+
+    const ClusterSpec &spec() const { return spec_; }
+
+  private:
+    explicit ClusterServer(ClusterSpec spec) : spec_(std::move(spec)) {}
+
+    Result<ClusterReport> run_replica_cluster(bool keep_records);
+    Result<ClusterReport> run_sharded(bool keep_records);
+
+    ClusterSpec spec_;
+    std::uint64_t max_batch_ = 1;
+    std::uint64_t kv_block_tokens_ = 0;
+    std::uint64_t kv_capacity_blocks_ =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t kv_request_slots_ = 0;
+    /** N=1 replica delegation target. */
+    std::optional<runtime::Server> single_;
+    std::vector<workload::TimedRequest> pending_;
+};
+
+} // namespace helm::cluster
+
+#endif // HELM_CLUSTER_CLUSTER_SERVER_H

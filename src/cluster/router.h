@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Replica-mode request router.
+ *
+ * Load-balances arriving requests across per-GPU queues.  Decisions
+ * are deterministic: round-robin cycles, JSQ breaks ties on the lowest
+ * GPU index, and power-of-two-choices samples with the repo's seeded
+ * xoshiro generator so equal runs route equally.
+ */
+#ifndef HELM_CLUSTER_ROUTER_H
+#define HELM_CLUSTER_ROUTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace helm::cluster {
+
+class Router
+{
+  public:
+    Router(RouterPolicy policy, std::uint64_t gpus, std::uint64_t seed);
+
+    /**
+     * Pick the GPU for the next request.
+     * @param depths Outstanding work per GPU (waiting + in-flight
+     *        requests), indexed by GPU.
+     */
+    std::uint64_t route(const std::vector<std::uint64_t> &depths);
+
+    RouterPolicy policy() const { return policy_; }
+
+  private:
+    RouterPolicy policy_;
+    std::uint64_t gpus_;
+    std::uint64_t next_ = 0; //!< round-robin cursor
+    Rng rng_;
+};
+
+} // namespace helm::cluster
+
+#endif // HELM_CLUSTER_ROUTER_H

@@ -25,6 +25,10 @@
 #ifndef HELM_CORE_HELM_H
 #define HELM_CORE_HELM_H
 
+#include "cluster/cluster.h"
+#include "cluster/cluster_engine.h"
+#include "cluster/cluster_server.h"
+#include "cluster/router.h"
 #include "common/args.h"
 #include "common/csv.h"
 #include "common/log.h"

@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/summary.h"
+#include "runtime/schedule.h"
 #include "sim/bandwidth_channel.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -31,45 +32,14 @@ default_policy(mem::ConfigKind kind)
 
 namespace {
 
-/** One KV transfer of a step: bytes moving to/from one cache tier. */
-struct KvFlow
-{
-    std::size_t tier = 0; //!< KvCacheConfig tier index
-    Bytes bytes = 0;
-    Bandwidth cap;        //!< effective rate for this chunk
-};
-
-/** One flattened (batch, token, layer) step of the schedule. */
-struct Step
-{
-    std::uint64_t batch_index;
-    std::uint64_t token;
-    int layer;
-    model::LayerType type;
-    gpu::Stage stage;
-    Seconds compute;
-    Bytes cpu_bytes;
-    Bytes disk_bytes;
-    Bandwidth cpu_cap;  //!< effective host->GPU rate for this chunk
-    Bandwidth disk_cap; //!< effective storage->GPU rate
-    /** Host-tier -> GPU context fetches (decode steps, MHA layers). */
-    std::vector<KvFlow> kv_reads;
-    /** GPU -> host-tier K/V appends + block demotions. */
-    std::vector<KvFlow> kv_writes;
-    Bytes kv_read_bytes = 0;  //!< sum over kv_reads
-    Bytes kv_write_bytes = 0; //!< sum over kv_writes
-    /** Overlap the reads with the previous step (weight-prefetch path);
-     *  off = the reads gate this step's compute. */
-    bool kv_prefetch = true;
-};
-
 /**
  * Drives the zig-zag schedule on the DES kernel.  One instance per run.
  */
 class ScheduleDriver
 {
   public:
-    ScheduleDriver(std::vector<Step> steps, const gpu::GpuSpec &gpu,
+    ScheduleDriver(std::vector<ScheduledStep> steps,
+                   const gpu::GpuSpec &gpu,
                    const mem::HostMemorySystem &system)
         : steps_(std::move(steps)),
           gpu_(gpu),
@@ -122,7 +92,7 @@ class ScheduleDriver
     Seconds load_done(std::size_t k) const { return load_done_[k]; }
     Seconds step_start(std::size_t k) const { return step_start_[k]; }
     Seconds step_end(std::size_t k) const { return step_end_[k]; }
-    const std::vector<Step> &steps() const { return steps_; }
+    const std::vector<ScheduledStep> &steps() const { return steps_; }
 
     /** Duration of step @p k's KV writeback drain (0 if none). */
     Seconds
@@ -150,7 +120,7 @@ class ScheduleDriver
     issue_load(std::size_t k, std::function<void()> on_done)
     {
         load_issue_[k] = sim_.now();
-        const Step &step = steps_[k];
+        const ScheduledStep &step = steps_[k];
         const std::size_t kv_flows =
             step.kv_prefetch ? step.kv_reads.size() : 0;
         const std::size_t flows = (step.cpu_bytes > 0 ? 1 : 0) +
@@ -173,7 +143,7 @@ class ScheduleDriver
         if (step.kv_prefetch) {
             // Host-resident context streams in alongside the weights,
             // contending for the same h2d fabric.
-            for (const KvFlow &flow : step.kv_reads) {
+            for (const KvFlowSpec &flow : step.kv_reads) {
                 pcie_.start_flow(flow.bytes, flow.cap,
                                  [latch] { latch->arrive(); });
             }
@@ -194,7 +164,7 @@ class ScheduleDriver
     start_step(std::size_t k)
     {
         step_start_[k] = sim_.now();
-        const Step &step = steps_[k];
+        const ScheduledStep &step = steps_[k];
         const bool has_next = k + 1 < steps_.size();
         auto latch = std::make_shared<sim::CountdownLatch>(
             1u + (has_next ? 1u : 0u) + step.kv_writes.size());
@@ -210,7 +180,7 @@ class ScheduleDriver
         // store_cache(i, j): new K/V entries (and demoted blocks) drain
         // to their host tiers concurrently with compute; sync() waits
         // for them too (FlexGen's store path).
-        for (const KvFlow &flow : step.kv_writes) {
+        for (const KvFlowSpec &flow : step.kv_writes) {
             d2h_.start_flow(flow.bytes, flow.cap, [this, k, latch] {
                 kv_write_done_[k] = sim_.now();
                 latch->arrive();
@@ -226,7 +196,7 @@ class ScheduleDriver
                 gpu_res_.occupy(steps_[k].compute + gpu_.layer_overhead,
                                 [latch] { latch->arrive(); });
             });
-            for (const KvFlow &flow : step.kv_reads) {
+            for (const KvFlowSpec &flow : step.kv_reads) {
                 pcie_.start_flow(flow.bytes, flow.cap,
                                  [reads] { reads->arrive(); });
             }
@@ -237,7 +207,7 @@ class ScheduleDriver
         // sync(): latch zero == everything issued this step retired.
     }
 
-    std::vector<Step> steps_;
+    std::vector<ScheduledStep> steps_;
     const gpu::GpuSpec &gpu_;
     const mem::HostMemorySystem &system_;
     sim::Simulator sim_;
@@ -330,260 +300,28 @@ ServingSpec::kv_config() const
 Result<RunResult>
 simulate_inference(const ServingSpec &spec)
 {
-    // ---- Validation -----------------------------------------------------
-    HELM_RETURN_IF_ERROR(spec.validate());
-
-    placement::Policy policy =
-        spec.policy.value_or(default_policy(spec.memory));
-
-    // ---- Model + placement ---------------------------------------------
-    const model::DataType dtype = spec.compress_weights
-                                      ? model::DataType::kInt4Grouped
-                                      : model::DataType::kFp16;
-    const auto layers = model::build_layers(spec.model, dtype);
-
-    mem::HostMemorySystem system =
-        spec.custom_cxl_bandwidth.has_value()
-            ? mem::HostMemorySystem(
-                  "CXL-custom",
-                  mem::make_cxl_custom("CXL-custom",
-                                       *spec.custom_cxl_bandwidth),
-                  nullptr, spec.pcie)
-            : mem::make_config(spec.memory, spec.pcie);
-
-    const std::uint64_t effective_requests =
-        spec.batch * spec.micro_batches;
-    std::unique_ptr<placement::PlacementAlgorithm> algorithm;
-    if (spec.placement == placement::PlacementKind::kHelm &&
-        spec.helm_splits.has_value()) {
-        algorithm =
-            std::make_unique<placement::HelmPlacement>(*spec.helm_splits);
-    } else if (spec.placement == placement::PlacementKind::kBalanced) {
-        // Profile-guided placement: feed the solver the decode-stage
-        // compute windows (the latency-critical stage), the effective
-        // transfer bandwidth, and the planner's weight budget.
-        placement::BalanceProfile profile;
-        profile.compute_times.reserve(layers.size());
-        for (const auto &layer : layers) {
-            gpu::LayerWork work;
-            work.config = &spec.model;
-            work.layer = layer.type;
-            work.stage = gpu::Stage::kDecode;
-            work.batch = spec.batch;
-            work.prompt_tokens = spec.shape.prompt_tokens;
-            work.context_tokens = spec.shape.prompt_tokens +
-                                  spec.shape.output_tokens / 2;
-            work.compressed = spec.compress_weights;
-            profile.compute_times.push_back(
-                static_cast<double>(spec.micro_batches) *
-                    gpu::layer_compute_time(spec.gpu, work) +
-                spec.gpu.layer_overhead);
-        }
-        // Representative transfer rate: a mid-sized weight chunk.
-        mem::HostMemorySystem probe =
-            mem::make_config(spec.memory, spec.pcie);
-        profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
-        profile.gpu_weight_budget = gpu_weight_budget(
-            spec.gpu, spec.model, layers, spec.shape, effective_requests,
-            spec.compress_weights, spec.kv_resident_on_gpu());
-        algorithm =
-            std::make_unique<placement::BalancedPlacement>(profile);
-    } else {
-        algorithm = placement::make_placement(spec.placement);
-    }
-    placement::PlacementMap map = algorithm->place(layers, policy);
-
-    // ---- GPU capacity enforcement --------------------------------------
-    const std::uint64_t effective_batch = effective_requests;
-    const bool kv_on_gpu = spec.kv_resident_on_gpu();
-    placement::SpillReport spill;
-    if (spec.enforce_gpu_capacity) {
-        const Bytes weight_budget = gpu_weight_budget(
-            spec.gpu, spec.model, layers, spec.shape, effective_batch,
-            spec.compress_weights, kv_on_gpu);
-        spill = placement::enforce_gpu_capacity(map, layers, weight_budget);
-    }
-    const Bytes gpu_weights = map.tier_total(Tier::kGpu);
-    const GpuBudget budget = compute_gpu_budget(
-        spec.gpu, spec.model, layers, gpu_weights, spec.shape,
-        effective_batch, spec.compress_weights, kv_on_gpu);
-    if (!budget.fits()) {
-        return Status::capacity_exceeded(
-            "configuration does not fit in GPU memory even after weight "
-            "spilling: " + std::to_string(effective_batch) +
-            " concurrent requests need " + format_bytes(budget.used()) +
-            " of " + format_bytes(budget.hbm_capacity));
-    }
-
-    if (map.tier_total(Tier::kDisk) > 0 && !system.has_storage()) {
-        return Status::invalid_argument(
-            "placement assigns weights to the disk tier but memory "
-            "configuration '" + system.label() + "' has no storage tier");
-    }
-
-    // ---- KV cache tiers ---------------------------------------------------
-    // Resolve the managed configuration: the GPU tier's auto capacity is
-    // whatever HBM the planner leaves free at this batch (the batch's
-    // hidden/staging/streaming buffers are already budgeted above).
-    kvcache::KvCacheConfig kv_config = spec.kv_config();
-    for (kvcache::TierSpec &tier : kv_config.tiers) {
-        if (!tier.is_gpu)
-            continue;
-        if (tier.auto_capacity) {
-            tier.capacity = std::max<Bytes>(budget.free_bytes(), 1);
-            tier.auto_capacity = false;
-        } else if (tier.capacity > 0 && spec.enforce_gpu_capacity) {
-            tier.capacity = std::max<Bytes>(
-                std::min(tier.capacity, budget.free_bytes()), 1);
-        }
-    }
-    auto kv_manager_or =
-        kvcache::KvCacheManager::create(kv_config, spec.model);
-    if (!kv_manager_or.is_ok())
-        return kv_manager_or.status();
-    kvcache::KvCacheManager &kv_manager = *kv_manager_or;
-
-    // MemoryMode/Optane: the cycled working set is the host-resident
-    // weights plus the host-resident share of the KV cache (all of it
-    // in legacy offload mode, the GPU-tier overflow with managed tiers).
-    Bytes resident = map.tier_total(Tier::kCpu);
-    if (spec.kv_cache.has_value()) {
-        const Bytes total_kv = model::kv_bytes_batch(
-            spec.model, spec.shape, effective_batch);
-        Bytes gpu_kv = 0;
-        bool gpu_unbounded = false;
-        for (const kvcache::TierSpec &tier : kv_config.tiers) {
-            if (tier.is_gpu) {
-                gpu_kv = tier.capacity;
-                gpu_unbounded = tier.capacity == 0;
-            }
-        }
-        if (!gpu_unbounded && total_kv > gpu_kv)
-            resident += total_kv - gpu_kv;
-    } else if (spec.offload_kv_cache) {
-        resident += model::kv_bytes_batch(spec.model, spec.shape,
-                                          effective_batch);
-    }
-    system.set_host_resident_bytes(resident);
-
-    // ---- Flatten the schedule -------------------------------------------
-    const std::uint64_t num_layers = layers.size();
-    const std::uint64_t tokens = spec.shape.output_tokens;
-    std::vector<Step> steps;
-    steps.reserve(spec.repeats * tokens * num_layers);
-
-    for (std::uint64_t rep = 0; rep < spec.repeats; ++rep) {
-        // Each repeat is a fresh batch: the previous batch's blocks
-        // free and the new requests allocate from a clean placement.
-        kv_manager.reset_requests();
-        for (std::uint64_t r = 0; r < effective_batch; ++r)
-            HELM_RETURN_IF_ERROR(kv_manager.add_request(r));
-        for (std::uint64_t tok = 0; tok < tokens; ++tok) {
-            const gpu::Stage stage =
-                tok == 0 ? gpu::Stage::kPrefill : gpu::Stage::kDecode;
-
-            // Advance the KV manager one token for the whole batch and
-            // turn its per-tier demand into capped flows.  Prefill skips
-            // the context fetch — the K/V it attends to was computed on
-            // the GPU this very step.
-            const std::uint64_t new_tokens =
-                stage == gpu::Stage::kPrefill ? spec.shape.prompt_tokens
-                                              : 1;
-            auto traffic_or = kv_manager.step(
-                new_tokens, stage == gpu::Stage::kDecode);
-            if (!traffic_or.is_ok())
-                return traffic_or.status();
-            const kvcache::StepTraffic &traffic = *traffic_or;
-            std::vector<KvFlow> kv_reads;
-            std::vector<KvFlow> kv_writes;
-            Bytes kv_read_total = 0;
-            Bytes kv_write_total = 0;
-            for (std::size_t t = 0; t < kv_manager.tier_count(); ++t) {
-                const kvcache::TierSpec &tier = kv_manager.tier(t);
-                if (traffic.read_bytes[t] > 0) {
-                    KvFlow flow;
-                    flow.tier = t;
-                    flow.bytes = traffic.read_bytes[t];
-                    flow.cap = tier.read_bw.is_zero()
-                                   ? system.host_to_gpu_bw(flow.bytes)
-                                   : tier.read_bw;
-                    kv_read_total += flow.bytes;
-                    kv_reads.push_back(flow);
-                }
-                if (traffic.write_bytes[t] > 0) {
-                    KvFlow flow;
-                    flow.tier = t;
-                    flow.bytes = traffic.write_bytes[t];
-                    flow.cap = tier.write_bw.is_zero()
-                                   ? system.gpu_to_host_bw(flow.bytes)
-                                   : tier.write_bw;
-                    kv_write_total += flow.bytes;
-                    kv_writes.push_back(flow);
-                }
-            }
-
-            for (std::uint64_t li = 0; li < num_layers; ++li) {
-                const auto &layer = layers[li];
-                const auto &lp = map.layers[li];
-                Step step;
-                step.batch_index = rep;
-                step.token = tok;
-                step.layer = static_cast<int>(li);
-                step.type = layer.type;
-                step.stage = stage;
-
-                gpu::LayerWork work;
-                work.config = &spec.model;
-                work.layer = layer.type;
-                work.stage = stage;
-                work.batch = spec.batch;
-                work.prompt_tokens = spec.shape.prompt_tokens;
-                work.context_tokens = spec.shape.prompt_tokens + tok;
-                work.compressed = spec.compress_weights;
-                // Block schedule: one weight load serves micro_batches
-                // back-to-back executions of the layer.
-                step.compute = static_cast<double>(spec.micro_batches) *
-                               gpu::layer_compute_time(spec.gpu, work);
-
-                step.cpu_bytes = lp.bytes_on(Tier::kCpu);
-                step.disk_bytes = lp.bytes_on(Tier::kDisk);
-                step.cpu_cap = step.cpu_bytes > 0
-                                   ? system.host_to_gpu_bw(step.cpu_bytes)
-                                   : Bandwidth();
-                step.disk_cap =
-                    step.disk_bytes > 0
-                        ? system.storage_to_gpu_bw(step.disk_bytes)
-                        : Bandwidth();
-
-                // Every MHA layer moves the same KV bytes: the context
-                // streams in from the host tiers (decode) and new K/V
-                // entries + demoted blocks drain out (both stages).
-                if (layer.type == model::LayerType::kMha) {
-                    step.kv_reads = kv_reads;
-                    step.kv_writes = kv_writes;
-                    step.kv_read_bytes = kv_read_total;
-                    step.kv_write_bytes = kv_write_total;
-                    step.kv_prefetch = kv_config.prefetch;
-                }
-                steps.push_back(step);
-            }
-        }
-    }
+    // ---- Compile: model, placement, KV tiers, flattened steps ----------
+    auto compiled_or = compile_schedule(spec);
+    if (!compiled_or.is_ok())
+        return compiled_or.status();
+    CompiledSchedule &compiled = *compiled_or;
 
     // ---- Run -------------------------------------------------------------
-    ScheduleDriver driver(std::move(steps), spec.gpu, system);
+    ScheduleDriver driver(std::move(compiled.steps), spec.gpu,
+                          compiled.system);
     const Seconds total_time = driver.run();
 
     // ---- Metrics ----------------------------------------------------------
     RunResult result;
-    result.placement = std::move(map);
-    result.spill = spill;
-    result.budget = budget;
-    result.model_bytes = model::model_weight_bytes(layers);
-    result.kv_stats = kv_manager.stats();
+    result.placement = std::move(compiled.placement);
+    result.spill = compiled.spill;
+    result.budget = compiled.budget;
+    result.model_bytes = compiled.model_bytes;
+    result.kv_stats = compiled.kv_stats;
 
     const auto &all = driver.steps();
-    const std::uint64_t steps_per_token = num_layers;
+    const std::uint64_t tokens = compiled.tokens;
+    const std::uint64_t steps_per_token = compiled.num_layers;
     const std::uint64_t steps_per_batch = tokens * steps_per_token;
 
     auto token_end = [&](std::uint64_t rep, std::uint64_t tok) {
@@ -611,7 +349,7 @@ simulate_inference(const ServingSpec &spec)
     result.metrics.tbt = mean_discarding_first(tbts);
     result.metrics.total_time = total_time;
     result.metrics.total_tokens =
-        spec.repeats * effective_batch * tokens;
+        spec.repeats * compiled.effective_batch * tokens;
     result.metrics.throughput =
         static_cast<double>(result.metrics.total_tokens) / total_time;
 
@@ -636,8 +374,8 @@ simulate_inference(const ServingSpec &spec)
             rec.kv_stall_time = driver.kv_stall_time(k);
             if (all[k].kv_read_bytes > 0 || all[k].kv_write_bytes > 0) {
                 auto tier_entry =
-                    [&rec, &kv_manager](std::size_t t) -> KvTierTraffic & {
-                    const std::string &name = kv_manager.tier(t).name;
+                    [&rec, &compiled](std::size_t t) -> KvTierTraffic & {
+                    const std::string &name = compiled.kv_tier_names[t];
                     for (KvTierTraffic &entry : rec.kv_tiers) {
                         if (entry.tier == name)
                             return entry;
@@ -645,9 +383,9 @@ simulate_inference(const ServingSpec &spec)
                     rec.kv_tiers.push_back(KvTierTraffic{name, 0, 0});
                     return rec.kv_tiers.back();
                 };
-                for (const KvFlow &flow : all[k].kv_reads)
+                for (const KvFlowSpec &flow : all[k].kv_reads)
                     tier_entry(flow.tier).read_bytes += flow.bytes;
-                for (const KvFlow &flow : all[k].kv_writes)
+                for (const KvFlowSpec &flow : all[k].kv_writes)
                     tier_entry(flow.tier).write_bytes += flow.bytes;
             }
             result.records.push_back(rec);

@@ -28,6 +28,8 @@ struct KvTierTraffic
 /** Timing of one (token, layer) step of the zig-zag schedule. */
 struct LayerStepRecord
 {
+    std::uint64_t gpu_index = 0;   //!< which GPU executed it (cluster
+                                   //!< runs; single-GPU runs emit 0)
     std::uint64_t batch_index = 0; //!< which repeat of the workload
     std::uint64_t token = 0;       //!< 0 = prefill token
     int layer = 0;                 //!< schedule index within the model

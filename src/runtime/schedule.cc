@@ -1,0 +1,365 @@
+#include "runtime/schedule.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/log.h"
+#include "model/footprint.h"
+#include "placement/balanced.h"
+#include "placement/helm_placement.h"
+
+namespace helm::runtime {
+
+using placement::Tier;
+
+namespace {
+
+/** ceil(a / b) for shard slicing. */
+std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Shard-local validity checks (the base spec was validated by the
+ *  cluster layer against the unsharded model). */
+Status
+validate_shard(const ServingSpec &spec, const ShardOptions &shard,
+               std::uint64_t num_layers)
+{
+    if (shard.kind == ShardOptions::Kind::kNone)
+        return Status::ok();
+    if (shard.count < 1)
+        return Status::invalid_argument("shard count must be >= 1");
+    if (shard.index >= shard.count)
+        return Status::invalid_argument("shard index out of range");
+    if (shard.kind == ShardOptions::Kind::kPipeline) {
+        if (shard.layer_begin >= shard.layer_end ||
+            shard.layer_end > num_layers) {
+            return Status::invalid_argument(
+                "pipeline shard layer range [" +
+                std::to_string(shard.layer_begin) + ", " +
+                std::to_string(shard.layer_end) +
+                ") is empty or exceeds " + std::to_string(num_layers) +
+                " layers");
+        }
+    }
+    // Shards skip the full-model floor check in ServingSpec::validate()
+    // (a model that only fits when sharded is the point); field-range
+    // checks still apply.
+    ServingSpec relaxed = spec;
+    relaxed.enforce_gpu_capacity = false;
+    return relaxed.validate();
+}
+
+} // namespace
+
+Result<ShardGeometry>
+shard_geometry(const ServingSpec &spec, const ShardOptions &shard)
+{
+    const model::DataType dtype = spec.compress_weights
+                                      ? model::DataType::kInt4Grouped
+                                      : model::DataType::kFp16;
+    ShardGeometry geo;
+    geo.layers = model::build_layers(spec.model, dtype);
+    geo.kv_model = spec.model;
+    HELM_RETURN_IF_ERROR(validate_shard(spec, shard, geo.layers.size()));
+    if (shard.kind == ShardOptions::Kind::kTensor && shard.count > 1) {
+        // Megatron-style column/row splits: every matrix weight is cut
+        // 1/count; bias, norm, and embedding-adjacent vectors replicate.
+        for (auto &layer : geo.layers) {
+            for (auto &weight : layer.weights) {
+                if (model::is_matrix_role(weight.role))
+                    weight.elements = ceil_div(weight.elements, shard.count);
+            }
+        }
+        geo.kv_model.kv_heads =
+            ceil_div(geo.kv_model.effective_kv_heads(), shard.count);
+        geo.compute_scale = 1.0 / static_cast<double>(shard.count);
+    } else if (shard.kind == ShardOptions::Kind::kPipeline) {
+        geo.first_layer = shard.layer_begin;
+        geo.layers.assign(geo.layers.begin() + static_cast<std::ptrdiff_t>(
+                                                   shard.layer_begin),
+                          geo.layers.begin() + static_cast<std::ptrdiff_t>(
+                                                   shard.layer_end));
+        std::uint64_t mha_layers = 0;
+        for (const auto &layer : geo.layers) {
+            if (layer.type == model::LayerType::kMha)
+                ++mha_layers;
+        }
+        geo.kv_model.blocks = std::max<std::uint64_t>(mha_layers, 1);
+    }
+    return geo;
+}
+
+Result<CompiledSchedule>
+compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
+{
+    // ---- Validation -----------------------------------------------------
+    const bool sharded = shard.kind != ShardOptions::Kind::kNone;
+    if (!sharded) {
+        HELM_RETURN_IF_ERROR(spec.validate());
+    }
+
+    placement::Policy policy =
+        spec.policy.value_or(default_policy(spec.memory));
+
+    // ---- Model + shard slice -------------------------------------------
+    auto geo_or = shard_geometry(spec, shard);
+    if (!geo_or.is_ok())
+        return geo_or.status();
+    auto layers = std::move(geo_or->layers);
+    const model::TransformerConfig kv_model = geo_or->kv_model;
+    const std::uint64_t first_layer = geo_or->first_layer;
+    const double compute_scale = geo_or->compute_scale;
+
+    mem::HostMemorySystem system =
+        spec.custom_cxl_bandwidth.has_value()
+            ? mem::HostMemorySystem(
+                  "CXL-custom",
+                  mem::make_cxl_custom("CXL-custom",
+                                       *spec.custom_cxl_bandwidth),
+                  nullptr, spec.pcie)
+            : mem::make_config(spec.memory, spec.pcie);
+
+    const std::uint64_t effective_requests =
+        spec.batch * spec.micro_batches;
+    std::unique_ptr<placement::PlacementAlgorithm> algorithm;
+    if (spec.placement == placement::PlacementKind::kHelm &&
+        spec.helm_splits.has_value()) {
+        algorithm =
+            std::make_unique<placement::HelmPlacement>(*spec.helm_splits);
+    } else if (spec.placement == placement::PlacementKind::kBalanced) {
+        // Profile-guided placement: feed the solver the decode-stage
+        // compute windows (the latency-critical stage), the effective
+        // transfer bandwidth, and the planner's weight budget.
+        placement::BalanceProfile profile;
+        profile.compute_times.reserve(layers.size());
+        for (const auto &layer : layers) {
+            gpu::LayerWork work;
+            work.config = &spec.model;
+            work.layer = layer.type;
+            work.stage = gpu::Stage::kDecode;
+            work.batch = spec.batch;
+            work.prompt_tokens = spec.shape.prompt_tokens;
+            work.context_tokens = spec.shape.prompt_tokens +
+                                  spec.shape.output_tokens / 2;
+            work.compressed = spec.compress_weights;
+            profile.compute_times.push_back(
+                static_cast<double>(spec.micro_batches) * compute_scale *
+                    gpu::layer_compute_time(spec.gpu, work) +
+                spec.gpu.layer_overhead);
+        }
+        // Representative transfer rate: a mid-sized weight chunk.
+        mem::HostMemorySystem probe =
+            mem::make_config(spec.memory, spec.pcie);
+        profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
+        profile.gpu_weight_budget = gpu_weight_budget(
+            spec.gpu, kv_model, layers, spec.shape, effective_requests,
+            spec.compress_weights, spec.kv_resident_on_gpu());
+        algorithm =
+            std::make_unique<placement::BalancedPlacement>(profile);
+    } else {
+        algorithm = placement::make_placement(spec.placement);
+    }
+    placement::PlacementMap map = algorithm->place(layers, policy);
+
+    // ---- GPU capacity enforcement --------------------------------------
+    const std::uint64_t effective_batch = effective_requests;
+    const bool kv_on_gpu = spec.kv_resident_on_gpu();
+    placement::SpillReport spill;
+    if (spec.enforce_gpu_capacity) {
+        const Bytes weight_budget = gpu_weight_budget(
+            spec.gpu, kv_model, layers, spec.shape, effective_batch,
+            spec.compress_weights, kv_on_gpu);
+        spill = placement::enforce_gpu_capacity(map, layers, weight_budget);
+    }
+    const Bytes gpu_weights = map.tier_total(Tier::kGpu);
+    const GpuBudget budget = compute_gpu_budget(
+        spec.gpu, kv_model, layers, gpu_weights, spec.shape,
+        effective_batch, spec.compress_weights, kv_on_gpu);
+    if (!budget.fits()) {
+        return Status::capacity_exceeded(
+            "configuration does not fit in GPU memory even after weight "
+            "spilling: " + std::to_string(effective_batch) +
+            " concurrent requests need " + format_bytes(budget.used()) +
+            " of " + format_bytes(budget.hbm_capacity));
+    }
+
+    if (map.tier_total(Tier::kDisk) > 0 && !system.has_storage()) {
+        return Status::invalid_argument(
+            "placement assigns weights to the disk tier but memory "
+            "configuration '" + system.label() + "' has no storage tier");
+    }
+
+    // ---- KV cache tiers ---------------------------------------------------
+    // Resolve the managed configuration: the GPU tier's auto capacity is
+    // whatever HBM the planner leaves free at this batch (the batch's
+    // hidden/staging/streaming buffers are already budgeted above).
+    kvcache::KvCacheConfig kv_config = spec.kv_config();
+    for (kvcache::TierSpec &tier : kv_config.tiers) {
+        if (!tier.is_gpu)
+            continue;
+        if (tier.auto_capacity) {
+            tier.capacity = std::max<Bytes>(budget.free_bytes(), 1);
+            tier.auto_capacity = false;
+        } else if (tier.capacity > 0 && spec.enforce_gpu_capacity) {
+            tier.capacity = std::max<Bytes>(
+                std::min(tier.capacity, budget.free_bytes()), 1);
+        }
+    }
+    auto kv_manager_or =
+        kvcache::KvCacheManager::create(kv_config, kv_model);
+    if (!kv_manager_or.is_ok())
+        return kv_manager_or.status();
+    kvcache::KvCacheManager &kv_manager = *kv_manager_or;
+
+    // MemoryMode/Optane: the cycled working set is the host-resident
+    // weights plus the host-resident share of the KV cache (all of it
+    // in legacy offload mode, the GPU-tier overflow with managed tiers).
+    Bytes resident = map.tier_total(Tier::kCpu);
+    if (spec.kv_cache.has_value()) {
+        const Bytes total_kv = model::kv_bytes_batch(
+            kv_model, spec.shape, effective_batch);
+        Bytes gpu_kv = 0;
+        bool gpu_unbounded = false;
+        for (const kvcache::TierSpec &tier : kv_config.tiers) {
+            if (tier.is_gpu) {
+                gpu_kv = tier.capacity;
+                gpu_unbounded = tier.capacity == 0;
+            }
+        }
+        if (!gpu_unbounded && total_kv > gpu_kv)
+            resident += total_kv - gpu_kv;
+    } else if (spec.offload_kv_cache) {
+        resident += model::kv_bytes_batch(kv_model, spec.shape,
+                                          effective_batch);
+    }
+    system.set_host_resident_bytes(resident);
+
+    // ---- Flatten the schedule -------------------------------------------
+    const std::uint64_t num_layers = layers.size();
+    const std::uint64_t tokens = spec.shape.output_tokens;
+    std::vector<ScheduledStep> steps;
+    steps.reserve(spec.repeats * tokens * num_layers);
+
+    for (std::uint64_t rep = 0; rep < spec.repeats; ++rep) {
+        // Each repeat is a fresh batch: the previous batch's blocks
+        // free and the new requests allocate from a clean placement.
+        kv_manager.reset_requests();
+        for (std::uint64_t r = 0; r < effective_batch; ++r)
+            HELM_RETURN_IF_ERROR(kv_manager.add_request(r));
+        for (std::uint64_t tok = 0; tok < tokens; ++tok) {
+            const gpu::Stage stage =
+                tok == 0 ? gpu::Stage::kPrefill : gpu::Stage::kDecode;
+
+            // Advance the KV manager one token for the whole batch and
+            // turn its per-tier demand into capped flows.  Prefill skips
+            // the context fetch — the K/V it attends to was computed on
+            // the GPU this very step.
+            const std::uint64_t new_tokens =
+                stage == gpu::Stage::kPrefill ? spec.shape.prompt_tokens
+                                              : 1;
+            auto traffic_or = kv_manager.step(
+                new_tokens, stage == gpu::Stage::kDecode);
+            if (!traffic_or.is_ok())
+                return traffic_or.status();
+            const kvcache::StepTraffic &traffic = *traffic_or;
+            std::vector<KvFlowSpec> kv_reads;
+            std::vector<KvFlowSpec> kv_writes;
+            Bytes kv_read_total = 0;
+            Bytes kv_write_total = 0;
+            for (std::size_t t = 0; t < kv_manager.tier_count(); ++t) {
+                const kvcache::TierSpec &tier = kv_manager.tier(t);
+                if (traffic.read_bytes[t] > 0) {
+                    KvFlowSpec flow;
+                    flow.tier = t;
+                    flow.bytes = traffic.read_bytes[t];
+                    flow.cap = tier.read_bw.is_zero()
+                                   ? system.host_to_gpu_bw(flow.bytes)
+                                   : tier.read_bw;
+                    kv_read_total += flow.bytes;
+                    kv_reads.push_back(flow);
+                }
+                if (traffic.write_bytes[t] > 0) {
+                    KvFlowSpec flow;
+                    flow.tier = t;
+                    flow.bytes = traffic.write_bytes[t];
+                    flow.cap = tier.write_bw.is_zero()
+                                   ? system.gpu_to_host_bw(flow.bytes)
+                                   : tier.write_bw;
+                    kv_write_total += flow.bytes;
+                    kv_writes.push_back(flow);
+                }
+            }
+
+            for (std::uint64_t li = 0; li < num_layers; ++li) {
+                const auto &layer = layers[li];
+                const auto &lp = map.layers[li];
+                ScheduledStep step;
+                step.batch_index = rep;
+                step.token = tok;
+                step.layer = static_cast<int>(first_layer + li);
+                step.type = layer.type;
+                step.stage = stage;
+
+                gpu::LayerWork work;
+                work.config = &spec.model;
+                work.layer = layer.type;
+                work.stage = stage;
+                work.batch = spec.batch;
+                work.prompt_tokens = spec.shape.prompt_tokens;
+                work.context_tokens = spec.shape.prompt_tokens + tok;
+                work.compressed = spec.compress_weights;
+                // Block schedule: one weight load serves micro_batches
+                // back-to-back executions of the layer.
+                step.compute = static_cast<double>(spec.micro_batches) *
+                               compute_scale *
+                               gpu::layer_compute_time(spec.gpu, work);
+
+                step.cpu_bytes = lp.bytes_on(Tier::kCpu);
+                step.disk_bytes = lp.bytes_on(Tier::kDisk);
+                step.cpu_cap = step.cpu_bytes > 0
+                                   ? system.host_to_gpu_bw(step.cpu_bytes)
+                                   : Bandwidth();
+                step.disk_cap =
+                    step.disk_bytes > 0
+                        ? system.storage_to_gpu_bw(step.disk_bytes)
+                        : Bandwidth();
+
+                // Every MHA layer moves the same KV bytes: the context
+                // streams in from the host tiers (decode) and new K/V
+                // entries + demoted blocks drain out (both stages).
+                if (layer.type == model::LayerType::kMha) {
+                    step.kv_reads = kv_reads;
+                    step.kv_writes = kv_writes;
+                    step.kv_read_bytes = kv_read_total;
+                    step.kv_write_bytes = kv_write_total;
+                    step.kv_prefetch = kv_config.prefetch;
+                }
+                steps.push_back(step);
+            }
+        }
+    }
+
+    CompiledSchedule compiled;
+    compiled.steps = std::move(steps);
+    compiled.placement = std::move(map);
+    compiled.spill = spill;
+    compiled.budget = budget;
+    compiled.model_bytes = model::model_weight_bytes(layers);
+    compiled.kv_stats = kv_manager.stats();
+    compiled.system = std::move(system);
+    compiled.kv_tier_names.reserve(kv_manager.tier_count());
+    for (std::size_t t = 0; t < kv_manager.tier_count(); ++t)
+        compiled.kv_tier_names.push_back(kv_manager.tier(t).name);
+    compiled.tokens = tokens;
+    compiled.num_layers = num_layers;
+    compiled.effective_batch = effective_batch;
+    compiled.host_resident_bytes = resident;
+    compiled.host_weight_bytes = compiled.placement.tier_total(Tier::kCpu);
+    return compiled;
+}
+
+} // namespace helm::runtime

@@ -11,8 +11,11 @@ namespace helm::runtime {
 
 namespace {
 
-/** Track (tid) layout inside the trace.  Managed-KV runs add one
- *  "KV <tier>" track per host tier at kKvTrackBase + tier order. */
+/** Track (tid) layout inside each GPU's process row.  Managed-KV runs
+ *  add one "KV <tier>" track per host tier at kKvTrackBase + tier
+ *  order.  Cluster runs repeat the layout once per GPU, with the
+ *  record's gpu_index as the trace pid, so every GPU gets its own
+ *  compute-stream and PCIe-link rows. */
 enum Track : int
 {
     kGpuTrack = 0,
@@ -22,8 +25,8 @@ enum Track : int
 
 void
 emit_event(std::ostringstream &out, bool &first, const char *name,
-           const char *category, int tid, Seconds start, Seconds duration,
-           const std::string &args_json)
+           const char *category, int pid, int tid, Seconds start,
+           Seconds duration, const std::string &args_json)
 {
     if (!first)
         out << ",\n";
@@ -31,8 +34,8 @@ emit_event(std::ostringstream &out, bool &first, const char *name,
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d",
-                  name, category, start * 1e6, duration * 1e6, tid);
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
+                  name, category, start * 1e6, duration * 1e6, pid, tid);
     out << buf;
     if (!args_json.empty())
         out << ",\"args\":" << args_json;
@@ -49,9 +52,12 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
     bool first = true;
 
     // One KV-traffic track per cache tier that moved bytes, in
-    // first-seen order (the engine records tiers in config order).
+    // first-seen order (the engine records tiers in config order), and
+    // one process row per GPU that executed a step.
     std::map<std::string, int> kv_tids;
+    std::map<std::uint64_t, bool> gpus;
     for (const auto &rec : records) {
+        gpus[rec.gpu_index] = true;
         for (const auto &tier : rec.kv_tiers) {
             if (kv_tids.count(tier.tier) == 0) {
                 const int tid =
@@ -61,19 +67,29 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
         }
     }
 
-    // Track name metadata.
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-           "\"args\":{\"name\":\"GPU compute\"}},\n"
-        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
-           "\"args\":{\"name\":\"h2d transfers\"}}";
-    for (const auto &[tier, tid] : kv_tids) {
-        out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
-               "\"tid\":" << tid << ",\"args\":{\"name\":\"KV " << tier
-            << "\"}}";
+    // Process and track name metadata, repeated per GPU so a cluster
+    // trace shows one compute-stream row and one PCIe-link row per GPU.
+    for (const auto &[gpu, used] : gpus) {
+        (void)used;
+        const int pid = static_cast<int>(gpu);
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"tid\":0,\"args\":{\"name\":\"GPU " << gpu << "\"}},\n"
+            << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"tid\":0,\"args\":{\"name\":\"GPU compute\"}},\n"
+            << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"tid\":1,\"args\":{\"name\":\"h2d transfers\"}}";
+        for (const auto &[tier, tid] : kv_tids) {
+            out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                << pid << ",\"tid\":" << tid
+                << ",\"args\":{\"name\":\"KV " << tier << "\"}}";
+        }
     }
-    first = false;
 
     for (const auto &rec : records) {
+        const int pid = static_cast<int>(rec.gpu_index);
         char name[96];
         std::snprintf(name, sizeof(name), "%s L%d t%llu",
                       model::layer_type_name(rec.type), rec.layer,
@@ -83,8 +99,8 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                       "{\"stage\":\"%s\",\"batch\":%llu}",
                       gpu::stage_name(rec.stage),
                       static_cast<unsigned long long>(rec.batch_index));
-        emit_event(out, first, name, "compute", kGpuTrack, rec.step_start,
-                   rec.compute_time, args);
+        emit_event(out, first, name, "compute", pid, kGpuTrack,
+                   rec.step_start, rec.compute_time, args);
         if (rec.transfer_time > 0.0 &&
             (rec.transfer_bytes > 0 || rec.kv_read_bytes > 0)) {
             char load_name[112];
@@ -96,8 +112,9 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                 "{\"weight_bytes\":%llu,\"kv_bytes\":%llu}",
                 static_cast<unsigned long long>(rec.transfer_bytes),
                 static_cast<unsigned long long>(rec.kv_read_bytes));
-            emit_event(out, first, load_name, "transfer", kTransferTrack,
-                       rec.transfer_start, rec.transfer_time, load_args);
+            emit_event(out, first, load_name, "transfer", pid,
+                       kTransferTrack, rec.transfer_start,
+                       rec.transfer_time, load_args);
         }
         // Per-tier KV traffic.  Reads span the prefetch window (the
         // weight-load overlap) unless the step stalled on them; writes
@@ -118,8 +135,8 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                 std::snprintf(
                     read_args, sizeof(read_args), "{\"bytes\":%llu}",
                     static_cast<unsigned long long>(tier.read_bytes));
-                emit_event(out, first, read_name, "kv-read", tid, start,
-                           duration, read_args);
+                emit_event(out, first, read_name, "kv-read", pid, tid,
+                           start, duration, read_args);
             }
             if (tier.write_bytes > 0 && rec.kv_write_time > 0.0) {
                 char write_name[96];
@@ -130,8 +147,9 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                 std::snprintf(
                     write_args, sizeof(write_args), "{\"bytes\":%llu}",
                     static_cast<unsigned long long>(tier.write_bytes));
-                emit_event(out, first, write_name, "kv-write", tid,
-                           rec.step_start, rec.kv_write_time, write_args);
+                emit_event(out, first, write_name, "kv-write", pid, tid,
+                           rec.step_start, rec.kv_write_time,
+                           write_args);
             }
         }
     }

@@ -50,6 +50,32 @@ TEST(Trace, JsonShapeAndContent)
     EXPECT_GE(events, result.records.size());
 }
 
+TEST(Trace, ClusterRecordsGetOneProcessRowPerGpu)
+{
+    const auto result = small_run();
+    // Duplicate the single-GPU records onto a second GPU: the trace
+    // must grow a second process row ("GPU 1") with its own compute
+    // and PCIe tracks, while GPU 0's rows keep pid 0.
+    auto records = result.records;
+    const std::size_t single = records.size();
+    records.insert(records.end(), result.records.begin(),
+                   result.records.end());
+    for (std::size_t i = single; i < records.size(); ++i)
+        records[i].gpu_index = 1;
+
+    const std::string json = chrome_trace_json(records);
+    EXPECT_NE(json.find("\"name\":\"GPU 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"GPU 1\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1,\"tid\":1"), std::string::npos);
+    std::size_t pid1_events = 0, pos = 0;
+    while ((pos = json.find("\"pid\":1", pos)) != std::string::npos) {
+        ++pid1_events;
+        pos += 7;
+    }
+    // At least one compute event per duplicated record, plus metadata.
+    EXPECT_GE(pid1_events, single);
+}
+
 TEST(Trace, WritesFile)
 {
     const auto result = small_run();

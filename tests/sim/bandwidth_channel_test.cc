@@ -194,5 +194,117 @@ TEST(BandwidthChannel, ManySequentialFlowsAccumulateBytes)
     EXPECT_EQ(ch.bytes_delivered(), expected);
 }
 
+// ---- Concurrency properties (16+ heterogeneous capped flows) ----------
+
+TEST(BandwidthChannelProperty, SumOfCapsBelowRateRunsEveryFlowAtItsCap)
+{
+    // 16 flows whose caps sum to 13.6 GB/s on a 100 GB/s link: no flow
+    // is ever throttled by the share, so each must finish in exactly
+    // bytes / cap — the "no cap exceeded" bound is tight from both
+    // sides.
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(100.0));
+    std::vector<Seconds> done(16, -1.0);
+    for (int i = 0; i < 16; ++i) {
+        const double cap_gb = 0.1 * (i + 1); // 0.1 .. 1.6 GB/s
+        const Bytes bytes = (i + 1) * kGB;
+        ch.start_flow(bytes, Bandwidth::gb_per_s(cap_gb),
+                      [&, i] { done[i] = sim.now(); });
+    }
+    sim.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(done[i], 10.0, 1e-6) << "flow " << i; // i+1 / 0.1(i+1)
+}
+
+TEST(BandwidthChannelProperty, SixteenUncappedEqualFlowsFinishTogether)
+{
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(32.0));
+    std::vector<Seconds> done(16, -1.0);
+    for (int i = 0; i < 16; ++i)
+        ch.start_flow(4 * kGB, Bandwidth(),
+                      [&, i] { done[i] = sim.now(); });
+    sim.run();
+    // Equal shares of 2 GB/s each; 4 GB => everyone at t = 2.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(done[i], 2.0, 1e-6);
+    EXPECT_EQ(ch.bytes_delivered(), 64 * kGB);
+}
+
+TEST(BandwidthChannelProperty, WaterFillingGivesSlackToUncappedFlows)
+{
+    // Max-min fairness: 8 flows capped below the fair share keep their
+    // cap; the other 8 uncapped flows water-fill the remainder evenly.
+    // Rate 32, caps 1 => uncapped share = (32 - 8) / 8 = 3 GB/s.
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(32.0));
+    std::vector<Seconds> done(16, -1.0);
+    for (int i = 0; i < 8; ++i)
+        ch.start_flow(6 * kGB, Bandwidth::gb_per_s(1.0),
+                      [&, i] { done[i] = sim.now(); });
+    for (int i = 8; i < 16; ++i)
+        ch.start_flow(6 * kGB, Bandwidth(),
+                      [&, i] { done[i] = sim.now(); });
+    sim.run();
+    for (int i = 8; i < 16; ++i)
+        EXPECT_NEAR(done[i], 2.0, 1e-6); // 6 GB at 3 GB/s
+    // Once the uncapped flows drain, the capped ones still cannot
+    // exceed their cap: 6 GB at 1 GB/s regardless of the free link.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(done[i], 6.0, 1e-6);
+}
+
+TEST(BandwidthChannelProperty, AggregateNeverExceedsChannelRate)
+{
+    // 24 heterogeneous flows demanding ~3x the link: the channel can
+    // deliver at most rate x makespan bytes, and every flow still
+    // respects its own cap (finish >= bytes / cap).
+    Simulator sim;
+    const double rate_gb = 20.0;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(rate_gb));
+    std::vector<Seconds> done(24, -1.0);
+    std::vector<Bytes> sizes(24);
+    std::vector<double> caps(24);
+    Bytes total = 0;
+    for (int i = 0; i < 24; ++i) {
+        sizes[i] = (1 + (i * 7) % 5) * kGB;
+        caps[i] = 0.5 + 0.25 * (i % 8); // 0.5 .. 2.25 GB/s
+        total += sizes[i];
+        ch.start_flow(sizes[i], Bandwidth::gb_per_s(caps[i]),
+                      [&, i] { done[i] = sim.now(); });
+    }
+    sim.run();
+    Seconds makespan = 0.0;
+    for (int i = 0; i < 24; ++i) {
+        ASSERT_GE(done[i], 0.0);
+        const Seconds lower = static_cast<double>(sizes[i]) /
+                              (caps[i] * 1e9); // cap respected
+        EXPECT_GE(done[i], lower - 1e-6) << "flow " << i;
+        makespan = std::max(makespan, done[i]);
+    }
+    EXPECT_GE(makespan,
+              static_cast<double>(total) / (rate_gb * 1e9) - 1e-6);
+    EXPECT_EQ(ch.bytes_delivered(), total);
+}
+
+TEST(BandwidthChannelProperty, StaggeredArrivalsPreserveMaxMinShares)
+{
+    // A flow arriving mid-run re-waters the level: the early flow's
+    // finish reflects a full-rate phase then a shared phase.
+    Simulator sim;
+    BandwidthChannel ch(sim, "link", Bandwidth::gb_per_s(10.0));
+    Seconds done_early = -1.0, done_late = -1.0;
+    ch.start_flow(15 * kGB, Bandwidth(), [&] { done_early = sim.now(); });
+    sim.schedule(1.0, [&] {
+        ch.start_flow(5 * kGB, Bandwidth(),
+                      [&] { done_late = sim.now(); });
+    });
+    sim.run();
+    // t<1: early alone at 10 GB/s (10 GB moved).  t>=1: 5 GB/s each;
+    // early's last 5 GB takes 1 s, late's 5 GB takes 1 s — both at 2.
+    EXPECT_NEAR(done_early, 2.0, 1e-6);
+    EXPECT_NEAR(done_late, 2.0, 1e-6);
+}
+
 } // namespace
 } // namespace helm::sim

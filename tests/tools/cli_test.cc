@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end CLI tests: run the real helmsim binary (path injected via
+ * the HELMSIM_PATH compile definition) and check exit codes and
+ * output.  Covers the flag-conflict diagnostics — an incompatible
+ * combination must fail fast with a one-line message, not silently
+ * measure the wrong thing — and the serve/cluster N=1 equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult
+{
+    int exit_code = -1;
+    std::string output; //!< stdout + stderr interleaved
+};
+
+CliResult
+run_cli(const std::string &args)
+{
+    CliResult result;
+    const std::string command =
+        std::string(HELMSIM_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        result.output += buffer.data();
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exit_code = WEXITSTATUS(status);
+    return result;
+}
+
+/** The serving block common to `serve` and `cluster` output: drop the
+ *  cluster-only header and the trailing per-GPU/port tables. */
+std::string
+serving_block(const std::string &output)
+{
+    const std::size_t start = output.find("OPT-1.3B on");
+    if (start == std::string::npos)
+        return output;
+    const std::size_t end = output.find("Per-GPU utilization", start);
+    return output.substr(
+        start, end == std::string::npos ? end : end - start);
+}
+
+constexpr const char *kSmall =
+    "--model OPT-1.3B --memory NVDRAM --placement All-CPU "
+    "--rate 2 --duration 5";
+
+TEST(Cli, HelpExitsZero)
+{
+    EXPECT_EQ(run_cli("--help").exit_code, 0);
+    EXPECT_EQ(run_cli("cluster --help").exit_code, 0);
+}
+
+TEST(Cli, UnknownSubcommandFails)
+{
+    const CliResult result = run_cli("frobnicate");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("unknown subcommand"),
+              std::string::npos);
+}
+
+TEST(Cli, KvNoPrefetchWithoutTieringFailsFast)
+{
+    for (const char *cmd : {"run", "serve", "cluster"}) {
+        const CliResult result = run_cli(
+            std::string(cmd) + " --model OPT-1.3B --kv-no-prefetch");
+        EXPECT_EQ(result.exit_code, 2) << cmd;
+        EXPECT_NE(result.output.find("--kv-no-prefetch"),
+                  std::string::npos)
+            << cmd;
+        EXPECT_NE(result.output.find("--kv-tiering"), std::string::npos)
+            << cmd;
+        // One-line diagnostic: no usage dump appended.
+        EXPECT_EQ(result.output.find("subcommands"), std::string::npos);
+    }
+}
+
+TEST(Cli, KvTierKnobsWithoutTieringFailFast)
+{
+    EXPECT_EQ(run_cli("run --kv-host-gb 16").exit_code, 2);
+    EXPECT_EQ(run_cli("serve --kv-block-tokens 32").exit_code, 2);
+    EXPECT_EQ(run_cli("run --kv-eviction lru").exit_code, 2);
+}
+
+TEST(Cli, KvOffloadConflictsWithTiering)
+{
+    const CliResult result =
+        run_cli("run --model OPT-1.3B --kv-offload --kv-tiering");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("mutually exclusive"),
+              std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsRouterOutsideReplicaMode)
+{
+    const CliResult result =
+        run_cli("cluster --gpus 2 --parallelism tensor --router jsq");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--router"), std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsMicroBatchesOutsidePipelineMode)
+{
+    const CliResult result =
+        run_cli("cluster --gpus 2 --parallelism replica "
+                "--micro-batches 4");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--micro-batches"), std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsArrivalFlagsWithSaturate)
+{
+    const CliResult result = run_cli("cluster --saturate --rate 3");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--saturate"), std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsSaturateFlagsWithoutSaturate)
+{
+    const CliResult result = run_cli("cluster --batch 4");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--saturate"), std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsUnknownParallelism)
+{
+    const CliResult result = run_cli("cluster --parallelism diagonal");
+    EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(Cli, ClusterOneGpuReproducesServeExactly)
+{
+    const CliResult serve = run_cli(std::string("serve ") + kSmall);
+    const CliResult clustered = run_cli(
+        std::string("cluster --gpus 1 --parallelism replica ") + kSmall);
+    ASSERT_EQ(serve.exit_code, 0) << serve.output;
+    ASSERT_EQ(clustered.exit_code, 0) << clustered.output;
+    // Identical serving metrics, bit for bit, through the real binary.
+    EXPECT_EQ(serving_block(serve.output),
+              serving_block(clustered.output));
+}
+
+TEST(Cli, ClusterSaturateReportsPortUtilization)
+{
+    const CliResult result = run_cli(
+        "cluster --model OPT-1.3B --memory NVDRAM --placement All-CPU "
+        "--gpus 2 --parallelism tensor --saturate");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("host-read"), std::string::npos);
+    EXPECT_NE(result.output.find("Per-GPU utilization"),
+              std::string::npos);
+}
+
+} // namespace

@@ -6,6 +6,8 @@
  *   run       simulate one serving configuration, print metrics
  *   serve     request-level serving: an arrival stream through the
  *             FCFS scheduler, per-request SLO metrics
+ *   cluster   multi-GPU serving over shared host memory: replica,
+ *             pipeline, or tensor parallelism behind shared ports
  *   tune      QoS auto-tuner: best plan for an objective (+ TBT ceiling)
  *   membench  host<->GPU copy bandwidth sweep (Fig. 3 methodology)
  *   models    list the model registry
@@ -162,6 +164,34 @@ add_kv_options(ArgParser &parser)
                       "overlapping it with the previous step's compute");
 }
 
+/**
+ * Reject flag combinations that would otherwise be silently ignored —
+ * a mis-typed experiment should fail loudly, not measure the wrong
+ * thing.  Returns kInvalidArgument with a one-line diagnostic.
+ */
+Status
+check_kv_flag_conflicts(const ArgParser &parser)
+{
+    if (!parser.is_set("kv-tiering")) {
+        for (const char *flag : {"kv-no-prefetch", "kv-host-gb",
+                                 "kv-block-tokens", "kv-eviction"}) {
+            if (parser.is_set(flag)) {
+                return Status::invalid_argument(
+                    std::string("--") + flag +
+                    " configures the managed tiered KV cache and "
+                    "requires --kv-tiering");
+            }
+        }
+        return Status::ok();
+    }
+    if (parser.is_set("kv-offload")) {
+        return Status::invalid_argument(
+            "--kv-offload and --kv-tiering are mutually exclusive: "
+            "tiering already keeps the cache in host memory");
+    }
+    return Status::ok();
+}
+
 Status
 apply_kv_options(const ArgParser &parser, runtime::ServingSpec *spec)
 {
@@ -230,6 +260,11 @@ cmd_run(const std::vector<std::string> &args)
     if (!status.is_ok() || parser.is_set("help")) {
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
+    }
+    const Status conflicts = check_kv_flag_conflicts(parser);
+    if (!conflicts.is_ok()) {
+        std::cerr << conflicts.to_string() << "\n";
+        return 2;
     }
 
     const auto model_config = parse_model(parser.get("model"));
@@ -314,6 +349,57 @@ cmd_run(const std::vector<std::string> &args)
             std::cerr << trace_status.to_string() << "\n";
     }
     return 0;
+}
+
+/** The serve-mode report block; `helmsim cluster` prints the identical
+ *  summary (plus its per-GPU tables) so N=1 output lines up. */
+void
+print_serving_summary(const runtime::ServingSpec &base,
+                      std::uint64_t max_batch, std::uint64_t kv_slots,
+                      const runtime::ServingReport &report)
+{
+    std::cout << base.model.name << " on "
+              << mem::config_kind_name(base.memory) << " with "
+              << placement::placement_kind_name(base.placement)
+              << ", max batch " << max_batch;
+    if (kv_slots > 0)
+        std::cout << " (KV tiers hold " << kv_slots << " requests)";
+    std::cout << "\n";
+    AsciiTable table("ServingReport");
+    table.set_header({"metric", "p50", "p90", "p99"});
+    table.align_right_from(1);
+    auto pct_row = [&](const char *name, auto getter) {
+        table.add_row({name, format_seconds(getter(50.0)),
+                       format_seconds(getter(90.0)),
+                       format_seconds(getter(99.0))});
+    };
+    pct_row("queueing delay", [&](double p) {
+        return report.queueing_delay_percentile(p);
+    });
+    pct_row("TTFT",
+            [&](double p) { return report.ttft_percentile(p); });
+    pct_row("e2e latency",
+            [&](double p) { return report.e2e_percentile(p); });
+    table.print(std::cout);
+
+    std::cout << "requests:    " << report.completed << " completed / "
+              << report.rejected << " rejected of " << report.submitted
+              << " submitted";
+    if (report.kv_rejected > 0)
+        std::cout << " (" << report.kv_rejected
+                  << " exceeded KV capacity)";
+    std::cout << "\n"
+              << "batches:     " << report.batches_formed
+              << " formed, mean size "
+              << format_fixed(report.mean_batch_size, 2)
+              << ", peak queue " << report.max_queue_depth << "\n"
+              << "throughput:  " << format_fixed(report.throughput, 2)
+              << " tokens/s over " << format_seconds(report.makespan)
+              << "\n"
+              << "goodput:     " << format_fixed(report.goodput, 2)
+              << " tokens/s under SLO ("
+              << format_fixed(100.0 * report.slo_attainment, 1)
+              << " % of requests met it)\n";
 }
 
 /** Batch-replay compatibility path of `helmsim serve` (--workload). */
@@ -402,6 +488,11 @@ cmd_serve(const std::vector<std::string> &args)
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
+    const Status conflicts = check_kv_flag_conflicts(parser);
+    if (!conflicts.is_ok()) {
+        std::cerr << conflicts.to_string() << "\n";
+        return 2;
+    }
 
     const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
@@ -482,50 +573,278 @@ cmd_serve(const std::vector<std::string> &args)
         return 1;
     }
 
-    std::cout << base.model.name << " on "
-              << mem::config_kind_name(base.memory) << " with "
-              << placement::placement_kind_name(base.placement)
-              << ", max batch " << server->effective_max_batch();
-    if (server->kv_request_slots() > 0)
-        std::cout << " (KV tiers hold " << server->kv_request_slots()
-                  << " requests)";
-    std::cout << "\n";
-    AsciiTable table("ServingReport");
-    table.set_header({"metric", "p50", "p90", "p99"});
-    table.align_right_from(1);
-    auto pct_row = [&](const char *name, auto getter) {
-        table.add_row({name, format_seconds(getter(50.0)),
-                       format_seconds(getter(90.0)),
-                       format_seconds(getter(99.0))});
-    };
-    pct_row("queueing delay", [&](double p) {
-        return report->queueing_delay_percentile(p);
-    });
-    pct_row("TTFT",
-            [&](double p) { return report->ttft_percentile(p); });
-    pct_row("e2e latency",
-            [&](double p) { return report->e2e_percentile(p); });
-    table.print(std::cout);
+    print_serving_summary(base, server->effective_max_batch(),
+                          server->kv_request_slots(), *report);
+    return 0;
+}
 
-    std::cout << "requests:    " << report->completed << " completed / "
-              << report->rejected << " rejected of " << report->submitted
-              << " submitted";
-    if (report->kv_rejected > 0)
-        std::cout << " (" << report->kv_rejected
-                  << " exceeded KV capacity)";
-    std::cout << "\n"
-              << "batches:     " << report->batches_formed
-              << " formed, mean size "
-              << format_fixed(report->mean_batch_size, 2)
-              << ", peak queue " << report->max_queue_depth << "\n"
-              << "throughput:  "
-              << format_fixed(report->throughput, 2)
-              << " tokens/s over "
-              << format_seconds(report->makespan) << "\n"
-              << "goodput:     " << format_fixed(report->goodput, 2)
-              << " tokens/s under SLO ("
-              << format_fixed(100.0 * report->slo_attainment, 1)
-              << " % of requests met it)\n";
+void
+print_cluster_tables(const std::vector<cluster::GpuUtilization> &gpus,
+                     const std::vector<cluster::PortStats> &ports)
+{
+    AsciiTable gpu_table("Per-GPU utilization");
+    gpu_table.set_header(
+        {"gpu", "batches", "requests", "busy", "h2d", "d2h", "util"});
+    gpu_table.align_right_from(1);
+    for (const auto &g : gpus) {
+        gpu_table.add_row({std::to_string(g.gpu),
+                           std::to_string(g.batches),
+                           std::to_string(g.requests),
+                           format_seconds(g.compute_busy),
+                           format_bytes(g.h2d_bytes),
+                           format_bytes(g.d2h_bytes),
+                           format_fixed(100.0 * g.utilization, 1) + " %"});
+    }
+    gpu_table.print(std::cout);
+    if (ports.empty())
+        return;
+    AsciiTable port_table("Shared host-memory ports");
+    port_table.set_header({"port", "rate", "bytes", "util"});
+    port_table.align_right_from(1);
+    for (const auto &p : ports) {
+        port_table.add_row(
+            {p.name, format_bandwidth(p.rate), format_bytes(p.bytes),
+             format_fixed(100.0 * p.utilization, 1) + " %"});
+    }
+    port_table.print(std::cout);
+}
+
+int
+cmd_cluster(const std::vector<std::string> &args)
+{
+    ArgParser parser(
+        "helmsim cluster",
+        "multi-GPU serving over shared heterogeneous host memory "
+        "(replica, pipeline, or tensor parallelism)");
+    add_common_options(parser);
+    parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
+                      "Baseline");
+    add_kv_options(parser);
+    parser.add_option("gpus", "GPUs sharing the host memory", "1");
+    parser.add_option("parallelism", "replica | pipeline | tensor",
+                      "replica");
+    parser.add_option("router", "replica request routing: rr | jsq | po2",
+                      "rr");
+    parser.add_option("sockets",
+                      "host memory sockets pooled behind the shared "
+                      "read/write ports",
+                      "2");
+    parser.add_option("micro-batches",
+                      "pipeline micro-batches in flight (0 = one per "
+                      "stage)",
+                      "0");
+    parser.add_option("rate", "mean request arrivals per second", "4");
+    parser.add_option("duration", "arrival horizon in seconds", "60");
+    parser.add_option("arrival", "poisson | uniform", "poisson");
+    parser.add_option("seed", "arrival stream seed", "42");
+    parser.add_option("max-batch",
+                      "scheduler batch ceiling (0 = auto-size from the "
+                      "GPU budget)",
+                      "0");
+    parser.add_option("max-queue-delay-ms",
+                      "head-of-line wait for batch-mates", "500");
+    parser.add_option("max-queue", "admission cap on waiting requests",
+                      "1024");
+    parser.add_option("slo-ttft-ms", "TTFT target for goodput (0 = off)",
+                      "0");
+    parser.add_option("slo-e2e-ms",
+                      "end-to-end latency target for goodput (0 = off)",
+                      "0");
+    parser.add_switch("saturate",
+                      "closed-loop saturation run (every GPU busy end to "
+                      "end) instead of an arrival stream");
+    parser.add_option("batch", "saturation: batch size per GPU", "1");
+    parser.add_option("repeats",
+                      "saturation: back-to-back batches per GPU", "3");
+    parser.add_option("trace",
+                      "write a Chrome trace with one row per GPU", "");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    // ---- Flag-conflict diagnostics (fail fast, one line) ---------------
+    const auto parallelism =
+        cluster::parse_parallelism(to_lower(parser.get("parallelism")));
+    if (!parallelism.is_ok()) {
+        std::cerr << parallelism.status().to_string() << "\n";
+        return 2;
+    }
+    Status conflicts = check_kv_flag_conflicts(parser);
+    if (conflicts.is_ok() && parser.is_set("router") &&
+        *parallelism != cluster::Parallelism::kReplica) {
+        conflicts = Status::invalid_argument(
+            "--router only applies to --parallelism replica (pipeline "
+            "and tensor modes have no request router)");
+    }
+    if (conflicts.is_ok() && parser.is_set("micro-batches") &&
+        *parallelism != cluster::Parallelism::kPipeline) {
+        conflicts = Status::invalid_argument(
+            "--micro-batches only applies to --parallelism pipeline");
+    }
+    if (conflicts.is_ok() && !parser.is_set("saturate")) {
+        for (const char *flag : {"batch", "repeats"}) {
+            if (parser.is_set(flag)) {
+                conflicts = Status::invalid_argument(
+                    std::string("--") + flag +
+                    " shapes the closed-loop run and requires "
+                    "--saturate (arrival-stream batches are formed by "
+                    "the scheduler)");
+                break;
+            }
+        }
+    }
+    if (conflicts.is_ok() && parser.is_set("saturate")) {
+        for (const char *flag :
+             {"rate", "duration", "arrival", "seed", "max-batch",
+              "max-queue-delay-ms", "max-queue", "slo-ttft-ms",
+              "slo-e2e-ms"}) {
+            if (parser.is_set(flag)) {
+                conflicts = Status::invalid_argument(
+                    std::string("--") + flag +
+                    " configures the arrival stream and conflicts "
+                    "with --saturate");
+                break;
+            }
+        }
+    }
+    if (!conflicts.is_ok()) {
+        std::cerr << conflicts.to_string() << "\n";
+        return 2;
+    }
+
+    const auto model_config = parse_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    const auto scheme = parse_placement(parser.get("placement"));
+    const auto router =
+        cluster::parse_router_policy(to_lower(parser.get("router")));
+    for (const Status &s : {model_config.status(), memory.status(),
+                            scheme.status(), router.status()}) {
+        if (!s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    cluster::ClusterSpec spec;
+    spec.serving.model = *model_config;
+    spec.serving.memory = *memory;
+    spec.serving.placement = *scheme;
+    spec.serving.compress_weights = parser.is_set("int4");
+    spec.serving.shape.prompt_tokens = parser.get_u64("prompt-tokens");
+    spec.serving.shape.output_tokens = parser.get_u64("output-tokens");
+    const Status kv_status = apply_kv_options(parser, &spec.serving);
+    if (!kv_status.is_ok()) {
+        std::cerr << kv_status.to_string() << "\n";
+        return 2;
+    }
+    spec.gpus = parser.get_u64("gpus");
+    spec.parallelism = *parallelism;
+    spec.router = *router;
+    spec.sockets = parser.get_u64("sockets");
+    spec.micro_batches = parser.get_u64("micro-batches");
+    spec.policy.max_batch = parser.get_u64("max-batch");
+    spec.policy.max_queue_delay =
+        parser.get_double("max-queue-delay-ms") * 1e-3;
+    spec.policy.max_queue_length = parser.get_u64("max-queue");
+    spec.slo.ttft_target = parser.get_double("slo-ttft-ms") * 1e-3;
+    spec.slo.e2e_target = parser.get_double("slo-e2e-ms") * 1e-3;
+    const std::string trace_path = parser.get("trace");
+
+    std::cout << spec.serving.model.name << " x " << spec.gpus
+              << " GPU(s), "
+              << cluster::parallelism_name(spec.parallelism)
+              << " parallelism on "
+              << mem::config_kind_name(spec.serving.memory) << " ("
+              << spec.sockets << " socket(s))";
+    if (spec.parallelism == cluster::Parallelism::kReplica &&
+        spec.gpus > 1)
+        std::cout << ", router "
+                  << cluster::router_policy_name(spec.router);
+    std::cout << "\n";
+
+    // ---- Closed-loop saturation --------------------------------------
+    if (parser.is_set("saturate")) {
+        spec.serving.batch = parser.get_u64("batch");
+        spec.serving.repeats = parser.get_u64("repeats");
+        const auto result =
+            cluster::run_saturated(spec, !trace_path.empty());
+        if (!result.is_ok()) {
+            std::cerr << "cluster run failed: "
+                      << result.status().to_string() << "\n";
+            return 1;
+        }
+        AsciiTable table("Saturation results");
+        table.set_header({"metric", "value"});
+        table.add_row({"aggregate throughput",
+                       format_fixed(result->aggregate_throughput, 3) +
+                           " tokens/s"});
+        table.add_row({"TTFT", format_seconds(result->ttft)});
+        table.add_row({"TBT", format_seconds(result->tbt)});
+        table.add_row({"makespan", format_seconds(result->makespan)});
+        table.add_row(
+            {"total tokens", std::to_string(result->total_tokens)});
+        table.print(std::cout);
+        print_cluster_tables(result->gpus, result->ports);
+        if (!trace_path.empty()) {
+            const Status trace_status = runtime::write_chrome_trace(
+                result->records, trace_path);
+            if (trace_status.is_ok())
+                std::cout << "trace: " << trace_path << "\n";
+            else
+                std::cerr << trace_status.to_string() << "\n";
+        }
+        return 0;
+    }
+
+    // ---- Arrival-stream serving --------------------------------------
+    workload::ArrivalSpec arrivals;
+    arrivals.kind = to_lower(parser.get("arrival")) == "uniform"
+                        ? workload::ArrivalKind::kUniform
+                        : workload::ArrivalKind::kPoisson;
+    arrivals.rate = parser.get_double("rate");
+    arrivals.duration = parser.get_double("duration");
+    arrivals.prompt_tokens = parser.get_u64("prompt-tokens");
+    arrivals.output_tokens = parser.get_u64("output-tokens");
+    arrivals.seed = parser.get_u64("seed");
+    const auto stream = workload::generate_arrivals(arrivals);
+    if (!stream.is_ok()) {
+        std::cerr << stream.status().to_string() << "\n";
+        return 1;
+    }
+
+    spec.serving.keep_records = !trace_path.empty();
+    auto server = cluster::ClusterServer::create(spec);
+    if (!server.is_ok()) {
+        std::cerr << "invalid cluster spec: "
+                  << server.status().to_string() << "\n";
+        return 2;
+    }
+    const Status submitted = server->submit(*stream);
+    if (!submitted.is_ok()) {
+        std::cerr << submitted.to_string() << "\n";
+        return 2;
+    }
+    const auto report = server->run();
+    if (!report.is_ok()) {
+        std::cerr << "cluster serving failed: "
+                  << report.status().to_string() << "\n";
+        return 1;
+    }
+
+    print_serving_summary(spec.serving, server->effective_max_batch(),
+                          server->kv_request_slots(), report->serving);
+    print_cluster_tables(report->gpus, report->ports);
+    if (!trace_path.empty()) {
+        const Status trace_status =
+            runtime::write_chrome_trace(report->records, trace_path);
+        if (trace_status.is_ok())
+            std::cout << "trace: " << trace_path << "\n";
+        else
+            std::cerr << trace_status.to_string() << "\n";
+    }
     return 0;
 }
 
@@ -746,6 +1065,8 @@ usage()
            "  run       simulate one serving configuration\n"
            "  serve     request-level serving: arrival stream through "
            "the FCFS scheduler\n"
+           "  cluster   multi-GPU serving over shared host memory "
+           "(replica | pipeline | tensor)\n"
            "  sweep     cartesian parameter sweep with pivot tables\n"
            "  tune      QoS auto-tuner\n"
            "  membench  copy bandwidth sweep (Fig. 3)\n"
@@ -774,6 +1095,8 @@ main(int argc, char **argv)
         return cmd_sweep(rest);
     if (command == "serve")
         return cmd_serve(rest);
+    if (command == "cluster")
+        return cmd_cluster(rest);
     if (command == "tune")
         return cmd_tune(rest);
     if (command == "membench")
