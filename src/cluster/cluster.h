@@ -107,6 +107,9 @@ struct PortStats
     Bandwidth rate;   //!< pooled port rate (device rate x sockets)
     Bytes bytes = 0;  //!< total bytes through the port
     double utilization = 0.0; //!< bytes / (rate x makespan)
+    /** Water-fill passes where contention throttled some flow below
+     *  the rate it would get alone on the port. */
+    std::uint64_t throttle_events = 0;
 };
 
 /** What a cluster serving run produced. */

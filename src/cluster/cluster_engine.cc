@@ -474,6 +474,7 @@ ClusterEngine::port_stats(Seconds makespan) const
         const double capacity = chan.rate().raw() * makespan;
         p.utilization =
             capacity > 0.0 ? static_cast<double>(p.bytes) / capacity : 0.0;
+        p.throttle_events = chan.throttle_events();
         return p;
     };
     std::vector<PortStats> ports;

@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "common/summary.h"
 #include "kvcache/kvcache.h"
+#include "runtime/instrument.h"
 #include "runtime/planner.h"
 #include "runtime/schedule.h"
 
@@ -279,10 +280,19 @@ ClusterServer::submit(const std::vector<workload::TimedRequest> &stream)
     return Status::ok();
 }
 
+void
+ClusterServer::enable_telemetry(bool collect_records)
+{
+    telemetry_ = true;
+    collect_records_ = collect_records;
+    if (single_.has_value())
+        single_->enable_telemetry(collect_records);
+}
+
 Result<ClusterReport>
 ClusterServer::run()
 {
-    const bool keep_records = spec_.serving.keep_records;
+    const bool keep_records = spec_.serving.keep_records || telemetry_;
     if (single_.has_value()) {
         HELM_RETURN_IF_ERROR(single_->submit(pending_));
         pending_.clear();
@@ -298,11 +308,30 @@ ClusterServer::run()
         // The single-GPU Server does not track stream occupancy;
         // utilization stays 0 in the delegation path.
         out.gpus.push_back(u);
+        if (telemetry_) {
+            attribution_ = single_->attribution();
+            if (collect_records_)
+                out.records = single_->collected_records();
+        }
         return out;
     }
-    if (spec_.parallelism == Parallelism::kReplica)
-        return run_replica_cluster(keep_records);
-    return run_sharded(keep_records);
+    auto out = spec_.parallelism == Parallelism::kReplica
+                   ? run_replica_cluster(keep_records)
+                   : run_sharded(keep_records);
+    if (out.is_ok() && telemetry_) {
+        // Close the cluster timeline: every GPU is accountable for the
+        // whole makespan, so idle absorbs whatever the per-batch
+        // attribution did not cover (load imbalance, queue gaps).
+        const Seconds wall = static_cast<double>(spec_.gpus) *
+                             out->serving.makespan;
+        const Seconds total = attribution_.attributed_total();
+        attribution_.add_idle(std::max(0.0, wall - total));
+        attribution_.set_wall(
+            std::max(wall, attribution_.attributed_total()));
+        if (!collect_records_ && !spec_.serving.keep_records)
+            out->records.clear();
+    }
+    return out;
 }
 
 Result<ClusterReport>
@@ -524,6 +553,12 @@ ClusterServer::run_replica_cluster(bool keep_records)
     for (std::uint64_t g = 0; g < N; ++g)
         out.gpus[g].requests = requests_per_gpu[g];
     out.ports = engine.port_stats(report.makespan);
+    if (telemetry_) {
+        // Records carry absolute sim times here; run() closes the
+        // attribution to N x makespan with idle.
+        attribution_ = runtime::attribute_records(
+            out.records, spec_.serving.gpu.layer_overhead);
+    }
     return out;
 }
 
@@ -566,6 +601,7 @@ ClusterServer::run_sharded(bool keep_records)
         std::vector<GpuUtilization> gpus;
         std::vector<PortStats> ports;
         std::vector<runtime::LayerStepRecord> records;
+        telemetry::TimeAttribution attribution;
     };
     std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
              BatchRun>
@@ -599,11 +635,10 @@ ClusterServer::run_sharded(bool keep_records)
         const PortRates rates =
             compute_port_rates(shards.front(), spec_.sockets, resident);
         ClusterEngine engine(N, spec.gpu, rates);
-        auto tl_or =
-            spec_.parallelism == Parallelism::kTensor
-                ? engine.run_lockstep(shards, want_records)
-                : engine.run_pipeline(shards, micro, spec,
-                                      want_records);
+        const bool want = want_records || telemetry_;
+        auto tl_or = spec_.parallelism == Parallelism::kTensor
+                         ? engine.run_lockstep(shards, want)
+                         : engine.run_pipeline(shards, micro, spec, want);
         if (!tl_or.is_ok())
             return tl_or.status();
         BatchRun run;
@@ -612,6 +647,13 @@ ClusterServer::run_sharded(bool keep_records)
         run.gpus = engine.gpu_stats(run.total_time);
         run.ports = engine.port_stats(run.total_time);
         run.records = std::move(tl_or->records);
+        if (telemetry_) {
+            // Batch-relative times, one shard timeline per GPU: the
+            // per-batch wall is total_time on each of the N GPUs.
+            run.attribution = runtime::attribute_records(
+                run.records, spec_.serving.gpu.layer_overhead,
+                run.total_time);
+        }
         memo.emplace(key, run);
         return run;
     };
@@ -735,6 +777,8 @@ ClusterServer::run_sharded(bool keep_records)
                          r.e2e_latency <= spec_.slo.e2e_target);
             report.requests.push_back(r);
         }
+        if (telemetry_)
+            attribution_.merge(run.attribution);
         for (std::uint64_t g = 0; g < N; ++g) {
             gpu_totals[g].batches += 1;
             gpu_totals[g].compute_busy += run.gpus[g].compute_busy;

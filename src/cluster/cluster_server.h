@@ -29,6 +29,7 @@
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "runtime/scheduler.h"
+#include "telemetry/attribution.h"
 #include "workload/workload.h"
 
 namespace helm::cluster {
@@ -52,6 +53,21 @@ class ClusterServer
     /** Serve every submitted request to completion. */
     Result<ClusterReport> run();
 
+    /**
+     * Collect telemetry during run(): accumulate per-batch time
+     * attribution (closed to GPUs x makespan with idle) and, when
+     * @p collect_records, keep per-step records in the report for trace
+     * export.  Scheduling decisions are unaffected.
+     */
+    void enable_telemetry(bool collect_records);
+
+    /** Time attribution accumulated by run(); wall() is the makespan
+     *  summed over GPUs. */
+    const telemetry::TimeAttribution &attribution() const
+    {
+        return attribution_;
+    }
+
     /** The per-batch ceiling in force. */
     std::uint64_t effective_max_batch() const { return max_batch_; }
     /** Managed-KV admission slots (0 = unmanaged/unbounded). */
@@ -74,6 +90,9 @@ class ClusterServer
     /** N=1 replica delegation target. */
     std::optional<runtime::Server> single_;
     std::vector<workload::TimedRequest> pending_;
+    bool telemetry_ = false;
+    bool collect_records_ = false;
+    telemetry::TimeAttribution attribution_;
 };
 
 } // namespace helm::cluster

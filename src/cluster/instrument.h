@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Telemetry feeders for the cluster layer: per-GPU utilization, shared
+ * host-memory port stats (including max-min throttle events), and
+ * saturation sweep results, recorded into a `telemetry::MetricsRegistry`
+ * so the stdout tables and the exporters read the same numbers.
+ */
+#ifndef HELM_CLUSTER_INSTRUMENT_H
+#define HELM_CLUSTER_INSTRUMENT_H
+
+#include "cluster/cluster.h"
+#include "telemetry/metrics.h"
+
+namespace helm::cluster {
+
+/** `helm_cluster_gpu_*{gpu}` and `helm_cluster_port_*{port}` metrics
+ *  from a serving run's report. */
+void record_cluster(telemetry::MetricsRegistry &registry,
+                    const ClusterReport &report);
+
+/** `helm_saturation_*` metrics plus the per-GPU/port metrics of the
+ *  saturated batch execution. */
+void record_saturation(telemetry::MetricsRegistry &registry,
+                       const SaturationResult &result);
+
+} // namespace helm::cluster
+
+#endif // HELM_CLUSTER_INSTRUMENT_H

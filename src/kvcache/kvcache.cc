@@ -392,6 +392,7 @@ KvCacheManager::step(std::uint64_t new_tokens, bool count_reads)
         for (auto &[rid, request] : requests_) {
             for (BlockState &block : request.blocks) {
                 block.last_touch = clock_;
+                ++stats_.tiers[block.tier].lookups;
                 if (config_.tiers[block.tier].is_gpu)
                     continue;
                 const Bytes layer_bytes =

@@ -118,6 +118,9 @@ struct TierStats
     Bytes write_bytes = 0;     //!< GPU -> tier K/V appends
     Bytes demoted_in_bytes = 0;  //!< arrived by demotion from above
     Bytes promoted_out_bytes = 0;//!< left by promotion toward the GPU
+    /** Context-block touches during decode reads: each is a hit when
+     *  the tier is GPU-resident, a (paid) miss otherwise. */
+    std::uint64_t lookups = 0;
 };
 
 /** Aggregate manager statistics over its lifetime. */

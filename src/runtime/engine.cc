@@ -88,6 +88,9 @@ class ScheduleDriver
         return sim_.now();
     }
 
+    /** The weight-transfer fabric's channel rate. */
+    Bandwidth h2d_rate() const { return pcie_.rate(); }
+
     Seconds load_issue(std::size_t k) const { return load_issue_[k]; }
     Seconds load_done(std::size_t k) const { return load_done_[k]; }
     Seconds step_start(std::size_t k) const { return step_start_[k]; }
@@ -318,6 +321,7 @@ simulate_inference(const ServingSpec &spec)
     result.budget = compiled.budget;
     result.model_bytes = compiled.model_bytes;
     result.kv_stats = compiled.kv_stats;
+    result.h2d_rate = driver.h2d_rate();
 
     const auto &all = driver.steps();
     const std::uint64_t tokens = compiled.tokens;
@@ -365,6 +369,8 @@ simulate_inference(const ServingSpec &spec)
             rec.compute_time = all[k].compute;
             rec.transfer_time = driver.load_done(k) - driver.load_issue(k);
             rec.transfer_bytes = all[k].cpu_bytes + all[k].disk_bytes;
+            rec.host_bytes = all[k].cpu_bytes;
+            rec.disk_bytes = all[k].disk_bytes;
             rec.kv_read_bytes = all[k].kv_read_bytes;
             rec.kv_write_bytes = all[k].kv_write_bytes;
             rec.transfer_start = driver.load_issue(k);
@@ -388,6 +394,10 @@ simulate_inference(const ServingSpec &spec)
                 for (const KvFlowSpec &flow : all[k].kv_writes)
                     tier_entry(flow.tier).write_bytes += flow.bytes;
             }
+            rec.kv_occupancy.reserve(all[k].kv_occupancy.size());
+            for (std::size_t t = 0; t < all[k].kv_occupancy.size(); ++t)
+                rec.kv_occupancy.push_back(KvTierOccupancy{
+                    compiled.kv_tier_names[t], all[k].kv_occupancy[t]});
             result.records.push_back(rec);
         }
     }

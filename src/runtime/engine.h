@@ -124,6 +124,9 @@ struct RunResult
     /** Tier occupancy/traffic from the KV manager (every run has one —
      *  the bool paths map to the gpu_only/legacy_offload shims). */
     kvcache::KvCacheStats kv_stats;
+    /** The h2d weight-transfer fabric's channel rate — the shared host
+     *  port a single-GPU run contends on (trace utilization counters). */
+    Bandwidth h2d_rate;
 };
 
 /**

@@ -25,6 +25,13 @@ struct KvTierTraffic
     Bytes write_bytes = 0;   //!< GPU -> tier appends + demotions
 };
 
+/** Bytes resident in one KV tier, sampled when a step retired. */
+struct KvTierOccupancy
+{
+    std::string tier; //!< tier name from the KvCacheConfig
+    Bytes bytes = 0;  //!< occupancy at sample time
+};
+
 /** Timing of one (token, layer) step of the zig-zag schedule. */
 struct LayerStepRecord
 {
@@ -39,6 +46,8 @@ struct LayerStepRecord
     Seconds transfer_time = 0.0; //!< duration of this layer's weight +
                                  //!< KV-read load
     Bytes transfer_bytes = 0;    //!< off-GPU weight bytes for this layer
+    Bytes host_bytes = 0;        //!< transfer_bytes sourced from host RAM
+    Bytes disk_bytes = 0;        //!< transfer_bytes sourced from storage
     Bytes kv_read_bytes = 0;     //!< KV fetched from host, all tiers
     Bytes kv_write_bytes = 0;    //!< KV written back to host, all tiers
     Seconds transfer_start = 0.0;//!< virtual time the load was issued
@@ -50,6 +59,9 @@ struct LayerStepRecord
     Seconds kv_stall_time = 0.0;
     /** Per-tier KV traffic (empty when the step moved no KV bytes). */
     std::vector<KvTierTraffic> kv_tiers;
+    /** KV tier occupancy sampled at step retirement (MHA steps of runs
+     *  with host KV tiers; empty otherwise).  Feeds trace counters. */
+    std::vector<KvTierOccupancy> kv_occupancy;
 };
 
 /** Aggregate serving metrics. */

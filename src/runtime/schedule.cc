@@ -266,6 +266,18 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
             if (!traffic_or.is_ok())
                 return traffic_or.status();
             const kvcache::StepTraffic &traffic = *traffic_or;
+            // Sample per-tier occupancy right after the cache update so
+            // trace counters can plot tier fill over time.  Skipped for
+            // GPU-only configs, where the counter would be flat.
+            std::vector<Bytes> kv_occupancy;
+            bool has_host_tier = false;
+            for (std::size_t t = 0; t < kv_manager.tier_count(); ++t)
+                has_host_tier |= !kv_manager.tier(t).is_gpu;
+            if (has_host_tier) {
+                kv_occupancy.reserve(kv_manager.tier_count());
+                for (std::size_t t = 0; t < kv_manager.tier_count(); ++t)
+                    kv_occupancy.push_back(kv_manager.tier_occupancy(t));
+            }
             std::vector<KvFlowSpec> kv_reads;
             std::vector<KvFlowSpec> kv_writes;
             Bytes kv_read_total = 0;
@@ -337,6 +349,7 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
                     step.kv_read_bytes = kv_read_total;
                     step.kv_write_bytes = kv_write_total;
                     step.kv_prefetch = kv_config.prefetch;
+                    step.kv_occupancy = kv_occupancy;
                 }
                 steps.push_back(step);
             }

@@ -59,6 +59,9 @@ struct ScheduledStep
     std::vector<KvFlowSpec> kv_writes;
     Bytes kv_read_bytes = 0;  //!< sum over kv_reads
     Bytes kv_write_bytes = 0; //!< sum over kv_writes
+    /** Occupancy per KV tier (kv_tier_names order) sampled right after
+     *  this step's cache update; empty when not sampled. */
+    std::vector<Bytes> kv_occupancy;
     /** Overlap the reads with the previous step (weight-prefetch path);
      *  off = the reads gate this step's compute. */
     bool kv_prefetch = true;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/summary.h"
+#include "runtime/instrument.h"
 
 namespace helm::runtime {
 
@@ -45,6 +46,13 @@ Seconds
 ServingReport::ttft_percentile(double p) const
 {
     return percentile_nearest_rank(collect(requests, &RequestMetrics::ttft),
+                                   p);
+}
+
+Seconds
+ServingReport::tbt_percentile(double p) const
+{
+    return percentile_nearest_rank(collect(requests, &RequestMetrics::tbt),
                                    p);
 }
 
@@ -176,17 +184,29 @@ Server::run_batch(const workload::Batch &batch)
                                      batch.max_prompt_tokens(),
                                      batch.max_output_tokens());
     const auto cached = memo_.find(key);
-    if (cached != memo_.end())
+    if (cached != memo_.end() &&
+        (!telemetry_ || extras_.count(key) > 0))
         return cached->second;
 
     ServingSpec spec = base_;
     spec.batch = batch.size();
     spec.shape = batch.shape();
     spec.repeats = 1;
-    spec.keep_records = false;
+    // Records are rebuilt from the event timeline after the run, so
+    // keeping them for telemetry cannot perturb the simulated timing.
+    spec.keep_records = telemetry_;
     auto run = simulate_inference(spec);
     if (!run.is_ok())
         return run.status();
+    h2d_rate_ = run->h2d_rate;
+    if (telemetry_) {
+        BatchExtras extras;
+        extras.attribution =
+            attribute_records(run->records, base_.gpu.layer_overhead,
+                              run->metrics.total_time);
+        extras.records = std::move(run->records);
+        extras_.insert_or_assign(key, std::move(extras));
+    }
     memo_.emplace(key, run->metrics);
     return run->metrics;
 }
@@ -324,6 +344,25 @@ Server::run()
                          r.e2e_latency <= slo_.e2e_target);
             report.requests.push_back(r);
         }
+        if (telemetry_) {
+            const auto batch_key = std::make_tuple(
+                batch.size(), batch.max_prompt_tokens(),
+                batch.max_output_tokens());
+            const BatchExtras &extras = extras_.at(batch_key);
+            // Each launch occupies the engine for the batch's whole
+            // wall; accumulating the memoized attribution keeps the
+            // sum exact — idle closes the gap to the makespan below.
+            attribution_.merge(extras.attribution);
+            if (collect_records_) {
+                for (LayerStepRecord rec : extras.records) {
+                    rec.batch_index = report.batches_formed;
+                    rec.transfer_start += launch;
+                    rec.step_start += launch;
+                    rec.step_end += launch;
+                    records_.push_back(std::move(rec));
+                }
+            }
+        }
         ++report.batches_formed;
         free_t = done;
         last_completion = done;
@@ -363,6 +402,14 @@ Server::run()
             ? static_cast<double>(slo_met_count) /
                   static_cast<double>(report.completed)
             : 0.0;
+    if (telemetry_) {
+        // Batches serialize through free_t and the makespan clock opens
+        // at the first arrival, so makespan >= summed batch walls; the
+        // difference is engine idle time.  max() guards FP rounding.
+        const Seconds busy = attribution_.wall();
+        attribution_.add_idle(std::max(0.0, report.makespan - busy));
+        attribution_.set_wall(std::max(report.makespan, busy));
+    }
     return report;
 }
 

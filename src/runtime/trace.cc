@@ -4,8 +4,10 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <string>
 
 #include "model/transformer.h"
+#include "telemetry/export.h"
 
 namespace helm::runtime {
 
@@ -23,29 +25,50 @@ enum Track : int
     kKvTrackBase = 2,
 };
 
+/** %.3f for trace timestamps/values; bounded, so a stack buffer is safe
+ *  (unlike names, which are caller-controlled strings). */
+std::string
+format_us(Seconds seconds)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    return buf;
+}
+
 void
-emit_event(std::ostringstream &out, bool &first, const char *name,
+emit_event(std::ostringstream &out, bool &first, const std::string &name,
            const char *category, int pid, int tid, Seconds start,
            Seconds duration, const std::string &args_json)
 {
     if (!first)
         out << ",\n";
     first = false;
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
-                  name, category, start * 1e6, duration * 1e6, pid, tid);
-    out << buf;
+    out << "{\"name\":\"" << telemetry::json_escape(name)
+        << "\",\"cat\":\"" << category << "\",\"ph\":\"X\",\"ts\":"
+        << format_us(start) << ",\"dur\":" << format_us(duration)
+        << ",\"pid\":" << pid << ",\"tid\":" << tid;
     if (!args_json.empty())
         out << ",\"args\":" << args_json;
     out << "}";
 }
 
-} // namespace
+/** One "ph":"C" counter sample; @p args_json carries the series. */
+void
+emit_counter(std::ostringstream &out, bool &first, const char *name,
+             Seconds at, const std::string &args_json)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"cat\":\"counter\","
+        << "\"ph\":\"C\",\"ts\":" << format_us(at)
+        << ",\"pid\":0,\"args\":" << args_json;
+    out << "}";
+}
 
 std::string
-chrome_trace_json(const std::vector<LayerStepRecord> &records)
+trace_json_impl(const std::vector<LayerStepRecord> &records,
+                const TraceCounterOptions *counters)
 {
     std::ostringstream out;
     out << "{\"traceEvents\":[\n";
@@ -84,37 +107,33 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
         for (const auto &[tier, tid] : kv_tids) {
             out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
                 << pid << ",\"tid\":" << tid
-                << ",\"args\":{\"name\":\"KV " << tier << "\"}}";
+                << ",\"args\":{\"name\":\"KV "
+                << telemetry::json_escape(tier) << "\"}}";
         }
     }
 
     for (const auto &rec : records) {
         const int pid = static_cast<int>(rec.gpu_index);
-        char name[96];
-        std::snprintf(name, sizeof(name), "%s L%d t%llu",
-                      model::layer_type_name(rec.type), rec.layer,
-                      static_cast<unsigned long long>(rec.token));
-        char args[160];
-        std::snprintf(args, sizeof(args),
-                      "{\"stage\":\"%s\",\"batch\":%llu}",
-                      gpu::stage_name(rec.stage),
-                      static_cast<unsigned long long>(rec.batch_index));
-        emit_event(out, first, name, "compute", pid, kGpuTrack,
-                   rec.step_start, rec.compute_time, args);
+        const std::string type_name = model::layer_type_name(rec.type);
+        const std::string step_suffix = " L" + std::to_string(rec.layer) +
+                                        " t" + std::to_string(rec.token);
+        emit_event(out, first, type_name + step_suffix, "compute", pid,
+                   kGpuTrack, rec.step_start, rec.compute_time,
+                   "{\"stage\":\"" +
+                       std::string(gpu::stage_name(rec.stage)) +
+                       "\",\"batch\":" + std::to_string(rec.batch_index) +
+                       "}");
         if (rec.transfer_time > 0.0 &&
             (rec.transfer_bytes > 0 || rec.kv_read_bytes > 0)) {
-            char load_name[112];
-            std::snprintf(load_name, sizeof(load_name), "load %s L%d",
-                          model::layer_type_name(rec.type), rec.layer);
-            char load_args[160];
-            std::snprintf(
-                load_args, sizeof(load_args),
-                "{\"weight_bytes\":%llu,\"kv_bytes\":%llu}",
-                static_cast<unsigned long long>(rec.transfer_bytes),
-                static_cast<unsigned long long>(rec.kv_read_bytes));
-            emit_event(out, first, load_name, "transfer", pid,
-                       kTransferTrack, rec.transfer_start,
-                       rec.transfer_time, load_args);
+            emit_event(out, first,
+                       "load " + type_name + " L" +
+                           std::to_string(rec.layer),
+                       "transfer", pid, kTransferTrack,
+                       rec.transfer_start, rec.transfer_time,
+                       "{\"weight_bytes\":" +
+                           std::to_string(rec.transfer_bytes) +
+                           ",\"kv_bytes\":" +
+                           std::to_string(rec.kv_read_bytes) + "}");
         }
         // Per-tier KV traffic.  Reads span the prefetch window (the
         // weight-load overlap) unless the step stalled on them; writes
@@ -127,39 +146,76 @@ chrome_trace_json(const std::vector<LayerStepRecord> &records)
                     stalled ? rec.step_start : rec.transfer_start;
                 const Seconds duration =
                     stalled ? rec.kv_stall_time : rec.transfer_time;
-                char read_name[96];
-                std::snprintf(read_name, sizeof(read_name),
-                              "KV read L%d t%llu", rec.layer,
-                              static_cast<unsigned long long>(rec.token));
-                char read_args[96];
-                std::snprintf(
-                    read_args, sizeof(read_args), "{\"bytes\":%llu}",
-                    static_cast<unsigned long long>(tier.read_bytes));
-                emit_event(out, first, read_name, "kv-read", pid, tid,
-                           start, duration, read_args);
+                emit_event(out, first, "KV read" + step_suffix, "kv-read",
+                           pid, tid, start, duration,
+                           "{\"bytes\":" +
+                               std::to_string(tier.read_bytes) + "}");
             }
             if (tier.write_bytes > 0 && rec.kv_write_time > 0.0) {
-                char write_name[96];
-                std::snprintf(write_name, sizeof(write_name),
-                              "KV write L%d t%llu", rec.layer,
-                              static_cast<unsigned long long>(rec.token));
-                char write_args[96];
-                std::snprintf(
-                    write_args, sizeof(write_args), "{\"bytes\":%llu}",
-                    static_cast<unsigned long long>(tier.write_bytes));
-                emit_event(out, first, write_name, "kv-write", pid, tid,
-                           rec.step_start, rec.kv_write_time,
-                           write_args);
+                emit_event(out, first, "KV write" + step_suffix,
+                           "kv-write", pid, tid, rec.step_start,
+                           rec.kv_write_time,
+                           "{\"bytes\":" +
+                               std::to_string(tier.write_bytes) + "}");
             }
         }
     }
+
+    if (counters != nullptr) {
+        // Host-port utilization: each load window contributes a rise at
+        // its start and a fall at its end, valued at the fraction of
+        // the shared port the window's bytes consumed.
+        if (counters->host_port_rate_bytes_per_s > 0.0) {
+            for (const auto &rec : records) {
+                const Bytes moved = rec.transfer_bytes + rec.kv_read_bytes;
+                if (rec.transfer_time <= 0.0 || moved == 0)
+                    continue;
+                const double utilization =
+                    static_cast<double>(moved) /
+                    (rec.transfer_time *
+                     counters->host_port_rate_bytes_per_s);
+                char value[48];
+                std::snprintf(value, sizeof(value), "%.4f", utilization);
+                emit_counter(out, first, "host-port utilization",
+                             rec.transfer_start,
+                             std::string("{\"utilization\":") + value +
+                                 "}");
+                emit_counter(out, first, "host-port utilization",
+                             rec.transfer_start + rec.transfer_time,
+                             "{\"utilization\":0}");
+            }
+        }
+        // KV tier occupancy (MiB per tier) at each sampled step.
+        for (const auto &rec : records) {
+            if (rec.kv_occupancy.empty())
+                continue;
+            std::string args = "{";
+            for (std::size_t t = 0; t < rec.kv_occupancy.size(); ++t) {
+                char mib[48];
+                std::snprintf(mib, sizeof(mib), "%.3f",
+                              static_cast<double>(
+                                  rec.kv_occupancy[t].bytes) /
+                                  (1024.0 * 1024.0));
+                if (t > 0)
+                    args += ",";
+                args += "\"" +
+                        telemetry::json_escape(rec.kv_occupancy[t].tier) +
+                        "\":" + mib;
+            }
+            args += "}";
+            emit_counter(out, first, "KV tier occupancy (MiB)",
+                         rec.step_end, args);
+        }
+    }
+
     out << "\n]}\n";
     return out.str();
 }
 
 Status
-write_chrome_trace(const std::vector<LayerStepRecord> &records,
-                   const std::string &path)
+write_trace_impl(const std::vector<LayerStepRecord> &records,
+                 const std::string &path,
+                 const TraceCounterOptions *counters)
 {
     if (records.empty()) {
         return Status::failed_precondition(
@@ -168,9 +224,39 @@ write_chrome_trace(const std::vector<LayerStepRecord> &records,
     std::ofstream file(path);
     if (!file.is_open())
         return Status::invalid_argument("cannot open " + path);
-    file << chrome_trace_json(records);
+    file << trace_json_impl(records, counters);
     return file.good() ? Status::ok()
                        : Status::internal("write to " + path + " failed");
+}
+
+} // namespace
+
+std::string
+chrome_trace_json(const std::vector<LayerStepRecord> &records)
+{
+    return trace_json_impl(records, nullptr);
+}
+
+std::string
+chrome_trace_json(const std::vector<LayerStepRecord> &records,
+                  const TraceCounterOptions &counters)
+{
+    return trace_json_impl(records, &counters);
+}
+
+Status
+write_chrome_trace(const std::vector<LayerStepRecord> &records,
+                   const std::string &path)
+{
+    return write_trace_impl(records, path, nullptr);
+}
+
+Status
+write_chrome_trace(const std::vector<LayerStepRecord> &records,
+                   const std::string &path,
+                   const TraceCounterOptions &counters)
+{
+    return write_trace_impl(records, path, &counters);
 }
 
 } // namespace helm::runtime

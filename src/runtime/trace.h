@@ -19,14 +19,42 @@
 namespace helm::runtime {
 
 /**
+ * Counter ("ph":"C") rows to add alongside the duration events, fed
+ * from the same numbers the telemetry registry records so trace and
+ * report cannot disagree.
+ */
+struct TraceCounterOptions
+{
+    /**
+     * Shared host-port rate for the "host-port utilization" counter:
+     * each step's load window contributes
+     * (weight + KV bytes) / (window x rate).  0 disables the counter.
+     */
+    double host_port_rate_bytes_per_s = 0.0;
+};
+
+/**
  * Render records as a Chrome trace JSON string (the "traceEvents"
  * array format).  Timestamps are microseconds of virtual time.
  */
 std::string chrome_trace_json(const std::vector<LayerStepRecord> &records);
 
+/**
+ * As above, plus counter rows: "host-port utilization" per load window
+ * (when the rate is set) and "KV tier occupancy" (MiB per tier) at each
+ * step that sampled occupancy.
+ */
+std::string chrome_trace_json(const std::vector<LayerStepRecord> &records,
+                              const TraceCounterOptions &counters);
+
 /** Write chrome_trace_json() to @p path. */
 Status write_chrome_trace(const std::vector<LayerStepRecord> &records,
                           const std::string &path);
+
+/** Write the counter-augmented chrome_trace_json() to @p path. */
+Status write_chrome_trace(const std::vector<LayerStepRecord> &records,
+                          const std::string &path,
+                          const TraceCounterOptions &counters);
 
 } // namespace helm::runtime
 

@@ -124,6 +124,21 @@ BandwidthChannel::water_fill()
         remaining_rate -= flow->rate_bps;
         --remaining_flows;
     }
+    if (order.size() > 1) {
+        // A fill pass throttled someone if any flow got less than it
+        // could use alone (its cap, or the full channel when uncapped).
+        for (const Flow *flow : order) {
+            const double solo = std::min(flow->cap_bps > 0.0
+                                             ? flow->cap_bps
+                                             : std::numeric_limits<
+                                                   double>::infinity(),
+                                         rate_.raw());
+            if (flow->rate_bps < solo * (1.0 - 1e-9)) {
+                ++throttle_events_;
+                break;
+            }
+        }
+    }
 }
 
 void

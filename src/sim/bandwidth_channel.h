@@ -72,6 +72,10 @@ class BandwidthChannel
     /** Total bytes delivered across all completed flows. */
     Bytes bytes_delivered() const { return bytes_delivered_; }
 
+    /** Water-fill passes where contention left some flow short of the
+     *  rate it would get alone (max-min throttling observed). */
+    std::uint64_t throttle_events() const { return throttle_events_; }
+
     const std::string &name() const { return name_; }
     Bandwidth rate() const { return rate_; }
 
@@ -108,6 +112,7 @@ class BandwidthChannel
     Seconds last_update_ = 0.0;
     EventId pending_event_ = kInvalidEvent;
     Bytes bytes_delivered_ = 0;
+    std::uint64_t throttle_events_ = 0;
     bool in_reap_ = false;
 };
 

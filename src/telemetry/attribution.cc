@@ -1,0 +1,154 @@
+#include "telemetry/attribution.h"
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace helm::telemetry {
+namespace {
+
+constexpr const char *kSecondsMetric = "helm_attribution_seconds";
+constexpr const char *kIdleMetric = "helm_attribution_idle_seconds";
+constexpr const char *kWallMetric = "helm_wall_seconds";
+
+const char *kPhaseNames[] = {"compute", "transfer", "kv_stall",
+                             "writeback"};
+
+std::string
+percent_of(Seconds part, Seconds whole)
+{
+    if (whole <= 0.0)
+        return "-";
+    return format_fixed(100.0 * part / whole, 1) + " %";
+}
+
+} // namespace
+
+const char *
+phase_name(Phase phase)
+{
+    return kPhaseNames[static_cast<int>(phase)];
+}
+
+void
+TimeAttribution::add(const std::string &layer_type, Phase phase,
+                     Seconds seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    Bucket &bucket = buckets_[layer_type];
+    switch (phase) {
+    case Phase::kCompute:
+        bucket.compute += seconds;
+        break;
+    case Phase::kTransfer:
+        bucket.transfer += seconds;
+        break;
+    case Phase::kKvStall:
+        bucket.kv_stall += seconds;
+        break;
+    case Phase::kWriteback:
+        bucket.writeback += seconds;
+        break;
+    }
+}
+
+void
+TimeAttribution::merge(const TimeAttribution &other)
+{
+    for (const auto &[layer, bucket] : other.buckets_) {
+        Bucket &mine = buckets_[layer];
+        mine.compute += bucket.compute;
+        mine.transfer += bucket.transfer;
+        mine.kv_stall += bucket.kv_stall;
+        mine.writeback += bucket.writeback;
+    }
+    idle_ += other.idle_;
+    wall_ += other.wall_;
+}
+
+Seconds
+TimeAttribution::attributed_total() const
+{
+    Seconds total = idle_;
+    for (const auto &[_, bucket] : buckets_)
+        total += bucket.total();
+    return total;
+}
+
+void
+TimeAttribution::record(MetricsRegistry &registry) const
+{
+    const std::string help =
+        "Wall seconds attributed to a (layer type, phase) pair";
+    for (const auto &[layer, bucket] : buckets_) {
+        auto set = [&](const char *phase, Seconds value) {
+            registry
+                .gauge(kSecondsMetric, {{"layer", layer}, {"phase", phase}},
+                       help)
+                .set(value);
+        };
+        set("compute", bucket.compute);
+        set("transfer", bucket.transfer);
+        set("kv_stall", bucket.kv_stall);
+        set("writeback", bucket.writeback);
+    }
+    registry
+        .gauge(kIdleMetric, {},
+               "Wall seconds with no layer step in flight")
+        .set(idle_);
+    registry.gauge(kWallMetric, {}, "Total wall-clock seconds of the run")
+        .set(wall_);
+}
+
+TimeAttribution
+TimeAttribution::from_registry(const MetricsRegistry &registry)
+{
+    TimeAttribution attr;
+    for (const Labels &labels : registry.label_sets(kSecondsMetric)) {
+        auto layer = labels.find("layer");
+        auto phase = labels.find("phase");
+        if (layer == labels.end() || phase == labels.end())
+            continue;
+        Seconds seconds = registry.value_or(kSecondsMetric, labels);
+        for (int p = 0; p < 4; ++p) {
+            if (phase->second == kPhaseNames[p])
+                attr.add(layer->second, static_cast<Phase>(p), seconds);
+        }
+    }
+    attr.add_idle(registry.value_or(kIdleMetric));
+    attr.set_wall(registry.value_or(kWallMetric));
+    return attr;
+}
+
+std::string
+TimeAttribution::to_table() const
+{
+    AsciiTable table("Time attribution (seconds, share of wall)");
+    table.set_header({"layer", "compute", "transfer", "kv stall",
+                      "writeback", "total", "share"});
+    Bucket grand;
+    for (const auto &[layer, bucket] : buckets_) {
+        grand.compute += bucket.compute;
+        grand.transfer += bucket.transfer;
+        grand.kv_stall += bucket.kv_stall;
+        grand.writeback += bucket.writeback;
+        table.add_row({layer, format_fixed(bucket.compute, 4),
+                       format_fixed(bucket.transfer, 4),
+                       format_fixed(bucket.kv_stall, 4),
+                       format_fixed(bucket.writeback, 4),
+                       format_fixed(bucket.total(), 4),
+                       percent_of(bucket.total(), wall_)});
+    }
+    table.add_row({"idle", "-", "-", "-", "-", format_fixed(idle_, 4),
+                   percent_of(idle_, wall_)});
+    table.add_row({"total", format_fixed(grand.compute, 4),
+                   format_fixed(grand.transfer, 4),
+                   format_fixed(grand.kv_stall, 4),
+                   format_fixed(grand.writeback, 4),
+                   format_fixed(attributed_total(), 4),
+                   percent_of(attributed_total(), wall_)});
+    table.align_right_from(1);
+    return table.to_string();
+}
+
+} // namespace helm::telemetry

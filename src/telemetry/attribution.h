@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Time attribution: wall time decomposed into GPU-compute /
+ * exposed-transfer / KV-stall / exposed-writeback / idle, per layer
+ * type — the paper's Figs. 5 and 8 as a queryable artifact instead of
+ * a plot.
+ *
+ * The engine's steps tile its timeline exactly (step k+1 starts where
+ * step k ends), so a per-step decomposition that accounts for every
+ * second of each step sums to the run's wall time by construction.
+ * `runtime/instrument.cc` performs that per-step split; this file only
+ * holds the accumulator, the registry encoding, and the table.
+ */
+#ifndef HELM_TELEMETRY_ATTRIBUTION_H
+#define HELM_TELEMETRY_ATTRIBUTION_H
+
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "telemetry/metrics.h"
+
+namespace helm::telemetry {
+
+/** Phases a simulated second can be attributed to, within one layer. */
+enum class Phase
+{
+    kCompute,   //!< GPU busy on the layer's kernel (incl. launch overhead)
+    kTransfer,  //!< weight/activation transfer exposed past compute
+    kKvStall,   //!< waiting on KV-cache reads from host tiers
+    kWriteback, //!< waiting on KV/activation writeback to host tiers
+};
+
+/** Printable phase name ("compute", "transfer", "kv_stall", "writeback"). */
+const char *phase_name(Phase phase);
+
+/**
+ * Accumulator for one run's time decomposition.  Keys are layer-type
+ * names ("mha", "ffn", "input_embedding", ...) as produced by
+ * `model::layer_type_name`; `idle` holds time inside the wall-clock
+ * window when the pipeline had no step in flight (serving gaps,
+ * cluster load imbalance).
+ */
+class TimeAttribution
+{
+  public:
+    struct Bucket
+    {
+        Seconds compute = 0.0;
+        Seconds transfer = 0.0;
+        Seconds kv_stall = 0.0;
+        Seconds writeback = 0.0;
+
+        Seconds total() const
+        {
+            return compute + transfer + kv_stall + writeback;
+        }
+    };
+
+    void add(const std::string &layer_type, Phase phase, Seconds seconds);
+    void add_idle(Seconds seconds) { idle_ += seconds; }
+    void set_wall(Seconds wall) { wall_ = wall; }
+
+    /** Merge @p other into this (cluster: one accumulator per GPU). */
+    void merge(const TimeAttribution &other);
+
+    const std::map<std::string, Bucket> &buckets() const
+    {
+        return buckets_;
+    }
+    Seconds idle() const { return idle_; }
+    Seconds wall() const { return wall_; }
+
+    /** Sum of every bucket plus idle — should equal wall(). */
+    Seconds attributed_total() const;
+
+    /**
+     * Record into @p registry as `helm_attribution_seconds{layer,phase}`
+     * gauges plus `helm_attribution_idle_seconds` and
+     * `helm_wall_seconds`.
+     */
+    void record(MetricsRegistry &registry) const;
+
+    /**
+     * Rebuild an accumulator from a registry previously populated by
+     * record() — lets the report printer render the table from metrics
+     * alone.
+     */
+    static TimeAttribution from_registry(const MetricsRegistry &registry);
+
+    /**
+     * Render the attribution table: one row per layer type plus idle
+     * and a total row, with seconds and share-of-wall percentages.
+     */
+    std::string to_table() const;
+
+  private:
+    std::map<std::string, Bucket> buckets_;
+    Seconds idle_ = 0.0;
+    Seconds wall_ = 0.0;
+};
+
+} // namespace helm::telemetry
+
+#endif // HELM_TELEMETRY_ATTRIBUTION_H

@@ -1,0 +1,239 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace helm::telemetry {
+namespace {
+
+/**
+ * Shortest round-trip decimal for a double.  %.17g always round-trips
+ * but prints 0.1 as 0.10000000000000001; try ascending precision and
+ * keep the first that survives a parse back.
+ */
+std::string
+format_double(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    char buf[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+/** {a="x",b="y"} body (no braces); empty string for no labels. */
+std::string
+prometheus_labels(const Labels &labels)
+{
+    std::string out;
+    for (const auto &[key, value] : labels) {
+        if (!out.empty())
+            out += ",";
+        out += key;
+        out += "=\"";
+        // Prometheus label values escape backslash, quote, newline.
+        for (char c : value) {
+            switch (c) {
+            case '\\':
+                out += "\\\\";
+                break;
+            case '"':
+                out += "\\\"";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            default:
+                out += c;
+            }
+        }
+        out += "\"";
+    }
+    return out;
+}
+
+/** name{labels} or name{labels,extra} with optional extra label. */
+std::string
+prometheus_series(const std::string &name, const Labels &labels,
+                  const std::string &extra = "")
+{
+    std::string body = prometheus_labels(labels);
+    if (!extra.empty()) {
+        if (!body.empty())
+            body += ",";
+        body += extra;
+    }
+    if (body.empty())
+        return name;
+    return name + "{" + body + "}";
+}
+
+std::string
+json_labels(const Labels &labels)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+json_escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+prometheus_text(const MetricsRegistry &registry)
+{
+    std::ostringstream out;
+    for (const auto &[name, fam] : registry.families()) {
+        if (!fam.help.empty())
+            out << "# HELP " << name << " " << fam.help << "\n";
+        out << "# TYPE " << name << " " << metric_kind_name(fam.kind)
+            << "\n";
+        for (const auto &[labels, counter] : fam.counters) {
+            out << prometheus_series(name, labels) << " "
+                << format_double(counter.value()) << "\n";
+        }
+        for (const auto &[labels, gauge] : fam.gauges) {
+            out << prometheus_series(name, labels) << " "
+                << format_double(gauge.value()) << "\n";
+        }
+        for (const auto &[labels, hist] : fam.histograms) {
+            std::uint64_t cumulative = 0;
+            const auto &bounds = hist.bounds();
+            const auto &counts = hist.counts();
+            for (std::size_t i = 0; i < bounds.size(); ++i) {
+                cumulative += counts[i];
+                out << prometheus_series(
+                           name + "_bucket", labels,
+                           "le=\"" + format_double(bounds[i]) + "\"")
+                    << " " << cumulative << "\n";
+            }
+            out << prometheus_series(name + "_bucket", labels,
+                                     "le=\"+Inf\"")
+                << " " << hist.count() << "\n";
+            out << prometheus_series(name + "_sum", labels) << " "
+                << format_double(hist.sum()) << "\n";
+            out << prometheus_series(name + "_count", labels) << " "
+                << hist.count() << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+json_snapshot(const MetricsRegistry &registry)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"helm-metrics-v1\",\"metrics\":[";
+    bool first = true;
+    auto begin_metric = [&](const std::string &name, const char *type,
+                            const Labels &labels) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"name\":\"" << json_escape(name) << "\",\"type\":\""
+            << type << "\",\"labels\":" << json_labels(labels);
+    };
+    for (const auto &[name, fam] : registry.families()) {
+        for (const auto &[labels, counter] : fam.counters) {
+            begin_metric(name, "counter", labels);
+            out << ",\"value\":" << format_double(counter.value()) << "}";
+        }
+        for (const auto &[labels, gauge] : fam.gauges) {
+            begin_metric(name, "gauge", labels);
+            out << ",\"value\":" << format_double(gauge.value()) << "}";
+        }
+        for (const auto &[labels, hist] : fam.histograms) {
+            begin_metric(name, "histogram", labels);
+            out << ",\"buckets\":[";
+            std::uint64_t cumulative = 0;
+            const auto &bounds = hist.bounds();
+            const auto &counts = hist.counts();
+            for (std::size_t i = 0; i <= bounds.size(); ++i) {
+                if (i)
+                    out << ",";
+                cumulative += counts[i];
+                out << "{\"le\":";
+                if (i < bounds.size())
+                    out << format_double(bounds[i]);
+                else
+                    out << "\"+Inf\"";
+                out << ",\"count\":" << cumulative << "}";
+            }
+            out << "],\"sum\":" << format_double(hist.sum())
+                << ",\"count\":" << hist.count() << "}";
+        }
+    }
+    out << "]}";
+    return out.str();
+}
+
+Status
+write_text_file(const std::string &path, const std::string &text)
+{
+    std::ofstream file(path, std::ios::out | std::ios::trunc);
+    if (!file)
+        return Status::invalid_argument("cannot open for writing: " + path);
+    file << text;
+    if (!file)
+        return Status::internal("write failed: " + path);
+    return Status::ok();
+}
+
+} // namespace helm::telemetry

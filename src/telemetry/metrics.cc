@@ -1,0 +1,154 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace helm::telemetry {
+
+const char *metric_kind_name(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::kCounter:
+        return "counter";
+    case MetricKind::kGauge:
+        return "gauge";
+    case MetricKind::kHistogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double value)
+{
+    // First bucket whose upper bound admits the value; falls through to
+    // the trailing +Inf bucket.
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+    count_++;
+    sum_ += value;
+}
+
+double Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::vector<double> default_latency_buckets()
+{
+    std::vector<double> bounds;
+    // 1-2.5-5 ladder per decade, 1e-4 s .. 5e+3 s.
+    for (double decade = 1e-4; decade < 1e+4; decade *= 10.0) {
+        bounds.push_back(decade);
+        bounds.push_back(decade * 2.5);
+        bounds.push_back(decade * 5.0);
+    }
+    return bounds;
+}
+
+MetricsRegistry::Family &MetricsRegistry::family(const std::string &name,
+                                                MetricKind kind,
+                                                const std::string &help)
+{
+    auto [it, inserted] = families_.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+        it->second.help = help;
+    } else {
+        // A name must keep one kind for its lifetime; mixing kinds under
+        // one name would make the Prometheus exposition self-contradictory.
+        assert(it->second.kind == kind);
+        if (it->second.help.empty() && !help.empty())
+            it->second.help = help;
+    }
+    return it->second;
+}
+
+Counter &MetricsRegistry::counter(const std::string &name,
+                                  const Labels &labels,
+                                  const std::string &help)
+{
+    return family(name, MetricKind::kCounter, help).counters[labels];
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &name, const Labels &labels,
+                              const std::string &help)
+{
+    return family(name, MetricKind::kGauge, help).gauges[labels];
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &name,
+                                      const Labels &labels,
+                                      std::vector<double> bounds,
+                                      const std::string &help)
+{
+    Family &fam = family(name, MetricKind::kHistogram, help);
+    auto it = fam.histograms.find(labels);
+    if (it == fam.histograms.end()) {
+        if (bounds.empty())
+            bounds = default_latency_buckets();
+        it = fam.histograms.emplace(labels, Histogram(std::move(bounds)))
+                 .first;
+    }
+    return it->second;
+}
+
+bool MetricsRegistry::has(const std::string &name) const
+{
+    auto it = families_.find(name);
+    if (it == families_.end())
+        return false;
+    const Family &fam = it->second;
+    return !fam.counters.empty() || !fam.gauges.empty() ||
+           !fam.histograms.empty();
+}
+
+double MetricsRegistry::value_or(const std::string &name,
+                                 const Labels &labels, double fallback) const
+{
+    auto it = families_.find(name);
+    if (it == families_.end())
+        return fallback;
+    const Family &fam = it->second;
+    switch (fam.kind) {
+    case MetricKind::kCounter: {
+        auto sample = fam.counters.find(labels);
+        return sample == fam.counters.end() ? fallback
+                                            : sample->second.value();
+    }
+    case MetricKind::kGauge: {
+        auto sample = fam.gauges.find(labels);
+        return sample == fam.gauges.end() ? fallback
+                                          : sample->second.value();
+    }
+    case MetricKind::kHistogram: {
+        auto sample = fam.histograms.find(labels);
+        return sample == fam.histograms.end() ? fallback
+                                              : sample->second.sum();
+    }
+    }
+    return fallback;
+}
+
+std::vector<Labels> MetricsRegistry::label_sets(const std::string &name) const
+{
+    std::vector<Labels> sets;
+    auto it = families_.find(name);
+    if (it == families_.end())
+        return sets;
+    const Family &fam = it->second;
+    for (const auto &[labels, _] : fam.counters)
+        sets.push_back(labels);
+    for (const auto &[labels, _] : fam.gauges)
+        sets.push_back(labels);
+    for (const auto &[labels, _] : fam.histograms)
+        sets.push_back(labels);
+    return sets;
+}
+
+} // namespace helm::telemetry

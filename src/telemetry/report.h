@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Registry-fed report printer: the one place helmsim's stdout tables
+ * are rendered.  run/serve/cluster all record their results into a
+ * MetricsRegistry (runtime/instrument.h, cluster/instrument.h) and then
+ * call print_run_report(), so the tables, the Prometheus dump, and the
+ * JSON snapshot can never disagree — they are three views of the same
+ * registry.
+ *
+ * Metric-name conventions the printer understands:
+ *   helm_run_info{command,model,memory,placement}      = 1
+ *   helm_run_ttft_seconds / helm_run_tbt_seconds / ...  (run section)
+ *   helm_kv_tier_index{tier} + helm_kv_*_bytes{tier}    (KV section)
+ *   helm_serving_*                                      (serving section)
+ *   helm_saturation_*                                   (saturation)
+ *   helm_cluster_gpu_*{gpu} / helm_cluster_port_*{port} (cluster)
+ * Sections whose key metrics are absent are skipped, so one printer
+ * serves every subcommand.
+ */
+#ifndef HELM_TELEMETRY_REPORT_H
+#define HELM_TELEMETRY_REPORT_H
+
+#include <ostream>
+
+#include "telemetry/metrics.h"
+
+namespace helm::telemetry {
+
+/** Print every section whose metrics are present, in the fixed order
+ *  results / KV tiers / serving / saturation / per-GPU / ports. */
+void print_run_report(std::ostream &out, const MetricsRegistry &registry);
+
+} // namespace helm::telemetry
+
+#endif // HELM_TELEMETRY_REPORT_H

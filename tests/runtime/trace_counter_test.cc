@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Chrome-trace counter rows ("ph":"C"): host-port
+ * utilization pairs scaled by the fabric rate, KV-tier occupancy
+ * samples, JSON escaping of hostile tier names, and the per-GPU pid
+ * layout when counters and cluster records coexist.
+ */
+#include <gtest/gtest.h>
+
+#include "kvcache/kvcache.h"
+#include "model/opt.h"
+#include "runtime/engine.h"
+#include "runtime/trace.h"
+
+namespace helm::runtime {
+namespace {
+
+using model::OptVariant;
+
+/**
+ * Minimal structural JSON check: braces/brackets balance outside string
+ * literals and no unterminated string remains.  Not a full parser, but
+ * enough to catch truncated or unescaped output.
+ */
+bool
+json_balanced(const std::string &text)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+std::size_t
+count_of(const std::string &haystack, const std::string &needle)
+{
+    std::size_t n = 0, pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+RunResult
+small_run(bool kv_tiering = false)
+{
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt1_3B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.batch = 2;
+    spec.repeats = 1;
+    spec.shape.output_tokens = 3;
+    if (kv_tiering)
+        spec.kv_cache = kvcache::KvCacheConfig::tiered(0);
+    auto result = simulate_inference(spec);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return std::move(result).value();
+}
+
+TEST(TraceCounters, DisabledOptionsMatchLegacyOverload)
+{
+    const auto result = small_run();
+    // Rate 0 and no KV occupancy: the counters overload must emit the
+    // exact bytes of the legacy two-argument form.
+    EXPECT_EQ(chrome_trace_json(result.records),
+              chrome_trace_json(result.records, TraceCounterOptions{}));
+}
+
+TEST(TraceCounters, HostPortUtilizationPairsPerTransfer)
+{
+    const auto result = small_run();
+    TraceCounterOptions counters;
+    counters.host_port_rate_bytes_per_s = result.h2d_rate.raw();
+    ASSERT_GT(counters.host_port_rate_bytes_per_s, 0.0);
+
+    const std::string json =
+        chrome_trace_json(result.records, counters);
+    EXPECT_TRUE(json_balanced(json));
+    EXPECT_NE(json.find("\"name\":\"host-port utilization\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    // Every utilization rise is paired with a fall back to zero.
+    const std::size_t rises = count_of(json, "host-port utilization");
+    const std::size_t falls = count_of(json, "{\"utilization\":0}");
+    EXPECT_GT(rises, 0u);
+    EXPECT_EQ(rises % 2, 0u);
+    EXPECT_EQ(falls, rises / 2);
+    // Legacy duration events survive untouched alongside the counters.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceCounters, KvOccupancyRowsForTieredRuns)
+{
+    const auto result = small_run(/*kv_tiering=*/true);
+    bool sampled = false;
+    for (const auto &rec : result.records)
+        sampled |= !rec.kv_occupancy.empty();
+    ASSERT_TRUE(sampled);
+
+    // Occupancy counters need no port rate — options with defaults.
+    const std::string json =
+        chrome_trace_json(result.records, TraceCounterOptions{});
+    EXPECT_TRUE(json_balanced(json));
+    EXPECT_NE(json.find("\"name\":\"KV tier occupancy (MiB)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"gpu\":"), std::string::npos);
+    EXPECT_NE(json.find("\"host\":"), std::string::npos);
+}
+
+TEST(TraceCounters, HostileTierNamesAreEscaped)
+{
+    auto result = small_run(/*kv_tiering=*/true);
+    for (auto &rec : result.records) {
+        for (auto &occupancy : rec.kv_occupancy) {
+            if (occupancy.tier == "host")
+                occupancy.tier = "we\"ird\\tier";
+        }
+        for (auto &traffic : rec.kv_tiers) {
+            if (traffic.tier == "host")
+                traffic.tier = "we\"ird\\tier";
+        }
+    }
+    const std::string json =
+        chrome_trace_json(result.records, TraceCounterOptions{});
+    EXPECT_TRUE(json_balanced(json)) << "tier name broke the JSON";
+    EXPECT_NE(json.find("we\\\"ird\\\\tier"), std::string::npos);
+    EXPECT_EQ(json.find("we\"ird"), std::string::npos);
+}
+
+TEST(TraceCounters, ClusterPidLayoutCoexistsWithCounters)
+{
+    const auto result = small_run();
+    auto records = result.records;
+    const std::size_t single = records.size();
+    records.insert(records.end(), result.records.begin(),
+                   result.records.end());
+    for (std::size_t i = single; i < records.size(); ++i)
+        records[i].gpu_index = 1;
+
+    TraceCounterOptions counters;
+    counters.host_port_rate_bytes_per_s = result.h2d_rate.raw();
+    const std::string json = chrome_trace_json(records, counters);
+    EXPECT_TRUE(json_balanced(json));
+    // One process row per GPU, exactly as without counters...
+    EXPECT_NE(json.find("\"name\":\"GPU 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"GPU 1\""), std::string::npos);
+    // ...and the counter track rides on the global pid 0.
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    std::size_t pid1_events = 0, pos = 0;
+    while ((pos = json.find("\"pid\":1", pos)) != std::string::npos) {
+        ++pid1_events;
+        pos += 7;
+    }
+    EXPECT_GE(pid1_events, single);
+}
+
+} // namespace
+} // namespace helm::runtime

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a helm-metrics-v1 JSON snapshot (helmsim --metrics-out).
+
+Standard library only — this is the CI gate for the machine-readable
+run artifact, so it must run anywhere python3 does.
+
+Checks:
+  * the document parses and carries ``"schema": "helm-metrics-v1"``;
+  * every entry in ``metrics`` is structurally sound: a non-empty
+    name, a known type, string-to-string labels, a finite ``value``
+    (counters/gauges) or monotone cumulative ``buckets`` ending in
+    ``+Inf`` plus finite ``sum``/``count`` (histograms);
+  * every ``--require NAME`` appears among the metric names;
+  * when the time-attribution metrics are present, the decomposition
+    tiles the wall clock: sum(helm_attribution_seconds) +
+    helm_attribution_idle_seconds == helm_wall_seconds within 0.1 %.
+
+Exit status 0 when the snapshot passes, 1 otherwise (one message per
+problem on stderr).
+
+Usage:
+  python3 tools/check_metrics.py run.json \
+      --require helm_serving_ttft_seconds --require helm_wall_seconds
+"""
+
+import argparse
+import json
+import math
+import sys
+
+VALID_TYPES = ("counter", "gauge", "histogram")
+
+# Relative tolerance for the attribution-sums-to-wall acceptance check.
+ATTRIBUTION_RTOL = 1e-3
+
+
+def check_series(entry, index, errors):
+    """Validate one metric entry; append messages to errors."""
+    where = "metrics[%d]" % index
+    if not isinstance(entry, dict):
+        errors.append("%s: not an object" % where)
+        return
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append("%s: missing or empty name" % where)
+        return
+    where = "%s (%s)" % (where, name)
+    kind = entry.get("type")
+    if kind not in VALID_TYPES:
+        errors.append("%s: bad type %r" % (where, kind))
+        return
+    labels = entry.get("labels")
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        errors.append("%s: labels must map strings to strings" % where)
+
+    if kind in ("counter", "gauge"):
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            errors.append("%s: missing or non-finite value" % where)
+        return
+
+    buckets = entry.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        errors.append("%s: histogram without buckets" % where)
+        return
+    previous = -1
+    for slot, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+            errors.append("%s: buckets[%d] malformed" % (where, slot))
+            return
+        count = bucket["count"]
+        if not isinstance(count, int) or count < previous:
+            errors.append(
+                "%s: buckets[%d] count not cumulative" % (where, slot)
+            )
+            return
+        previous = count
+    if buckets[-1]["le"] != "+Inf":
+        errors.append("%s: last bucket le must be +Inf" % where)
+    total = entry.get("count")
+    if total != previous:
+        errors.append(
+            "%s: count %r != +Inf bucket count %d" % (where, total, previous)
+        )
+    sum_value = entry.get("sum")
+    if not isinstance(sum_value, (int, float)) or not math.isfinite(sum_value):
+        errors.append("%s: missing or non-finite sum" % where)
+
+
+def check_attribution(metrics, errors):
+    """The Figs. 5/8 artifact invariant: attribution tiles the wall."""
+    attributed = 0.0
+    wall = None
+    seen = False
+    for entry in metrics:
+        name = entry.get("name")
+        if name == "helm_attribution_seconds":
+            attributed += float(entry.get("value", 0.0))
+            seen = True
+        elif name == "helm_attribution_idle_seconds":
+            attributed += float(entry.get("value", 0.0))
+            seen = True
+        elif name == "helm_wall_seconds":
+            wall = float(entry.get("value", 0.0))
+    if not seen:
+        return
+    if wall is None:
+        errors.append(
+            "attribution metrics present but helm_wall_seconds missing"
+        )
+        return
+    if abs(attributed - wall) > ATTRIBUTION_RTOL * max(wall, 1e-12):
+        errors.append(
+            "attribution does not tile the wall clock: "
+            "sum %.9g s vs wall %.9g s (tolerance %.1f%%)"
+            % (attributed, wall, 100.0 * ATTRIBUTION_RTOL)
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a helm-metrics-v1 snapshot."
+    )
+    parser.add_argument("snapshot", help="path to the --metrics-out JSON")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this metric name is present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("check_metrics: %s: %s" % (args.snapshot, error), file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(document, dict):
+        errors.append("top level is not an object")
+        document = {}
+    if document.get("schema") != "helm-metrics-v1":
+        errors.append("schema is %r, expected 'helm-metrics-v1'" % document.get("schema"))
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("metrics is not a list")
+        metrics = []
+
+    for index, entry in enumerate(metrics):
+        check_series(entry, index, errors)
+
+    names = {e.get("name") for e in metrics if isinstance(e, dict)}
+    for required in args.require:
+        if required not in names:
+            errors.append("required metric missing: %s" % required)
+
+    check_attribution([e for e in metrics if isinstance(e, dict)], errors)
+
+    for message in errors:
+        print("check_metrics: %s" % message, file=sys.stderr)
+    if not errors:
+        print(
+            "check_metrics: %s OK (%d series, %d required present)"
+            % (args.snapshot, len(metrics), len(args.require))
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,8 @@
  *       --trace /tmp/trace.json --energy
  *   helmsim serve --rate 4 --duration 60 --placement helm \
  *       --memory nvdram --slo-ttft-ms 20000
+ *   helmsim serve --rate 2 --duration 30 --report \
+ *       --metrics-out run.json --prom-out run.prom --trace serve.json
  *   helmsim tune --model OPT-175B --memory NVDRAM \
  *       --objective throughput --tbt-ms 4500
  */
@@ -27,8 +29,13 @@
 #include <iostream>
 
 #include "common/args.h"
+#include "cluster/instrument.h"
 #include "core/helm.h"
 #include "model/zoo.h"
+#include "runtime/instrument.h"
+#include "telemetry/attribution.h"
+#include "telemetry/export.h"
+#include "telemetry/report.h"
 
 namespace {
 
@@ -213,25 +220,59 @@ apply_kv_options(const ArgParser &parser, runtime::ServingSpec *spec)
 }
 
 void
-print_kv_stats(const kvcache::KvCacheStats &stats)
+add_telemetry_options(ArgParser &parser)
 {
-    AsciiTable table("KV cache tiers");
-    table.set_header({"tier", "capacity", "peak", "read", "written",
-                      "demoted in"});
-    table.align_right_from(1);
-    for (const auto &tier : stats.tiers) {
-        table.add_row(
-            {tier.name,
-             tier.capacity > 0 ? format_bytes(tier.capacity)
-                               : "unbounded",
-             format_bytes(tier.peak_occupancy),
-             format_bytes(tier.read_bytes),
-             format_bytes(tier.write_bytes),
-             format_bytes(tier.demoted_in_bytes)});
+    parser.add_switch("report",
+                      "print the time-attribution report (wall time as "
+                      "compute / transfer / KV stall / writeback / idle "
+                      "per layer type)");
+    parser.add_option("metrics-out",
+                      "write a JSON metrics snapshot (helm-metrics-v1) "
+                      "to this path",
+                      "");
+    parser.add_option("prom-out",
+                      "write a Prometheus text dump to this path", "");
+}
+
+/** True when any telemetry artifact (attribution table, JSON snapshot,
+ *  Prometheus dump) was requested. */
+bool
+wants_telemetry(const ArgParser &parser)
+{
+    return parser.is_set("report") ||
+           !parser.get("metrics-out").empty() ||
+           !parser.get("prom-out").empty();
+}
+
+/** Render the --report table and write --metrics-out / --prom-out from
+ *  the registry every stdout table was printed from. */
+int
+emit_artifacts(const ArgParser &parser,
+               const telemetry::MetricsRegistry &registry)
+{
+    if (parser.is_set("report")) {
+        std::cout << telemetry::TimeAttribution::from_registry(registry)
+                         .to_table();
     }
-    table.print(std::cout);
-    std::cout << "kv blocks:   " << stats.demotions << " demoted, "
-              << stats.promotions << " promoted\n";
+    if (!parser.get("metrics-out").empty()) {
+        const Status written = telemetry::write_text_file(
+            parser.get("metrics-out"), telemetry::json_snapshot(registry));
+        if (!written.is_ok()) {
+            std::cerr << written.to_string() << "\n";
+            return 1;
+        }
+        std::cout << "metrics: " << parser.get("metrics-out") << "\n";
+    }
+    if (!parser.get("prom-out").empty()) {
+        const Status written = telemetry::write_text_file(
+            parser.get("prom-out"), telemetry::prometheus_text(registry));
+        if (!written.is_ok()) {
+            std::cerr << written.to_string() << "\n";
+            return 1;
+        }
+        std::cout << "prometheus: " << parser.get("prom-out") << "\n";
+    }
+    return 0;
 }
 
 int
@@ -250,6 +291,7 @@ cmd_run(const std::vector<std::string> &args)
     parser.add_option("repeats", "workload repeats (first discarded)",
                       "3");
     parser.add_option("trace", "write a Chrome trace to this path", "");
+    add_telemetry_options(parser);
     parser.add_switch("energy", "print the energy breakdown");
     parser.add_option("cxl-gbps",
                       "override the host tier with a custom CXL "
@@ -305,29 +347,14 @@ cmd_run(const std::vector<std::string> &args)
         return 1;
     }
 
-    AsciiTable table("Results");
-    table.set_header({"metric", "value"});
-    table.add_row({"TTFT", format_seconds(result->metrics.ttft)});
-    table.add_row({"TBT", format_seconds(result->metrics.tbt)});
-    table.add_row({"throughput",
-                   format_fixed(result->metrics.throughput, 3) +
-                       " tokens/s"});
-    const auto split = result->placement.achieved();
-    table.add_row({"weights gpu/cpu/disk",
-                   format_fixed(split.gpu, 1) + " / " +
-                       format_fixed(split.cpu, 1) + " / " +
-                       format_fixed(split.disk, 1) + " %"});
-    table.add_row({"GPU memory",
-                   format_bytes(result->budget.used()) + " of " +
-                       format_bytes(result->budget.hbm_capacity)});
-    if (result->spill.spilled()) {
-        table.add_row({"spilled weights",
-                       format_bytes(result->spill.spilled_bytes)});
-    }
-    table.print(std::cout);
-
-    if (spec.kv_cache.has_value())
-        print_kv_stats(result->kv_stats);
+    telemetry::MetricsRegistry registry;
+    runtime::record_run(registry, spec, *result, "run");
+    registry
+        .gauge("helm_host_port_rate_bytes_per_s", {},
+               "Engine h2d fabric rate the trace utilization counters "
+               "are scaled by")
+        .set(result->h2d_rate.raw());
+    telemetry::print_run_report(std::cout, registry);
 
     if (parser.is_set("energy")) {
         const auto energy = energy::estimate_energy(
@@ -341,65 +368,16 @@ cmd_run(const std::vector<std::string> &args)
         }
     }
     if (!parser.get("trace").empty()) {
+        runtime::TraceCounterOptions counters;
+        counters.host_port_rate_bytes_per_s = result->h2d_rate.raw();
         const Status trace_status = runtime::write_chrome_trace(
-            result->records, parser.get("trace"));
+            result->records, parser.get("trace"), counters);
         if (trace_status.is_ok())
             std::cout << "trace: " << parser.get("trace") << "\n";
         else
             std::cerr << trace_status.to_string() << "\n";
     }
-    return 0;
-}
-
-/** The serve-mode report block; `helmsim cluster` prints the identical
- *  summary (plus its per-GPU tables) so N=1 output lines up. */
-void
-print_serving_summary(const runtime::ServingSpec &base,
-                      std::uint64_t max_batch, std::uint64_t kv_slots,
-                      const runtime::ServingReport &report)
-{
-    std::cout << base.model.name << " on "
-              << mem::config_kind_name(base.memory) << " with "
-              << placement::placement_kind_name(base.placement)
-              << ", max batch " << max_batch;
-    if (kv_slots > 0)
-        std::cout << " (KV tiers hold " << kv_slots << " requests)";
-    std::cout << "\n";
-    AsciiTable table("ServingReport");
-    table.set_header({"metric", "p50", "p90", "p99"});
-    table.align_right_from(1);
-    auto pct_row = [&](const char *name, auto getter) {
-        table.add_row({name, format_seconds(getter(50.0)),
-                       format_seconds(getter(90.0)),
-                       format_seconds(getter(99.0))});
-    };
-    pct_row("queueing delay", [&](double p) {
-        return report.queueing_delay_percentile(p);
-    });
-    pct_row("TTFT",
-            [&](double p) { return report.ttft_percentile(p); });
-    pct_row("e2e latency",
-            [&](double p) { return report.e2e_percentile(p); });
-    table.print(std::cout);
-
-    std::cout << "requests:    " << report.completed << " completed / "
-              << report.rejected << " rejected of " << report.submitted
-              << " submitted";
-    if (report.kv_rejected > 0)
-        std::cout << " (" << report.kv_rejected
-                  << " exceeded KV capacity)";
-    std::cout << "\n"
-              << "batches:     " << report.batches_formed
-              << " formed, mean size "
-              << format_fixed(report.mean_batch_size, 2)
-              << ", peak queue " << report.max_queue_depth << "\n"
-              << "throughput:  " << format_fixed(report.throughput, 2)
-              << " tokens/s over " << format_seconds(report.makespan)
-              << "\n"
-              << "goodput:     " << format_fixed(report.goodput, 2)
-              << " tokens/s under SLO ("
-              << format_fixed(100.0 * report.slo_attainment, 1)
-              << " % of requests met it)\n";
+    return emit_artifacts(parser, registry);
 }
 
 /** Batch-replay compatibility path of `helmsim serve` (--workload). */
@@ -482,13 +460,31 @@ cmd_serve(const std::vector<std::string> &args)
                       "batch-replay mode: workload file '<prompt> "
                       "<output>' per line, blank line = batch boundary",
                       "");
+    parser.add_option("trace",
+                      "write a Chrome trace of the served batches "
+                      "(with host-port utilization and KV-occupancy "
+                      "counters) to this path",
+                      "");
+    add_telemetry_options(parser);
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
-    const Status conflicts = check_kv_flag_conflicts(parser);
+    Status conflicts = check_kv_flag_conflicts(parser);
+    if (conflicts.is_ok() && !parser.get("workload").empty()) {
+        for (const char *flag :
+             {"trace", "report", "metrics-out", "prom-out"}) {
+            if (parser.is_set(flag)) {
+                conflicts = Status::invalid_argument(
+                    std::string("--") + flag +
+                    " applies to the arrival-stream scheduler and "
+                    "conflicts with --workload batch replay");
+                break;
+            }
+        }
+    }
     if (!conflicts.is_ok()) {
         std::cerr << conflicts.to_string() << "\n";
         return 2;
@@ -561,6 +557,8 @@ cmd_serve(const std::vector<std::string> &args)
                   << server.status().to_string() << "\n";
         return 2;
     }
+    const std::string trace_path = parser.get("trace");
+    server->enable_telemetry(!trace_path.empty());
     const Status submitted = server->submit(*stream);
     if (!submitted.is_ok()) {
         std::cerr << submitted.to_string() << "\n";
@@ -573,40 +571,36 @@ cmd_serve(const std::vector<std::string> &args)
         return 1;
     }
 
-    print_serving_summary(base, server->effective_max_batch(),
-                          server->kv_request_slots(), *report);
-    return 0;
+    telemetry::MetricsRegistry registry;
+    runtime::record_serving(registry, base, server->effective_max_batch(),
+                            server->kv_request_slots(), *report, "serve");
+    server->attribution().record(registry);
+    registry
+        .gauge("helm_host_port_rate_bytes_per_s", {},
+               "Engine h2d fabric rate the trace utilization counters "
+               "are scaled by")
+        .set(server->h2d_rate().raw());
+    telemetry::print_run_report(std::cout, registry);
+
+    if (!trace_path.empty()) {
+        runtime::TraceCounterOptions counters;
+        counters.host_port_rate_bytes_per_s = server->h2d_rate().raw();
+        const Status trace_status = runtime::write_chrome_trace(
+            server->collected_records(), trace_path, counters);
+        if (trace_status.is_ok())
+            std::cout << "trace: " << trace_path << "\n";
+        else
+            std::cerr << trace_status.to_string() << "\n";
+    }
+    return emit_artifacts(parser, registry);
 }
 
-void
-print_cluster_tables(const std::vector<cluster::GpuUtilization> &gpus,
-                     const std::vector<cluster::PortStats> &ports)
+/** The shared read port's pooled rate — what the cluster trace's
+ *  host-port utilization counters are scaled by. */
+double
+cluster_port_rate(const std::vector<cluster::PortStats> &ports)
 {
-    AsciiTable gpu_table("Per-GPU utilization");
-    gpu_table.set_header(
-        {"gpu", "batches", "requests", "busy", "h2d", "d2h", "util"});
-    gpu_table.align_right_from(1);
-    for (const auto &g : gpus) {
-        gpu_table.add_row({std::to_string(g.gpu),
-                           std::to_string(g.batches),
-                           std::to_string(g.requests),
-                           format_seconds(g.compute_busy),
-                           format_bytes(g.h2d_bytes),
-                           format_bytes(g.d2h_bytes),
-                           format_fixed(100.0 * g.utilization, 1) + " %"});
-    }
-    gpu_table.print(std::cout);
-    if (ports.empty())
-        return;
-    AsciiTable port_table("Shared host-memory ports");
-    port_table.set_header({"port", "rate", "bytes", "util"});
-    port_table.align_right_from(1);
-    for (const auto &p : ports) {
-        port_table.add_row(
-            {p.name, format_bandwidth(p.rate), format_bytes(p.bytes),
-             format_fixed(100.0 * p.utilization, 1) + " %"});
-    }
-    port_table.print(std::cout);
+    return ports.empty() ? 0.0 : ports.front().rate.raw();
 }
 
 int
@@ -658,6 +652,7 @@ cmd_cluster(const std::vector<std::string> &args)
                       "saturation: back-to-back batches per GPU", "3");
     parser.add_option("trace",
                       "write a Chrome trace with one row per GPU", "");
+    add_telemetry_options(parser);
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -769,34 +764,34 @@ cmd_cluster(const std::vector<std::string> &args)
     if (parser.is_set("saturate")) {
         spec.serving.batch = parser.get_u64("batch");
         spec.serving.repeats = parser.get_u64("repeats");
-        const auto result =
-            cluster::run_saturated(spec, !trace_path.empty());
+        const bool want_records =
+            !trace_path.empty() || wants_telemetry(parser);
+        const auto result = cluster::run_saturated(spec, want_records);
         if (!result.is_ok()) {
             std::cerr << "cluster run failed: "
                       << result.status().to_string() << "\n";
             return 1;
         }
-        AsciiTable table("Saturation results");
-        table.set_header({"metric", "value"});
-        table.add_row({"aggregate throughput",
-                       format_fixed(result->aggregate_throughput, 3) +
-                           " tokens/s"});
-        table.add_row({"TTFT", format_seconds(result->ttft)});
-        table.add_row({"TBT", format_seconds(result->tbt)});
-        table.add_row({"makespan", format_seconds(result->makespan)});
-        table.add_row(
-            {"total tokens", std::to_string(result->total_tokens)});
-        table.print(std::cout);
-        print_cluster_tables(result->gpus, result->ports);
+        telemetry::MetricsRegistry registry;
+        cluster::record_saturation(registry, *result);
+        if (!result->records.empty()) {
+            runtime::attribute_records(result->records,
+                                       spec.serving.gpu.layer_overhead)
+                .record(registry);
+        }
+        telemetry::print_run_report(std::cout, registry);
         if (!trace_path.empty()) {
+            runtime::TraceCounterOptions counters;
+            counters.host_port_rate_bytes_per_s =
+                cluster_port_rate(result->ports);
             const Status trace_status = runtime::write_chrome_trace(
-                result->records, trace_path);
+                result->records, trace_path, counters);
             if (trace_status.is_ok())
                 std::cout << "trace: " << trace_path << "\n";
             else
                 std::cerr << trace_status.to_string() << "\n";
         }
-        return 0;
+        return emit_artifacts(parser, registry);
     }
 
     // ---- Arrival-stream serving --------------------------------------
@@ -822,6 +817,7 @@ cmd_cluster(const std::vector<std::string> &args)
                   << server.status().to_string() << "\n";
         return 2;
     }
+    server->enable_telemetry(!trace_path.empty());
     const Status submitted = server->submit(*stream);
     if (!submitted.is_ok()) {
         std::cerr << submitted.to_string() << "\n";
@@ -834,18 +830,26 @@ cmd_cluster(const std::vector<std::string> &args)
         return 1;
     }
 
-    print_serving_summary(spec.serving, server->effective_max_batch(),
-                          server->kv_request_slots(), report->serving);
-    print_cluster_tables(report->gpus, report->ports);
+    telemetry::MetricsRegistry registry;
+    runtime::record_serving(registry, spec.serving,
+                            server->effective_max_batch(),
+                            server->kv_request_slots(), report->serving,
+                            "cluster");
+    server->attribution().record(registry);
+    cluster::record_cluster(registry, *report);
+    telemetry::print_run_report(std::cout, registry);
     if (!trace_path.empty()) {
-        const Status trace_status =
-            runtime::write_chrome_trace(report->records, trace_path);
+        runtime::TraceCounterOptions counters;
+        counters.host_port_rate_bytes_per_s =
+            cluster_port_rate(report->ports);
+        const Status trace_status = runtime::write_chrome_trace(
+            report->records, trace_path, counters);
         if (trace_status.is_ok())
             std::cout << "trace: " << trace_path << "\n";
         else
             std::cerr << trace_status.to_string() << "\n";
     }
-    return 0;
+    return emit_artifacts(parser, registry);
 }
 
 int
