@@ -25,10 +25,19 @@ main()
     request.explore_micro_batches = true;
     request.explore_kv_offload = false;
 
+    // Every search below enumerates the same candidate grid (objective
+    // and ceiling only change the reduction), so one shared memo makes
+    // each spec simulate exactly once across all eight searches.
+    runtime::SimCache cache;
+    runtime::TuneExecOptions exec_options;
+    exec_options.jobs = 0; // all hardware threads
+    exec_options.cache = &cache;
+
     request.objective = runtime::TuneObjective::kLatency;
-    const auto latency_pole = runtime::auto_tune(request);
+    const auto latency_pole = runtime::auto_tune(request, exec_options);
     request.objective = runtime::TuneObjective::kThroughput;
-    const auto throughput_pole = runtime::auto_tune(request);
+    const auto throughput_pole =
+        runtime::auto_tune(request, exec_options);
     if (!latency_pole.is_ok() || !throughput_pole.is_ok()) {
         std::cerr << "tuner failed\n";
         return 1;
@@ -60,7 +69,7 @@ main()
         const Seconds ceiling =
             frac > 1e8 ? hi * 10 : lo * frac;
         req.tbt_ceiling = ceiling;
-        const auto result = runtime::auto_tune(req);
+        const auto result = runtime::auto_tune(req, exec_options);
         std::vector<std::string> cells;
         cells.push_back(frac > 1e8 ? "none" : ms(ceiling));
         if (result.is_ok()) {
@@ -81,5 +90,8 @@ main()
                  "relaxed ceilings migrate to All-CPU at the maximum "
                  "batch — the tuner walks the paper's latency/"
                  "throughput tradeoff automatically.\n";
+    std::cerr << "simcache: " << cache.hits() << " hits / "
+              << cache.misses() << " misses across "
+              << cache.size() << " distinct specs\n";
     return 0;
 }

@@ -33,38 +33,46 @@ main()
     CsvWriter csv(std::cout);
     csv.header(header);
 
-    for (std::uint64_t prompt : {128, 256, 512, 1024, 1920}) {
-        model::SequenceShape shape;
-        shape.prompt_tokens = prompt;
-        shape.output_tokens = 21;
-        const auto mb_on =
-            runtime::max_batch(gpu, config, layers, 0, shape, true, 4096,
-                               /*kv_on_gpu=*/true);
-        const auto mb_off =
-            runtime::max_batch(gpu, config, layers, 0, shape, true, 4096,
-                               /*kv_on_gpu=*/false);
+    const std::vector<std::uint64_t> prompts{128, 256, 512, 1024, 1920};
+    // Each context length is an independent simulation: evaluate the
+    // rows in parallel, emit them in prompt order.
+    const auto rows = exec::parallel_map<std::vector<std::string>>(
+        prompts.size(), 0, [&](std::size_t i) {
+            const std::uint64_t prompt = prompts[i];
+            model::SequenceShape shape;
+            shape.prompt_tokens = prompt;
+            shape.output_tokens = 21;
+            const auto mb_on = runtime::max_batch(gpu, config, layers, 0,
+                                                  shape, true, 4096,
+                                                  /*kv_on_gpu=*/true);
+            const auto mb_off = runtime::max_batch(gpu, config, layers, 0,
+                                                   shape, true, 4096,
+                                                   /*kv_on_gpu=*/false);
 
-        runtime::ServingSpec spec;
-        spec.model = config;
-        spec.memory = mem::ConfigKind::kNvdram;
-        spec.placement = placement::PlacementKind::kAllCpu;
-        spec.compress_weights = true;
-        spec.batch = 8;
-        spec.shape = shape;
-        spec.repeats = 2;
-        spec.keep_records = false;
-        auto result = runtime::simulate_inference(spec);
+            runtime::ServingSpec spec;
+            spec.model = config;
+            spec.memory = mem::ConfigKind::kNvdram;
+            spec.placement = placement::PlacementKind::kAllCpu;
+            spec.compress_weights = true;
+            spec.batch = 8;
+            spec.shape = shape;
+            spec.repeats = 2;
+            spec.keep_records = false;
+            auto result = runtime::simulate_inference(spec);
 
-        std::vector<std::string> cells{
-            std::to_string(prompt), std::to_string(mb_on),
-            std::to_string(mb_off)};
-        if (result.is_ok()) {
-            cells.push_back(ms(result->metrics.tbt));
-            cells.push_back(ms(result->metrics.ttft));
-        } else {
-            cells.push_back("-");
-            cells.push_back("-");
-        }
+            std::vector<std::string> cells{
+                std::to_string(prompt), std::to_string(mb_on),
+                std::to_string(mb_off)};
+            if (result.is_ok()) {
+                cells.push_back(ms(result->metrics.tbt));
+                cells.push_back(ms(result->metrics.ttft));
+            } else {
+                cells.push_back("-");
+                cells.push_back("-");
+            }
+            return cells;
+        });
+    for (const auto &cells : rows) {
         csv.row(cells);
         t.add_row(cells);
     }

@@ -34,13 +34,34 @@ main()
            "every headline number from EXPERIMENTS.md");
 
     std::vector<Check> checks;
-    auto metrics = [](mem::ConfigKind memory,
-                      placement::PlacementKind scheme, std::uint64_t batch,
-                      bool compressed) {
-        auto spec = opt175b_spec(memory, scheme, batch, compressed);
-        spec.keep_records = false;
-        return run_or_die(spec).metrics;
+
+    // The seven metrics-only simulations below are independent: run
+    // them through the parallel engine up front (slot order == listing
+    // order), then read the results by name.
+    struct MetricsPoint
+    {
+        mem::ConfigKind memory;
+        placement::PlacementKind scheme;
+        std::uint64_t batch;
     };
+    const std::vector<MetricsPoint> points{
+        {mem::ConfigKind::kNvdram, placement::PlacementKind::kBaseline, 1},
+        {mem::ConfigKind::kNvdram, placement::PlacementKind::kHelm, 1},
+        {mem::ConfigKind::kDram, placement::PlacementKind::kHelm, 1},
+        {mem::ConfigKind::kMemoryMode, placement::PlacementKind::kHelm, 1},
+        {mem::ConfigKind::kNvdram, placement::PlacementKind::kBaseline, 8},
+        {mem::ConfigKind::kNvdram, placement::PlacementKind::kAllCpu, 44},
+        {mem::ConfigKind::kDram, placement::PlacementKind::kAllCpu, 44},
+    };
+    const auto metrics_points =
+        exec::parallel_map<runtime::InferenceMetrics>(
+            points.size(), 0, [&points](std::size_t i) {
+                auto spec = opt175b_spec(points[i].memory,
+                                         points[i].scheme,
+                                         points[i].batch, true);
+                spec.keep_records = false;
+                return run_or_die(spec).metrics;
+            });
 
     // --- Max batches -------------------------------------------------
     {
@@ -67,18 +88,10 @@ main()
     }
 
     // --- HeLM latency (Fig. 11) ---------------------------------------
-    const auto base_nv = metrics(mem::ConfigKind::kNvdram,
-                                 placement::PlacementKind::kBaseline, 1,
-                                 true);
-    const auto helm_nv = metrics(mem::ConfigKind::kNvdram,
-                                 placement::PlacementKind::kHelm, 1,
-                                 true);
-    const auto helm_dram = metrics(mem::ConfigKind::kDram,
-                                   placement::PlacementKind::kHelm, 1,
-                                   true);
-    const auto helm_mm = metrics(mem::ConfigKind::kMemoryMode,
-                                 placement::PlacementKind::kHelm, 1,
-                                 true);
+    const auto &base_nv = metrics_points[0];
+    const auto &helm_nv = metrics_points[1];
+    const auto &helm_dram = metrics_points[2];
+    const auto &helm_mm = metrics_points[3];
     checks.push_back({"HeLM TBT improvement on NVDRAM (%)", 27.4,
                       100.0 * (1.0 - helm_nv.tbt / base_nv.tbt), 5.0});
     checks.push_back({"HeLM NVDRAM vs DRAM gap (%)", 8.9,
@@ -87,15 +100,9 @@ main()
                       100.0 * (helm_mm.tbt / helm_dram.tbt - 1.0), 3.0});
 
     // --- All-CPU throughput (Fig. 12) -----------------------------------
-    const auto base8 = metrics(mem::ConfigKind::kNvdram,
-                               placement::PlacementKind::kBaseline, 8,
-                               true);
-    const auto cpu44 = metrics(mem::ConfigKind::kNvdram,
-                               placement::PlacementKind::kAllCpu, 44,
-                               true);
-    const auto cpu44_dram = metrics(mem::ConfigKind::kDram,
-                                    placement::PlacementKind::kAllCpu, 44,
-                                    true);
+    const auto &base8 = metrics_points[4];
+    const auto &cpu44 = metrics_points[5];
+    const auto &cpu44_dram = metrics_points[6];
     checks.push_back({"All-CPU throughput gain (x)", 5.0,
                       cpu44.throughput / base8.throughput, 0.75});
     checks.push_back({"All-CPU NVDRAM vs DRAM gap (%)", 6.0,

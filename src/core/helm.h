@@ -39,6 +39,9 @@
 #include "common/units.h"
 #include "core/version.h"
 #include "energy/energy_model.h"
+#include "exec/memo.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "gpu/compute_model.h"
 #include "gpu/gpu.h"
 #include "kvcache/kvcache.h"
@@ -67,6 +70,7 @@
 #include "runtime/planner.h"
 #include "runtime/scheduler.h"
 #include "runtime/serving.h"
+#include "runtime/sim_cache.h"
 #include "runtime/trace.h"
 #include "runtime/tuner.h"
 #include "sim/bandwidth_channel.h"

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Mutex-sharded string-keyed memo table with compute-once semantics.
+ *
+ * get_or_compute(key, fn) runs fn exactly once per distinct key, no
+ * matter how many threads race on it: the first arrival inserts an
+ * in-flight entry and computes outside the shard lock; later arrivals
+ * block on that entry until the value is ready.  This makes the
+ * hit/miss counters deterministic under any schedule — misses ==
+ * distinct keys computed, hits == everything else — which is what lets
+ * a parallel sweep report the same cache statistics as a sequential
+ * one.
+ *
+ * If fn throws, the entry is removed (waiters get the exception
+ * rethrown, the next caller recomputes) so one failure cannot poison
+ * the key forever.
+ */
+#ifndef HELM_EXEC_MEMO_H
+#define HELM_EXEC_MEMO_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace helm::exec {
+
+/** Compute-once memo: string key -> Value.  Value must be copyable. */
+template <typename Value>
+class ShardedMemo
+{
+  public:
+    explicit ShardedMemo(std::size_t shard_count = 16)
+    {
+        if (shard_count == 0)
+            shard_count = 1;
+        shards_.reserve(shard_count);
+        for (std::size_t i = 0; i < shard_count; ++i)
+            shards_.push_back(std::make_unique<Shard>());
+    }
+
+    /**
+     * The cached value for @p key, computing it with @p fn on first
+     * use.  Concurrent callers with the same key block until the one
+     * computation finishes and then share its result.
+     */
+    Value
+    get_or_compute(const std::string &key,
+                   const std::function<Value()> &fn)
+    {
+        Shard &shard = shard_for(key);
+        std::shared_ptr<Entry> entry;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.entries.find(key);
+            if (it == shard.entries.end()) {
+                entry = std::make_shared<Entry>();
+                shard.entries.emplace(key, entry);
+                owner = true;
+            } else {
+                entry = it->second;
+            }
+        }
+        if (owner) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                Value value = fn();
+                std::lock_guard<std::mutex> lock(entry->mutex);
+                entry->value = value;
+                entry->ready = true;
+                entry->done.notify_all();
+                return value;
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+                    shard.entries.erase(key);
+                }
+                std::lock_guard<std::mutex> lock(entry->mutex);
+                entry->error = std::current_exception();
+                entry->ready = true;
+                entry->done.notify_all();
+                throw;
+            }
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        entry->done.wait(lock, [&entry] { return entry->ready; });
+        if (entry->error)
+            std::rethrow_exception(entry->error);
+        return entry->value;
+    }
+
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /** Distinct keys currently cached. */
+    std::size_t
+    size() const
+    {
+        std::size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            total += shard->entries.size();
+        }
+        return total;
+    }
+
+  private:
+    struct Entry
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        bool ready = false;
+        Value value{};
+        std::exception_ptr error;
+    };
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::shared_ptr<Entry>> entries;
+    };
+
+    Shard &
+    shard_for(const std::string &key)
+    {
+        return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace helm::exec
+
+#endif // HELM_EXEC_MEMO_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Memoized simulation points for the evaluation layer.
+ *
+ * The tuner and the sweep runner both enumerate large configuration
+ * grids whose points overlap — repeated QoS filters re-run identical
+ * candidate lists, and different grid axes collapse to the same engine
+ * spec.  SimCache serializes each ServingSpec to a canonical string
+ * key (every field that feeds the simulator, `keep_records` excluded)
+ * and memoizes the metrics-level outcome behind a mutex-sharded
+ * compute-once map, so a spec is simulated exactly once per process no
+ * matter how many searches touch it or how many threads race on it.
+ *
+ * Invalidation: none needed — a ServingSpec fully determines its
+ * simulation result (the engine is deterministic and takes no ambient
+ * state), so entries never go stale within a process.  The cache holds
+ * only metrics-level results; runs that need per-step records bypass
+ * it.
+ */
+#ifndef HELM_RUNTIME_SIM_CACHE_H
+#define HELM_RUNTIME_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "exec/memo.h"
+#include "runtime/engine.h"
+
+namespace helm::runtime {
+
+/** Metrics-level outcome of one simulated spec (records dropped). */
+struct SimPoint
+{
+    Status status;           //!< non-OK when the simulation failed
+    InferenceMetrics metrics;
+    Bytes gpu_used = 0;      //!< GpuBudget::used() at the run batch
+
+    bool is_ok() const { return status.is_ok(); }
+};
+
+/**
+ * Canonical cache key: every ServingSpec field that affects the
+ * simulation, serialized to a stable string (doubles at full
+ * precision, strings length-prefixed).  keep_records is excluded —
+ * the cache stores metrics either way.
+ */
+std::string spec_cache_key(const ServingSpec &spec);
+
+/** Run one spec without records and fold the outcome into a SimPoint
+ *  (errors included — infeasible grid points repeat too). */
+SimPoint simulate_point(const ServingSpec &spec);
+
+/**
+ * The memo: spec digest -> SimPoint.  Thread safe; concurrent
+ * evaluations of the same spec run the simulator once and share the
+ * result, so hit/miss counts are deterministic under any schedule.
+ */
+class SimCache
+{
+  public:
+    SimCache() = default;
+
+    /** The memoized outcome of @p spec (keep_records forced off). */
+    SimPoint evaluate(const ServingSpec &spec);
+
+    std::uint64_t hits() const { return memo_.hits(); }
+    std::uint64_t misses() const { return memo_.misses(); }
+    /** Distinct specs simulated so far. */
+    std::size_t size() const { return memo_.size(); }
+
+  private:
+    exec::ShardedMemo<SimPoint> memo_;
+};
+
+} // namespace helm::runtime
+
+#endif // HELM_RUNTIME_SIM_CACHE_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "exec/parallel.h"
 
 namespace helm::runtime {
 
@@ -56,6 +57,12 @@ better(const TuneCandidate &a, const TuneCandidate &b,
 Result<TuneResult>
 auto_tune(const TuneRequest &request)
 {
+    return auto_tune(request, TuneExecOptions{});
+}
+
+Result<TuneResult>
+auto_tune(const TuneRequest &request, const TuneExecOptions &exec)
+{
     if (request.model.hidden == 0 || request.model.blocks == 0)
         return Status::invalid_argument("model config is incomplete");
     if (request.batch_limit < 1)
@@ -67,7 +74,6 @@ auto_tune(const TuneRequest &request)
                            : model::DataType::kFp16);
 
     TuneResult result;
-    bool have_best = false;
 
     struct SchemePoint
     {
@@ -97,6 +103,12 @@ auto_tune(const TuneRequest &request)
     if (request.explore_kv_offload)
         kv_options.push_back(true);
 
+    // Enumerate the candidate list up front (the feasibility math is
+    // analytic and cheap); the expensive simulations then fan out over
+    // the pool into index-addressed slots, and the reduction below
+    // walks them in enumeration order — preserving the sequential
+    // search's tie-break ordering exactly.
+    std::vector<ServingSpec> candidates;
     for (const auto &scheme : schemes) {
         for (bool kv_offload : kv_options) {
             // Feasibility ceiling assumes weights can spill to the host
@@ -131,28 +143,38 @@ auto_tune(const TuneRequest &request)
                     spec.repeats = 2;
                     spec.gpu = request.gpu;
                     spec.keep_records = false;
-                    auto run = simulate_inference(spec);
-                    if (!run.is_ok()) {
-                        ++result.infeasible;
-                        continue;
-                    }
-                    TuneCandidate candidate;
-                    candidate.spec = spec;
-                    candidate.metrics = run->metrics;
-                    candidate.meets_qos =
-                        !request.tbt_ceiling.has_value() ||
-                        run->metrics.tbt <= *request.tbt_ceiling;
-                    result.explored.push_back(candidate);
-                    if (!candidate.meets_qos)
-                        continue;
-                    if (!have_best ||
-                        better(candidate, result.best,
-                               request.objective)) {
-                        result.best = candidate;
-                        have_best = true;
-                    }
+                    candidates.push_back(std::move(spec));
                 }
             }
+        }
+    }
+
+    SimCache *cache = exec.cache;
+    const std::vector<SimPoint> points = exec::parallel_map<SimPoint>(
+        candidates.size(), exec.jobs, [&](std::size_t i) {
+            return cache ? cache->evaluate(candidates[i])
+                         : simulate_point(candidates[i]);
+        });
+
+    bool have_best = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!points[i].is_ok()) {
+            ++result.infeasible;
+            continue;
+        }
+        TuneCandidate candidate;
+        candidate.spec = candidates[i];
+        candidate.metrics = points[i].metrics;
+        candidate.meets_qos = !request.tbt_ceiling.has_value() ||
+                              points[i].metrics.tbt <=
+                                  *request.tbt_ceiling;
+        result.explored.push_back(candidate);
+        if (!candidate.meets_qos)
+            continue;
+        if (!have_best ||
+            better(candidate, result.best, request.objective)) {
+            result.best = candidate;
+            have_best = true;
         }
     }
 

@@ -13,12 +13,14 @@
 #ifndef HELM_RUNTIME_TUNER_H
 #define HELM_RUNTIME_TUNER_H
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/engine.h"
+#include "runtime/sim_cache.h"
 
 namespace helm::runtime {
 
@@ -66,10 +68,33 @@ struct TuneResult
 };
 
 /**
+ * How the search evaluates its candidate list.  The defaults (one
+ * thread, no memo) reproduce the historic sequential behavior; any
+ * jobs value returns the same TuneResult — candidates are evaluated
+ * into index-addressed slots and reduced in enumeration order, so the
+ * tie-break ordering is unchanged.
+ */
+struct TuneExecOptions
+{
+    /** Candidate-evaluation threads; 0 = all hardware threads. */
+    std::size_t jobs = 1;
+    /**
+     * Optional simulation memo (not owned).  Successive searches with
+     * overlapping candidate lists — e.g. the same grid under different
+     * QoS ceilings — then simulate each distinct spec once.
+     */
+    SimCache *cache = nullptr;
+};
+
+/**
  * Run the search.  Fails with kNotFound if no candidate satisfies the
  * QoS constraint (or nothing fits at all).
  */
 Result<TuneResult> auto_tune(const TuneRequest &request);
+
+/** Run the search with explicit execution options. */
+Result<TuneResult> auto_tune(const TuneRequest &request,
+                             const TuneExecOptions &exec);
 
 } // namespace helm::runtime
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/csv.h"
+#include "exec/parallel.h"
 #include "model/zoo.h"
 
 namespace helm::sweep {
@@ -37,29 +39,20 @@ SweepRunner::point_count() const
     return dimensions_.empty() ? 0 : count;
 }
 
-Dataset
-SweepRunner::run(const PointFn &fn) const
+std::vector<Row>
+SweepRunner::enumerate_points() const
 {
-    HELM_ASSERT(static_cast<bool>(fn), "sweep needs a point function");
-    Dataset dataset;
+    std::vector<Row> points;
     if (dimensions_.empty())
-        return dataset;
+        return points;
+    points.reserve(point_count());
 
     std::vector<std::size_t> index(dimensions_.size(), 0);
     while (true) {
         Row point;
         for (std::size_t d = 0; d < dimensions_.size(); ++d)
             point[dimensions_[d].name] = dimensions_[d].values[index[d]];
-
-        Row row = point;
-        auto outcome = fn(point);
-        if (outcome.is_ok()) {
-            for (auto &[name, value] : *outcome)
-                row[name] = value;
-        } else {
-            row["error"] = outcome.status().to_string();
-        }
-        dataset.add_row(std::move(row));
+        points.push_back(std::move(point));
 
         // Odometer increment, last dimension fastest.
         std::size_t d = dimensions_.size();
@@ -69,9 +62,51 @@ SweepRunner::run(const PointFn &fn) const
                 break;
             index[d] = 0;
             if (d == 0)
-                return dataset;
+                return points;
         }
     }
+}
+
+Dataset
+SweepRunner::run(const PointFn &fn) const
+{
+    return run(fn, SweepOptions{});
+}
+
+Dataset
+SweepRunner::run(const PointFn &fn, const SweepOptions &options) const
+{
+    HELM_ASSERT(static_cast<bool>(fn), "sweep needs a point function");
+    Dataset dataset;
+    const std::vector<Row> points = enumerate_points();
+    if (points.empty())
+        return dataset;
+
+    // Each point writes its own slot; assembling the Dataset in
+    // enumeration order afterwards keeps the output bit-for-bit
+    // identical to the sequential run at any jobs value.
+    std::vector<Row> rows(points.size());
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    exec::parallel_for(
+        points.size(), options.jobs, [&](std::size_t i) {
+            Row row = points[i];
+            auto outcome = fn(points[i]);
+            if (outcome.is_ok()) {
+                for (auto &[name, value] : *outcome)
+                    row[name] = value;
+            } else {
+                row["error"] = outcome.status().to_string();
+            }
+            rows[i] = std::move(row);
+            if (options.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                options.progress(++done, points.size());
+            }
+        });
+    for (Row &row : rows)
+        dataset.add_row(std::move(row));
+    return dataset;
 }
 
 bool
@@ -167,24 +202,33 @@ apply(runtime::ServingSpec &spec, const std::string &name,
 Dataset
 ServingSweep::run() const
 {
-    return runner_.run([this](const Row &point) -> Result<Row> {
-        runtime::ServingSpec spec = base_;
-        spec.keep_records = false;
-        for (const auto &[name, value] : point)
-            HELM_RETURN_IF_ERROR(apply(spec, name, value));
-        auto result = runtime::simulate_inference(spec);
-        if (!result.is_ok())
-            return result.status();
-        Row metrics;
-        metrics["ttft_ms"] =
-            format_fixed(result->metrics.ttft * 1e3, 3);
-        metrics["tbt_ms"] = format_fixed(result->metrics.tbt * 1e3, 3);
-        metrics["tokens_per_s"] =
-            format_fixed(result->metrics.throughput, 4);
-        metrics["gpu_used_bytes"] =
-            std::to_string(result->budget.used());
-        return metrics;
-    });
+    return run(SweepOptions{}, nullptr);
+}
+
+Dataset
+ServingSweep::run(const SweepOptions &options,
+                  runtime::SimCache *cache) const
+{
+    return runner_.run(
+        [this, cache](const Row &point) -> Result<Row> {
+            runtime::ServingSpec spec = base_;
+            spec.keep_records = false;
+            for (const auto &[name, value] : point)
+                HELM_RETURN_IF_ERROR(apply(spec, name, value));
+            const runtime::SimPoint sim =
+                cache ? cache->evaluate(spec)
+                      : runtime::simulate_point(spec);
+            if (!sim.is_ok())
+                return sim.status;
+            Row metrics;
+            metrics["ttft_ms"] = format_fixed(sim.metrics.ttft * 1e3, 3);
+            metrics["tbt_ms"] = format_fixed(sim.metrics.tbt * 1e3, 3);
+            metrics["tokens_per_s"] =
+                format_fixed(sim.metrics.throughput, 4);
+            metrics["gpu_used_bytes"] = std::to_string(sim.gpu_used);
+            return metrics;
+        },
+        options);
 }
 
 } // namespace helm::sweep

@@ -11,12 +11,14 @@
 #ifndef HELM_SWEEP_SWEEP_H
 #define HELM_SWEEP_SWEEP_H
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/engine.h"
+#include "runtime/sim_cache.h"
 #include "sweep/dataset.h"
 
 namespace helm::sweep {
@@ -26,6 +28,25 @@ struct Dimension
 {
     std::string name;
     std::vector<std::string> values;
+};
+
+/**
+ * Execution knobs for a sweep.  The defaults reproduce the historic
+ * sequential behavior exactly; any jobs value produces the same
+ * Dataset bit for bit (results are written into index-addressed slots
+ * and assembled in enumeration order).
+ */
+struct SweepOptions
+{
+    /** Point-evaluation threads; 0 = all hardware threads, 1 = the
+     *  exact legacy sequential path. */
+    std::size_t jobs = 1;
+    /**
+     * Called after each point completes as progress(done, total).
+     * Invocations are serialized by the runner but arrive in
+     * completion order, not enumeration order.
+     */
+    std::function<void(std::size_t, std::size_t)> progress;
 };
 
 /**
@@ -48,8 +69,15 @@ class SweepRunner
     /** Number of points in the product. */
     std::size_t point_count() const;
 
-    /** Run the sweep. */
+    /** Run the sweep sequentially (jobs = 1). */
     Dataset run(const PointFn &fn) const;
+
+    /** Run the sweep with @p options; the Dataset is identical to the
+     *  sequential run at any jobs value. */
+    Dataset run(const PointFn &fn, const SweepOptions &options) const;
+
+    /** Every point of the product, in enumeration order. */
+    std::vector<Row> enumerate_points() const;
 
   private:
     std::vector<Dimension> dimensions_;
@@ -79,6 +107,15 @@ class ServingSweep
 
     /** Run every point (infeasible points get an "error" column). */
     Dataset run() const;
+
+    /**
+     * Run every point with @p options, optionally memoizing through
+     * @p cache (not owned; duplicate specs — and specs a previous
+     * search already simulated — are evaluated once).  The Dataset is
+     * identical to the sequential, uncached run.
+     */
+    Dataset run(const SweepOptions &options,
+                runtime::SimCache *cache = nullptr) const;
 
     /** True when @p name is a recognized dimension. */
     static bool is_recognized(const std::string &name);

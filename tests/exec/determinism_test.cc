@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Determinism contract of the parallel evaluation engine: any jobs
+ * value must produce byte-identical sweep Datasets / CSV, identical
+ * tuner results, and deterministic SimCache statistics.
+ */
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/opt.h"
+#include "runtime/instrument.h"
+#include "runtime/sim_cache.h"
+#include "runtime/tuner.h"
+#include "sweep/sweep.h"
+#include "telemetry/metrics.h"
+
+namespace helm {
+namespace {
+
+std::string
+csv_text(const sweep::Dataset &dataset)
+{
+    std::ostringstream out;
+    dataset.write_csv(out);
+    return out.str();
+}
+
+sweep::ServingSweep
+test_grid()
+{
+    runtime::ServingSpec base;
+    base.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    base.repeats = 1;
+    sweep::ServingSweep grid(base);
+    // "GPT-J" is not in the zoo: those points exercise the error
+    // column, which must merge identically at any jobs value.
+    EXPECT_TRUE(
+        grid.add_dimension("model", {"OPT-1.3B", "GPT-J"}).is_ok());
+    EXPECT_TRUE(grid.add_dimension("memory", {"NVDRAM", "DRAM"}).is_ok());
+    EXPECT_TRUE(
+        grid.add_dimension("placement", {"Baseline", "HeLM", "All-CPU"})
+            .is_ok());
+    EXPECT_TRUE(grid.add_dimension("batch", {"1", "2", "4"}).is_ok());
+    return grid;
+}
+
+TEST(SweepDeterminism, DatasetByteIdenticalAcrossJobs)
+{
+    const sweep::ServingSweep grid = test_grid();
+    sweep::SweepOptions sequential;
+    sequential.jobs = 1;
+    const std::string baseline = csv_text(grid.run(sequential, nullptr));
+    EXPECT_NE(baseline.find("error"), std::string::npos);
+
+    for (const std::size_t jobs : {2u, 8u}) {
+        sweep::SweepOptions options;
+        options.jobs = jobs;
+        EXPECT_EQ(csv_text(grid.run(options, nullptr)), baseline)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepDeterminism, CacheDoesNotChangeTheDataset)
+{
+    const sweep::ServingSweep grid = test_grid();
+    sweep::SweepOptions options;
+    options.jobs = 8;
+    runtime::SimCache cache;
+    const std::string cached = csv_text(grid.run(options, &cache));
+    sweep::SweepOptions sequential;
+    sequential.jobs = 1;
+    EXPECT_EQ(cached, csv_text(grid.run(sequential, nullptr)));
+    // Errors bypass the memo, so misses < points but > 0.
+    EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(SweepDeterminism, ProgressReachesTotalExactlyOnce)
+{
+    const sweep::ServingSweep grid = test_grid();
+    sweep::SweepOptions options;
+    options.jobs = 8;
+    std::vector<std::size_t> done_values;
+    options.progress = [&done_values](std::size_t done,
+                                      std::size_t total) {
+        EXPECT_EQ(total, 36u);
+        done_values.push_back(done);
+    };
+    (void)grid.run(options, nullptr);
+    ASSERT_EQ(done_values.size(), 36u);
+    // Calls are serialized with an incrementing done counter.
+    for (std::size_t i = 0; i < done_values.size(); ++i)
+        EXPECT_EQ(done_values[i], i + 1);
+}
+
+runtime::TuneRequest
+test_request()
+{
+    runtime::TuneRequest request;
+    request.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    request.memory = mem::ConfigKind::kNvdram;
+    request.shape.prompt_tokens = 128;
+    request.shape.output_tokens = 21;
+    request.batch_limit = 8;
+    return request;
+}
+
+/** Full textual image of a TuneResult, ordering included. */
+std::string
+tune_text(const runtime::TuneResult &result)
+{
+    std::ostringstream out;
+    const auto line = [&out](const runtime::TuneCandidate &c) {
+        out << c.describe() << " " << c.metrics.ttft << " "
+            << c.metrics.tbt << " " << c.metrics.throughput << " "
+            << c.meets_qos << "\n";
+    };
+    line(result.best);
+    out << result.infeasible << "\n";
+    for (const auto &candidate : result.explored)
+        line(candidate);
+    return out.str();
+}
+
+TEST(TunerDeterminism, ResultIdenticalAcrossJobs)
+{
+    const runtime::TuneRequest request = test_request();
+    const auto sequential = runtime::auto_tune(request);
+    ASSERT_TRUE(sequential.is_ok());
+    const std::string baseline = tune_text(*sequential);
+
+    for (const std::size_t jobs : {2u, 8u}) {
+        runtime::TuneExecOptions exec;
+        exec.jobs = jobs;
+        const auto parallel = runtime::auto_tune(request, exec);
+        ASSERT_TRUE(parallel.is_ok()) << "jobs=" << jobs;
+        EXPECT_EQ(tune_text(*parallel), baseline) << "jobs=" << jobs;
+    }
+}
+
+TEST(TunerDeterminism, CacheDoesNotChangeTheResult)
+{
+    const runtime::TuneRequest request = test_request();
+    const auto uncached = runtime::auto_tune(request);
+    ASSERT_TRUE(uncached.is_ok());
+
+    runtime::SimCache cache;
+    runtime::TuneExecOptions exec;
+    exec.jobs = 8;
+    exec.cache = &cache;
+    const auto first = runtime::auto_tune(request, exec);
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(tune_text(*first), tune_text(*uncached));
+    const std::uint64_t misses_after_first = cache.misses();
+    EXPECT_GT(misses_after_first, 0u);
+
+    // A repeated search is served entirely from the memo.
+    const auto second = runtime::auto_tune(request, exec);
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(tune_text(*second), tune_text(*uncached));
+    EXPECT_EQ(cache.misses(), misses_after_first);
+    EXPECT_EQ(cache.hits(), misses_after_first);
+}
+
+TEST(SimCacheTest, RepeatedSpecHits)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    runtime::SimCache cache;
+    const runtime::SimPoint first = cache.evaluate(spec);
+    const runtime::SimPoint second = cache.evaluate(spec);
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(first.metrics.tbt, second.metrics.tbt);
+    EXPECT_EQ(first.metrics.throughput, second.metrics.throughput);
+    EXPECT_EQ(first.gpu_used, second.gpu_used);
+}
+
+TEST(SimCacheTest, KeyDistinguishesSpecs)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    const std::string base_key = runtime::spec_cache_key(spec);
+    EXPECT_EQ(runtime::spec_cache_key(spec), base_key);
+
+    runtime::ServingSpec batched = spec;
+    batched.batch = 2;
+    EXPECT_NE(runtime::spec_cache_key(batched), base_key);
+
+    runtime::ServingSpec offloaded = spec;
+    offloaded.offload_kv_cache = true;
+    EXPECT_NE(runtime::spec_cache_key(offloaded), base_key);
+
+    // keep_records is presentation-only: it must not split the key.
+    runtime::ServingSpec recorded = spec;
+    recorded.keep_records = true;
+    EXPECT_EQ(runtime::spec_cache_key(recorded), base_key);
+}
+
+TEST(SimCacheTest, RegistryExport)
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    runtime::SimCache cache;
+    (void)cache.evaluate(spec);
+    (void)cache.evaluate(spec);
+
+    telemetry::MetricsRegistry registry;
+    runtime::record_sim_cache(registry, cache);
+    EXPECT_EQ(registry.counter("helm_simcache_hits", {}, "").value(),
+              1.0);
+    EXPECT_EQ(registry.counter("helm_simcache_misses", {}, "").value(),
+              1.0);
+    EXPECT_EQ(registry.gauge("helm_simcache_entries", {}, "").value(),
+              1.0);
+}
+
+} // namespace
+} // namespace helm

@@ -40,6 +40,26 @@ run_cli(const std::string &args)
     return result;
 }
 
+/** Like run_cli but discards stderr: progress and timing lines carry
+ *  wall-clock values, so byte-identity checks compare stdout only. */
+CliResult
+run_cli_stdout(const std::string &args)
+{
+    CliResult result;
+    const std::string command =
+        std::string(HELMSIM_PATH) + " " + args + " 2>/dev/null";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        result.output += buffer.data();
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exit_code = WEXITSTATUS(status);
+    return result;
+}
+
 /** The serving block common to `serve` and `cluster` output: drop the
  *  cluster-only header and the trailing per-GPU/port tables. */
 std::string
@@ -150,6 +170,47 @@ TEST(Cli, ClusterOneGpuReproducesServeExactly)
     // Identical serving metrics, bit for bit, through the real binary.
     EXPECT_EQ(serving_block(serve.output),
               serving_block(clustered.output));
+}
+
+TEST(Cli, SweepJobsOutputIsByteIdentical)
+{
+    constexpr const char *kGrid =
+        "sweep --dims \"model=OPT-1.3B;memory=NVDRAM,DRAM;"
+        "batch=1,2;placement=Baseline,All-CPU\" "
+        "--pivot memory,batch,tokens_per_s";
+    const CliResult sequential =
+        run_cli_stdout(std::string(kGrid) + " --jobs 1");
+    const CliResult parallel =
+        run_cli_stdout(std::string(kGrid) + " --jobs 4");
+    ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+    ASSERT_EQ(parallel.exit_code, 0) << parallel.output;
+    EXPECT_NE(sequential.output.find("tokens_per_s"), std::string::npos);
+    EXPECT_EQ(parallel.output, sequential.output);
+}
+
+TEST(Cli, SweepReportsTimingSummary)
+{
+    const CliResult result = run_cli(
+        "sweep --dims \"model=OPT-1.3B;batch=1,2\" --jobs 2");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("swept 2 points in"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("points/s"), std::string::npos);
+    EXPECT_NE(result.output.find("jobs=2"), std::string::npos);
+}
+
+TEST(Cli, TuneJobsOutputIsByteIdentical)
+{
+    constexpr const char *kSearch =
+        "tune --model OPT-1.3B --batch-limit 4";
+    const CliResult sequential =
+        run_cli_stdout(std::string(kSearch) + " --jobs 1");
+    const CliResult parallel =
+        run_cli_stdout(std::string(kSearch) + " --jobs 4");
+    ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+    ASSERT_EQ(parallel.exit_code, 0) << parallel.output;
+    EXPECT_NE(sequential.output.find("best:"), std::string::npos);
+    EXPECT_EQ(parallel.output, sequential.output);
 }
 
 TEST(Cli, ClusterSaturateReportsPortUtilization)

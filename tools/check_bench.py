@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a helm-bench-parallel-v1 JSON document (bench_wall).
+
+Standard library only — this is the CI gate for the parallel-engine
+bench artifact, so it must run anywhere python3 does.
+
+Gating checks:
+  * the document parses and carries ``"schema": "helm-bench-parallel-v1"``;
+  * ``jobs`` and the sweep/tune/simcache sections are present with
+    every required field a finite number of the right sign;
+  * ``sweep.identical`` and ``tune.identical`` are ``true`` — the
+    parallel run must be byte-identical to the sequential run.
+
+The measured speedups are recorded, NOT gated: they depend on the
+runner's core count (a 1-core machine legitimately reports ~1.0).
+``--min-speedup X`` turns the sweep speedup into a gate for runners
+with known parallelism.
+
+Exit status 0 when the document passes, 1 otherwise (one message per
+problem on stderr).
+
+Usage:
+  python3 tools/check_bench.py BENCH_parallel.json
+  python3 tools/check_bench.py BENCH_parallel.json --min-speedup 3.0
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_NUMBERS = {
+    "sweep": ("points", "seq_seconds", "par_seconds", "points_per_s_seq",
+              "points_per_s_par", "speedup"),
+    "tune": ("candidates", "seq_seconds", "par_seconds", "speedup"),
+    "simcache": ("hits", "misses", "hit_rate"),
+}
+
+
+def is_finite_number(value):
+    return (isinstance(value, (int, float)) and
+            not isinstance(value, bool) and math.isfinite(value))
+
+
+def check_section(doc, section, errors):
+    body = doc.get(section)
+    if not isinstance(body, dict):
+        errors.append("missing section %r" % section)
+        return
+    for key in REQUIRED_NUMBERS[section]:
+        value = body.get(key)
+        if not is_finite_number(value):
+            errors.append("%s.%s: expected a finite number, got %r" %
+                          (section, key, value))
+        elif value < 0:
+            errors.append("%s.%s: negative value %r" %
+                          (section, key, value))
+    if section in ("sweep", "tune") and body.get("identical") is not True:
+        errors.append(
+            "%s.identical is %r: parallel output must be byte-identical "
+            "to the sequential run" % (section, body.get("identical")))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="BENCH_parallel.json to validate")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="also gate sweep.speedup >= this value "
+                             "(default: record only)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("%s: %s" % (args.path, error), file=sys.stderr)
+        return 1
+
+    errors = []
+    if doc.get("schema") != "helm-bench-parallel-v1":
+        errors.append("schema is %r, expected 'helm-bench-parallel-v1'" %
+                      doc.get("schema"))
+    if not is_finite_number(doc.get("jobs")) or doc.get("jobs", 0) < 1:
+        errors.append("jobs: expected a number >= 1, got %r" %
+                      doc.get("jobs"))
+    for section in REQUIRED_NUMBERS:
+        check_section(doc, section, errors)
+
+    if not errors and args.min_speedup > 0.0:
+        speedup = doc["sweep"]["speedup"]
+        if speedup < args.min_speedup:
+            errors.append("sweep.speedup %.3f < required %.3f" %
+                          (speedup, args.min_speedup))
+
+    for message in errors:
+        print("%s: %s" % (args.path, message), file=sys.stderr)
+    if not errors:
+        sweep = doc["sweep"]
+        print("ok: %d points, sweep x%.2f, tune x%.2f, hit rate %.2f "
+              "(jobs=%d)" % (sweep["points"], sweep["speedup"],
+                             doc["tune"]["speedup"],
+                             doc["simcache"]["hit_rate"], doc["jobs"]))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,11 @@
  */
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+
+#include <unistd.h>
 
 #include "common/args.h"
 #include "cluster/instrument.h"
@@ -863,6 +867,10 @@ cmd_tune(const std::vector<std::string> &args)
     parser.add_option("batch-limit", "search ceiling", "256");
     parser.add_switch("no-kv-offload",
                       "exclude cache-offload candidates");
+    parser.add_option("jobs",
+                      "worker threads for candidate evaluation (0 = all "
+                      "hardware threads, 1 = sequential)",
+                      "0");
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -891,7 +899,11 @@ cmd_tune(const std::vector<std::string> &args)
     request.batch_limit = parser.get_u64("batch-limit");
     request.explore_kv_offload = !parser.is_set("no-kv-offload");
 
-    const auto tuned = runtime::auto_tune(request);
+    runtime::TuneExecOptions exec_options;
+    exec_options.jobs = exec::resolve_jobs(parser.get_u64("jobs"));
+    runtime::SimCache cache;
+    exec_options.cache = &cache;
+    const auto tuned = runtime::auto_tune(request, exec_options);
     if (!tuned.is_ok()) {
         std::cerr << tuned.status().to_string() << "\n";
         return 1;
@@ -943,6 +955,14 @@ cmd_sweep(const std::vector<std::string> &args)
                       "\"memory,batch,tokens_per_s\")",
                       "");
     parser.add_switch("int4", "compress weights at every point");
+    parser.add_option("jobs",
+                      "worker threads for point evaluation (0 = all "
+                      "hardware threads, 1 = sequential)",
+                      "0");
+    parser.add_switch("progress",
+                      "live done/total counter on stderr (only when "
+                      "stderr is a TTY)");
+    add_telemetry_options(parser);
     parser.add_switch("help", "show this help");
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -990,9 +1010,35 @@ cmd_sweep(const std::vector<std::string> &args)
         }
     }
 
-    std::cerr << "sweeping " << serving_sweep.point_count()
-              << " points...\n";
-    const sweep::Dataset dataset = serving_sweep.run();
+    const std::size_t total = serving_sweep.point_count();
+    const std::size_t jobs = exec::resolve_jobs(parser.get_u64("jobs"));
+    sweep::SweepOptions options;
+    options.jobs = jobs;
+    const bool show_progress =
+        parser.is_set("progress") && isatty(fileno(stderr)) != 0;
+    if (show_progress) {
+        options.progress = [](std::size_t done, std::size_t count) {
+            std::cerr << "\r" << done << "/" << count << std::flush;
+        };
+    }
+
+    std::cerr << "sweeping " << total << " points...\n";
+    runtime::SimCache cache;
+    const auto start = std::chrono::steady_clock::now();
+    const sweep::Dataset dataset = serving_sweep.run(options, &cache);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (show_progress)
+        std::cerr << "\r";
+    const double rate =
+        static_cast<double>(total) / std::max(elapsed, 1e-9);
+    std::cerr << "swept " << total << " points in "
+              << format_fixed(elapsed, 3) << " s ("
+              << format_fixed(rate, 1) << " points/s, jobs=" << jobs
+              << ", cache " << cache.hits() << " hits / "
+              << cache.misses() << " misses)\n";
     dataset.write_csv(std::cout);
 
     if (!parser.get("pivot").empty()) {
@@ -1004,7 +1050,17 @@ cmd_sweep(const std::vector<std::string> &args)
             std::cerr << "pivot needs row,col,value\n";
         }
     }
-    return 0;
+
+    telemetry::MetricsRegistry registry;
+    runtime::record_sim_cache(registry, cache);
+    registry
+        .gauge("helm_sweep_wall_seconds", {},
+               "Wall-clock time of the last sweep")
+        .set(elapsed);
+    registry
+        .gauge("helm_sweep_jobs", {}, "Worker threads used by the sweep")
+        .set(static_cast<double>(jobs));
+    return emit_artifacts(parser, registry);
 }
 
 int
