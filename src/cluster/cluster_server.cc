@@ -42,10 +42,11 @@ struct AdmissionGeometry
 Result<AdmissionGeometry>
 admission_geometry(const ServingSpec &base,
                    const runtime::ShardGeometry &geo,
-                   const runtime::SchedulerPolicy &policy)
+                   const runtime::ServingConfig &config)
 {
     AdmissionGeometry out;
-    std::uint64_t ceiling = policy.max_batch;
+    std::uint64_t ceiling =
+        config.auto_max_batch ? 0 : config.max_batch;
     if (ceiling == 0) {
         const std::uint64_t slots = runtime::max_batch(
             base.gpu, geo.kv_model, geo.layers, /*gpu_weight_bytes=*/0,
@@ -215,11 +216,14 @@ ClusterServer::create(ClusterSpec spec)
 
     ClusterServer server(std::move(spec));
     ClusterSpec &cs = server.spec_;
+    server.config_ = cs.effective_config();
 
     if (cs.parallelism == Parallelism::kReplica && cs.gpus == 1) {
-        // Bit-for-bit single-GPU serving: delegate wholesale.
+        // Bit-for-bit single-GPU serving: delegate wholesale.  This is
+        // the only cluster shape that carries continuous/edf (validate
+        // rejected them elsewhere).
         auto single_or =
-            runtime::Server::create(cs.serving, cs.policy, cs.slo);
+            runtime::Server::create(cs.serving, server.config_);
         if (!single_or.is_ok())
             return single_or.status();
         server.max_batch_ = single_or->effective_max_batch();
@@ -242,7 +246,8 @@ ClusterServer::create(ClusterSpec spec)
         auto geo_or = runtime::shard_geometry(cs.serving, shard);
         if (!geo_or.is_ok())
             return geo_or.status();
-        auto adm_or = admission_geometry(cs.serving, *geo_or, cs.policy);
+        auto adm_or =
+            admission_geometry(cs.serving, *geo_or, server.config_);
         if (!adm_or.is_ok())
             return adm_or.status();
         ceiling = std::min(ceiling, adm_or->ceiling);
@@ -260,24 +265,33 @@ ClusterServer::create(ClusterSpec spec)
 }
 
 Status
-ClusterServer::submit(const workload::Request &request, Seconds arrival)
+ClusterServer::submit(const workload::TimedRequest &timed)
 {
-    if (arrival < 0.0)
+    if (timed.arrival < 0.0)
         return Status::invalid_argument("arrival time must be >= 0");
-    if (request.prompt_tokens < 1 || request.output_tokens < 1) {
+    if (timed.request.prompt_tokens < 1 ||
+        timed.request.output_tokens < 1) {
         return Status::invalid_argument(
             "prompt and output token counts must be >= 1");
     }
-    pending_.push_back(workload::TimedRequest{request, arrival});
+    if (timed.deadline != 0.0 && timed.deadline < timed.arrival) {
+        return Status::invalid_argument(
+            "a request deadline must not precede its arrival");
+    }
+    pending_.push_back(timed);
     return Status::ok();
 }
 
-Status
-ClusterServer::submit(const std::vector<workload::TimedRequest> &stream)
+Result<runtime::ServingReport>
+ClusterServer::serve()
 {
-    for (const auto &timed : stream)
-        HELM_RETURN_IF_ERROR(submit(timed.request, timed.arrival));
-    return Status::ok();
+    auto out = run();
+    if (!out.is_ok())
+        return out.status();
+    last_records_ = std::move(out->records);
+    last_gpus_ = std::move(out->gpus);
+    last_ports_ = std::move(out->ports);
+    return std::move(out->serving);
 }
 
 void
@@ -296,7 +310,7 @@ ClusterServer::run()
     if (single_.has_value()) {
         HELM_RETURN_IF_ERROR(single_->submit(pending_));
         pending_.clear();
-        auto report_or = single_->run();
+        auto report_or = single_->serve();
         if (!report_or.is_ok())
             return report_or.status();
         ClusterReport out;
@@ -308,6 +322,7 @@ ClusterServer::run()
         // The single-GPU Server does not track stream occupancy;
         // utilization stays 0 in the delegation path.
         out.gpus.push_back(u);
+        trace_port_rate_ = single_->trace_port_rate();
         if (telemetry_) {
             attribution_ = single_->attribution();
             if (collect_records_)
@@ -318,6 +333,8 @@ ClusterServer::run()
     auto out = spec_.parallelism == Parallelism::kReplica
                    ? run_replica_cluster(keep_records)
                    : run_sharded(keep_records);
+    if (out.is_ok() && !out->ports.empty())
+        trace_port_rate_ = out->ports.front().rate.raw();
     if (out.is_ok() && telemetry_) {
         // Close the cluster timeline: every GPU is accountable for the
         // whole makespan, so idle absorbs whatever the per-batch
@@ -369,7 +386,7 @@ ClusterServer::run_replica_cluster(bool keep_records)
         compute_port_rates(tmpl, spec_.sockets, resident);
     ClusterEngine engine(N, spec_.serving.gpu, rates);
 
-    const std::uint64_t cap = spec_.policy.max_queue_length;
+    const std::uint64_t cap = config_.max_queue_length;
     const std::uint64_t slots = std::min(max_batch_, cap);
 
     struct GpuState
@@ -481,10 +498,10 @@ ClusterServer::run_replica_cluster(bool keep_records)
                     r.ttft = r.queueing_delay + ttft;
                     r.tbt = tbt;
                     r.e2e_latency = tl.end - timed.arrival;
-                    r.slo_met = (spec_.slo.ttft_target <= 0.0 ||
-                                 r.ttft <= spec_.slo.ttft_target) &&
-                                (spec_.slo.e2e_target <= 0.0 ||
-                                 r.e2e_latency <= spec_.slo.e2e_target);
+                    r.slo_met = (!config_.enforce_ttft ||
+                                 r.ttft <= config_.ttft_target) &&
+                                (!config_.enforce_e2e ||
+                                 r.e2e_latency <= config_.e2e_target);
                     report.requests.push_back(r);
                 }
                 last_completion = std::max(last_completion, tl.end);
@@ -510,7 +527,7 @@ ClusterServer::run_replica_cluster(bool keep_records)
         // moment the GPU could start it (Server's launch rule, without
         // the global full_at lookahead — future routing is unknown).
         const Seconds deadline = pending_[st.queue.front()].arrival +
-                                 spec_.policy.max_queue_delay;
+                                 config_.max_queue_delay;
         if (deadline <= now) {
             launch(g);
             return;
@@ -660,7 +677,7 @@ ClusterServer::run_sharded(bool keep_records)
 
     // ---- Single-queue FCFS loop (runtime::Server::run, with the
     // engine call swapped for the sharded cluster run) -----------------
-    const std::uint64_t cap = spec_.policy.max_queue_length;
+    const std::uint64_t cap = config_.max_queue_length;
     const std::uint64_t slots = std::min(max_batch_, cap);
     constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
 
@@ -714,7 +731,7 @@ ClusterServer::run_sharded(bool keep_records)
         Seconds launch = ready;
         if (queue.size() < slots) {
             const Seconds deadline = std::max(
-                ready, head.arrival + spec_.policy.max_queue_delay);
+                ready, head.arrival + config_.max_queue_delay);
             const std::size_t needed = slots - queue.size();
             const std::size_t filler = next_arrival + needed - 1;
             const Seconds full_at = filler < pending_.size()
@@ -771,10 +788,10 @@ ClusterServer::run_sharded(bool keep_records)
             r.ttft = r.queueing_delay + run.ttft;
             r.tbt = run.tbt;
             r.e2e_latency = done - timed.arrival;
-            r.slo_met = (spec_.slo.ttft_target <= 0.0 ||
-                         r.ttft <= spec_.slo.ttft_target) &&
-                        (spec_.slo.e2e_target <= 0.0 ||
-                         r.e2e_latency <= spec_.slo.e2e_target);
+            r.slo_met = (!config_.enforce_ttft ||
+                         r.ttft <= config_.ttft_target) &&
+                        (!config_.enforce_e2e ||
+                         r.e2e_latency <= config_.e2e_target);
             report.requests.push_back(r);
         }
         if (telemetry_)

@@ -2,16 +2,19 @@
  * @file
  * Request-level serving over the cluster.
  *
- * ClusterServer is the multi-GPU analogue of runtime::Server:
- * submit() requests with arrival times, run() once, read a report.
- * Mode determines the dispatch structure:
+ * ClusterServer is the multi-GPU analogue of runtime::Server and the
+ * second implementation of `runtime::ServingBackend`: submit()
+ * requests with arrival times, serve() once, read a report.  Mode
+ * determines the dispatch structure:
  *
  *  - replica, 1 GPU:  delegates wholesale to runtime::Server — metrics
- *                     are bit-for-bit the single-GPU serve path.
+ *                     are bit-for-bit the single-GPU serve path, and
+ *                     this is the only cluster shape that carries the
+ *                     continuous/edf schedulers.
  *  - replica, N GPUs: a Router assigns each arrival to a per-GPU FCFS
  *                     queue; each GPU forms batches under the shared
- *                     SchedulerPolicy and executes them on the
- *                     contended fabric (one DES timeline for all GPUs).
+ *                     ServingConfig and executes them on the contended
+ *                     fabric (one DES timeline for all GPUs).
  *  - tensor/pipeline: one global FCFS queue; every formed batch runs
  *                     sharded across all GPUs.
  */
@@ -28,52 +31,95 @@
 
 #include "cluster/cluster.h"
 #include "common/status.h"
+#include "runtime/backend.h"
 #include "runtime/scheduler.h"
 #include "telemetry/attribution.h"
 #include "workload/workload.h"
 
 namespace helm::cluster {
 
-class ClusterServer
+class ClusterServer : public runtime::ServingBackend
 {
   public:
     /**
-     * Validate the spec, size the batch ceiling (policy.max_batch = 0
-     * auto-sizes against the *shard* geometry — tensor shards hold
-     * 1/N of the KV heads, pipeline stages the weakest stage), and
-     * derive the managed-KV admission bound.
+     * Validate the spec, size the batch ceiling (an auto ceiling sizes
+     * against the *shard* geometry — tensor shards hold 1/N of the KV
+     * heads, pipeline stages the weakest stage), and derive the
+     * managed-KV admission bound.
      */
     static Result<ClusterServer> create(ClusterSpec spec);
 
-    /** Queue one request. */
-    Status submit(const workload::Request &request, Seconds arrival);
-    /** Queue a whole arrival stream. */
-    Status submit(const std::vector<workload::TimedRequest> &stream);
+    using runtime::ServingBackend::submit;
 
-    /** Serve every submitted request to completion. */
+    /** Queue one request (deadline rides along to the delegated
+     *  single-GPU EDF scheduler). */
+    Status submit(const workload::TimedRequest &timed) override;
+
+    /** Serve every submitted request to completion; the cluster-only
+     *  extras (per-GPU utilization, port stats) of the underlying run
+     *  are retained for serving_records()/trace_port_rate(). */
+    Result<runtime::ServingReport> serve() override;
+
+    /** Serve and keep the full cluster report (ports, per-GPU stats,
+     *  records).  serve() is this with the extras dropped. */
     Result<ClusterReport> run();
 
     /**
-     * Collect telemetry during run(): accumulate per-batch time
+     * Collect telemetry during serve(): accumulate per-batch time
      * attribution (closed to GPUs x makespan with idle) and, when
      * @p collect_records, keep per-step records in the report for trace
      * export.  Scheduling decisions are unaffected.
      */
-    void enable_telemetry(bool collect_records);
+    void enable_telemetry(bool collect_records) override;
 
-    /** Time attribution accumulated by run(); wall() is the makespan
+    /** Time attribution accumulated by serve(); wall() is the makespan
      *  summed over GPUs. */
-    const telemetry::TimeAttribution &attribution() const
+    const telemetry::TimeAttribution &attribution() const override
     {
         return attribution_;
     }
 
+    /** Per-step records of the last serve() (telemetry with records
+     *  only; run() callers read ClusterReport::records instead). */
+    const std::vector<runtime::LayerStepRecord> &
+    serving_records() const override
+    {
+        return last_records_;
+    }
+
     /** The per-batch ceiling in force. */
-    std::uint64_t effective_max_batch() const { return max_batch_; }
+    std::uint64_t effective_max_batch() const override
+    {
+        return max_batch_;
+    }
     /** Managed-KV admission slots (0 = unmanaged/unbounded). */
-    std::uint64_t kv_request_slots() const { return kv_request_slots_; }
+    std::uint64_t kv_request_slots() const override
+    {
+        return kv_request_slots_;
+    }
+
+    /** Shared host read-port rate of the last run (delegation: the
+     *  single GPU's h2d fabric rate); 0 until a run completed. */
+    double trace_port_rate() const override { return trace_port_rate_; }
+
+    /** Cluster extras of the last serve() — what ClusterReport would
+     *  have carried; feed them to cluster::record_cluster. */
+    const std::vector<GpuUtilization> &last_gpus() const
+    {
+        return last_gpus_;
+    }
+    const std::vector<PortStats> &last_ports() const
+    {
+        return last_ports_;
+    }
 
     const ClusterSpec &spec() const { return spec_; }
+    const runtime::ServingSpec &serving_spec() const override
+    {
+        return spec_.serving;
+    }
+    /** The scheduler configuration in force. */
+    const runtime::ServingConfig &config() const { return config_; }
 
   private:
     explicit ClusterServer(ClusterSpec spec) : spec_(std::move(spec)) {}
@@ -82,6 +128,7 @@ class ClusterServer
     Result<ClusterReport> run_sharded(bool keep_records);
 
     ClusterSpec spec_;
+    runtime::ServingConfig config_;
     std::uint64_t max_batch_ = 1;
     std::uint64_t kv_block_tokens_ = 0;
     std::uint64_t kv_capacity_blocks_ =
@@ -93,6 +140,10 @@ class ClusterServer
     bool telemetry_ = false;
     bool collect_records_ = false;
     telemetry::TimeAttribution attribution_;
+    std::vector<runtime::LayerStepRecord> last_records_;
+    std::vector<GpuUtilization> last_gpus_;
+    std::vector<PortStats> last_ports_;
+    double trace_port_rate_ = 0.0;
 };
 
 } // namespace helm::cluster

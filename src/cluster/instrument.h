@@ -18,6 +18,12 @@ namespace helm::cluster {
 void record_cluster(telemetry::MetricsRegistry &registry,
                     const ClusterReport &report);
 
+/** Same families from the raw stats — for ServingBackend callers that
+ *  read ClusterServer::last_gpus()/last_ports() after serve(). */
+void record_cluster(telemetry::MetricsRegistry &registry,
+                    const std::vector<GpuUtilization> &gpus,
+                    const std::vector<PortStats> &ports);
+
 /** `helm_saturation_*` metrics plus the per-GPU/port metrics of the
  *  saturated batch execution. */
 void record_saturation(telemetry::MetricsRegistry &registry,

@@ -333,6 +333,95 @@ record_serving(telemetry::MetricsRegistry &registry,
         .gauge("helm_serving_makespan_seconds", {},
                "First arrival -> last completion")
         .set(report.makespan);
+
+    // Continuous/EDF families only exist when that scheduler ran, so a
+    // fcfs run's registry (and its JSON/Prometheus dumps) stays
+    // bit-identical to the pre-continuous serving path.
+    if (report.scheduler == SchedulerKind::kFcfs)
+        return;
+    registry
+        .gauge("helm_serving_scheduler_info",
+               {{"scheduler", scheduler_kind_name(report.scheduler)}},
+               "Scheduler that produced this run (value is always 1)")
+        .set(1.0);
+    registry
+        .counter("helm_serving_iterations_total", {},
+                 "Iteration boundaries the continuous scheduler ran")
+        .add(static_cast<double>(report.iterations));
+    registry
+        .counter("helm_serving_preemptions_total", {},
+                 "Running requests preempted (KV swapped out)")
+        .add(static_cast<double>(report.preemptions));
+    registry
+        .counter("helm_serving_resumes_total", {},
+                 "Preempted requests resumed (KV swapped back)")
+        .add(static_cast<double>(report.resumes));
+    registry
+        .counter("helm_serving_kv_swap_bytes_total",
+                 {{"direction", "demote"}},
+                 "Preempted-KV bytes moved GPU <-> host by direction")
+        .add(static_cast<double>(report.kv_demoted_bytes));
+    registry
+        .counter("helm_serving_kv_swap_bytes_total",
+                 {{"direction", "promote"}},
+                 "Preempted-KV bytes moved GPU <-> host by direction")
+        .add(static_cast<double>(report.kv_promoted_bytes));
+    registry
+        .gauge("helm_serving_kv_swap_exposed_seconds", {},
+               "Swap time the iteration clock could not hide")
+        .set(report.kv_swap_exposed_seconds);
+    registry
+        .counter("helm_serving_deadline_misses_total", {},
+                 "Completed requests that missed their deadline")
+        .add(static_cast<double>(report.deadline_misses));
+    registry
+        .counter("helm_serving_starvation_events_total", {},
+                 "Rounds that admitted a later arrival over a waiting "
+                 "head-of-queue request")
+        .add(static_cast<double>(report.starvation_events));
+    registry
+        .gauge("helm_serving_jain_fairness", {},
+               "Jain index over per-tenant generated tokens")
+        .set(report.jain_fairness);
+    for (const TenantStats &t : report.tenants) {
+        const Labels tenant = {{"tenant", std::to_string(t.tenant)}};
+        auto tenant_outcome = [&](const char *name,
+                                  std::uint64_t value) {
+            Labels labels = tenant;
+            labels.emplace("outcome", name);
+            registry
+                .counter("helm_serving_tenant_requests_total", labels,
+                         "Per-tenant requests by outcome")
+                .add(static_cast<double>(value));
+        };
+        tenant_outcome("submitted", t.submitted);
+        tenant_outcome("completed", t.completed);
+        tenant_outcome("rejected", t.rejected);
+        registry
+            .counter("helm_serving_tenant_tokens_total", tenant,
+                     "Per-tenant generated tokens")
+            .add(static_cast<double>(t.tokens));
+        registry
+            .counter("helm_serving_tenant_preemptions_total", tenant,
+                     "Per-tenant preemptions")
+            .add(static_cast<double>(t.preemptions));
+        registry
+            .counter("helm_serving_tenant_starvation_total", tenant,
+                     "Per-tenant starvation events")
+            .add(static_cast<double>(t.starvation_events));
+        registry
+            .counter("helm_serving_tenant_deadline_misses_total",
+                     tenant, "Per-tenant deadline misses")
+            .add(static_cast<double>(t.deadline_misses));
+        registry
+            .gauge("helm_serving_tenant_mean_ttft_seconds", tenant,
+                   "Per-tenant mean time to first token")
+            .set(t.mean_ttft);
+        registry
+            .gauge("helm_serving_tenant_max_queue_wait_seconds", tenant,
+                   "Per-tenant worst arrival -> first-schedule wait")
+            .set(t.max_queue_wait);
+    }
 }
 
 void

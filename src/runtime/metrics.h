@@ -32,6 +32,21 @@ struct KvTierOccupancy
     Bytes bytes = 0;  //!< occupancy at sample time
 };
 
+/** One preemption swap interval on the d2h (demote) or h2d (promote)
+ *  channel: the KV pages of one preempted request draining to a host
+ *  tier or streaming back.  Feeds the "KV swap (preemption)" trace
+ *  track; empty under fcfs. */
+struct KvSwapEvent
+{
+    std::uint64_t request_id = 0;
+    std::uint64_t tenant = 0;
+    bool demote = false;  //!< true = GPU -> host, false = host -> GPU
+    Bytes bytes = 0;
+    Seconds start = 0.0;  //!< channel grant (after queueing behind
+                          //!< earlier swaps)
+    Seconds end = 0.0;    //!< drain complete
+};
+
 /** Timing of one (token, layer) step of the zig-zag schedule. */
 struct LayerStepRecord
 {

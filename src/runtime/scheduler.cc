@@ -64,7 +64,7 @@ ServingReport::e2e_percentile(double p) const
 }
 
 Result<Server>
-Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
+Server::create(ServingSpec base, ServingConfig config)
 {
     // The template's batch/shape/repeats are overridden per formed
     // batch; pin them to the canonical single-batch form so validation
@@ -73,12 +73,12 @@ Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
     base.repeats = 1;
     base.keep_records = false;
     HELM_RETURN_IF_ERROR(base.validate());
-    HELM_RETURN_IF_ERROR(policy.validate());
+    HELM_RETURN_IF_ERROR(config.validate());
 
     const auto layers = model::build_layers(
         base.model, base.compress_weights ? model::DataType::kInt4Grouped
                                           : model::DataType::kFp16);
-    std::uint64_t ceiling = policy.max_batch;
+    std::uint64_t ceiling = config.auto_max_batch ? 0 : config.max_batch;
     if (ceiling == 0) {
         // Auto-size against the planner's KV-capacity math: the largest
         // effective batch that fits HBM with every weight spilled off.
@@ -147,31 +147,37 @@ Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
         }
     }
 
-    Server server(std::move(base), policy, slo, ceiling);
+    Server server(std::move(base), config, ceiling);
     server.kv_block_tokens_ = kv_block_tokens;
     server.kv_capacity_blocks_ = kv_capacity_blocks;
     server.kv_request_slots_ = kv_request_slots;
     return server;
 }
 
-Status
-Server::submit(const workload::Request &request, Seconds arrival)
+Result<Server>
+Server::create(ServingSpec base, SchedulerPolicy policy, SloSpec slo)
 {
-    if (arrival < 0.0)
-        return Status::invalid_argument("arrival time must be >= 0");
-    if (request.prompt_tokens < 1 || request.output_tokens < 1) {
-        return Status::invalid_argument(
-            "prompt and output token counts must be >= 1");
-    }
-    pending_.push_back(workload::TimedRequest{request, arrival});
-    return Status::ok();
+    // Legacy knobs validate under their historical messages before the
+    // conversion so pre-PR-6 callers see unchanged errors.
+    HELM_RETURN_IF_ERROR(policy.validate());
+    return create(std::move(base), ServingConfig::from_legacy(policy, slo));
 }
 
 Status
-Server::submit(const std::vector<workload::TimedRequest> &stream)
+Server::submit(const workload::TimedRequest &timed)
 {
-    for (const auto &timed : stream)
-        HELM_RETURN_IF_ERROR(submit(timed.request, timed.arrival));
+    if (timed.arrival < 0.0)
+        return Status::invalid_argument("arrival time must be >= 0");
+    if (timed.request.prompt_tokens < 1 ||
+        timed.request.output_tokens < 1) {
+        return Status::invalid_argument(
+            "prompt and output token counts must be >= 1");
+    }
+    if (timed.deadline != 0.0 && timed.deadline < timed.arrival) {
+        return Status::invalid_argument(
+            "a request deadline must not precede its arrival");
+    }
+    pending_.push_back(timed);
     return Status::ok();
 }
 
@@ -212,7 +218,15 @@ Server::run_batch(const workload::Batch &batch)
 }
 
 Result<ServingReport>
-Server::run()
+Server::serve()
+{
+    if (config_.scheduler == SchedulerKind::kFcfs)
+        return run_fcfs();
+    return run_continuous();
+}
+
+Result<ServingReport>
+Server::run_fcfs()
 {
     std::stable_sort(pending_.begin(), pending_.end(),
                      [](const workload::TimedRequest &a,
@@ -225,7 +239,7 @@ Server::run()
     if (pending_.empty())
         return report;
 
-    const std::uint64_t cap = policy_.max_queue_length;
+    const std::uint64_t cap = config_.max_queue_length;
     // The batch can never outgrow the queue that feeds it.
     const std::uint64_t slots = std::min(max_batch_, cap);
     constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
@@ -267,7 +281,7 @@ Server::run()
         Seconds launch = ready;
         if (queue.size() < slots) {
             const Seconds deadline =
-                std::max(ready, head.arrival + policy_.max_queue_delay);
+                std::max(ready, head.arrival + config_.max_queue_delay);
             const std::size_t needed = slots - queue.size();
             const std::size_t filler = next_arrival + needed - 1;
             const Seconds full_at = filler < pending_.size()
@@ -330,6 +344,7 @@ Server::run()
             const workload::TimedRequest &timed = pending_[member];
             RequestMetrics r;
             r.id = timed.request.id;
+            r.tenant = timed.request.tenant;
             r.prompt_tokens = timed.request.prompt_tokens;
             r.output_tokens = timed.request.output_tokens;
             r.batch_index = report.batches_formed;
@@ -338,10 +353,12 @@ Server::run()
             r.ttft = r.queueing_delay + metrics->ttft;
             r.tbt = metrics->tbt;
             r.e2e_latency = done - timed.arrival;
-            r.slo_met = (slo_.ttft_target <= 0.0 ||
-                         r.ttft <= slo_.ttft_target) &&
-                        (slo_.e2e_target <= 0.0 ||
-                         r.e2e_latency <= slo_.e2e_target);
+            r.slo_met = (!config_.enforce_ttft ||
+                         r.ttft <= config_.ttft_target) &&
+                        (!config_.enforce_e2e ||
+                         r.e2e_latency <= config_.e2e_target);
+            r.deadline = timed.deadline;
+            r.deadline_met = timed.deadline == 0.0 || done <= timed.deadline;
             report.requests.push_back(r);
         }
         if (telemetry_) {

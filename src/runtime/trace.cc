@@ -112,6 +112,20 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
         }
     }
 
+    // Preemption swap track: only iteration schedulers populate
+    // kv_swaps (single-GPU runs, pid 0), and an empty vector emits
+    // nothing, so fcfs traces are unchanged byte for byte.
+    const int swap_tid = kKvTrackBase + static_cast<int>(kv_tids.size());
+    const bool has_swaps = counters != nullptr && !counters->kv_swaps.empty();
+    if (has_swaps) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0"
+            << ",\"tid\":" << swap_tid
+            << ",\"args\":{\"name\":\"KV swap (preemption)\"}}";
+    }
+
     for (const auto &rec : records) {
         const int pid = static_cast<int>(rec.gpu_index);
         const std::string type_name = model::layer_type_name(rec.type);
@@ -158,6 +172,20 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
                            "{\"bytes\":" +
                                std::to_string(tier.write_bytes) + "}");
             }
+        }
+    }
+
+    if (has_swaps) {
+        for (const auto &swap : counters->kv_swaps) {
+            const char *direction = swap.demote ? "demote" : "promote";
+            emit_event(out, first,
+                       std::string("KV ") + direction + " r" +
+                           std::to_string(swap.request_id),
+                       "kv-swap", 0, swap_tid, swap.start,
+                       swap.end - swap.start,
+                       "{\"bytes\":" + std::to_string(swap.bytes) +
+                           ",\"tenant\":" + std::to_string(swap.tenant) +
+                           ",\"direction\":\"" + direction + "\"}");
         }
     }
 

@@ -31,6 +31,14 @@ struct TraceCounterOptions
      * (weight + KV bytes) / (window x rate).  0 disables the counter.
      */
     double host_port_rate_bytes_per_s = 0.0;
+
+    /**
+     * Preemption swap intervals (ServingReport::kv_swap_events): each
+     * becomes a duration event on a dedicated "KV swap (preemption)"
+     * track.  Empty (the fcfs case) emits neither events nor the track
+     * metadata, keeping fcfs traces byte-identical.
+     */
+    std::vector<KvSwapEvent> kv_swaps;
 };
 
 /**

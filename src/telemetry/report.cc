@@ -200,6 +200,76 @@ print_serving_section(std::ostream &out, const MetricsRegistry &reg)
         << format_fixed(
                100.0 * value(reg, "helm_serving_slo_attainment_ratio"), 1)
         << " % of requests met it)\n";
+
+    // Continuous/EDF extras: the families only exist when an
+    // iteration-level scheduler ran, so fcfs output is untouched.
+    const auto sched = reg.label_sets("helm_serving_scheduler_info");
+    if (sched.empty())
+        return;
+    auto kind = sched.front().find("scheduler");
+    out << "scheduler:   "
+        << (kind == sched.front().end() ? "?" : kind->second) << ", "
+        << count(reg, "helm_serving_iterations_total") << " iterations, "
+        << count(reg, "helm_serving_preemptions_total")
+        << " preemptions / "
+        << count(reg, "helm_serving_resumes_total") << " resumes\n"
+        << "kv swap:     "
+        << format_bytes(bytes_of(reg, "helm_serving_kv_swap_bytes_total",
+                                 {{"direction", "demote"}}))
+        << " demoted, "
+        << format_bytes(bytes_of(reg, "helm_serving_kv_swap_bytes_total",
+                                 {{"direction", "promote"}}))
+        << " promoted, "
+        << format_seconds(
+               value(reg, "helm_serving_kv_swap_exposed_seconds"))
+        << " exposed stall\n"
+        << "deadlines:   "
+        << count(reg, "helm_serving_deadline_misses_total")
+        << " missed, "
+        << count(reg, "helm_serving_starvation_events_total")
+        << " starvation events, Jain fairness "
+        << format_fixed(value(reg, "helm_serving_jain_fairness"), 3)
+        << "\n";
+
+    std::vector<std::string> tenants;
+    for (const Labels &labels :
+         reg.label_sets("helm_serving_tenant_tokens_total")) {
+        auto it = labels.find("tenant");
+        if (it != labels.end())
+            tenants.push_back(it->second);
+    }
+    std::sort(tenants.begin(), tenants.end(),
+              [](const std::string &a, const std::string &b) {
+                  return std::strtoull(a.c_str(), nullptr, 10) <
+                         std::strtoull(b.c_str(), nullptr, 10);
+              });
+    if (tenants.size() < 2)
+        return;
+    AsciiTable tenant_table("Tenants");
+    tenant_table.set_header({"tenant", "completed", "tokens", "preempted",
+                             "dl missed", "starved", "mean TTFT"});
+    tenant_table.align_right_from(1);
+    for (const std::string &id : tenants) {
+        const Labels labels = {{"tenant", id}};
+        tenant_table.add_row(
+            {id,
+             std::to_string(count(reg,
+                                  "helm_serving_tenant_requests_total",
+                                  {{"tenant", id},
+                                   {"outcome", "completed"}})),
+             std::to_string(
+                 count(reg, "helm_serving_tenant_tokens_total", labels)),
+             std::to_string(count(
+                 reg, "helm_serving_tenant_preemptions_total", labels)),
+             std::to_string(
+                 count(reg, "helm_serving_tenant_deadline_misses_total",
+                       labels)),
+             std::to_string(count(
+                 reg, "helm_serving_tenant_starvation_total", labels)),
+             format_seconds(value(
+                 reg, "helm_serving_tenant_mean_ttft_seconds", labels))});
+    }
+    tenant_table.print(out);
 }
 
 void

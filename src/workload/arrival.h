@@ -28,6 +28,9 @@ struct TimedRequest
 {
     Request request;
     Seconds arrival = 0.0;
+    /** Absolute completion deadline on the serving timeline; the EDF
+     *  scheduler orders by it.  0 = no deadline. */
+    Seconds deadline = 0.0;
 };
 
 /** How inter-arrival gaps are drawn. */
@@ -35,6 +38,13 @@ enum class ArrivalKind
 {
     kPoisson, //!< exponential inter-arrival gaps (open-loop clients)
     kUniform, //!< fixed 1/rate gaps (a paced load generator)
+    /** Poisson whose rate flips between `rate * burst_factor` (for
+     *  `burst_duty` of each `burst_period`) and `rate` — flash-crowd
+     *  traffic, the regime where iteration-level scheduling pays. */
+    kBursty,
+    /** Poisson whose rate follows a sinusoid over `burst_period`
+     *  peaking at `rate * burst_factor` — a compressed diurnal cycle. */
+    kDiurnal,
 };
 
 /** Parameters of a synthetic arrival stream. */
@@ -50,8 +60,20 @@ struct ArrivalSpec
     bool variable_lengths = false;     //!< sample C4-like prompt lengths
     std::uint64_t min_prompt = 16;     //!< floor when variable
     std::uint64_t seed = 0xA221A7ull;
+    /** Tenants to tag arrivals with, round-robin (ids 0..tenants-1). */
+    std::uint64_t tenants = 1;
+    /** Relative completion deadline stamped on every request (absolute
+     *  deadline = arrival + this); 0 = no deadline. */
+    Seconds deadline = 0.0;
+    /** kBursty/kDiurnal: peak-rate multiplier over the base rate. */
+    double burst_factor = 8.0;
+    /** kBursty/kDiurnal: modulation period in seconds. */
+    Seconds burst_period = 20.0;
+    /** kBursty: fraction of each period spent at the burst rate. */
+    double burst_duty = 0.25;
 
-    /** Rate and duration must be positive, token counts >= 1. */
+    /** Rate and duration must be positive, token counts >= 1, burst
+     *  knobs in range for the modulated kinds. */
     Status validate() const;
 };
 
@@ -63,15 +85,26 @@ Result<std::vector<TimedRequest>>
 generate_arrivals(const ArrivalSpec &spec);
 
 /**
+ * Merge several arrival streams (e.g. one per tenant with different
+ * rates and deadlines) into one, ordered by arrival time with ids
+ * reassigned in merged order.  Ties keep the input-stream order.
+ */
+std::vector<TimedRequest>
+merge_arrivals(const std::vector<std::vector<TimedRequest>> &streams);
+
+/**
  * Load an arrival trace.  Format: one request per line as
- * "<arrival_seconds> <prompt_tokens> <output_tokens>"; '#' starts a
- * comment.  Times must be nondecreasing; ids are assigned in file
- * order.
+ * "<arrival_seconds> <prompt_tokens> <output_tokens> [tenant]
+ * [deadline_seconds]"; the last two columns are optional (0 when
+ * absent), '#' starts a comment.  Times must be nondecreasing; ids
+ * are assigned in file order.
  */
 Result<std::vector<TimedRequest>>
 load_arrival_trace(const std::string &path);
 
-/** Write a stream in load_arrival_trace()'s format. */
+/** Write a stream in load_arrival_trace()'s format; the tenant and
+ *  deadline columns are emitted only when some request sets them, so
+ *  pre-tenant traces round-trip byte-for-byte. */
 Status save_arrival_trace(const std::vector<TimedRequest> &requests,
                           const std::string &path);
 

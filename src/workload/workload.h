@@ -28,6 +28,9 @@ struct Request
     std::uint64_t id = 0;
     std::uint64_t prompt_tokens = 0;
     std::uint64_t output_tokens = 0;
+    /** Owning tenant; the continuous scheduler keeps per-tenant queues
+     *  and fairness accounting keyed by this tag.  0 = default tenant. */
+    std::uint64_t tenant = 0;
 };
 
 /** A batch of requests served together (FlexGen's unit of execution). */

@@ -100,6 +100,105 @@ TEST(ClusterSpecTest, ValidateRejectsBadShapes)
     EXPECT_TRUE(cluster_spec(4, Parallelism::kTensor).validate().is_ok());
 }
 
+TEST(ClusterSpecTest, IterationSchedulersNeedTheSingleGpuPath)
+{
+    runtime::ServingConfig edf;
+    edf.scheduler = runtime::SchedulerKind::kEdf;
+
+    ClusterSpec two = cluster_spec(2, Parallelism::kReplica);
+    two.config = edf;
+    const Status rejected = two.validate();
+    EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(rejected.to_string().find("--scheduler"),
+              std::string::npos);
+    EXPECT_NE(rejected.to_string().find("edf"), std::string::npos);
+
+    ClusterSpec sharded = cluster_spec(1, Parallelism::kTensor);
+    sharded.config = edf;
+    EXPECT_EQ(sharded.validate().code(), StatusCode::kInvalidArgument);
+
+    ClusterSpec ok = cluster_spec(1, Parallelism::kReplica);
+    ok.config = edf;
+    EXPECT_TRUE(ok.validate().is_ok());
+
+    // The fcfs config keeps every multi-GPU mode available.
+    ClusterSpec fcfs = cluster_spec(4, Parallelism::kTensor);
+    fcfs.config = runtime::ServingConfig{};
+    EXPECT_TRUE(fcfs.validate().is_ok());
+}
+
+TEST(ClusterSpecTest, EffectiveConfigFallsBackToLegacyKnobs)
+{
+    ClusterSpec spec = cluster_spec(2, Parallelism::kReplica);
+    spec.policy.max_batch = 6;
+    spec.slo.ttft_target = 3.0;
+    const runtime::ServingConfig fallback = spec.effective_config();
+    EXPECT_EQ(fallback.scheduler, runtime::SchedulerKind::kFcfs);
+    EXPECT_FALSE(fallback.auto_max_batch);
+    EXPECT_EQ(fallback.max_batch, 6u);
+    EXPECT_TRUE(fallback.enforce_ttft);
+    EXPECT_DOUBLE_EQ(fallback.ttft_target, 3.0);
+
+    runtime::ServingConfig explicit_config;
+    explicit_config.scheduler = runtime::SchedulerKind::kContinuous;
+    spec.gpus = 1;
+    spec.config = explicit_config;
+    EXPECT_EQ(spec.effective_config().scheduler,
+              runtime::SchedulerKind::kContinuous);
+}
+
+TEST(ClusterDegeneracy, EdfClusterMatchesServerThroughTheBackendSeam)
+{
+    // The one-GPU replica cluster must reproduce Server under the
+    // iteration-level schedulers too, preemptions included.
+    runtime::ServingConfig edf;
+    edf.scheduler = runtime::SchedulerKind::kEdf;
+    edf.auto_max_batch = false;
+    edf.max_batch = 2;
+    edf.tenants = 2;
+
+    std::vector<workload::TimedRequest> stream;
+    const auto add = [&stream](double at, std::uint64_t prompt,
+                               std::uint64_t output,
+                               std::uint64_t tenant, double deadline) {
+        workload::TimedRequest timed;
+        timed.request = workload::Request{
+            static_cast<std::uint64_t>(stream.size()), prompt, output,
+            tenant};
+        timed.arrival = at;
+        timed.deadline = deadline;
+        stream.push_back(timed);
+    };
+    add(0.0, 256, 64, 0, 1000.0);
+    add(0.0, 256, 64, 0, 1000.0);
+    add(0.1, 256, 64, 0, 1000.0);
+    add(5.0, 64, 8, 1, 9.0);
+
+    auto server = runtime::Server::create(small_spec(), edf);
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    ASSERT_TRUE(server->submit(stream).is_ok());
+    const auto want = server->serve();
+    ASSERT_TRUE(want.is_ok());
+
+    ClusterSpec spec = cluster_spec(1, Parallelism::kReplica);
+    spec.config = edf;
+    auto cluster = ClusterServer::create(spec);
+    ASSERT_TRUE(cluster.is_ok()) << cluster.status().to_string();
+    ASSERT_TRUE(cluster->submit(stream).is_ok());
+    const auto got = cluster->serve();
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+
+    EXPECT_GE(want->preemptions, 1u);
+    EXPECT_EQ(got->preemptions, want->preemptions);
+    EXPECT_EQ(got->resumes, want->resumes);
+    EXPECT_EQ(got->kv_demoted_bytes, want->kv_demoted_bytes);
+    EXPECT_EQ(got->kv_promoted_bytes, want->kv_promoted_bytes);
+    EXPECT_EQ(got->iterations, want->iterations);
+    EXPECT_EQ(got->completed, want->completed);
+    EXPECT_EQ(got->makespan, want->makespan);
+    EXPECT_EQ(got->total_tokens, want->total_tokens);
+}
+
 // ---- Layer partitioning ----------------------------------------------
 
 TEST(PartitionLayersTest, CoversAllLayersContiguously)

@@ -247,6 +247,81 @@ TEST(RecordServing, QuantileGaugesMatchReportPercentiles)
               report->completed);
 }
 
+TEST(RecordServing, SchedulerFamiliesGatedOnFcfs)
+{
+    ServingSpec base = small_spec();
+    base.batch = 1;
+
+    std::vector<workload::TimedRequest> stream;
+    const auto add = [&stream](double at, std::uint64_t prompt,
+                               std::uint64_t output,
+                               std::uint64_t tenant, double deadline) {
+        workload::TimedRequest timed;
+        timed.request = workload::Request{
+            static_cast<std::uint64_t>(stream.size()), prompt, output,
+            tenant};
+        timed.arrival = at;
+        timed.deadline = deadline;
+        stream.push_back(timed);
+    };
+    add(0.0, 256, 64, 0, 1000.0);
+    add(0.0, 256, 64, 0, 1000.0);
+    add(0.1, 256, 64, 0, 1000.0);
+    add(5.0, 64, 8, 1, 9.0);
+
+    ServingConfig edf;
+    edf.scheduler = SchedulerKind::kEdf;
+    edf.auto_max_batch = false;
+    edf.max_batch = 2;
+    edf.tenants = 2;
+    auto server = Server::create(base, edf);
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    ASSERT_TRUE(server->submit(stream).is_ok());
+    const auto report = server->serve();
+    ASSERT_TRUE(report.is_ok());
+    ASSERT_GE(report->preemptions, 1u);
+
+    telemetry::MetricsRegistry registry;
+    record_serving(registry, base, server->effective_max_batch(),
+                   server->kv_request_slots(), *report, "serve");
+    EXPECT_DOUBLE_EQ(registry.value_or("helm_serving_scheduler_info",
+                                       {{"scheduler", "edf"}}),
+                     1.0);
+    EXPECT_DOUBLE_EQ(registry.value_or("helm_serving_preemptions_total"),
+                     static_cast<double>(report->preemptions));
+    EXPECT_DOUBLE_EQ(
+        registry.value_or("helm_serving_kv_swap_bytes_total",
+                          {{"direction", "demote"}}),
+        static_cast<double>(report->kv_demoted_bytes));
+    EXPECT_DOUBLE_EQ(
+        registry.value_or("helm_serving_kv_swap_bytes_total",
+                          {{"direction", "promote"}}),
+        static_cast<double>(report->kv_promoted_bytes));
+    EXPECT_DOUBLE_EQ(
+        registry.value_or("helm_serving_tenant_tokens_total",
+                          {{"tenant", "1"}}),
+        static_cast<double>(report->tenants[1].tokens));
+
+    // The fcfs report must leave every scheduler family out of the
+    // registry — that is the byte-identity gate for serve output.
+    auto fcfs = Server::create(base);
+    ASSERT_TRUE(fcfs.is_ok());
+    ASSERT_TRUE(fcfs->submit(workload::Request{0, 128, 21}, 0.0).is_ok());
+    const auto fcfs_report = fcfs->run();
+    ASSERT_TRUE(fcfs_report.is_ok());
+    telemetry::MetricsRegistry fcfs_registry;
+    record_serving(fcfs_registry, base, fcfs->effective_max_batch(),
+                   fcfs->kv_request_slots(), *fcfs_report, "serve");
+    for (const char *name :
+         {"helm_serving_scheduler_info", "helm_serving_iterations_total",
+          "helm_serving_preemptions_total",
+          "helm_serving_kv_swap_bytes_total",
+          "helm_serving_jain_fairness",
+          "helm_serving_tenant_tokens_total"}) {
+        EXPECT_FALSE(fcfs_registry.has(name)) << name;
+    }
+}
+
 TEST(ServingReportPercentiles, TbtPercentileIsMonotone)
 {
     ServingSpec base = small_spec();

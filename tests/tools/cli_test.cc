@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <sys/wait.h>
@@ -211,6 +213,137 @@ TEST(Cli, TuneJobsOutputIsByteIdentical)
     ASSERT_EQ(parallel.exit_code, 0) << parallel.output;
     EXPECT_NE(sequential.output.find("best:"), std::string::npos);
     EXPECT_EQ(parallel.output, sequential.output);
+}
+
+TEST(Cli, SchedulerKnobsRequireIterationScheduler)
+{
+    for (const char *cmd : {"serve", "cluster"}) {
+        const CliResult result = run_cli(
+            std::string(cmd) + " --model OPT-1.3B --deadline-ms 5000");
+        EXPECT_EQ(result.exit_code, 2) << cmd;
+        EXPECT_NE(result.output.find("--deadline-ms"),
+                  std::string::npos)
+            << cmd;
+        EXPECT_NE(result.output.find("--scheduler"), std::string::npos)
+            << cmd;
+    }
+    EXPECT_EQ(run_cli("serve --max-preemptions 2").exit_code, 2);
+    EXPECT_EQ(run_cli("serve --kv-swap-exposed").exit_code, 2);
+}
+
+TEST(Cli, MaxQueueDelayConflictsWithContinuousSchedulers)
+{
+    const CliResult result = run_cli(
+        "serve --model OPT-1.3B --scheduler continuous "
+        "--max-queue-delay-ms 100");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--max-queue-delay-ms"),
+              std::string::npos);
+}
+
+TEST(Cli, BurstKnobsRequireModulatedArrival)
+{
+    const CliResult result =
+        run_cli("serve --model OPT-1.3B --burst-factor 4");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--burst-factor"), std::string::npos);
+    EXPECT_NE(result.output.find("--arrival"), std::string::npos);
+
+    // Diurnal has no duty cycle.
+    EXPECT_EQ(run_cli("serve --model OPT-1.3B --arrival diurnal "
+                      "--burst-duty 0.5")
+                  .exit_code,
+              2);
+}
+
+TEST(Cli, UnknownSchedulerFailsFast)
+{
+    const CliResult result =
+        run_cli("serve --model OPT-1.3B --scheduler lifo");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("fcfs | continuous | edf"),
+              std::string::npos);
+}
+
+TEST(Cli, ClusterRejectsIterationSchedulersBeyondOneGpu)
+{
+    const CliResult result = run_cli(
+        "cluster --model OPT-1.3B --gpus 2 --scheduler edf "
+        "--rate 2 --duration 5");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--scheduler"), std::string::npos);
+
+    const CliResult saturate =
+        run_cli("cluster --saturate --scheduler continuous");
+    EXPECT_EQ(saturate.exit_code, 2);
+    EXPECT_NE(saturate.output.find("--saturate"), std::string::npos);
+}
+
+TEST(Cli, ExplicitFcfsSchedulerFlagIsByteIdenticalToDefault)
+{
+    const CliResult plain = run_cli_stdout(std::string("serve ") + kSmall);
+    const CliResult fcfs = run_cli_stdout(
+        std::string("serve --scheduler fcfs ") + kSmall);
+    ASSERT_EQ(plain.exit_code, 0) << plain.output;
+    ASSERT_EQ(fcfs.exit_code, 0) << fcfs.output;
+    EXPECT_EQ(fcfs.output, plain.output);
+    // No scheduler section leaks into fcfs output.
+    EXPECT_EQ(plain.output.find("scheduler:"), std::string::npos);
+}
+
+TEST(Cli, EdfServePrintsSchedulerAndSwapSections)
+{
+    const CliResult result = run_cli_stdout(
+        std::string("serve --scheduler edf --deadline-ms 20000 ") +
+        kSmall);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("scheduler:"), std::string::npos);
+    EXPECT_NE(result.output.find("edf"), std::string::npos);
+    EXPECT_NE(result.output.find("kv swap"), std::string::npos);
+    EXPECT_NE(result.output.find("deadlines:"), std::string::npos);
+}
+
+TEST(Cli, EdfTraceShowsKvSwapTrackAndFcfsTraceDoesNot)
+{
+    // Hand-crafted preemption microcosm: two long lax jobs hold both
+    // slots when two urgent tight-deadline jobs land, forcing EDF to
+    // demote and later promote the victims' KV.  The chrome trace must
+    // draw that traffic; the fcfs trace of the same stream must not
+    // even declare the track.
+    const std::string arrivals = "/tmp/helm_cli_swap_arrivals.txt";
+    {
+        std::ofstream file(arrivals);
+        file << "0.0 256 64 0 1000.0\n0.0 256 64 0 1000.0\n"
+                "0.1 256 64 0 1000.0\n5.0 64 8 1 9.0\n5.1 64 8 1 9.2\n";
+    }
+    const std::string base =
+        "serve --model OPT-1.3B --memory NVDRAM --placement All-CPU "
+        "--arrivals " +
+        arrivals + " --max-batch 2 ";
+
+    const std::string edf_trace = "/tmp/helm_cli_swap_edf_trace.json";
+    const CliResult edf = run_cli_stdout(
+        base + "--scheduler edf --tenants 2 --trace " + edf_trace);
+    ASSERT_EQ(edf.exit_code, 0) << edf.output;
+    std::ifstream edf_file(edf_trace);
+    std::stringstream edf_json;
+    edf_json << edf_file.rdbuf();
+    EXPECT_NE(edf_json.str().find("KV swap (preemption)"),
+              std::string::npos);
+    EXPECT_NE(edf_json.str().find("KV demote r"), std::string::npos);
+    EXPECT_NE(edf_json.str().find("KV promote r"), std::string::npos);
+
+    const std::string fcfs_trace = "/tmp/helm_cli_swap_fcfs_trace.json";
+    const CliResult fcfs = run_cli_stdout(base + "--trace " + fcfs_trace);
+    ASSERT_EQ(fcfs.exit_code, 0) << fcfs.output;
+    std::ifstream fcfs_file(fcfs_trace);
+    std::stringstream fcfs_json;
+    fcfs_json << fcfs_file.rdbuf();
+    EXPECT_GT(fcfs_json.str().size(), 0u);
+    EXPECT_EQ(fcfs_json.str().find("KV swap"), std::string::npos);
+    std::remove(arrivals.c_str());
+    std::remove(edf_trace.c_str());
+    std::remove(fcfs_trace.c_str());
 }
 
 TEST(Cli, ClusterSaturateReportsPortUtilization)

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "workload/arrival.h"
@@ -178,6 +179,110 @@ TEST(Arrival, TraceLoaderRejectsBadInput)
     EXPECT_EQ(load_arrival_trace(path).status().code(),
               StatusCode::kInvalidArgument);
     std::remove(path.c_str());
+}
+
+TEST(Arrival, BurstKnobsValidated)
+{
+    ArrivalSpec shrinking;
+    shrinking.kind = ArrivalKind::kBursty;
+    shrinking.burst_factor = 0.5;
+    EXPECT_EQ(generate_arrivals(shrinking).status().code(),
+              StatusCode::kInvalidArgument);
+
+    ArrivalSpec no_period;
+    no_period.kind = ArrivalKind::kDiurnal;
+    no_period.burst_period = 0.0;
+    EXPECT_EQ(generate_arrivals(no_period).status().code(),
+              StatusCode::kInvalidArgument);
+
+    ArrivalSpec full_duty;
+    full_duty.kind = ArrivalKind::kBursty;
+    full_duty.burst_duty = 1.0;
+    EXPECT_EQ(generate_arrivals(full_duty).status().code(),
+              StatusCode::kInvalidArgument);
+
+    ArrivalSpec no_tenants;
+    no_tenants.tenants = 0;
+    EXPECT_EQ(generate_arrivals(no_tenants).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(Arrival, BurstyClumpsArrivalsInsideTheDutyWindow)
+{
+    // With a strong burst the on-phase must hold more arrivals than
+    // its share of the timeline.
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::kBursty;
+    spec.rate = 4.0;
+    spec.duration = 40.0;
+    spec.burst_factor = 10.0;
+    spec.burst_period = 8.0;
+    spec.burst_duty = 0.25;
+    const auto stream = generate_arrivals(spec);
+    ASSERT_TRUE(stream.is_ok());
+    ASSERT_GT(stream->size(), 20u);
+    std::size_t in_burst = 0;
+    for (const auto &timed : *stream) {
+        const double phase =
+            std::fmod(timed.arrival, spec.burst_period) /
+            spec.burst_period;
+        if (phase < spec.burst_duty)
+            ++in_burst;
+    }
+    EXPECT_GT(static_cast<double>(in_burst) /
+                  static_cast<double>(stream->size()),
+              2.0 * spec.burst_duty);
+}
+
+TEST(Arrival, TenantsAssignedRoundRobinAndDeadlinesStamped)
+{
+    ArrivalSpec spec;
+    spec.rate = 5.0;
+    spec.duration = 10.0;
+    spec.tenants = 3;
+    spec.deadline = 2.5;
+    const auto stream = generate_arrivals(spec);
+    ASSERT_TRUE(stream.is_ok());
+    ASSERT_GT(stream->size(), 3u);
+    for (const auto &timed : *stream) {
+        EXPECT_EQ(timed.request.tenant, timed.request.id % 3);
+        EXPECT_DOUBLE_EQ(timed.deadline, timed.arrival + 2.5);
+    }
+}
+
+TEST(Arrival, MergeOrdersByTimeAndReassignsIds)
+{
+    ArrivalSpec lax;
+    lax.rate = 2.0;
+    lax.duration = 10.0;
+    lax.seed = 3;
+    ArrivalSpec urgent;
+    urgent.rate = 1.0;
+    urgent.duration = 10.0;
+    urgent.deadline = 4.0;
+    urgent.seed = 11;
+    auto a = generate_arrivals(lax);
+    auto b = generate_arrivals(urgent);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    for (auto &timed : *b)
+        timed.request.tenant = 1;
+
+    const auto merged = merge_arrivals({*a, *b});
+    ASSERT_EQ(merged.size(), a->size() + b->size());
+    std::size_t urgent_seen = 0;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].request.id, i); // ids follow merged order
+        if (i > 0)
+            EXPECT_GE(merged[i].arrival, merged[i - 1].arrival);
+        if (merged[i].request.tenant == 1) {
+            ++urgent_seen;
+            EXPECT_GT(merged[i].deadline, merged[i].arrival);
+        } else {
+            EXPECT_DOUBLE_EQ(merged[i].deadline, 0.0);
+        }
+    }
+    EXPECT_EQ(urgent_seen, b->size());
 }
 
 } // namespace

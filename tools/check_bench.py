@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
-"""Validate a helm-bench-parallel-v1 JSON document (bench_wall).
+"""Validate a helm bench JSON artifact, dispatching on its ``schema``.
 
-Standard library only — this is the CI gate for the parallel-engine
-bench artifact, so it must run anywhere python3 does.
+Standard library only — this is the CI gate for the bench artifacts,
+so it must run anywhere python3 does.
 
-Gating checks:
-  * the document parses and carries ``"schema": "helm-bench-parallel-v1"``;
+Supported schemas:
+
+helm-bench-parallel-v1 (bench_wall)
   * ``jobs`` and the sweep/tune/simcache sections are present with
     every required field a finite number of the right sign;
   * ``sweep.identical`` and ``tune.identical`` are ``true`` — the
     parallel run must be byte-identical to the sequential run.
+  The measured speedups are recorded, NOT gated: they depend on the
+  runner's core count (a 1-core machine legitimately reports ~1.0).
+  ``--min-speedup X`` turns the sweep speedup into a gate for runners
+  with known parallelism.
 
-The measured speedups are recorded, NOT gated: they depend on the
-runner's core count (a 1-core machine legitimately reports ~1.0).
-``--min-speedup X`` turns the sweep speedup into a gate for runners
-with known parallelism.
+helm-bench-scheduler-v1 (bench_scheduler)
+  * ``fcfs_identity.identical`` is ``true`` — the unified
+    ServingConfig path must reproduce the legacy FCFS entry point
+    byte for byte;
+  * ``bursty`` carries fcfs/continuous/edf sections with finite
+    goodput/p99-TTFT numbers, and edf goodput exceeds fcfs goodput on
+    the bursty multi-tenant mix;
+  * ``preemption`` shows at least one preemption with matching
+    nonzero demoted/promoted KV byte counts and resumes ==
+    preemptions — every swapped-out request came back.
 
 Exit status 0 when the document passes, 1 otherwise (one message per
 problem on stderr).
@@ -22,6 +33,7 @@ problem on stderr).
 Usage:
   python3 tools/check_bench.py BENCH_parallel.json
   python3 tools/check_bench.py BENCH_parallel.json --min-speedup 3.0
+  python3 tools/check_bench.py BENCH_scheduler.json
 """
 
 import argparse
@@ -29,11 +41,23 @@ import json
 import math
 import sys
 
-REQUIRED_NUMBERS = {
+PARALLEL_NUMBERS = {
     "sweep": ("points", "seq_seconds", "par_seconds", "points_per_s_seq",
               "points_per_s_par", "speedup"),
     "tune": ("candidates", "seq_seconds", "par_seconds", "speedup"),
     "simcache": ("hits", "misses", "hit_rate"),
+}
+
+SCHEDULER_NUMBERS = {
+    "bursty.fcfs": ("goodput_tps", "p99_ttft_s", "slo_attainment",
+                    "deadline_misses", "preemptions"),
+    "bursty.continuous": ("goodput_tps", "p99_ttft_s", "slo_attainment",
+                          "deadline_misses", "preemptions"),
+    "bursty.edf": ("goodput_tps", "p99_ttft_s", "slo_attainment",
+                   "deadline_misses", "preemptions"),
+    "preemption": ("preemptions", "resumes", "kv_demoted_bytes",
+                   "kv_promoted_bytes", "kv_swap_exposed_seconds",
+                   "deadline_misses"),
 }
 
 
@@ -42,31 +66,108 @@ def is_finite_number(value):
             not isinstance(value, bool) and math.isfinite(value))
 
 
-def check_section(doc, section, errors):
-    body = doc.get(section)
-    if not isinstance(body, dict):
-        errors.append("missing section %r" % section)
-        return
-    for key in REQUIRED_NUMBERS[section]:
-        value = body.get(key)
-        if not is_finite_number(value):
-            errors.append("%s.%s: expected a finite number, got %r" %
-                          (section, key, value))
-        elif value < 0:
-            errors.append("%s.%s: negative value %r" %
-                          (section, key, value))
-    if section in ("sweep", "tune") and body.get("identical") is not True:
+def lookup(doc, dotted):
+    body = doc
+    for part in dotted.split("."):
+        if not isinstance(body, dict):
+            return None
+        body = body.get(part)
+    return body
+
+
+def check_numbers(doc, required, errors):
+    for section, keys in required.items():
+        body = lookup(doc, section)
+        if not isinstance(body, dict):
+            errors.append("missing section %r" % section)
+            continue
+        for key in keys:
+            value = body.get(key)
+            if not is_finite_number(value):
+                errors.append("%s.%s: expected a finite number, got %r" %
+                              (section, key, value))
+            elif value < 0:
+                errors.append("%s.%s: negative value %r" %
+                              (section, key, value))
+
+
+def check_parallel(doc, args, errors):
+    if not is_finite_number(doc.get("jobs")) or doc.get("jobs", 0) < 1:
+        errors.append("jobs: expected a number >= 1, got %r" %
+                      doc.get("jobs"))
+    check_numbers(doc, PARALLEL_NUMBERS, errors)
+    for section in ("sweep", "tune"):
+        body = doc.get(section)
+        if isinstance(body, dict) and body.get("identical") is not True:
+            errors.append(
+                "%s.identical is %r: parallel output must be "
+                "byte-identical to the sequential run" %
+                (section, body.get("identical")))
+    if not errors and args.min_speedup > 0.0:
+        speedup = doc["sweep"]["speedup"]
+        if speedup < args.min_speedup:
+            errors.append("sweep.speedup %.3f < required %.3f" %
+                          (speedup, args.min_speedup))
+    if not errors:
+        sweep = doc["sweep"]
+        print("ok: %d points, sweep x%.2f, tune x%.2f, hit rate %.2f "
+              "(jobs=%d)" % (sweep["points"], sweep["speedup"],
+                             doc["tune"]["speedup"],
+                             doc["simcache"]["hit_rate"], doc["jobs"]))
+
+
+def check_scheduler(doc, _args, errors):
+    identity = doc.get("fcfs_identity")
+    if not isinstance(identity, dict) or identity.get("identical") \
+            is not True:
         errors.append(
-            "%s.identical is %r: parallel output must be byte-identical "
-            "to the sequential run" % (section, body.get("identical")))
+            "fcfs_identity.identical must be true: the ServingConfig "
+            "path diverged from the legacy FCFS entry point")
+    check_numbers(doc, SCHEDULER_NUMBERS, errors)
+    if errors:
+        return
+    fcfs = doc["bursty"]["fcfs"]
+    edf = doc["bursty"]["edf"]
+    if not edf["goodput_tps"] > fcfs["goodput_tps"]:
+        errors.append(
+            "bursty: edf goodput %.3f must exceed fcfs goodput %.3f" %
+            (edf["goodput_tps"], fcfs["goodput_tps"]))
+    preemption = doc["preemption"]
+    if preemption["preemptions"] < 1:
+        errors.append("preemption.preemptions must be >= 1")
+    if preemption["resumes"] != preemption["preemptions"]:
+        errors.append(
+            "preemption: resumes %r != preemptions %r — a swapped-out "
+            "request never came back" %
+            (preemption["resumes"], preemption["preemptions"]))
+    if preemption["kv_demoted_bytes"] <= 0 or \
+            preemption["kv_demoted_bytes"] != \
+            preemption["kv_promoted_bytes"]:
+        errors.append(
+            "preemption: demoted bytes %r must be positive and equal "
+            "promoted bytes %r" % (preemption["kv_demoted_bytes"],
+                                   preemption["kv_promoted_bytes"]))
+    if not errors:
+        print("ok: fcfs identical over %s requests, edf goodput %.2f > "
+              "fcfs %.2f tok/s, %d preemptions (%d bytes swapped each "
+              "way)" % (doc["fcfs_identity"].get("requests", "?"),
+                        edf["goodput_tps"], fcfs["goodput_tps"],
+                        preemption["preemptions"],
+                        preemption["kv_demoted_bytes"]))
+
+
+CHECKERS = {
+    "helm-bench-parallel-v1": check_parallel,
+    "helm-bench-scheduler-v1": check_scheduler,
+}
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("path", help="BENCH_parallel.json to validate")
+    parser.add_argument("path", help="bench JSON document to validate")
     parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="also gate sweep.speedup >= this value "
-                             "(default: record only)")
+                        help="parallel-v1 only: also gate sweep.speedup "
+                             ">= this value (default: record only)")
     args = parser.parse_args()
 
     try:
@@ -77,29 +178,15 @@ def main():
         return 1
 
     errors = []
-    if doc.get("schema") != "helm-bench-parallel-v1":
-        errors.append("schema is %r, expected 'helm-bench-parallel-v1'" %
-                      doc.get("schema"))
-    if not is_finite_number(doc.get("jobs")) or doc.get("jobs", 0) < 1:
-        errors.append("jobs: expected a number >= 1, got %r" %
-                      doc.get("jobs"))
-    for section in REQUIRED_NUMBERS:
-        check_section(doc, section, errors)
-
-    if not errors and args.min_speedup > 0.0:
-        speedup = doc["sweep"]["speedup"]
-        if speedup < args.min_speedup:
-            errors.append("sweep.speedup %.3f < required %.3f" %
-                          (speedup, args.min_speedup))
+    checker = CHECKERS.get(doc.get("schema"))
+    if checker is None:
+        errors.append("schema is %r, expected one of %s" %
+                      (doc.get("schema"), sorted(CHECKERS)))
+    else:
+        checker(doc, args, errors)
 
     for message in errors:
         print("%s: %s" % (args.path, message), file=sys.stderr)
-    if not errors:
-        sweep = doc["sweep"]
-        print("ok: %d points, sweep x%.2f, tune x%.2f, hit rate %.2f "
-              "(jobs=%d)" % (sweep["points"], sweep["speedup"],
-                             doc["tune"]["speedup"],
-                             doc["simcache"]["hit_rate"], doc["jobs"]))
     return 1 if errors else 0
 
 

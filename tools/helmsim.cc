@@ -28,6 +28,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
 #include <unistd.h>
@@ -36,6 +37,7 @@
 #include "cluster/instrument.h"
 #include "core/helm.h"
 #include "model/zoo.h"
+#include "runtime/backend.h"
 #include "runtime/instrument.h"
 #include "telemetry/attribution.h"
 #include "telemetry/export.h"
@@ -221,6 +223,165 @@ apply_kv_options(const ArgParser &parser, runtime::ServingSpec *spec)
     config.prefetch = !parser.is_set("kv-no-prefetch");
     spec->kv_cache = config;
     return Status::ok();
+}
+
+/** Scheduler knobs shared by `serve` and `cluster` (the legacy batch
+ *  flags --max-batch/--max-queue-delay-ms/... stay per-command). */
+void
+add_scheduler_options(ArgParser &parser)
+{
+    parser.add_option("scheduler",
+                      "batch scheduler: fcfs | continuous | edf",
+                      "fcfs");
+    parser.add_option("tenants",
+                      "tag arrivals round-robin across this many "
+                      "tenants (continuous/edf keep separate queues)",
+                      "1");
+    parser.add_option("deadline-ms",
+                      "completion deadline stamped on arrivals without "
+                      "one (0 = none; continuous/edf only)",
+                      "0");
+    parser.add_option("max-preemptions",
+                      "edf: preemptions per request before it pins "
+                      "(livelock guard)",
+                      "4");
+    parser.add_switch("kv-swap-exposed",
+                      "serialize preempted-KV promotion before the "
+                      "iteration it rejoins instead of overlapping it "
+                      "with decode");
+}
+
+/** Modulated-arrival knobs shared by `serve` and `cluster`. */
+void
+add_arrival_shape_options(ArgParser &parser)
+{
+    parser.add_option("burst-factor",
+                      "bursty/diurnal: peak-rate multiplier over the "
+                      "base rate",
+                      "8");
+    parser.add_option("burst-period",
+                      "bursty/diurnal: modulation period in seconds",
+                      "20");
+    parser.add_option("burst-duty",
+                      "bursty: fraction of each period at the burst "
+                      "rate",
+                      "0.25");
+}
+
+Result<workload::ArrivalKind>
+parse_arrival_kind(const std::string &text)
+{
+    if (text == "poisson")
+        return workload::ArrivalKind::kPoisson;
+    if (text == "uniform")
+        return workload::ArrivalKind::kUniform;
+    if (text == "bursty")
+        return workload::ArrivalKind::kBursty;
+    if (text == "diurnal")
+        return workload::ArrivalKind::kDiurnal;
+    return Status::invalid_argument(
+        "unknown arrival kind '" + text +
+        "' (--arrival takes poisson | uniform | bursty | diurnal)");
+}
+
+/**
+ * Scheduler-knob conflicts shared by `serve` and `cluster`: the
+ * deadline/preemption family needs an iteration-level scheduler, the
+ * FCFS batching-delay knob means nothing once batches re-form every
+ * iteration, and the burst knobs need a modulated arrival kind.
+ */
+Status
+check_scheduler_flag_conflicts(const ArgParser &parser)
+{
+    const auto kind =
+        runtime::parse_scheduler_kind(to_lower(parser.get("scheduler")));
+    if (!kind.is_ok())
+        return kind.status();
+    if (*kind == runtime::SchedulerKind::kFcfs) {
+        for (const char *flag :
+             {"deadline-ms", "max-preemptions", "kv-swap-exposed"}) {
+            if (parser.is_set(flag)) {
+                return Status::invalid_argument(
+                    std::string("--") + flag +
+                    " configures the iteration-level schedulers and "
+                    "requires --scheduler continuous or edf");
+            }
+        }
+    } else if (parser.is_set("max-queue-delay-ms")) {
+        return Status::invalid_argument(
+            "--max-queue-delay-ms shapes FCFS batch formation; the "
+            "continuous schedulers re-form the batch every iteration "
+            "(use --scheduler fcfs)");
+    }
+    const std::string arrival = to_lower(parser.get("arrival"));
+    if (arrival != "bursty" && arrival != "diurnal") {
+        for (const char *flag :
+             {"burst-factor", "burst-period", "burst-duty"}) {
+            if (parser.is_set(flag)) {
+                return Status::invalid_argument(
+                    std::string("--") + flag +
+                    " modulates the bursty/diurnal arrival kinds and "
+                    "requires --arrival bursty or diurnal");
+            }
+        }
+    } else if (arrival == "diurnal" && parser.is_set("burst-duty")) {
+        return Status::invalid_argument(
+            "--burst-duty applies to --arrival bursty (diurnal follows "
+            "a sinusoid with no duty cycle)");
+    }
+    return Status::ok();
+}
+
+/** The unified ServingConfig from the scheduler flags (field-range
+ *  validation happens in Server/ClusterServer create()). */
+Result<runtime::ServingConfig>
+scheduler_config_from_flags(const ArgParser &parser)
+{
+    const auto kind =
+        runtime::parse_scheduler_kind(to_lower(parser.get("scheduler")));
+    if (!kind.is_ok())
+        return kind.status();
+    runtime::ServingConfig config;
+    config.scheduler = *kind;
+    config.auto_max_batch = parser.get_u64("max-batch") == 0;
+    config.max_batch = parser.get_u64("max-batch");
+    config.max_queue_delay =
+        parser.get_double("max-queue-delay-ms") * 1e-3;
+    config.max_queue_length = parser.get_u64("max-queue");
+    config.enforce_ttft = parser.get_double("slo-ttft-ms") > 0.0;
+    config.ttft_target = parser.get_double("slo-ttft-ms") * 1e-3;
+    config.enforce_e2e = parser.get_double("slo-e2e-ms") > 0.0;
+    config.e2e_target = parser.get_double("slo-e2e-ms") * 1e-3;
+    config.tenants = parser.get_u64("tenants");
+    config.has_default_deadline = parser.get_double("deadline-ms") > 0.0;
+    config.default_deadline = parser.get_double("deadline-ms") * 1e-3;
+    config.max_preemptions = parser.get_u64("max-preemptions");
+    config.overlap_kv_swap = !parser.is_set("kv-swap-exposed");
+    return config;
+}
+
+/** Synthesize the arrival stream from the shared arrival flags. */
+Result<std::vector<workload::TimedRequest>>
+arrivals_from_flags(const ArgParser &parser, bool variable_lengths)
+{
+    const auto kind =
+        parse_arrival_kind(to_lower(parser.get("arrival")));
+    if (!kind.is_ok())
+        return kind.status();
+    workload::ArrivalSpec arrivals;
+    arrivals.kind = *kind;
+    arrivals.rate = parser.get_double("rate");
+    arrivals.duration = parser.get_double("duration");
+    arrivals.prompt_tokens = parser.get_u64("prompt-tokens");
+    arrivals.output_tokens = parser.get_u64("output-tokens");
+    arrivals.variable_lengths = variable_lengths;
+    arrivals.seed = parser.get_u64("seed");
+    arrivals.tenants =
+        std::max<std::uint64_t>(1, parser.get_u64("tenants"));
+    arrivals.burst_factor = parser.get_double("burst-factor");
+    arrivals.burst_period = parser.get_double("burst-period");
+    arrivals.burst_duty = parser.get_double("burst-duty");
+    return workload::generate_arrivals(arrivals);
 }
 
 void
@@ -424,13 +585,66 @@ serve_workload_file(const runtime::ServingSpec &base,
     return 0;
 }
 
+/**
+ * The serving tail every ServingBackend runs through — `serve` drives a
+ * runtime::Server, `cluster` a cluster::ClusterServer, over this one
+ * seam: telemetry on/off, submit the stream, serve, record the shared
+ * serving metric families plus backend-specific @p extras, print,
+ * write the optional Chrome trace, and emit --report/--metrics-out/
+ * --prom-out artifacts.
+ */
+int
+run_serving_backend(
+    const ArgParser &parser, runtime::ServingBackend &backend,
+    const std::vector<workload::TimedRequest> &stream,
+    const char *command, const std::string &trace_path,
+    const char *failure_prefix,
+    const std::function<void(telemetry::MetricsRegistry &)> &extras)
+{
+    backend.enable_telemetry(!trace_path.empty());
+    const Status submitted = backend.submit(stream);
+    if (!submitted.is_ok()) {
+        std::cerr << submitted.to_string() << "\n";
+        return 2;
+    }
+    const auto report = backend.serve();
+    if (!report.is_ok()) {
+        std::cerr << failure_prefix << report.status().to_string()
+                  << "\n";
+        return 1;
+    }
+
+    telemetry::MetricsRegistry registry;
+    runtime::record_serving(registry, backend.serving_spec(),
+                            backend.effective_max_batch(),
+                            backend.kv_request_slots(), *report,
+                            command);
+    backend.attribution().record(registry);
+    if (extras)
+        extras(registry);
+    telemetry::print_run_report(std::cout, registry);
+
+    if (!trace_path.empty()) {
+        runtime::TraceCounterOptions counters;
+        counters.host_port_rate_bytes_per_s = backend.trace_port_rate();
+        counters.kv_swaps = report->kv_swap_events;
+        const Status trace_status = runtime::write_chrome_trace(
+            backend.serving_records(), trace_path, counters);
+        if (trace_status.is_ok())
+            std::cout << "trace: " << trace_path << "\n";
+        else
+            std::cerr << trace_status.to_string() << "\n";
+    }
+    return emit_artifacts(parser, registry);
+}
+
 int
 cmd_serve(const std::vector<std::string> &args)
 {
     ArgParser parser(
         "helmsim serve",
-        "request-level serving: Poisson/trace arrivals through the "
-        "FCFS scheduler (or --workload for batch replay)");
+        "request-level serving: an arrival stream through the fcfs, "
+        "continuous, or edf scheduler (or --workload for batch replay)");
     add_common_options(parser);
     parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
                       "Baseline");
@@ -439,10 +653,13 @@ cmd_serve(const std::vector<std::string> &args)
     add_kv_options(parser);
     parser.add_option("rate", "mean request arrivals per second", "4");
     parser.add_option("duration", "arrival horizon in seconds", "60");
-    parser.add_option("arrival", "poisson | uniform", "poisson");
+    parser.add_option("arrival", "poisson | uniform | bursty | diurnal",
+                      "poisson");
     parser.add_option("seed", "arrival stream seed", "42");
     parser.add_switch("variable-lengths",
                       "sample C4-like prompt lengths");
+    add_arrival_shape_options(parser);
+    add_scheduler_options(parser);
     parser.add_option("arrivals",
                       "replay an arrival trace file instead of "
                       "synthesizing one",
@@ -477,14 +694,30 @@ cmd_serve(const std::vector<std::string> &args)
         return status.is_ok() ? 0 : 2;
     }
     Status conflicts = check_kv_flag_conflicts(parser);
+    if (conflicts.is_ok())
+        conflicts = check_scheduler_flag_conflicts(parser);
     if (conflicts.is_ok() && !parser.get("workload").empty()) {
         for (const char *flag :
-             {"trace", "report", "metrics-out", "prom-out"}) {
+             {"trace", "report", "metrics-out", "prom-out", "scheduler",
+              "tenants", "deadline-ms", "max-preemptions",
+              "kv-swap-exposed"}) {
             if (parser.is_set(flag)) {
                 conflicts = Status::invalid_argument(
                     std::string("--") + flag +
                     " applies to the arrival-stream scheduler and "
                     "conflicts with --workload batch replay");
+                break;
+            }
+        }
+    }
+    if (conflicts.is_ok() && !parser.get("arrivals").empty()) {
+        for (const char *flag :
+             {"burst-factor", "burst-period", "burst-duty"}) {
+            if (parser.is_set(flag)) {
+                conflicts = Status::invalid_argument(
+                    std::string("--") + flag +
+                    " shapes the synthesized arrival stream and "
+                    "conflicts with --arrivals trace replay");
                 break;
             }
         }
@@ -525,78 +758,39 @@ cmd_serve(const std::vector<std::string> &args)
     // ---- Arrival stream --------------------------------------------------
     Result<std::vector<workload::TimedRequest>> stream =
         Status::internal("unset");
-    if (!parser.get("arrivals").empty()) {
+    if (!parser.get("arrivals").empty())
         stream = workload::load_arrival_trace(parser.get("arrivals"));
-    } else {
-        workload::ArrivalSpec arrivals;
-        arrivals.kind = to_lower(parser.get("arrival")) == "uniform"
-                            ? workload::ArrivalKind::kUniform
-                            : workload::ArrivalKind::kPoisson;
-        arrivals.rate = parser.get_double("rate");
-        arrivals.duration = parser.get_double("duration");
-        arrivals.prompt_tokens = parser.get_u64("prompt-tokens");
-        arrivals.output_tokens = parser.get_u64("output-tokens");
-        arrivals.variable_lengths = parser.is_set("variable-lengths");
-        arrivals.seed = parser.get_u64("seed");
-        stream = workload::generate_arrivals(arrivals);
-    }
+    else
+        stream =
+            arrivals_from_flags(parser, parser.is_set("variable-lengths"));
     if (!stream.is_ok()) {
         std::cerr << stream.status().to_string() << "\n";
         return 1;
     }
 
     // ---- Scheduler + SLO -------------------------------------------------
-    runtime::SchedulerPolicy policy;
-    policy.max_batch = parser.get_u64("max-batch");
-    policy.max_queue_delay =
-        parser.get_double("max-queue-delay-ms") * 1e-3;
-    policy.max_queue_length = parser.get_u64("max-queue");
-    runtime::SloSpec slo;
-    slo.ttft_target = parser.get_double("slo-ttft-ms") * 1e-3;
-    slo.e2e_target = parser.get_double("slo-e2e-ms") * 1e-3;
+    const auto config = scheduler_config_from_flags(parser);
+    if (!config.is_ok()) {
+        std::cerr << config.status().to_string() << "\n";
+        return 2;
+    }
 
-    auto server = runtime::Server::create(base, policy, slo);
+    auto server = runtime::Server::create(base, *config);
     if (!server.is_ok()) {
         std::cerr << "invalid serving spec: "
                   << server.status().to_string() << "\n";
         return 2;
     }
-    const std::string trace_path = parser.get("trace");
-    server->enable_telemetry(!trace_path.empty());
-    const Status submitted = server->submit(*stream);
-    if (!submitted.is_ok()) {
-        std::cerr << submitted.to_string() << "\n";
-        return 2;
-    }
-    const auto report = server->run();
-    if (!report.is_ok()) {
-        std::cerr << "serving failed: " << report.status().to_string()
-                  << "\n";
-        return 1;
-    }
-
-    telemetry::MetricsRegistry registry;
-    runtime::record_serving(registry, base, server->effective_max_batch(),
-                            server->kv_request_slots(), *report, "serve");
-    server->attribution().record(registry);
-    registry
-        .gauge("helm_host_port_rate_bytes_per_s", {},
-               "Engine h2d fabric rate the trace utilization counters "
-               "are scaled by")
-        .set(server->h2d_rate().raw());
-    telemetry::print_run_report(std::cout, registry);
-
-    if (!trace_path.empty()) {
-        runtime::TraceCounterOptions counters;
-        counters.host_port_rate_bytes_per_s = server->h2d_rate().raw();
-        const Status trace_status = runtime::write_chrome_trace(
-            server->collected_records(), trace_path, counters);
-        if (trace_status.is_ok())
-            std::cout << "trace: " << trace_path << "\n";
-        else
-            std::cerr << trace_status.to_string() << "\n";
-    }
-    return emit_artifacts(parser, registry);
+    return run_serving_backend(
+        parser, *server, *stream, "serve", parser.get("trace"),
+        "serving failed: ",
+        [&server](telemetry::MetricsRegistry &registry) {
+            registry
+                .gauge("helm_host_port_rate_bytes_per_s", {},
+                       "Engine h2d fabric rate the trace utilization "
+                       "counters are scaled by")
+                .set(server->h2d_rate().raw());
+        });
 }
 
 /** The shared read port's pooled rate — what the cluster trace's
@@ -633,8 +827,11 @@ cmd_cluster(const std::vector<std::string> &args)
                       "0");
     parser.add_option("rate", "mean request arrivals per second", "4");
     parser.add_option("duration", "arrival horizon in seconds", "60");
-    parser.add_option("arrival", "poisson | uniform", "poisson");
+    parser.add_option("arrival", "poisson | uniform | bursty | diurnal",
+                      "poisson");
     parser.add_option("seed", "arrival stream seed", "42");
+    add_arrival_shape_options(parser);
+    add_scheduler_options(parser);
     parser.add_option("max-batch",
                       "scheduler batch ceiling (0 = auto-size from the "
                       "GPU budget)",
@@ -672,6 +869,8 @@ cmd_cluster(const std::vector<std::string> &args)
         return 2;
     }
     Status conflicts = check_kv_flag_conflicts(parser);
+    if (conflicts.is_ok())
+        conflicts = check_scheduler_flag_conflicts(parser);
     if (conflicts.is_ok() && parser.is_set("router") &&
         *parallelism != cluster::Parallelism::kReplica) {
         conflicts = Status::invalid_argument(
@@ -699,7 +898,9 @@ cmd_cluster(const std::vector<std::string> &args)
         for (const char *flag :
              {"rate", "duration", "arrival", "seed", "max-batch",
               "max-queue-delay-ms", "max-queue", "slo-ttft-ms",
-              "slo-e2e-ms"}) {
+              "slo-e2e-ms", "scheduler", "tenants", "deadline-ms",
+              "max-preemptions", "kv-swap-exposed", "burst-factor",
+              "burst-period", "burst-duty"}) {
             if (parser.is_set(flag)) {
                 conflicts = Status::invalid_argument(
                     std::string("--") + flag +
@@ -744,12 +945,12 @@ cmd_cluster(const std::vector<std::string> &args)
     spec.router = *router;
     spec.sockets = parser.get_u64("sockets");
     spec.micro_batches = parser.get_u64("micro-batches");
-    spec.policy.max_batch = parser.get_u64("max-batch");
-    spec.policy.max_queue_delay =
-        parser.get_double("max-queue-delay-ms") * 1e-3;
-    spec.policy.max_queue_length = parser.get_u64("max-queue");
-    spec.slo.ttft_target = parser.get_double("slo-ttft-ms") * 1e-3;
-    spec.slo.e2e_target = parser.get_double("slo-e2e-ms") * 1e-3;
+    const auto config = scheduler_config_from_flags(parser);
+    if (!config.is_ok()) {
+        std::cerr << config.status().to_string() << "\n";
+        return 2;
+    }
+    spec.config = *config;
     const std::string trace_path = parser.get("trace");
 
     std::cout << spec.serving.model.name << " x " << spec.gpus
@@ -799,16 +1000,7 @@ cmd_cluster(const std::vector<std::string> &args)
     }
 
     // ---- Arrival-stream serving --------------------------------------
-    workload::ArrivalSpec arrivals;
-    arrivals.kind = to_lower(parser.get("arrival")) == "uniform"
-                        ? workload::ArrivalKind::kUniform
-                        : workload::ArrivalKind::kPoisson;
-    arrivals.rate = parser.get_double("rate");
-    arrivals.duration = parser.get_double("duration");
-    arrivals.prompt_tokens = parser.get_u64("prompt-tokens");
-    arrivals.output_tokens = parser.get_u64("output-tokens");
-    arrivals.seed = parser.get_u64("seed");
-    const auto stream = workload::generate_arrivals(arrivals);
+    const auto stream = arrivals_from_flags(parser, false);
     if (!stream.is_ok()) {
         std::cerr << stream.status().to_string() << "\n";
         return 1;
@@ -821,39 +1013,13 @@ cmd_cluster(const std::vector<std::string> &args)
                   << server.status().to_string() << "\n";
         return 2;
     }
-    server->enable_telemetry(!trace_path.empty());
-    const Status submitted = server->submit(*stream);
-    if (!submitted.is_ok()) {
-        std::cerr << submitted.to_string() << "\n";
-        return 2;
-    }
-    const auto report = server->run();
-    if (!report.is_ok()) {
-        std::cerr << "cluster serving failed: "
-                  << report.status().to_string() << "\n";
-        return 1;
-    }
-
-    telemetry::MetricsRegistry registry;
-    runtime::record_serving(registry, spec.serving,
-                            server->effective_max_batch(),
-                            server->kv_request_slots(), report->serving,
-                            "cluster");
-    server->attribution().record(registry);
-    cluster::record_cluster(registry, *report);
-    telemetry::print_run_report(std::cout, registry);
-    if (!trace_path.empty()) {
-        runtime::TraceCounterOptions counters;
-        counters.host_port_rate_bytes_per_s =
-            cluster_port_rate(report->ports);
-        const Status trace_status = runtime::write_chrome_trace(
-            report->records, trace_path, counters);
-        if (trace_status.is_ok())
-            std::cout << "trace: " << trace_path << "\n";
-        else
-            std::cerr << trace_status.to_string() << "\n";
-    }
-    return emit_artifacts(parser, registry);
+    return run_serving_backend(
+        parser, *server, *stream, "cluster", trace_path,
+        "cluster serving failed: ",
+        [&server](telemetry::MetricsRegistry &registry) {
+            cluster::record_cluster(registry, server->last_gpus(),
+                                    server->last_ports());
+        });
 }
 
 int
