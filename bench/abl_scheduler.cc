@@ -49,13 +49,14 @@ main()
                 arrivals.duration = 120.0;
                 arrivals.seed = 7; // same stream for every cell
 
-                runtime::SchedulerPolicy policy;
-                policy.max_batch = 0; // auto-size from the GPU budget
-                policy.max_queue_delay = 2.0;
-                runtime::SloSpec slo;
-                slo.ttft_target = kSloTtft;
+                runtime::ServingConfig config;
+                // auto_max_batch (the default) sizes from the GPU
+                // budget.
+                config.max_queue_delay = 2.0;
+                config.enforce_ttft = true;
+                config.ttft_target = kSloTtft;
 
-                auto server = runtime::Server::create(spec, policy, slo);
+                auto server = runtime::Server::create(spec, config);
                 if (!server.is_ok()) {
                     std::fprintf(stderr, "bench: %s\n",
                                  server.status().to_string().c_str());
@@ -67,7 +68,7 @@ main()
                     std::fprintf(stderr, "bench: arrival setup failed\n");
                     return 1;
                 }
-                auto report = server->run();
+                auto report = server->serve();
                 if (!report.is_ok()) {
                     std::fprintf(stderr, "bench: %s\n",
                                  report.status().to_string().c_str());

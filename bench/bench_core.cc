@@ -1,0 +1,296 @@
+/**
+ * @file
+ * CI gate for the DES core rewrite + serving gateway: emits a
+ * helm-bench-core-v1 JSON document (default BENCH_core.json) that
+ * tools/check_bench.py validates.
+ *
+ * Two sections:
+ *   * queue — the session-timer workload (every fired event
+ *     reschedules itself and cancels/re-arms a deadline timer, the
+ *     access pattern the serving gateway generates) run at 64Ki
+ *     outstanding events through both the legacy priority_queue +
+ *     callback-map kernel (sim/legacy_simulator.h) and the rewritten
+ *     two-tier slab kernel (sim/simulator.h).  Reports events/sec for
+ *     both, the speedup, and `identical` — an order-sensitive hash of
+ *     every fire (time + event tag + cancel results) that proves the
+ *     rewrite preserves the (when, seq) total order bit for bit.  CI
+ *     gates speedup >= 3 and the identity;
+ *   * gateway — a closed-loop multi-turn client drive through the
+ *     full gateway (sessions, admission, routing, streaming) against
+ *     real ServingBackend replicas: completed requests and host-side
+ *     requests/sec + events/sec throughput.
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/helm.h"
+#include "sim/legacy_simulator.h"
+
+namespace {
+
+using namespace helm;
+
+// ---- queue section: the session-timer workload -----------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+struct TimersResult
+{
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+    std::uint64_t trace_hash = 0;
+    std::uint64_t deadline_fires = 0;
+
+    double
+    events_per_second() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
+    }
+};
+
+/**
+ * One gateway-shaped "session": its event reschedules itself after a
+ * pseudo-random sub-millisecond delay and cancels + re-arms a deadline
+ * timer ~1ms out (usually cancelled before it fires — exactly how
+ * serving timeouts behave).  All randomness comes from per-session
+ * SplitMix64 state advanced inside the callbacks, so the two kernels
+ * see byte-identical schedule/cancel programs.
+ */
+template <typename Kernel>
+struct TimersWorkload
+{
+    Kernel kernel;
+    std::vector<std::uint64_t> state;
+    std::vector<sim::EventId> deadline_id;
+    std::uint64_t trace_hash = kFnvOffset;
+    std::uint64_t deadline_fires = 0;
+
+    void
+    mixin(std::uint64_t value)
+    {
+        trace_hash = (trace_hash ^ value) * kFnvPrime;
+    }
+
+    void
+    mixin_time(Seconds when)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof when);
+        __builtin_memcpy(&bits, &when, sizeof bits);
+        mixin(bits);
+    }
+
+    void
+    on_fire(std::size_t s)
+    {
+        mixin_time(kernel.now());
+        mixin(s * 2);
+        const std::uint64_t h = splitmix64(state[s]);
+        if (deadline_id[s] != sim::kInvalidEvent)
+            mixin(kernel.cancel(deadline_id[s]) ? 1 : 0);
+        deadline_id[s] = kernel.schedule(
+            1e-3 + 1e-6 * static_cast<double>((h >> 10) & 1023),
+            [this, s] { on_deadline(s); });
+        kernel.schedule(1e-6 * static_cast<double>(h & 1023),
+                        [this, s] { on_fire(s); });
+    }
+
+    void
+    on_deadline(std::size_t s)
+    {
+        deadline_id[s] = sim::kInvalidEvent;
+        ++deadline_fires;
+        mixin_time(kernel.now());
+        mixin(s * 2 + 1);
+    }
+
+    TimersResult
+    run(std::size_t outstanding, Seconds horizon)
+    {
+        state.resize(outstanding);
+        deadline_id.assign(outstanding, sim::kInvalidEvent);
+        for (std::size_t s = 0; s < outstanding; ++s) {
+            state[s] = 0xD1B54A32D192ED03ull ^ (s * 0x9E3779B97F4A7C15ull);
+            kernel.schedule(1e-9 * static_cast<double>(s),
+                            [this, s] { on_fire(s); });
+        }
+        const auto start = std::chrono::steady_clock::now();
+        kernel.run_until(horizon);
+        const auto stop = std::chrono::steady_clock::now();
+
+        TimersResult result;
+        result.events = kernel.events_executed();
+        result.seconds =
+            std::chrono::duration<double>(stop - start).count();
+        result.trace_hash = trace_hash;
+        result.deadline_fires = deadline_fires;
+        return result;
+    }
+};
+
+// ---- gateway section: closed-loop drive through the gateway ----------
+
+struct GatewayResult
+{
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    double requests_per_second = 0.0;
+    double events_per_second = 0.0;
+};
+
+GatewayResult
+run_gateway()
+{
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    // Admission caps the context-grown prompt at max_context; size the
+    // planner for that worst case.
+    spec.shape.prompt_tokens = 1024;
+    spec.shape.output_tokens = 21;
+
+    runtime::ServingConfig backend_config;
+    backend_config.max_queue_delay = 0.0;
+    backend_config.max_queue_length = 1u << 20;
+
+    std::vector<runtime::Server> servers;
+    servers.reserve(2);
+    std::vector<runtime::ServingBackend *> backends;
+    for (int r = 0; r < 2; ++r) {
+        auto created = runtime::Server::create(spec, backend_config);
+        if (!created.is_ok()) {
+            std::fprintf(stderr, "bench: create failed: %s\n",
+                         created.status().to_string().c_str());
+            std::exit(1);
+        }
+        servers.push_back(std::move(*created));
+    }
+    for (auto &server : servers)
+        backends.push_back(&server);
+
+    gateway::GatewayConfig config;
+    config.admission.max_context = 1024;
+    config.router = gateway::RouterPolicy::kLeastLoaded;
+
+    gateway::DriverConfig driver;
+    driver.clients = 512;
+    driver.target_requests = 200000;
+    driver.mean_think = 0.05;
+
+    sim::Simulator sim;
+    gateway::Gateway gate(sim, config, backends);
+    const auto report = gateway::run_closed_loop(sim, gate, driver);
+    if (!report.is_ok()) {
+        std::fprintf(stderr, "bench: gateway run failed: %s\n",
+                     report.status().to_string().c_str());
+        std::exit(1);
+    }
+
+    GatewayResult result;
+    result.completed = report->completed;
+    result.shed = gate.stats().turns_shed;
+    result.requests_per_second = report->requests_per_second;
+    result.events_per_second = report->events_per_second;
+    return result;
+}
+
+void
+json_number(std::ostream &out, const char *key, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    out << "\"" << key << "\": " << buffer;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+    const std::size_t outstanding =
+        argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 65536;
+    const Seconds horizon = argc > 3 ? std::stod(argv[3]) : 0.05;
+
+    std::cout << "session-timer workload: " << outstanding
+              << " outstanding events, " << format_seconds(horizon)
+              << " of virtual time\n";
+
+    TimersWorkload<sim::LegacySimulator> legacy;
+    const TimersResult baseline = legacy.run(outstanding, horizon);
+    std::cout << "  legacy priority_queue kernel: " << baseline.events
+              << " events in " << format_seconds(baseline.seconds)
+              << " (" << format_fixed(baseline.events_per_second() / 1e6, 2)
+              << "M events/s)\n";
+
+    TimersWorkload<sim::Simulator> rewrite;
+    const TimersResult indexed = rewrite.run(outstanding, horizon);
+    std::cout << "  two-tier slab kernel:         " << indexed.events
+              << " events in " << format_seconds(indexed.seconds) << " ("
+              << format_fixed(indexed.events_per_second() / 1e6, 2)
+              << "M events/s)\n";
+
+    const bool identical = baseline.trace_hash == indexed.trace_hash &&
+                           baseline.events == indexed.events &&
+                           baseline.deadline_fires ==
+                               indexed.deadline_fires;
+    const double speedup =
+        baseline.seconds > 0.0 && indexed.seconds > 0.0
+            ? indexed.events_per_second() / baseline.events_per_second()
+            : 0.0;
+    std::cout << "  fire traces: "
+              << (identical ? "identical" : "DIVERGED") << ", speedup x"
+              << format_fixed(speedup, 2) << "\n";
+
+    const GatewayResult gw = run_gateway();
+    std::cout << "gateway closed loop: " << gw.completed
+              << " requests completed (" << gw.shed << " shed), "
+              << format_fixed(gw.requests_per_second, 0)
+              << " requests/s, "
+              << format_fixed(gw.events_per_second / 1e6, 2)
+              << "M events/s\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << "{\n  \"schema\": \"helm-bench-core-v1\",\n"
+        << "  \"queue\": {\n    \"outstanding\": " << outstanding
+        << ",\n    \"events\": " << indexed.events << ",\n    ";
+    json_number(out, "baseline_events_per_s",
+                baseline.events_per_second());
+    out << ",\n    ";
+    json_number(out, "indexed_events_per_s",
+                indexed.events_per_second());
+    out << ",\n    ";
+    json_number(out, "speedup", speedup);
+    out << ",\n    \"identical\": " << (identical ? "true" : "false")
+        << "\n  },\n  \"gateway\": {\n    \"requests_completed\": "
+        << gw.completed << ",\n    \"requests_shed\": " << gw.shed
+        << ",\n    ";
+    json_number(out, "requests_per_s", gw.requests_per_second);
+    out << ",\n    ";
+    json_number(out, "events_per_s", gw.events_per_second);
+    out << "\n  }\n}\n";
+    out.close();
+
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -6,9 +6,10 @@
  *
  * Three sections:
  *   * fcfs_identity — the same arrival stream served through the
- *     deprecated Server::create(spec, policy, slo) entry point and the
- *     unified ServingConfig path must produce byte-identical reports
- *     (the continuous-batching refactor must not perturb FCFS);
+ *     single-GPU Server and through ClusterServer in replica mode with
+ *     gpus = 1 (which documents wholesale delegation to Server) must
+ *     produce byte-identical reports — the two ServingBackend
+ *     implementations must agree on the degenerate cluster shape;
  *   * bursty — a 3-tenant bursty mix under fcfs / continuous / edf
  *     with a TTFT SLO: goodput, p99 TTFT, deadline misses.  The gate
  *     is edf goodput > fcfs goodput — iteration-level admission must
@@ -128,38 +129,45 @@ main(int argc, char **argv)
         argc > 1 ? argv[1] : "BENCH_scheduler.json";
     const runtime::ServingSpec spec = small_spec();
 
-    // ---- fcfs identity: legacy entry point vs ServingConfig ----------
+    // ---- fcfs identity: Server vs 1-GPU replica ClusterServer --------
     workload::ArrivalSpec poisson;
     poisson.rate = 3.0;
     poisson.duration = 10.0;
     poisson.seed = 7;
     const auto poisson_stream = *workload::generate_arrivals(poisson);
 
-    runtime::SchedulerPolicy policy;
-    policy.max_queue_delay = 0.25;
-    runtime::SloSpec slo;
-    slo.ttft_target = 10.0;
-    auto legacy = runtime::Server::create(spec, policy, slo);
-    if (!legacy.is_ok()) {
-        std::fprintf(stderr, "bench: legacy create failed: %s\n",
-                     legacy.status().to_string().c_str());
+    runtime::ServingConfig identity_config;
+    identity_config.max_queue_delay = 0.25;
+    identity_config.enforce_ttft = true;
+    identity_config.ttft_target = 10.0;
+    const auto server_report =
+        serve_or_die(spec, identity_config, poisson_stream);
+
+    cluster::ClusterSpec degenerate;
+    degenerate.serving = spec;
+    degenerate.gpus = 1;
+    degenerate.parallelism = cluster::Parallelism::kReplica;
+    degenerate.config = identity_config;
+    auto cluster_server = cluster::ClusterServer::create(degenerate);
+    if (!cluster_server.is_ok()) {
+        std::fprintf(stderr, "bench: cluster create failed: %s\n",
+                     cluster_server.status().to_string().c_str());
         return 1;
     }
-    if (const Status s = legacy->submit(poisson_stream); !s.is_ok()) {
-        std::fprintf(stderr, "bench: %s\n", s.to_string().c_str());
+    for (const auto &timed : poisson_stream) {
+        if (const Status s = cluster_server->submit(timed); !s.is_ok()) {
+            std::fprintf(stderr, "bench: %s\n", s.to_string().c_str());
+            return 1;
+        }
+    }
+    const auto cluster_report = cluster_server->serve();
+    if (!cluster_report.is_ok()) {
+        std::fprintf(stderr, "bench: cluster serve failed: %s\n",
+                     cluster_report.status().to_string().c_str());
         return 1;
     }
-    const auto legacy_report = legacy->run();
-    if (!legacy_report.is_ok()) {
-        std::fprintf(stderr, "bench: legacy serve failed: %s\n",
-                     legacy_report.status().to_string().c_str());
-        return 1;
-    }
-    const auto unified_report = serve_or_die(
-        spec, runtime::ServingConfig::from_legacy(policy, slo),
-        poisson_stream);
     const bool fcfs_identical =
-        report_text(*legacy_report) == report_text(unified_report);
+        report_text(server_report) == report_text(*cluster_report);
 
     // ---- bursty 3-tenant mix under the three schedulers --------------
     workload::ArrivalSpec bursty;

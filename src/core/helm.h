@@ -73,6 +73,13 @@
 #include "runtime/sim_cache.h"
 #include "runtime/trace.h"
 #include "runtime/tuner.h"
+#include "serving_gateway/admission.h"
+#include "serving_gateway/driver.h"
+#include "serving_gateway/gateway.h"
+#include "serving_gateway/instrument.h"
+#include "serving_gateway/router.h"
+#include "serving_gateway/session.h"
+#include "serving_gateway/streaming.h"
 #include "sim/bandwidth_channel.h"
 #include "sweep/dataset.h"
 #include "sweep/sweep.h"

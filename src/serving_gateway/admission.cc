@@ -1,0 +1,52 @@
+#include "serving_gateway/admission.h"
+
+namespace helm::gateway {
+
+const char *
+reject_reason_name(RejectReason reason)
+{
+    switch (reason) {
+    case RejectReason::kAcceptQueueFull:
+        return "accept_queue_full";
+    case RejectReason::kSessionLimit:
+        return "session_limit";
+    case RejectReason::kContextOverflow:
+        return "context_overflow";
+    case RejectReason::kBackendShed:
+        return "backend_shed";
+    }
+    return "unknown";
+}
+
+Status
+AdmissionConfig::validate() const
+{
+    if (accept_queue == 0)
+        return Status::invalid_argument(
+            "accept queue bound must be >= 1 (--accept-queue)");
+    if (max_sessions == 0)
+        return Status::invalid_argument(
+            "session cap must be >= 1 (--max-sessions)");
+    if (context_block == 0)
+        return Status::invalid_argument(
+            "context block must be >= 1 (--context-block)");
+    if (max_context < context_block)
+        return Status::invalid_argument(
+            "context cap must hold at least one context block "
+            "(--max-context >= --context-block)");
+    return Status::ok();
+}
+
+std::optional<std::uint64_t>
+AdmissionControl::charge_context(std::uint64_t context_tokens,
+                                 std::uint64_t prompt_tokens) const
+{
+    const std::uint64_t raw = context_tokens + prompt_tokens;
+    const std::uint64_t block = config_.context_block;
+    const std::uint64_t padded = (raw + block - 1) / block * block;
+    if (padded > config_.max_context)
+        return std::nullopt;
+    return padded;
+}
+
+} // namespace helm::gateway

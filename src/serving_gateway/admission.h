@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Admission control for the serving gateway: bounded accept queues,
+ * session caps, and context budgets, with typed reject reasons.
+ *
+ * A production front end sheds load *before* it reaches the expensive
+ * backends, and the operator needs to know why each request was turned
+ * away — a full accept queue (transient overload) calls for different
+ * remediation than a context overflow (client misuse) or a backend
+ * shed (capacity).  Every rejection therefore carries a RejectReason,
+ * counted per reason here and exported as the
+ * `helm_gateway_requests_shed_total{reason=...}` metric family.
+ */
+#ifndef HELM_SERVING_GATEWAY_ADMISSION_H
+#define HELM_SERVING_GATEWAY_ADMISSION_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+
+namespace helm::gateway {
+
+/** Why the gateway refused a session or a turn. */
+enum class RejectReason
+{
+    /** The target replica's accept queue was at its bound. */
+    kAcceptQueueFull,
+    /** Opening the session would exceed the concurrent-session cap. */
+    kSessionLimit,
+    /** The turn's accumulated context would exceed the context cap. */
+    kContextOverflow,
+    /** The backend itself shed the dispatched request. */
+    kBackendShed,
+};
+
+inline constexpr std::size_t kRejectReasonCount = 4;
+
+/** Printable name ("accept_queue_full", ... metric label values). */
+const char *reject_reason_name(RejectReason reason);
+
+/** Admission knobs of one gateway. */
+struct AdmissionConfig
+{
+    /** Accepted-but-undispatched turns allowed per replica; arrivals
+     *  beyond this are shed (kAcceptQueueFull). */
+    std::uint64_t accept_queue = 256;
+    /** Concurrently open sessions allowed (kSessionLimit beyond). */
+    std::uint64_t max_sessions = 65536;
+    /** Per-session context budget in tokens: accumulated prompt +
+     *  generated history plus the new turn must fit. */
+    std::uint64_t max_context = 4096;
+    /**
+     * Context growth is rounded up to this many tokens before the
+     * budget check and before the backend sees the prompt.  Coarse
+     * blocks keep the set of distinct batch shapes small, so the
+     * backends' memoized batch simulation stays hot across a
+     * million-turn run.
+     */
+    std::uint64_t context_block = 64;
+
+    /** Field-range checks; errors name the `helmsim gateway` flag. */
+    Status validate() const;
+};
+
+/**
+ * The admission decisions, pure and replica-agnostic: the Gateway asks,
+ * this class answers and counts.  Kept separate so the policy is unit
+ * testable without simulating a backend.
+ */
+class AdmissionControl
+{
+  public:
+    explicit AdmissionControl(AdmissionConfig config)
+        : config_(config)
+    {}
+
+    /** May another session open right now? */
+    bool
+    admit_session(std::uint64_t active_sessions) const
+    {
+        return active_sessions < config_.max_sessions;
+    }
+
+    /** May a turn join a replica queue this deep? */
+    bool
+    admit_turn(std::uint64_t replica_queue_depth) const
+    {
+        return replica_queue_depth < config_.accept_queue;
+    }
+
+    /**
+     * Charge a new turn against a session's context budget: the
+     * backend-visible prompt is (context + new prompt) rounded up to
+     * the context block.  nullopt when it would exceed max_context —
+     * the caller sheds with kContextOverflow.
+     */
+    std::optional<std::uint64_t>
+    charge_context(std::uint64_t context_tokens,
+                   std::uint64_t prompt_tokens) const;
+
+    /** Count one rejection for the stats/metrics export. */
+    void
+    count_reject(RejectReason reason)
+    {
+        ++rejects_[static_cast<std::size_t>(reason)];
+    }
+
+    /** Rejections by reason, RejectReason declaration order. */
+    const std::array<std::uint64_t, kRejectReasonCount> &
+    rejects() const
+    {
+        return rejects_;
+    }
+
+    const AdmissionConfig &config() const { return config_; }
+
+  private:
+    AdmissionConfig config_;
+    std::array<std::uint64_t, kRejectReasonCount> rejects_{};
+};
+
+} // namespace helm::gateway
+
+#endif // HELM_SERVING_GATEWAY_ADMISSION_H

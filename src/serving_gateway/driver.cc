@@ -1,0 +1,227 @@
+#include "serving_gateway/driver.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace helm::gateway {
+
+Status
+DriverConfig::validate() const
+{
+    if (clients == 0)
+        return Status::invalid_argument(
+            "closed loop needs at least one client (--clients)");
+    if (target_requests == 0)
+        return Status::invalid_argument(
+            "target must be >= 1 completed request (--requests)");
+    if (turns_per_session == 0)
+        return Status::invalid_argument(
+            "sessions need at least one turn (--turns)");
+    if (mean_think < 0.0)
+        return Status::invalid_argument(
+            "think time must be >= 0 (--think-ms)");
+    if (prompt_tokens == 0 || output_tokens == 0)
+        return Status::invalid_argument(
+            "turns need >= 1 prompt and output token "
+            "(--prompt-tokens/--output-tokens)");
+    if (max_attempts_factor == 0)
+        return Status::invalid_argument(
+            "attempt budget factor must be >= 1 "
+            "(--max-attempts-factor)");
+    return Status::ok();
+}
+
+namespace {
+
+/** The whole closed loop; lives on run_closed_loop's stack. */
+struct ClosedLoop
+{
+    sim::Simulator &sim;
+    Gateway &gateway;
+    const DriverConfig &config;
+    Rng rng;
+    DriverReport report;
+    std::uint64_t attempt_budget = 0;
+
+    struct Client
+    {
+        SessionId session = kInvalidSession;
+        std::uint64_t turn_in_session = 0;
+        bool parked = false;
+    };
+    std::vector<Client> clients;
+
+    ClosedLoop(sim::Simulator &s, Gateway &g, const DriverConfig &c)
+        : sim(s), gateway(g), config(c), rng(c.seed)
+    {
+        clients.resize(c.clients);
+        attempt_budget = c.target_requests * c.max_attempts_factor;
+        report.clients = c.clients;
+        report.target_requests = c.target_requests;
+        const std::uint64_t reserve =
+            c.target_requests < (1u << 24) ? c.target_requests : 0;
+        report.ttft.reserve(reserve);
+        report.tbt.reserve(reserve);
+        report.e2e.reserve(reserve);
+        report.queue_wait.reserve(reserve);
+    }
+
+    Seconds
+    think()
+    {
+        if (config.mean_think <= 0.0)
+            return 0.0;
+        return -config.mean_think * std::log1p(-rng.next_double());
+    }
+
+    bool
+    target_reached() const
+    {
+        return report.completed >= config.target_requests;
+    }
+
+    void
+    park(std::size_t c, bool on_budget)
+    {
+        Client &client = clients[c];
+        if (client.parked)
+            return;
+        client.parked = true;
+        if (on_budget)
+            ++report.parked_on_budget;
+        if (client.session != kInvalidSession) {
+            gateway.close_session(client.session);
+            client.session = kInvalidSession;
+        }
+    }
+
+    /** A client is ready to issue its next turn (or park). */
+    void
+    act(std::size_t c)
+    {
+        Client &client = clients[c];
+        if (client.parked)
+            return;
+        if (target_reached()) {
+            park(c, false);
+            return;
+        }
+        if (report.attempts >= attempt_budget) {
+            park(c, true);
+            return;
+        }
+        if (client.session == kInvalidSession) {
+            ++report.attempts;
+            const OpenOutcome opened = gateway.open_session();
+            if (!opened.admitted) {
+                retry_later(c);
+                return;
+            }
+            client.session = opened.session;
+            client.turn_in_session = 0;
+        }
+        ++report.attempts;
+        const SubmitOutcome submitted = gateway.submit_turn(
+            client.session, config.prompt_tokens, config.output_tokens,
+            [this, c](const StreamEvent &event) { on_stream(c, event); });
+        if (!submitted.admitted)
+            on_reject(c, submitted.reason);
+    }
+
+    void
+    retry_later(std::size_t c)
+    {
+        ++report.retries;
+        sim.schedule(think(), [this, c] { act(c); });
+    }
+
+    /** Synchronous admission rejects (queue full, context, session). */
+    void
+    on_reject(std::size_t c, RejectReason reason)
+    {
+        Client &client = clients[c];
+        if (reason == RejectReason::kContextOverflow ||
+            reason == RejectReason::kSessionLimit) {
+            // The conversation cannot continue: start a fresh one.
+            if (client.session != kInvalidSession) {
+                gateway.close_session(client.session);
+                client.session = kInvalidSession;
+            }
+        }
+        retry_later(c);
+    }
+
+    void
+    on_stream(std::size_t c, const StreamEvent &event)
+    {
+        switch (event.kind) {
+        case StreamEvent::Kind::kAccepted:
+        case StreamEvent::Kind::kFirstToken:
+        case StreamEvent::Kind::kToken:
+            return; // clients only act on turn boundaries
+        case StreamEvent::Kind::kShed:
+            // Asynchronous shed (the backend refused the dispatched
+            // turn): same remediation as a synchronous reject.
+            on_reject(c, event.reason);
+            return;
+        case StreamEvent::Kind::kCompleted:
+            break;
+        }
+        Client &client = clients[c];
+        ++report.completed;
+        const TurnMetrics &m = *event.metrics;
+        report.ttft.push_back(m.ttft);
+        report.tbt.push_back(m.tbt);
+        report.e2e.push_back(m.e2e);
+        report.queue_wait.push_back(m.queue_wait);
+        ++client.turn_in_session;
+        if (client.turn_in_session >= config.turns_per_session &&
+            client.session != kInvalidSession) {
+            gateway.close_session(client.session);
+            client.session = kInvalidSession;
+        }
+        sim.schedule(think(), [this, c] { act(c); });
+    }
+};
+
+} // namespace
+
+Result<DriverReport>
+run_closed_loop(sim::Simulator &sim, Gateway &gateway,
+                const DriverConfig &config)
+{
+    HELM_RETURN_IF_ERROR(config.validate());
+
+    ClosedLoop loop(sim, gateway, config);
+    const Seconds started = sim.now();
+    const std::uint64_t events_before = sim.events_executed();
+    // Stagger client starts across one think time so the first
+    // dispatch window is not a single synchronized megabatch.
+    for (std::size_t c = 0; c < loop.clients.size(); ++c)
+        sim.schedule(loop.think(), [&loop, c] { loop.act(c); });
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    sim.run();
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    if (!gateway.health().is_ok())
+        return gateway.health();
+
+    loop.report.sim_makespan = sim.now() - started;
+    loop.report.events_executed = sim.events_executed() - events_before;
+    loop.report.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    if (loop.report.wall_seconds > 0.0) {
+        loop.report.events_per_second =
+            static_cast<double>(loop.report.events_executed) /
+            loop.report.wall_seconds;
+        loop.report.requests_per_second =
+            static_cast<double>(loop.report.completed) /
+            loop.report.wall_seconds;
+    }
+    return std::move(loop.report);
+}
+
+} // namespace helm::gateway

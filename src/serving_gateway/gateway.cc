@@ -1,0 +1,342 @@
+#include "serving_gateway/gateway.h"
+
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace helm::gateway {
+
+Status
+GatewayConfig::validate() const
+{
+    return admission.validate();
+}
+
+Gateway::Gateway(sim::Simulator &sim, GatewayConfig config,
+                 std::vector<runtime::ServingBackend *> replicas)
+    : sim_(sim), config_(config), admission_(config.admission),
+      router_(config.router, static_cast<std::uint32_t>(replicas.size()))
+{
+    HELM_ASSERT(!replicas.empty(), "gateway needs at least one replica");
+    replicas_.resize(replicas.size());
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        HELM_ASSERT(replicas[r] != nullptr,
+                    "gateway replica backend must not be null");
+        replicas_[r].backend = replicas[r];
+        replicas_[r].window =
+            config_.dispatch_batch != 0
+                ? config_.dispatch_batch
+                : std::max<std::uint64_t>(
+                      1, replicas[r]->effective_max_batch());
+    }
+    stats_.routed_per_replica.assign(replicas.size(), 0);
+    stats_.busy_seconds_per_replica.assign(replicas.size(), 0.0);
+}
+
+OpenOutcome
+Gateway::open_session()
+{
+    OpenOutcome outcome;
+    if (!admission_.admit_session(sessions_.active())) {
+        admission_.count_reject(RejectReason::kSessionLimit);
+        ++stats_.turns_shed;
+        outcome.reason = RejectReason::kSessionLimit;
+        return outcome;
+    }
+    std::vector<ReplicaLoad> loads;
+    loads.reserve(replicas_.size());
+    for (const Replica &replica : replicas_)
+        loads.push_back(load_of(replica));
+    // Hash affinity needs the id before routing; open first, route on
+    // the fresh handle.
+    const SessionId id = sessions_.open(0, sim_.now());
+    Session *session = sessions_.find(id);
+    session->replica = router_.route(id, loads);
+    outcome.session = id;
+    outcome.admitted = true;
+    return outcome;
+}
+
+SubmitOutcome
+Gateway::submit_turn(SessionId session_id, std::uint64_t prompt_tokens,
+                     std::uint64_t output_tokens, StreamSink sink)
+{
+    HELM_ASSERT(prompt_tokens >= 1 && output_tokens >= 1,
+                "a turn needs at least one prompt and one output token");
+    SubmitOutcome outcome;
+    ++stats_.turns_submitted;
+    Session *session = sessions_.find(session_id);
+    if (session == nullptr) {
+        // Closed or stale handle: the session cap is the nearest truth.
+        admission_.count_reject(RejectReason::kSessionLimit);
+        ++stats_.turns_shed;
+        outcome.reason = RejectReason::kSessionLimit;
+        return outcome;
+    }
+    const auto padded_prompt =
+        admission_.charge_context(session->context_tokens, prompt_tokens);
+    if (!padded_prompt.has_value()) {
+        admission_.count_reject(RejectReason::kContextOverflow);
+        ++stats_.turns_shed;
+        ++session->turns_shed;
+        outcome.reason = RejectReason::kContextOverflow;
+        return outcome;
+    }
+    Replica &replica = replicas_[session->replica];
+    if (!admission_.admit_turn(replica.queue.size())) {
+        admission_.count_reject(RejectReason::kAcceptQueueFull);
+        ++stats_.turns_shed;
+        ++session->turns_shed;
+        outcome.reason = RejectReason::kAcceptQueueFull;
+        return outcome;
+    }
+
+    PendingTurn turn;
+    turn.id = next_turn_++;
+    turn.session = session_id;
+    turn.prompt_tokens = *padded_prompt;
+    turn.output_tokens = output_tokens;
+    turn.submitted = sim_.now();
+    turn.sink = std::move(sink);
+
+    session->context_tokens = *padded_prompt + output_tokens;
+    ++session->turns_submitted;
+    ++session->inflight;
+    ++stats_.turns_accepted;
+    ++stats_.routed_per_replica[session->replica];
+    replica.queue.push_back(std::move(turn));
+    stats_.peak_accept_depth =
+        std::max<std::uint64_t>(stats_.peak_accept_depth,
+                                replica.queue.size());
+
+    outcome.turn = replica.queue.back().id;
+    outcome.admitted = true;
+    if (replica.queue.back().sink) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::kAccepted;
+        event.turn = outcome.turn;
+        event.session = session_id;
+        event.time = sim_.now();
+        replica.queue.back().sink(event);
+    }
+    maybe_schedule_dispatch(session->replica);
+    return outcome;
+}
+
+void
+Gateway::close_session(SessionId id)
+{
+    sessions_.close(id);
+}
+
+void
+Gateway::maybe_schedule_dispatch(std::uint32_t r)
+{
+    Replica &replica = replicas_[r];
+    if (replica.busy || replica.dispatch_scheduled ||
+        replica.queue.empty() || !health_.is_ok())
+        return;
+    replica.dispatch_scheduled = true;
+    // Delay 0: every turn accepted at this timestamp joins the window.
+    sim_.schedule(0.0, [this, r] { dispatch(r); });
+}
+
+void
+Gateway::dispatch(std::uint32_t r)
+{
+    Replica &replica = replicas_[r];
+    replica.dispatch_scheduled = false;
+    if (replica.busy || replica.queue.empty() || !health_.is_ok())
+        return;
+
+    const std::size_t count = std::min<std::size_t>(
+        replica.queue.size(), replica.window);
+    std::vector<PendingTurn> window;
+    window.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        window.push_back(std::move(replica.queue.front()));
+        replica.queue.pop_front();
+    }
+
+    for (const PendingTurn &turn : window) {
+        workload::TimedRequest timed;
+        timed.request.id = turn.id;
+        timed.request.prompt_tokens = turn.prompt_tokens;
+        timed.request.output_tokens = turn.output_tokens;
+        timed.arrival = 0.0;
+        const Status submitted = replica.backend->submit(timed);
+        if (!submitted.is_ok()) {
+            health_ = submitted;
+            for (PendingTurn &shed : window)
+                shed_turn(std::move(shed), RejectReason::kBackendShed);
+            return;
+        }
+    }
+    auto report = replica.backend->serve();
+    if (!report.is_ok()) {
+        health_ = report.status();
+        for (PendingTurn &shed : window)
+            shed_turn(std::move(shed), RejectReason::kBackendShed);
+        return;
+    }
+
+    const Seconds now = sim_.now();
+    ++stats_.dispatch_windows;
+    stats_.backend_batches += report->batches_formed;
+    stats_.busy_seconds_per_replica[r] += report->makespan;
+
+    std::unordered_map<TurnId, PendingTurn> by_id;
+    by_id.reserve(window.size());
+    for (PendingTurn &turn : window)
+        by_id.emplace(turn.id, std::move(turn));
+    for (const runtime::RequestMetrics &metrics : report->requests) {
+        auto it = by_id.find(metrics.id);
+        if (it == by_id.end())
+            continue;
+        ++replica.inflight;
+        schedule_deliveries(r, std::move(it->second), metrics, now);
+        by_id.erase(it);
+    }
+    // Whatever the backend did not complete, it shed.
+    for (auto &left : by_id)
+        shed_turn(std::move(left.second), RejectReason::kBackendShed);
+
+    replica.busy = true;
+    sim_.schedule(report->makespan, [this, r] {
+        replicas_[r].busy = false;
+        maybe_schedule_dispatch(r);
+    });
+}
+
+struct Gateway::DeliveryState
+{
+    StreamSink sink;
+    TurnMetrics metrics;
+};
+
+void
+Gateway::schedule_deliveries(std::uint32_t r, PendingTurn &&turn,
+                             const runtime::RequestMetrics &metrics,
+                             Seconds dispatched)
+{
+    auto state = std::make_shared<DeliveryState>();
+    state->sink = std::move(turn.sink);
+    TurnMetrics &m = state->metrics;
+    m.turn = turn.id;
+    m.session = turn.session;
+    m.prompt_tokens = turn.prompt_tokens;
+    m.output_tokens = turn.output_tokens;
+    m.submitted = turn.submitted;
+    m.dispatched = dispatched;
+    m.first_token = dispatched + metrics.ttft;
+    m.completed = dispatched + metrics.e2e_latency;
+    m.queue_wait = dispatched - turn.submitted;
+    m.ttft = m.first_token - turn.submitted;
+    m.tbt = metrics.tbt;
+    m.e2e = m.completed - turn.submitted;
+
+    // The chain: token 0 at first_token, then either every token
+    // (spaced tbt, final one pinned to the exact completion time) or a
+    // straight jump to completion when coalescing.
+    sim_.schedule_at(std::max(m.first_token, sim_.now()),
+                     [this, r, state] { deliver_token(r, state, 0); });
+}
+
+void
+Gateway::deliver_token(std::uint32_t r,
+                       const std::shared_ptr<DeliveryState> &state,
+                       std::uint64_t token)
+{
+    const TurnMetrics &m = state->metrics;
+    if (state->sink) {
+        StreamEvent event;
+        event.kind = token == 0 ? StreamEvent::Kind::kFirstToken
+                                : StreamEvent::Kind::kToken;
+        event.turn = m.turn;
+        event.session = m.session;
+        event.token_index = token;
+        event.time = sim_.now();
+        state->sink(event);
+    }
+    const std::uint64_t tokens = m.output_tokens;
+    if (config_.per_token_stream && token + 1 < tokens) {
+        // Middle tokens pace at tbt; the last token lands exactly at
+        // the completion time (clamped monotone against rounding).
+        Seconds next = token + 2 == tokens
+                           ? m.completed
+                           : m.first_token +
+                                 static_cast<double>(token + 1) * m.tbt;
+        next = std::min(next, m.completed);
+        next = std::max(next, sim_.now());
+        sim_.schedule_at(next, [this, r, state, token] {
+            deliver_token(r, state, token + 1);
+        });
+        return;
+    }
+    // Last delivered token (or coalescing): complete the turn.
+    const Seconds at = std::max(m.completed, sim_.now());
+    sim_.schedule_at(at, [this, r, state] { complete_turn(r, state); });
+}
+
+void
+Gateway::complete_turn(std::uint32_t r,
+                       const std::shared_ptr<DeliveryState> &state)
+{
+    const TurnMetrics &m = state->metrics;
+    Replica &replica = replicas_[r];
+    HELM_ASSERT(replica.inflight > 0,
+                "turn completion without a dispatched turn in flight");
+    --replica.inflight;
+    ++stats_.turns_completed;
+    stats_.tokens_delivered += m.output_tokens;
+    if (Session *session = sessions_.find(m.session)) {
+        ++session->turns_completed;
+        --session->inflight;
+    }
+    if (state->sink) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::kCompleted;
+        event.turn = m.turn;
+        event.session = m.session;
+        event.token_index =
+            m.output_tokens > 0 ? m.output_tokens - 1 : 0;
+        event.time = sim_.now();
+        event.metrics = &state->metrics;
+        state->sink(event);
+    }
+}
+
+void
+Gateway::shed_turn(PendingTurn &&turn, RejectReason reason)
+{
+    admission_.count_reject(reason);
+    ++stats_.turns_shed;
+    if (Session *session = sessions_.find(turn.session)) {
+        ++session->turns_shed;
+        --session->inflight;
+    }
+    if (turn.sink) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::kShed;
+        event.turn = turn.id;
+        event.session = turn.session;
+        event.time = sim_.now();
+        event.reason = reason;
+        turn.sink(event);
+    }
+}
+
+ReplicaLoad
+Gateway::load_of(const Replica &replica) const
+{
+    ReplicaLoad load;
+    load.queued = replica.queue.size();
+    load.inflight = replica.inflight;
+    load.busy = replica.busy;
+    return load;
+}
+
+} // namespace helm::gateway

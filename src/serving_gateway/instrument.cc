@@ -1,0 +1,132 @@
+#include "serving_gateway/instrument.h"
+
+#include <string>
+
+namespace helm::gateway {
+
+void
+record_gateway(telemetry::MetricsRegistry &registry,
+               const Gateway &gateway, const DriverReport &report)
+{
+    const GatewayStats &stats = gateway.stats();
+    const SessionTable &sessions = gateway.sessions();
+
+    registry
+        .counter("helm_gateway_sessions_opened_total", {},
+                 "Sessions the gateway admitted")
+        .add(static_cast<double>(sessions.opened_total()));
+    registry
+        .counter("helm_gateway_sessions_closed_total", {},
+                 "Sessions closed by their clients")
+        .add(static_cast<double>(sessions.closed_total()));
+    registry
+        .gauge("helm_gateway_sessions_active", {},
+               "Sessions open when the run ended")
+        .set(static_cast<double>(sessions.active()));
+
+    registry
+        .counter("helm_gateway_requests_submitted_total", {},
+                 "Turns clients submitted (before admission)")
+        .add(static_cast<double>(stats.turns_submitted));
+    registry
+        .counter("helm_gateway_requests_accepted_total", {},
+                 "Turns that passed admission")
+        .add(static_cast<double>(stats.turns_accepted));
+    registry
+        .counter("helm_gateway_requests_completed_total", {},
+                 "Turns fully streamed back to their clients")
+        .add(static_cast<double>(stats.turns_completed));
+
+    const auto &rejects = gateway.admission().rejects();
+    for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+        registry
+            .counter("helm_gateway_requests_shed_total",
+                     {{"reason", reject_reason_name(
+                                     static_cast<RejectReason>(i))}},
+                     "Turns and session opens shed, by typed reason")
+            .add(static_cast<double>(rejects[i]));
+    }
+
+    for (std::size_t r = 0; r < stats.routed_per_replica.size(); ++r) {
+        const telemetry::Labels labels{{"replica", std::to_string(r)}};
+        registry
+            .counter("helm_gateway_requests_routed_total", labels,
+                     "Accepted turns per backend replica")
+            .add(static_cast<double>(stats.routed_per_replica[r]));
+        registry
+            .counter("helm_gateway_replica_busy_seconds", labels,
+                     "Virtual seconds each replica spent serving "
+                     "dispatch windows")
+            .add(stats.busy_seconds_per_replica[r]);
+    }
+
+    registry
+        .counter("helm_gateway_dispatch_windows_total", {},
+                 "serve() calls the gateway issued")
+        .add(static_cast<double>(stats.dispatch_windows));
+    registry
+        .counter("helm_gateway_backend_batches_total", {},
+                 "Batches the backends formed inside dispatch windows")
+        .add(static_cast<double>(stats.backend_batches));
+    registry
+        .counter("helm_gateway_tokens_delivered_total", {},
+                 "Tokens streamed to clients")
+        .add(static_cast<double>(stats.tokens_delivered));
+    registry
+        .gauge("helm_gateway_accept_queue_peak", {},
+               "Peak accepted-but-undispatched turns on one replica")
+        .set(static_cast<double>(stats.peak_accept_depth));
+
+    const auto buckets = telemetry::default_latency_buckets();
+    struct EdgeFamily
+    {
+        const char *name;
+        const char *help;
+        const std::vector<double> *samples;
+    };
+    const EdgeFamily families[] = {
+        {"helm_gateway_ttft_seconds",
+         "Client-edge time to first token (includes gateway queueing)",
+         &report.ttft},
+        {"helm_gateway_tbt_seconds",
+         "Client-edge mean time between tokens", &report.tbt},
+        {"helm_gateway_e2e_seconds",
+         "Client-edge end-to-end turn latency", &report.e2e},
+        {"helm_gateway_queue_wait_seconds",
+         "Accept-to-dispatch wait inside the gateway",
+         &report.queue_wait},
+    };
+    for (const EdgeFamily &family : families) {
+        auto &histogram =
+            registry.histogram(family.name, {}, buckets, family.help);
+        for (const double sample : *family.samples)
+            histogram.observe(sample);
+    }
+
+    registry
+        .gauge("helm_gateway_driver_clients", {},
+               "Closed-loop clients the driver simulated")
+        .set(static_cast<double>(report.clients));
+    registry
+        .counter("helm_gateway_driver_attempts_total", {},
+                 "Session opens + turn submits, including retries")
+        .add(static_cast<double>(report.attempts));
+    registry
+        .counter("helm_gateway_driver_retries_total", {},
+                 "Turns re-issued after a shed or failed open")
+        .add(static_cast<double>(report.retries));
+    registry
+        .gauge("helm_gateway_driver_makespan_seconds", {},
+               "Virtual time the closed-loop run spanned")
+        .set(report.sim_makespan);
+    registry
+        .gauge("helm_gateway_driver_events_per_second", {},
+               "Host-side DES events/sec the run sustained")
+        .set(report.events_per_second);
+    registry
+        .gauge("helm_gateway_driver_requests_per_second", {},
+               "Host-side completed requests/sec the run sustained")
+        .set(report.requests_per_second);
+}
+
+} // namespace helm::gateway

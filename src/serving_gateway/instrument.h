@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Gateway telemetry: the `helm_gateway_*` metric families.
+ *
+ * One recording call turns a Gateway's stats and a DriverReport into
+ * registry samples, so `helmsim gateway --metrics-out/--prom-out`
+ * exports exactly what the stdout table printed — and CI can gate the
+ * million-request run on `helm_gateway_requests_completed_total`
+ * through tools/check_metrics.py without parsing human output.
+ */
+#ifndef HELM_SERVING_GATEWAY_INSTRUMENT_H
+#define HELM_SERVING_GATEWAY_INSTRUMENT_H
+
+#include "serving_gateway/driver.h"
+#include "serving_gateway/gateway.h"
+#include "telemetry/metrics.h"
+
+namespace helm::gateway {
+
+/**
+ * Record the gateway metric families:
+ *  - helm_gateway_sessions_{opened,closed}_total, _active;
+ *  - helm_gateway_requests_{submitted,accepted,completed}_total;
+ *  - helm_gateway_requests_shed_total{reason=...};
+ *  - helm_gateway_requests_routed_total{replica=...};
+ *  - helm_gateway_replica_busy_seconds{replica=...};
+ *  - helm_gateway_dispatch_windows_total, _backend_batches_total;
+ *  - helm_gateway_tokens_delivered_total;
+ *  - helm_gateway_{ttft,tbt,e2e,queue_wait}_seconds histograms
+ *    (client edge);
+ *  - helm_gateway_driver_* (clients, attempts, retries, makespan, and
+ *    the host-side events/sec the DES core sustained).
+ */
+void record_gateway(telemetry::MetricsRegistry &registry,
+                    const Gateway &gateway, const DriverReport &report);
+
+} // namespace helm::gateway
+
+#endif // HELM_SERVING_GATEWAY_INSTRUMENT_H

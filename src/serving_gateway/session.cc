@@ -1,0 +1,63 @@
+#include "serving_gateway/session.h"
+
+namespace helm::gateway {
+
+SessionId
+SessionTable::open(std::uint32_t replica, Seconds now)
+{
+    std::uint32_t slot;
+    if (free_head_ != kNoFreeSlot) {
+        slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+    } else {
+        HELM_ASSERT(slots_.size() < kNoFreeSlot,
+                    "session slab exhausted the 32-bit slot space");
+        slots_.emplace_back();
+        slot = static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    Slot &entry = slots_[slot];
+    const SessionId id =
+        (static_cast<SessionId>(slot) + 1) << 32 | entry.generation;
+    entry.session = Session{};
+    entry.session.id = id;
+    entry.session.replica = replica;
+    entry.session.opened_at = now;
+    ++active_;
+    ++opened_;
+    return id;
+}
+
+Session *
+SessionTable::find(SessionId id)
+{
+    const std::uint64_t slot_plus_one = id >> 32;
+    if (slot_plus_one == 0 || slot_plus_one > slots_.size())
+        return nullptr;
+    Slot &entry = slots_[slot_plus_one - 1];
+    if (entry.generation != static_cast<std::uint32_t>(id & 0xffffffffu))
+        return nullptr; // closed, or the slot was reused
+    return &entry.session;
+}
+
+const Session *
+SessionTable::find(SessionId id) const
+{
+    return const_cast<SessionTable *>(this)->find(id);
+}
+
+void
+SessionTable::close(SessionId id)
+{
+    if (find(id) == nullptr)
+        return;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>((id >> 32) - 1);
+    Slot &entry = slots_[slot];
+    ++entry.generation; // invalidates the handle
+    entry.next_free = free_head_;
+    free_head_ = slot;
+    --active_;
+    ++closed_;
+}
+
+} // namespace helm::gateway

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Client sessions: multi-turn conversations with context accounting.
+ *
+ * A session is the unit of stickiness and of context growth: every
+ * turn's prompt rides on the accumulated conversation (previous
+ * prompts + generated tokens), so the backend-visible request grows
+ * turn over turn until the admission layer's context cap closes the
+ * conversation.  Sessions are routed to a replica once, at open, and
+ * stay there — KV locality in a real serving system — so the Session
+ * records its replica and the router is consulted only on open.
+ *
+ * SessionTable stores sessions in a slab with an intrusive free list
+ * and generation-checked handles — the same discipline as the DES
+ * kernel's event slab (sim/simulator.h) — so a million sequential
+ * sessions reuse a handful of cache-hot slots and a stale SessionId
+ * can never reach another client's session.
+ */
+#ifndef HELM_SERVING_GATEWAY_SESSION_H
+#define HELM_SERVING_GATEWAY_SESSION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace helm::gateway {
+
+/** Opaque session handle; 0 is never a valid session. */
+using SessionId = std::uint64_t;
+
+inline constexpr SessionId kInvalidSession = 0;
+
+/** One open conversation. */
+struct Session
+{
+    SessionId id = kInvalidSession;
+    /** Replica the session is sticky to (index into the gateway's
+     *  replica set), fixed at open. */
+    std::uint32_t replica = 0;
+    /** Accumulated conversation tokens (block-rounded prompts +
+     *  generated outputs of every accepted turn). */
+    std::uint64_t context_tokens = 0;
+    std::uint64_t turns_submitted = 0;
+    std::uint64_t turns_completed = 0;
+    std::uint64_t turns_shed = 0;
+    /** Turns accepted (or dispatched) and not yet completed/shed. */
+    std::uint64_t inflight = 0;
+    Seconds opened_at = 0.0;
+};
+
+/** Slab of sessions with generation-checked handles. */
+class SessionTable
+{
+  public:
+    /** Open a session sticky to @p replica; returns its handle. */
+    SessionId open(std::uint32_t replica, Seconds now);
+
+    /** The session behind a handle, or nullptr when the handle is
+     *  stale (closed, or a reused slot). */
+    Session *find(SessionId id);
+    const Session *find(SessionId id) const;
+
+    /** Close a session; stale handles are ignored (idempotent). */
+    void close(SessionId id);
+
+    std::uint64_t active() const { return active_; }
+    std::uint64_t opened_total() const { return opened_; }
+    std::uint64_t closed_total() const { return closed_; }
+
+  private:
+    static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+    struct Slot
+    {
+        Session session;
+        std::uint32_t generation = 1;
+        std::uint32_t next_free = kNoFreeSlot;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNoFreeSlot;
+    std::uint64_t active_ = 0;
+    std::uint64_t opened_ = 0;
+    std::uint64_t closed_ = 0;
+};
+
+} // namespace helm::gateway
+
+#endif // HELM_SERVING_GATEWAY_SESSION_H

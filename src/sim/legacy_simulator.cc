@@ -1,0 +1,75 @@
+#include "sim/legacy_simulator.h"
+
+#include <utility>
+
+namespace helm::sim {
+
+EventId
+LegacySimulator::schedule(Seconds delay, std::function<void()> fn)
+{
+    HELM_ASSERT(delay >= 0.0, "cannot schedule events in the past");
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId
+LegacySimulator::schedule_at(Seconds when, std::function<void()> fn)
+{
+    HELM_ASSERT(when >= now_, "cannot schedule events before now()");
+    HELM_ASSERT(static_cast<bool>(fn), "cannot schedule a null callback");
+    const EventId id = next_id_++;
+    queue_.push(QueueEntry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool
+LegacySimulator::cancel(EventId id)
+{
+    return callbacks_.erase(id) > 0;
+}
+
+bool
+LegacySimulator::step()
+{
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        auto it = callbacks_.find(entry.id);
+        if (it == callbacks_.end())
+            continue; // cancelled; skip the stale heap entry
+        std::function<void()> fn = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = entry.when;
+        ++executed_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void
+LegacySimulator::run()
+{
+    while (step()) {
+    }
+}
+
+void
+LegacySimulator::run_until(Seconds deadline)
+{
+    while (!queue_.empty()) {
+        // Skip over cancelled heads without executing them.
+        QueueEntry entry = queue_.top();
+        if (callbacks_.find(entry.id) == callbacks_.end()) {
+            queue_.pop();
+            continue;
+        }
+        if (entry.when > deadline)
+            break;
+        step();
+    }
+    if (deadline > now_)
+        now_ = deadline;
+}
+
+} // namespace helm::sim

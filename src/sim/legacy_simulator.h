@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The pre-rewrite DES kernel, frozen as a reference baseline.
+ *
+ * Until the indexed-heap rewrite (sim/simulator.h), the simulator kept
+ * its pending events in a `std::priority_queue` of (when, seq) entries
+ * with the callbacks in a side `std::unordered_map<EventId, fn>`:
+ * cancellation erased the map entry and left a stale heap node for the
+ * pop path to skip.  That design costs a hash-map node allocation,
+ * a hash probe, and an erase per event — the dominant term once the
+ * serving gateway pushes tens of millions of events per run.
+ *
+ * The class is kept VERBATIM (renamed) for two consumers only:
+ *  - `bench/bench_core.cc` measures the rewrite's events/sec speedup
+ *    against this baseline (the BENCH_core.json `queue.speedup` gate);
+ *  - `tests/sim/event_queue_property_test.cc` replays randomized
+ *    schedule/cancel/run_until programs through both kernels and
+ *    requires identical traces — same-timestamp FIFO order,
+ *    cancellation semantics, and run_until boundary behavior are
+ *    pinned to this implementation bit for bit.
+ *
+ * Do not use it in new code; `sim::Simulator` is the kernel.
+ */
+#ifndef HELM_SIM_LEGACY_SIMULATOR_H
+#define HELM_SIM_LEGACY_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace helm::sim {
+
+/** The historical priority_queue + callback-map DES kernel. */
+class LegacySimulator
+{
+  public:
+    LegacySimulator() = default;
+    LegacySimulator(const LegacySimulator &) = delete;
+    LegacySimulator &operator=(const LegacySimulator &) = delete;
+
+    /** Current virtual time in seconds. */
+    Seconds now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay seconds from now. */
+    EventId schedule(Seconds delay, std::function<void()> fn);
+
+    /** Schedule at an absolute virtual time >= now(). */
+    EventId schedule_at(Seconds when, std::function<void()> fn);
+
+    /** Cancel a pending event; true if it was pending. */
+    bool cancel(EventId id);
+
+    /** Execute the single earliest pending event. @return false if empty. */
+    bool step();
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /** Run until the clock would pass @p deadline; events at exactly
+     *  @p deadline are executed. */
+    void run_until(Seconds deadline);
+
+    /** Number of events executed so far. */
+    std::uint64_t events_executed() const { return executed_; }
+
+    /** Pending (not yet fired or cancelled) event count. */
+    std::size_t pending_events() const { return callbacks_.size(); }
+
+  private:
+    struct QueueEntry
+    {
+        Seconds when;
+        std::uint64_t seq; //!< FIFO tiebreak for equal timestamps
+        EventId id;
+
+        bool
+        operator>(const QueueEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    Seconds now_ = 0.0;
+    std::uint64_t next_seq_ = 1;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue_;
+    std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+} // namespace helm::sim
+
+#endif // HELM_SIM_LEGACY_SIMULATOR_H

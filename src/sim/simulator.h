@@ -7,14 +7,55 @@
  * transfers, host-memory reads) contend realistically instead of being
  * summed analytically.  Execution is strictly deterministic: events at
  * equal timestamps fire in scheduling order.
+ *
+ * Implementation: the kernel is the hot path of the serving gateway's
+ * closed-loop driver (tens of millions of client/token events per
+ * run), so the pending set is NOT the historical `std::priority_queue`
+ * + callback hash map (see sim/legacy_simulator.h, kept as the bench
+ * and property-test baseline).  It is a two-tier queue in the
+ * calendar/ladder-queue family:
+ *
+ *  - event bodies (callback + generation counter) live in a slab — a
+ *    `std::vector` with an intrusive free list — so steady-state
+ *    scheduling performs no per-event map-node allocation and reuses
+ *    hot cache lines.  An `EventId` packs (slot + 1, generation), so
+ *    a stale handle — including the id of an already-fired event
+ *    whose slot was reused — can never cancel the wrong event;
+ *  - the *near* tier is a small 4-ary implicit heap of 24-byte
+ *    plain-data entries (when, seq, slot, generation) holding only
+ *    events at or before the current `horizon_`; it stays cache
+ *    resident, so the per-pop sift touches L1/L2 instead of a
+ *    million-entry heap;
+ *  - the *far* tier is an unsorted append-only vector for everything
+ *    past the horizon — scheduling there is a push_back.  When the
+ *    near heap drains, a refill pass scans the far tier once, drops
+ *    cancelled entries, advances the horizon adaptively so that a
+ *    bounded batch moves near, and Floyd-heapifies that batch in
+ *    O(batch);
+ *  - cancellation is O(1): bump the record's generation and release
+ *    the slot; the stale queue entry is skipped when it surfaces
+ *    (near tier) or dropped wholesale during the next refill scan
+ *    (far tier).
+ *
+ * Events fire in the unique total order (when, seq): the monotone
+ * `seq` tiebreak makes same-timestamp execution order exactly
+ * scheduling order, bit-identical to the legacy kernel — the tiering
+ * is invisible except in speed.
+ *
+ * Accounting guarantee: `pending_events()` counts exactly the events
+ * that have been scheduled but neither fired nor cancelled.  Cancelled
+ * -but-unpopped entries are NEVER counted — the count comes from a
+ * live-event counter maintained by schedule/cancel/step, not from the
+ * internal tier sizes (which may transiently exceed it by the number
+ * of stale entries awaiting their skip or refill sweep).
  */
 #ifndef HELM_SIM_SIMULATOR_H
 #define HELM_SIM_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "common/status.h"
@@ -53,7 +94,9 @@ class Simulator
 
     /**
      * Cancel a pending event.
-     * @return true if the event was pending and is now cancelled.
+     * @return true if the event was pending and is now cancelled;
+     *         false for an already-fired, already-cancelled, or
+     *         never-issued handle (generation mismatch).
      */
     bool cancel(EventId id);
 
@@ -65,40 +108,95 @@ class Simulator
 
     /**
      * Run until the clock would pass @p deadline; events at exactly
-     * @p deadline are executed.
+     * @p deadline are executed (including ones their callbacks
+     * schedule), then the clock advances to @p deadline if idle.
      */
     void run_until(Seconds deadline);
 
     /** Number of events executed so far (for tests / micro-benches). */
     std::uint64_t events_executed() const { return executed_; }
 
-    /** Pending (not yet fired or cancelled) event count. */
-    std::size_t pending_events() const { return callbacks_.size(); }
+    /**
+     * Pending (not yet fired or cancelled) event count.  Exact:
+     * cancelled-but-unpopped entries are never counted (see the file
+     * header's accounting guarantee).
+     */
+    std::size_t pending_events() const { return live_; }
+
+    /** Pre-size the slab and tiers for @p events concurrently pending
+     *  events (an optimization hint; growth stays automatic). */
+    void reserve(std::size_t events);
 
   private:
-    struct QueueEntry
+    /** Near-heap arity: 4 keeps sift-downs shallow and each child
+     *  scan inside one or two cache lines of 24-byte entries. */
+    static constexpr std::size_t kArity = 4;
+
+    /** Refill sizing: aim to move ~max(kNearTarget, far/8) entries
+     *  per horizon advance — small enough to keep the near heap cache
+     *  resident in steady state, a constant fraction when the far
+     *  tier is huge so refill scans stay O(total) overall. */
+    static constexpr std::size_t kNearTarget = 512;
+
+    /** Plain-data queue entry; the global order is (when, seq). */
+    struct HeapEntry
     {
         Seconds when;
-        std::uint64_t seq; //!< FIFO tiebreak for equal timestamps
-        EventId id;
-
-        bool
-        operator>(const QueueEntry &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint64_t seq;        //!< FIFO tiebreak for equal timestamps
+        std::uint32_t slot;       //!< index into records_
+        std::uint32_t generation; //!< must match the record to be live
     };
+
+    /** Slab-resident event body; generation guards slot reuse. */
+    struct EventRecord
+    {
+        std::function<void()> fn;
+        std::uint32_t generation = 1;
+        std::uint32_t next_free = kNoFreeSlot;
+    };
+
+    static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+    static bool
+    precedes(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot);
+    void near_push(const HeapEntry &entry);
+    HeapEntry near_pop();
+    void near_sift_down(std::size_t hole, const HeapEntry &value);
+    /** Advance horizon_ and move the next batch of far events near.
+     *  Pre: near_ empty.  Post: near_ non-empty or far_ empty. */
+    void refill_near();
+    /** Point the near heap's head at the earliest live event,
+     *  refilling and discarding stale entries as needed.
+     *  @return false when no live event is pending. */
+    bool settle_head();
+
+    /** True when a queue entry still names a live (uncancelled,
+     *  unfired) record: the generation bumps on every fire/cancel, so
+     *  one comparison settles it even across slot reuse. */
+    bool
+    entry_live(const HeapEntry &entry) const
+    {
+        return records_[entry.slot].generation == entry.generation;
+    }
 
     Seconds now_ = 0.0;
     std::uint64_t next_seq_ = 1;
-    EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        queue_;
-    std::unordered_map<EventId, std::function<void()>> callbacks_;
+    std::size_t live_ = 0; //!< scheduled, not yet fired or cancelled
+    /** Events at or before this time go to (and live in) near_. */
+    Seconds horizon_ = -std::numeric_limits<Seconds>::infinity();
+    std::vector<HeapEntry> near_; //!< 4-ary min-heap by (when, seq)
+    std::vector<HeapEntry> far_;  //!< unsorted, strictly past horizon_
+    std::vector<EventRecord> records_;
+    std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 } // namespace helm::sim

@@ -143,5 +143,130 @@ TEST(Simulator, StepExecutesExactlyOne)
     EXPECT_FALSE(sim.step());
 }
 
+// ---- the accounting guarantee (see the simulator.h file header) ------
+
+TEST(Simulator, PendingNeverCountsCancelledEntries)
+{
+    // Cancelled-but-unpopped entries must be invisible to
+    // pending_events() immediately, not only after their heap entry
+    // surfaces or a refill sweeps them.
+    Simulator sim;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 5; ++i)
+        ids.push_back(sim.schedule(1.0 + i, [] {}));
+    EXPECT_EQ(sim.pending_events(), 5u);
+    EXPECT_TRUE(sim.cancel(ids[1]));
+    EXPECT_TRUE(sim.cancel(ids[3]));
+    EXPECT_EQ(sim.pending_events(), 3u);
+    sim.run();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, PendingExactAcrossTiersAndSteps)
+{
+    // Wide spread pushes entries into the far tier; the live count
+    // must stay exact through cancellations, refills, and pops.
+    Simulator sim;
+    std::vector<EventId> ids;
+    for (std::uint64_t i = 0; i < 200; ++i)
+        ids.push_back(sim.schedule(
+            static_cast<double>((i * 97) % 100) * 10.0 + 1.0, [] {}));
+    std::size_t live = 200;
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        ASSERT_TRUE(sim.cancel(ids[i]));
+        --live;
+        EXPECT_EQ(sim.pending_events(), live);
+    }
+    while (sim.step()) {
+        --live;
+        EXPECT_EQ(sim.pending_events(), live);
+    }
+    EXPECT_EQ(live, 0u);
+}
+
+TEST(Simulator, CancelOwnFiringEventReturnsFalse)
+{
+    // By the time a callback runs, its event has fired: the handle
+    // must read as spent, not cancel anything.
+    Simulator sim;
+    EventId self = kInvalidEvent;
+    bool cancel_result = true;
+    self = sim.schedule(1.0, [&] { cancel_result = sim.cancel(self); });
+    sim.run();
+    EXPECT_FALSE(cancel_result);
+    EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, StaleHandleCannotCancelAcrossSlotReuse)
+{
+    // Cancelling frees the slot; the next schedule may reuse it.  The
+    // old handle carries the old generation and must stay inert.
+    Simulator sim;
+    bool fired = false;
+    const EventId old_id = sim.schedule(1.0, [] {});
+    ASSERT_TRUE(sim.cancel(old_id));
+    const EventId new_id = sim.schedule(2.0, [&] { fired = true; });
+    EXPECT_FALSE(sim.cancel(old_id)); // must not kill the new event
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_NE(old_id, new_id);
+}
+
+TEST(Simulator, FiredHandleCannotCancelAcrossSlotReuse)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId spent = sim.schedule(1.0, [] {});
+    sim.run();
+    const EventId fresh = sim.schedule(1.0, [&] { fired = true; });
+    EXPECT_FALSE(sim.cancel(spent));
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_NE(spent, fresh);
+}
+
+TEST(Simulator, RunUntilWithCancelledHeadAdvancesClock)
+{
+    // A cancelled earliest event must neither fire nor pin the clock:
+    // run_until has to discard it and land exactly on the deadline.
+    Simulator sim;
+    bool fired = false;
+    const EventId head = sim.schedule(1.0, [&] { fired = true; });
+    sim.schedule(2.0, [] {});
+    ASSERT_TRUE(sim.cancel(head));
+    sim.run_until(1.5);
+    EXPECT_FALSE(fired);
+    EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, CancelSameTimestampLaterEventFromCallback)
+{
+    // FIFO at equal timestamps means the first-scheduled event runs
+    // first and may still cancel a same-timestamp successor.
+    Simulator sim;
+    bool victim_fired = false;
+    EventId victim = kInvalidEvent;
+    sim.schedule(1.0, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+    victim = sim.schedule(1.0, [&] { victim_fired = true; });
+    sim.run();
+    EXPECT_FALSE(victim_fired);
+    EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, ReserveIsBehaviorNeutral)
+{
+    Simulator sim;
+    sim.reserve(4096);
+    std::vector<int> order;
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 } // namespace
 } // namespace helm::sim

@@ -16,10 +16,21 @@ helm-bench-parallel-v1 (bench_wall)
   ``--min-speedup X`` turns the sweep speedup into a gate for runners
   with known parallelism.
 
+helm-bench-core-v1 (bench_core)
+  * ``queue.identical`` is ``true`` — the two-tier slab kernel must
+    fire the exact same event trace as the legacy priority_queue
+    kernel on the session-timer workload;
+  * queue/gateway numbers are present, finite, and non-negative, and
+    ``gateway.requests_completed`` is at least 1.
+  The measured speedup and events/sec are recorded, NOT gated, by
+  default (they depend on the runner).  ``--min-speedup X`` gates
+  ``queue.speedup`` and ``--min-events-per-sec X`` gates
+  ``queue.indexed_events_per_s`` for runners with known performance.
+
 helm-bench-scheduler-v1 (bench_scheduler)
-  * ``fcfs_identity.identical`` is ``true`` — the unified
-    ServingConfig path must reproduce the legacy FCFS entry point
-    byte for byte;
+  * ``fcfs_identity.identical`` is ``true`` — the single-GPU Server
+    and the 1-GPU replica ClusterServer (which documents wholesale
+    delegation) must produce byte-identical FCFS reports;
   * ``bursty`` carries fcfs/continuous/edf sections with finite
     goodput/p99-TTFT numbers, and edf goodput exceeds fcfs goodput on
     the bursty multi-tenant mix;
@@ -46,6 +57,13 @@ PARALLEL_NUMBERS = {
               "points_per_s_par", "speedup"),
     "tune": ("candidates", "seq_seconds", "par_seconds", "speedup"),
     "simcache": ("hits", "misses", "hit_rate"),
+}
+
+CORE_NUMBERS = {
+    "queue": ("outstanding", "events", "baseline_events_per_s",
+              "indexed_events_per_s", "speedup"),
+    "gateway": ("requests_completed", "requests_shed", "requests_per_s",
+                "events_per_s"),
 }
 
 SCHEDULER_NUMBERS = {
@@ -116,13 +134,47 @@ def check_parallel(doc, args, errors):
                              doc["simcache"]["hit_rate"], doc["jobs"]))
 
 
+def check_core(doc, args, errors):
+    queue = doc.get("queue")
+    if not isinstance(queue, dict) or queue.get("identical") is not True:
+        errors.append(
+            "queue.identical must be true: the two-tier kernel's fire "
+            "trace diverged from the legacy priority_queue kernel")
+    check_numbers(doc, CORE_NUMBERS, errors)
+    if errors:
+        return
+    if doc["gateway"]["requests_completed"] < 1:
+        errors.append("gateway.requests_completed must be >= 1")
+    if args.min_speedup > 0.0 and \
+            doc["queue"]["speedup"] < args.min_speedup:
+        errors.append("queue.speedup %.3f < required %.3f" %
+                      (doc["queue"]["speedup"], args.min_speedup))
+    if args.min_events_per_sec > 0.0 and \
+            doc["queue"]["indexed_events_per_s"] < \
+            args.min_events_per_sec:
+        errors.append(
+            "queue.indexed_events_per_s %.0f < required %.0f" %
+            (doc["queue"]["indexed_events_per_s"],
+             args.min_events_per_sec))
+    if not errors:
+        print("ok: identical over %d events at %d outstanding, "
+              "queue x%.2f (%.2fM events/s), gateway %d requests "
+              "(%.0f requests/s)" %
+              (doc["queue"]["events"], doc["queue"]["outstanding"],
+               doc["queue"]["speedup"],
+               doc["queue"]["indexed_events_per_s"] / 1e6,
+               doc["gateway"]["requests_completed"],
+               doc["gateway"]["requests_per_s"]))
+
+
 def check_scheduler(doc, _args, errors):
     identity = doc.get("fcfs_identity")
     if not isinstance(identity, dict) or identity.get("identical") \
             is not True:
         errors.append(
-            "fcfs_identity.identical must be true: the ServingConfig "
-            "path diverged from the legacy FCFS entry point")
+            "fcfs_identity.identical must be true: the 1-GPU replica "
+            "ClusterServer diverged from the single-GPU Server on the "
+            "same FCFS stream")
     check_numbers(doc, SCHEDULER_NUMBERS, errors)
     if errors:
         return
@@ -158,6 +210,7 @@ def check_scheduler(doc, _args, errors):
 
 CHECKERS = {
     "helm-bench-parallel-v1": check_parallel,
+    "helm-bench-core-v1": check_core,
     "helm-bench-scheduler-v1": check_scheduler,
 }
 
@@ -166,8 +219,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", help="bench JSON document to validate")
     parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="parallel-v1 only: also gate sweep.speedup "
-                             ">= this value (default: record only)")
+                        help="parallel-v1: gate sweep.speedup; core-v1: "
+                             "gate queue.speedup (default: record only)")
+    parser.add_argument("--min-events-per-sec", type=float, default=0.0,
+                        help="core-v1 only: also gate "
+                             "queue.indexed_events_per_s >= this value "
+                             "(default: record only)")
     args = parser.parse_args()
 
     try:

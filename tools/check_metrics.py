@@ -11,6 +11,9 @@ Checks:
     (counters/gauges) or monotone cumulative ``buckets`` ending in
     ``+Inf`` plus finite ``sum``/``count`` (histograms);
   * every ``--require NAME`` appears among the metric names;
+  * every ``--min NAME=VALUE`` holds: the values of all
+    counter/gauge series named NAME sum to at least VALUE (this is
+    how CI gates e.g. a million completed gateway requests);
   * when the time-attribution metrics are present, the decomposition
     tiles the wall clock: sum(helm_attribution_seconds) +
     helm_attribution_idle_seconds == helm_wall_seconds within 0.1 %.
@@ -131,7 +134,29 @@ def main(argv=None):
         metavar="NAME",
         help="fail unless this metric name is present (repeatable)",
     )
+    parser.add_argument(
+        "--min",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fail unless the counter/gauge series named NAME sum to "
+        "at least VALUE (repeatable)",
+    )
     args = parser.parse_args(argv)
+
+    floors = []
+    for spec in args.min:
+        name, sep, value = spec.partition("=")
+        try:
+            floors.append((name, float(value)))
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            print(
+                "check_metrics: bad --min %r, expected NAME=VALUE" % spec,
+                file=sys.stderr,
+            )
+            return 2
 
     try:
         with open(args.snapshot, "r", encoding="utf-8") as handle:
@@ -158,6 +183,22 @@ def main(argv=None):
     for required in args.require:
         if required not in names:
             errors.append("required metric missing: %s" % required)
+
+    for name, floor in floors:
+        if name not in names:
+            errors.append("--min metric missing: %s" % name)
+            continue
+        total = sum(
+            float(e.get("value", 0.0))
+            for e in metrics
+            if isinstance(e, dict)
+            and e.get("name") == name
+            and e.get("type") in ("counter", "gauge")
+        )
+        if not total >= floor:
+            errors.append(
+                "%s total %.9g < required minimum %.9g" % (name, total, floor)
+            )
 
     check_attribution([e for e in metrics if isinstance(e, dict)], errors)
 

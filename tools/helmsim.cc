@@ -28,6 +28,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <iostream>
 
@@ -1281,6 +1282,225 @@ cmd_membench(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmd_gateway(const std::vector<std::string> &args)
+{
+    ArgParser parser(
+        "helmsim gateway",
+        "closed-loop serving gateway: client sessions, per-token "
+        "streaming, admission control, and replica routing in front "
+        "of ServingBackend replicas");
+    add_common_options(parser);
+    parser.add_option("placement", "Baseline | HeLM | Balanced | All-CPU",
+                      "Baseline");
+    parser.add_option("micro-batches", "micro-batches per weight load",
+                      "1");
+    parser.add_option("scheduler",
+                      "per-replica backend scheduler: fcfs | continuous "
+                      "| edf",
+                      "fcfs");
+    parser.add_option("replicas",
+                      "ServingBackend replicas behind the gateway", "2");
+    parser.add_option("clients", "concurrent closed-loop clients",
+                      "256");
+    parser.add_option("requests",
+                      "completed turns to drive before clients park",
+                      "10000");
+    parser.add_option("turns",
+                      "turns per session (context grows every turn)",
+                      "4");
+    parser.add_option("think-ms",
+                      "mean client think time between turns", "250");
+    parser.add_option("router", "session routing: rr | least | hash",
+                      "rr");
+    parser.add_option("accept-queue",
+                      "accepted-but-undispatched turns allowed per "
+                      "replica",
+                      "256");
+    parser.add_option("max-sessions", "concurrent session cap", "65536");
+    parser.add_option("max-context",
+                      "per-session context budget in tokens", "4096");
+    parser.add_option("context-block",
+                      "context rounding block in tokens (memo-friendly "
+                      "batch shapes)",
+                      "64");
+    parser.add_option("dispatch-batch",
+                      "turns per dispatch window (0 = the replica's "
+                      "batch ceiling)",
+                      "0");
+    parser.add_option("max-batch",
+                      "backend batch ceiling (0 = auto-size from the "
+                      "GPU budget)",
+                      "0");
+    parser.add_switch("coalesce-tokens",
+                      "deliver only first token + completion instead "
+                      "of every token (fewer DES events)");
+    parser.add_option("seed", "driver RNG seed", "42");
+    add_telemetry_options(parser);
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+
+    const auto model_config = parse_model(parser.get("model"));
+    const auto memory = parse_memory(parser.get("memory"));
+    const auto scheme = parse_placement(parser.get("placement"));
+    const auto scheduler =
+        runtime::parse_scheduler_kind(to_lower(parser.get("scheduler")));
+    const auto router =
+        gateway::parse_router_policy(to_lower(parser.get("router")));
+    for (const Status &s :
+         {model_config.status(), memory.status(), scheme.status(),
+          scheduler.status(), router.status()}) {
+        if (!s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+    }
+
+    runtime::ServingSpec base;
+    base.model = *model_config;
+    base.memory = *memory;
+    base.placement = *scheme;
+    base.compress_weights = parser.is_set("int4");
+    base.micro_batches = parser.get_u64("micro-batches");
+    // Size the planner for the worst admissible turn: admission caps
+    // the context-grown, block-rounded prompt at --max-context, so the
+    // auto batch ceiling must leave KV room for that, not just for the
+    // first-turn prompt.
+    base.shape.prompt_tokens = std::max(parser.get_u64("prompt-tokens"),
+                                        parser.get_u64("max-context"));
+    base.shape.output_tokens = parser.get_u64("output-tokens");
+
+    runtime::ServingConfig backend_config;
+    backend_config.scheduler = *scheduler;
+    backend_config.auto_max_batch = parser.get_u64("max-batch") == 0;
+    backend_config.max_batch = parser.get_u64("max-batch");
+    // The gateway pre-forms dispatch windows and sheds load itself:
+    // backends dispatch greedily and never reject on queue depth.
+    backend_config.max_queue_delay = 0.0;
+    backend_config.max_queue_length = 1u << 20;
+
+    const std::uint64_t replica_count =
+        std::max<std::uint64_t>(1, parser.get_u64("replicas"));
+    std::deque<runtime::Server> servers;
+    std::vector<runtime::ServingBackend *> backends;
+    for (std::uint64_t r = 0; r < replica_count; ++r) {
+        auto created = runtime::Server::create(base, backend_config);
+        if (!created.is_ok()) {
+            std::cerr << "invalid serving spec: "
+                      << created.status().to_string() << "\n";
+            return 2;
+        }
+        servers.push_back(std::move(*created));
+        backends.push_back(&servers.back());
+    }
+
+    gateway::GatewayConfig gateway_config;
+    gateway_config.admission.accept_queue =
+        parser.get_u64("accept-queue");
+    gateway_config.admission.max_sessions =
+        parser.get_u64("max-sessions");
+    gateway_config.admission.max_context = parser.get_u64("max-context");
+    gateway_config.admission.context_block =
+        parser.get_u64("context-block");
+    gateway_config.router = *router;
+    gateway_config.dispatch_batch = parser.get_u64("dispatch-batch");
+    gateway_config.per_token_stream = !parser.is_set("coalesce-tokens");
+    const Status gateway_valid = gateway_config.validate();
+    if (!gateway_valid.is_ok()) {
+        std::cerr << gateway_valid.to_string() << "\n";
+        return 2;
+    }
+
+    gateway::DriverConfig driver_config;
+    driver_config.clients = parser.get_u64("clients");
+    driver_config.target_requests = parser.get_u64("requests");
+    driver_config.turns_per_session = parser.get_u64("turns");
+    driver_config.mean_think = parser.get_double("think-ms") * 1e-3;
+    driver_config.prompt_tokens = parser.get_u64("prompt-tokens");
+    driver_config.output_tokens = parser.get_u64("output-tokens");
+    driver_config.seed = parser.get_u64("seed");
+
+    sim::Simulator sim;
+    gateway::Gateway gate(sim, gateway_config, backends);
+    const auto report =
+        gateway::run_closed_loop(sim, gate, driver_config);
+    if (!report.is_ok()) {
+        std::cerr << "gateway run failed: "
+                  << report.status().to_string() << "\n";
+        return 1;
+    }
+
+    const gateway::GatewayStats &stats = gate.stats();
+    AsciiTable table("Gateway results");
+    table.set_header({"metric", "value"});
+    table.align_right_from(1);
+    table.add_row({"replicas", std::to_string(replica_count)});
+    table.add_row({"clients", std::to_string(report->clients)});
+    table.add_row({"sessions opened",
+                   std::to_string(gate.sessions().opened_total())});
+    table.add_row({"turns completed",
+                   std::to_string(report->completed) + " / " +
+                       std::to_string(report->target_requests)});
+    table.add_row({"turns shed", std::to_string(stats.turns_shed)});
+    table.add_row({"retries", std::to_string(report->retries)});
+    table.add_row(
+        {"dispatch windows", std::to_string(stats.dispatch_windows)});
+    table.add_row({"tokens delivered",
+                   std::to_string(stats.tokens_delivered)});
+    table.add_row({"TTFT p50 / p99",
+                   format_seconds(percentile_nearest_rank(
+                       report->ttft, 50.0)) +
+                       " / " +
+                       format_seconds(percentile_nearest_rank(
+                           report->ttft, 99.0))});
+    table.add_row({"TBT p50", format_seconds(percentile_nearest_rank(
+                                  report->tbt, 50.0))});
+    table.add_row({"E2E p50 / p99",
+                   format_seconds(percentile_nearest_rank(
+                       report->e2e, 50.0)) +
+                       " / " +
+                       format_seconds(percentile_nearest_rank(
+                           report->e2e, 99.0))});
+    table.add_row({"queue wait p95",
+                   format_seconds(percentile_nearest_rank(
+                       report->queue_wait, 95.0))});
+    table.add_row({"sim makespan", format_seconds(report->sim_makespan)});
+    table.add_row(
+        {"DES events", std::to_string(report->events_executed)});
+    table.add_row({"events/s (host)",
+                   format_fixed(report->events_per_second / 1e6, 2) +
+                       "M"});
+    table.add_row({"requests/s (host)",
+                   format_fixed(report->requests_per_second, 0)});
+    table.print(std::cout);
+
+    for (std::size_t i = 0; i < gateway::kRejectReasonCount; ++i) {
+        const std::uint64_t count = gate.admission().rejects()[i];
+        if (count > 0)
+            std::cout << "shed[" << gateway::reject_reason_name(
+                             static_cast<gateway::RejectReason>(i))
+                      << "]: " << count << "\n";
+    }
+
+    telemetry::MetricsRegistry registry;
+    gateway::record_gateway(registry, gate, *report);
+    const int artifacts = emit_artifacts(parser, registry);
+    if (artifacts != 0)
+        return artifacts;
+    if (report->completed < report->target_requests) {
+        std::cerr << "gateway run fell short of the target: "
+                  << report->completed << " < "
+                  << report->target_requests
+                  << " (attempt budget exhausted)\n";
+        return 1;
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -1293,6 +1513,8 @@ usage()
            "the FCFS scheduler\n"
            "  cluster   multi-GPU serving over shared host memory "
            "(replica | pipeline | tensor)\n"
+           "  gateway   closed-loop client gateway: sessions, "
+           "streaming, admission, routing across replicas\n"
            "  sweep     cartesian parameter sweep with pivot tables\n"
            "  tune      QoS auto-tuner\n"
            "  membench  copy bandwidth sweep (Fig. 3)\n"
@@ -1323,6 +1545,8 @@ main(int argc, char **argv)
         return cmd_serve(rest);
     if (command == "cluster")
         return cmd_cluster(rest);
+    if (command == "gateway")
+        return cmd_gateway(rest);
     if (command == "tune")
         return cmd_tune(rest);
     if (command == "membench")
