@@ -1,0 +1,370 @@
+#include "backendzoo/pareto.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "exec/parallel.h"
+#include "mem/calibration.h"
+#include "mem/registry.h"
+#include "model/opt.h"
+#include "placement/ndp_aware.h"
+#include "placement/placement.h"
+#include "runtime/engine.h"
+
+namespace helm::backendzoo {
+
+namespace {
+
+/** One enumerated grid point, pre-simulation. */
+struct GridPoint
+{
+    std::string device;
+    bool storage_tier = false;
+    placement::PlacementKind scheme = placement::PlacementKind::kBaseline;
+    placement::ComputeSiteMode site = placement::ComputeSiteMode::kGpuOnly;
+    std::uint64_t batch = 1;
+};
+
+runtime::ServingSpec
+spec_for(const ExploreOptions &options, const GridPoint &point)
+{
+    runtime::ServingSpec spec;
+    spec.model = options.model;
+    spec.zoo_device = point.device;
+    spec.placement = point.scheme;
+    spec.compress_weights = options.compress_weights;
+    spec.batch = point.batch;
+    spec.compute_site = point.site;
+    spec.shape = options.shape;
+    spec.repeats = 2; // first repeat discarded per Sec. III-C
+    spec.gpu = options.gpu;
+    spec.keep_records = false;
+    return spec;
+}
+
+/** Weight capacity the named device's composed system offers. */
+Bytes
+weight_capacity(const mem::RegisteredDevice &entry)
+{
+    Bytes capacity = entry.make()->capacity();
+    if (entry.storage_tier) // a DRAM host tier sits in front (Table II)
+        capacity += mem::make_dram()->capacity();
+    return capacity;
+}
+
+/** Evaluate one grid point: simulate, price, check capacity. */
+ParetoPoint
+evaluate(const ExploreOptions &options, const GridPoint &point)
+{
+    ParetoPoint out;
+    out.device = point.device;
+    out.placement = placement::placement_kind_name(point.scheme);
+    out.site = placement::compute_site_mode_name(point.site);
+    out.batch = point.batch;
+
+    const runtime::ServingSpec spec = spec_for(options, point);
+    auto result = runtime::simulate_inference(spec);
+    if (!result.is_ok()) {
+        out.error = result.status().to_string();
+        return out;
+    }
+    out.ok = true;
+    out.ttft = result->metrics.ttft;
+    out.tbt = result->metrics.tbt;
+    out.throughput = result->metrics.throughput;
+    out.host_bytes = result->placement.tier_total(placement::Tier::kCpu);
+    out.disk_bytes = result->placement.tier_total(placement::Tier::kDisk);
+    out.ndp_steps = result->ndp_steps;
+
+    const auto &registry = mem::DeviceRegistry::builtin();
+    const mem::RegisteredDevice *entry = registry.find(point.device);
+    HELM_ASSERT(entry != nullptr, "grid devices come from the registry");
+    // The engine allows "ideal" over-capacity runs (all-CPU DRAM,
+    // Sec. V-C); a purchasable box must actually hold its share.
+    if (entry->storage_tier) {
+        out.feasible =
+            out.host_bytes <= mem::make_dram()->capacity() &&
+            out.disk_bytes <= entry->make()->capacity();
+    } else {
+        out.feasible = out.disk_bytes == 0 &&
+                       out.host_bytes <= entry->make()->capacity();
+    }
+
+    auto system = registry.make_system(point.device, spec.pcie);
+    HELM_ASSERT(system.is_ok(), "registry devices must compose");
+    out.system_dollars = options.cost.system_dollars(*system);
+    out.cost_per_token = options.cost.cost_per_token(
+        out.system_dollars, out.throughput);
+    return out;
+}
+
+/** Mark the non-dominated (cost_per_token, tbt) points in place. */
+std::size_t
+mark_frontier(std::vector<ParetoPoint> &points)
+{
+    std::size_t size = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ParetoPoint &p = points[i];
+        p.on_frontier = false;
+        if (!p.ok || !p.feasible)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (j == i)
+                continue;
+            const ParetoPoint &q = points[j];
+            if (!q.ok || !q.feasible)
+                continue;
+            dominated = q.cost_per_token <= p.cost_per_token &&
+                        q.tbt <= p.tbt &&
+                        (q.cost_per_token < p.cost_per_token ||
+                         q.tbt < p.tbt);
+        }
+        p.on_frontier = !dominated;
+        if (p.on_frontier)
+            ++size;
+    }
+    return size;
+}
+
+/** The paper's Fig. 11 NVDRAM cell, legacy path vs zoo path. */
+ParetoAnchor
+run_anchor(const ExploreOptions &options)
+{
+    ParetoAnchor anchor;
+    runtime::ServingSpec spec;
+    spec.model = model::opt_config(model::OptVariant::kOpt175B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kHelm;
+    spec.compress_weights = true;
+    spec.batch = 1;
+    spec.repeats = 2;
+    spec.gpu = options.gpu;
+    spec.keep_records = false;
+
+    auto legacy = runtime::simulate_inference(spec);
+    spec.zoo_device = "NVDRAM";
+    auto zoo = runtime::simulate_inference(spec);
+    if (!legacy.is_ok() || !zoo.is_ok())
+        return anchor;
+    anchor.ran = true;
+    anchor.legacy_ttft = legacy->metrics.ttft;
+    anchor.legacy_tbt = legacy->metrics.tbt;
+    anchor.legacy_throughput = legacy->metrics.throughput;
+    anchor.zoo_ttft = zoo->metrics.ttft;
+    anchor.zoo_tbt = zoo->metrics.tbt;
+    anchor.zoo_throughput = zoo->metrics.throughput;
+    anchor.identical = anchor.legacy_ttft == anchor.zoo_ttft &&
+                       anchor.legacy_tbt == anchor.zoo_tbt &&
+                       anchor.legacy_throughput == anchor.zoo_throughput;
+    return anchor;
+}
+
+/** A ~1.9 TB fp16 transformer: bigger than every paper tier (DRAM 256
+ *  GiB ... DRAM+SSD 1.25 TiB) yet comfortably inside HBF's 10 TiB. */
+model::TransformerConfig
+giant_model()
+{
+    model::TransformerConfig config;
+    config.name = "Synthetic-1T";
+    config.hidden = 20480;
+    config.ffn_hidden = 4 * config.hidden;
+    config.heads = 160;
+    config.blocks = 192;
+    return config;
+}
+
+HbfExclusive
+run_hbf_exclusive(const ExploreOptions &options)
+{
+    HbfExclusive hbf;
+    const model::TransformerConfig config = giant_model();
+    hbf.model = config.name;
+    const auto layers =
+        model::build_layers(config, model::DataType::kFp16);
+    hbf.weight_bytes = model::model_weight_bytes(layers);
+
+    const auto &registry = mem::DeviceRegistry::builtin();
+    for (const mem::RegisteredDevice &entry : registry.devices()) {
+        HbfExclusiveFit fit;
+        fit.device = entry.name;
+        fit.capacity = weight_capacity(entry);
+        fit.fits = hbf.weight_bytes <= fit.capacity;
+        if (fit.fits) {
+            ++hbf.admitting;
+            hbf.only_hbf = hbf.admitting == 1 && entry.name == "HBF";
+        }
+        hbf.fits.push_back(std::move(fit));
+    }
+
+    runtime::ServingSpec spec;
+    spec.model = config;
+    spec.zoo_device = "HBF";
+    spec.placement = placement::PlacementKind::kAllCpu;
+    spec.batch = 1;
+    spec.repeats = 2;
+    spec.gpu = options.gpu;
+    spec.keep_records = false;
+    auto result = runtime::simulate_inference(spec);
+    if (!result.is_ok())
+        return hbf;
+    hbf.ran = true;
+    hbf.tbt = result->metrics.tbt;
+    hbf.throughput = result->metrics.throughput;
+
+    // Endurance: landing the weights is one full program of the flash;
+    // the byte budget bounds how many times the box can be re-imaged.
+    auto device = mem::make_hbf();
+    device->record_write(hbf.weight_bytes);
+    hbf.endurance_budget = device->endurance_budget();
+    hbf.endurance_after_install = device->endurance_remaining();
+    hbf.installs_supported =
+        hbf.weight_bytes == 0
+            ? 0
+            : device->endurance_budget() / hbf.weight_bytes;
+    return hbf;
+}
+
+/** DRAM vs NDP-DIMM All-CPU comparison, largest batch both completed. */
+NdpComparison
+compare_ndp(const std::vector<ParetoPoint> &points)
+{
+    NdpComparison cmp;
+    for (const ParetoPoint &dram : points) {
+        if (dram.device != "DRAM" || dram.placement != "All-CPU" ||
+            !dram.ok)
+            continue;
+        for (const ParetoPoint &ndp : points) {
+            if (ndp.device != "NDP-DIMM" || ndp.placement != "All-CPU" ||
+                ndp.site != "auto" || ndp.batch != dram.batch || !ndp.ok)
+                continue;
+            if (cmp.valid && dram.batch <= cmp.batch)
+                continue;
+            cmp.valid = true;
+            cmp.batch = dram.batch;
+            cmp.dram_tbt = dram.tbt;
+            cmp.ndp_tbt = ndp.tbt;
+            cmp.ndp_dominates = ndp.tbt < dram.tbt;
+        }
+    }
+    return cmp;
+}
+
+} // namespace
+
+Result<ParetoReport>
+explore(const ExploreOptions &options)
+{
+    if (options.batches.empty())
+        return Status::invalid_argument("batch list must be non-empty");
+    if (options.model.hidden == 0 || options.model.blocks == 0)
+        return Status::invalid_argument("model config is incomplete");
+
+    const auto &registry = mem::DeviceRegistry::builtin();
+    std::vector<std::string> devices = options.devices;
+    if (devices.empty())
+        devices = registry.names();
+
+    // Enumerate up front; the expensive simulations fan out below and
+    // reduce in this order, keeping the report jobs-invariant.
+    std::vector<GridPoint> grid;
+    for (const std::string &name : devices) {
+        const mem::RegisteredDevice *entry = registry.find(name);
+        if (entry == nullptr) {
+            return Status::invalid_argument(
+                "unknown zoo device '" + name +
+                "' (see `helmsim devices`)");
+        }
+        const bool ndp =
+            entry->make()->kind() == mem::MemoryKind::kNdpDimm;
+        for (auto scheme : {placement::PlacementKind::kBaseline,
+                            placement::PlacementKind::kHelm,
+                            placement::PlacementKind::kAllCpu}) {
+            for (std::uint64_t batch : options.batches) {
+                GridPoint point;
+                point.device = entry->name;
+                point.storage_tier = entry->storage_tier;
+                point.scheme = scheme;
+                point.batch = batch;
+                point.site = placement::ComputeSiteMode::kGpuOnly;
+                grid.push_back(point);
+                if (ndp) {
+                    point.site = placement::ComputeSiteMode::kNdpAuto;
+                    grid.push_back(point);
+                }
+            }
+        }
+    }
+
+    ParetoReport report;
+    report.points = exec::parallel_map<ParetoPoint>(
+        grid.size(), options.jobs,
+        [&](std::size_t i) { return evaluate(options, grid[i]); });
+    report.frontier_size = mark_frontier(report.points);
+    report.ndp_vs_dram = compare_ndp(report.points);
+    if (options.include_anchor)
+        report.anchor = run_anchor(options);
+    if (options.include_hbf_exclusive)
+        report.hbf = run_hbf_exclusive(options);
+    return report;
+}
+
+std::string
+report_text(const ParetoReport &report)
+{
+    std::ostringstream out;
+    AsciiTable table("Device-zoo Pareto exploration");
+    table.set_header({"device", "placement", "site", "batch", "TBT",
+                      "tokens/s", "$/box", "$/Mtok", "fits", "front"});
+    table.align_right_from(3);
+    for (const ParetoPoint &p : report.points) {
+        if (!p.ok) {
+            table.add_row({p.device, p.placement, p.site,
+                           std::to_string(p.batch), "-", "-", "-", "-",
+                           "-", "-"});
+            continue;
+        }
+        table.add_row(
+            {p.device, p.placement, p.site, std::to_string(p.batch),
+             format_seconds(p.tbt), format_fixed(p.throughput, 2),
+             format_fixed(p.system_dollars, 0),
+             format_fixed(p.cost_per_token * 1e6, 4),
+             p.feasible ? "yes" : "no",
+             std::string(p.on_frontier ? "*" : "")});
+    }
+    table.print(out);
+    out << "frontier: " << report.frontier_size << " of "
+        << report.points.size() << " points\n";
+
+    if (report.ndp_vs_dram.valid) {
+        out << "NDP vs DRAM (All-CPU, batch "
+            << report.ndp_vs_dram.batch
+            << "): TBT " << format_seconds(report.ndp_vs_dram.ndp_tbt)
+            << " vs " << format_seconds(report.ndp_vs_dram.dram_tbt)
+            << (report.ndp_vs_dram.ndp_dominates ? " (near-data wins)"
+                                                 : " (GPU path wins)")
+            << "\n";
+    }
+    if (report.anchor.ran) {
+        out << "NVDRAM anchor (Fig. 11 cell): legacy TBT "
+            << format_seconds(report.anchor.legacy_tbt) << ", zoo TBT "
+            << format_seconds(report.anchor.zoo_tbt)
+            << (report.anchor.identical ? " — identical\n"
+                                        : " — MISMATCH\n");
+    }
+    if (report.hbf.ran) {
+        out << "HBF exclusive: " << report.hbf.model << " ("
+            << format_bytes(report.hbf.weight_bytes) << " fp16) fits "
+            << report.hbf.admitting << "/" << report.hbf.fits.size()
+            << " devices"
+            << (report.hbf.only_hbf ? " (HBF only)" : "") << ", TBT "
+            << format_seconds(report.hbf.tbt) << ", endurance admits "
+            << report.hbf.installs_supported << " installs\n";
+    }
+    return out.str();
+}
+
+} // namespace helm::backendzoo

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ParetoExplorer: sweep placements across the device zoo into a
+ * cost/latency Pareto frontier.
+ *
+ * The paper evaluates six fixed memory configurations (Table II/III);
+ * the zoo opens that set up (NDP-DIMM, HBF) and this explorer answers
+ * the operator's question across all of them: *which box do I buy for
+ * a target latency?*  It enumerates device x placement x batch x
+ * compute-site up front, evaluates every point through the simulator
+ * (parallel over --jobs, reduced in enumeration order so the report is
+ * byte-identical at any jobs value), prices each box with the
+ * CostModel, and marks the non-dominated (cost-per-token, TBT) points.
+ *
+ * Two paper anchors keep the zoo honest: the NVDRAM registry entry
+ * must reproduce the legacy ConfigKind path exactly (Fig. 11 cell),
+ * and the HBF section demonstrates a model size no paper tier admits.
+ */
+#ifndef HELM_BACKENDZOO_PARETO_H
+#define HELM_BACKENDZOO_PARETO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backendzoo/cost_model.h"
+#include "common/status.h"
+#include "gpu/gpu.h"
+#include "model/footprint.h"
+#include "model/transformer.h"
+#include "runtime/metrics.h"
+
+namespace helm::backendzoo {
+
+/** The explorer's search space and execution knobs. */
+struct ExploreOptions
+{
+    /** Model of the main grid (anchors use their own fixed specs). */
+    model::TransformerConfig model;
+    bool compress_weights = true;
+    model::SequenceShape shape; //!< default 128 in / 21 out (paper)
+    /** Devices to sweep; empty = the whole builtin registry. */
+    std::vector<std::string> devices;
+    std::vector<std::uint64_t> batches{1, 8, 32};
+    /** Point-evaluation threads; the report is identical at any value. */
+    std::size_t jobs = 1;
+    gpu::GpuSpec gpu = gpu::GpuSpec::a100_40gb();
+    CostModel cost;
+    /** Run the NVDRAM legacy-vs-zoo identity anchor (two extra sims of
+     *  the paper's Fig. 11 OPT-175B cell). */
+    bool include_anchor = true;
+    /** Run the HBF capacity demonstration (a ~1.9 TB fp16 model only
+     *  the 10 TiB flash tier can host). */
+    bool include_hbf_exclusive = true;
+};
+
+/** One evaluated grid point. */
+struct ParetoPoint
+{
+    std::string device;
+    std::string placement; //!< scheme name
+    std::string site;      //!< compute-site mode name ("gpu" | "auto")
+    std::uint64_t batch = 1;
+    bool ok = false;       //!< simulation succeeded
+    std::string error;     //!< failure reason when !ok
+    /** Host/storage weight bytes fit the device's stated capacity.
+     *  The engine deliberately allows "ideal" over-capacity runs
+     *  (Sec. V-C all-CPU DRAM); a purchasable box must actually fit. */
+    bool feasible = false;
+    Seconds ttft = 0.0;
+    Seconds tbt = 0.0;
+    double throughput = 0.0;
+    Bytes host_bytes = 0;     //!< weight bytes on the host tier
+    Bytes disk_bytes = 0;     //!< weight bytes on the storage tier
+    std::uint64_t ndp_steps = 0; //!< steps executed near-data
+    double system_dollars = 0.0;
+    double cost_per_token = 0.0;
+    /** Non-dominated on (cost_per_token, tbt) among ok+feasible points. */
+    bool on_frontier = false;
+};
+
+/** Legacy-vs-zoo identity check on the paper's NVDRAM Fig. 11 cell. */
+struct ParetoAnchor
+{
+    bool ran = false;
+    Seconds legacy_ttft = 0.0, legacy_tbt = 0.0;
+    double legacy_throughput = 0.0;
+    Seconds zoo_ttft = 0.0, zoo_tbt = 0.0;
+    double zoo_throughput = 0.0;
+    bool identical = false; //!< exact equality, all three metrics
+};
+
+/** All-CPU DRAM vs All-CPU NDP-DIMM (site=auto) at the same batch. */
+struct NdpComparison
+{
+    bool valid = false; //!< both points present and ok
+    std::uint64_t batch = 0;
+    Seconds dram_tbt = 0.0;
+    Seconds ndp_tbt = 0.0;
+    bool ndp_dominates = false; //!< strictly lower TBT near-data
+};
+
+/** Whether one registered device can host the giant model. */
+struct HbfExclusiveFit
+{
+    std::string device;
+    Bytes capacity = 0; //!< host (+ storage) weight capacity
+    bool fits = false;
+};
+
+/** The HBF capacity demonstration. */
+struct HbfExclusive
+{
+    bool ran = false;
+    std::string model;
+    Bytes weight_bytes = 0; //!< fp16 stored size
+    std::vector<HbfExclusiveFit> fits;
+    std::size_t admitting = 0; //!< devices that fit the model
+    bool only_hbf = false;     //!< HBF is the sole admitting device
+    Seconds tbt = 0.0;         //!< the HBF run's decode latency
+    double throughput = 0.0;
+    /** Endurance accounting: installing the weights is one full write
+     *  of the model into flash; the budget bounds reinstalls. */
+    Bytes endurance_budget = 0;
+    Bytes endurance_after_install = 0;
+    std::uint64_t installs_supported = 0;
+};
+
+/** Everything explore() produces, in deterministic order. */
+struct ParetoReport
+{
+    std::vector<ParetoPoint> points; //!< enumeration order
+    std::size_t frontier_size = 0;
+    ParetoAnchor anchor;
+    NdpComparison ndp_vs_dram;
+    HbfExclusive hbf;
+};
+
+/**
+ * Run the exploration.  Fails with kInvalidArgument on an unknown
+ * device name or empty batch list; individual infeasible grid points
+ * are recorded per point, never abort the grid.
+ */
+Result<ParetoReport> explore(const ExploreOptions &options);
+
+/**
+ * Deterministic text rendering of a report (tables + anchor lines).
+ * bench_pareto compares the jobs=1 and jobs=N renderings byte for
+ * byte; the CLI prints it.
+ */
+std::string report_text(const ParetoReport &report);
+
+} // namespace helm::backendzoo
+
+#endif // HELM_BACKENDZOO_PARETO_H

@@ -25,6 +25,8 @@
 #ifndef HELM_CORE_HELM_H
 #define HELM_CORE_HELM_H
 
+#include "backendzoo/cost_model.h"
+#include "backendzoo/pareto.h"
 #include "cluster/cluster.h"
 #include "cluster/cluster_engine.h"
 #include "cluster/cluster_server.h"
@@ -50,6 +52,7 @@
 #include "mem/device.h"
 #include "mem/host_system.h"
 #include "mem/pcie.h"
+#include "mem/registry.h"
 #include "membench/membench.h"
 #include "model/dtype.h"
 #include "model/footprint.h"
@@ -63,6 +66,7 @@
 #include "placement/balanced.h"
 #include "placement/capacity.h"
 #include "placement/helm_placement.h"
+#include "placement/ndp_aware.h"
 #include "placement/placement.h"
 #include "placement/policy.h"
 #include "runtime/engine.h"

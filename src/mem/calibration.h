@@ -187,6 +187,102 @@ inline constexpr Seconds kCxlAddedLatency = 70e-9;
 inline constexpr double kCxlWriteFactor = 0.64;
 
 // ---------------------------------------------------------------------
+// NDP-DIMM (Liu et al., "Make LLM Inference Affordable to Everyone:
+// Augmenting GPU Memory with NDP-DIMM", arXiv 2502.16963)
+// ---------------------------------------------------------------------
+// Near-data processing DIMMs put lightweight GEMV units behind each
+// rank: layers resident on the DIMM pool execute their matrix-vector
+// work *in place*, so their weights never cross PCIe.  Externally the
+// pool behaves like commodity DDR4 (the NDP logic sits behind the same
+// channel interface), so the host-visible curves are DRAM-class.
+
+/** External (host-visible) streaming read bandwidth of the NDP pool:
+ *  standard DDR4 channels, same class as kDramReadGBs. */
+inline constexpr double kNdpDimmReadGBs = 78.5;
+
+/** External write bandwidth (DDR4 streaming stores). */
+inline constexpr double kNdpDimmWriteGBs = 55.0;
+
+/**
+ * Aggregate *internal* near-data streaming rate available to the GEMV
+ * units.  Rank-level access bypasses the channel bottleneck: 2502.16963
+ * (Sec. III) aggregates bank-group bandwidth across the DIMM pool; a
+ * dual-socket pool of 8 NDP DIMMs sustains ~64 GB/s of operand streaming
+ * into the near-bank MACs — below raw channel bandwidth because the
+ * in-DIMM units run at DIMM clock, but unshared with the host.
+ */
+inline constexpr double kNdpGemvGBs = 64.0;
+
+/**
+ * Aggregate near-data compute rate.  The per-DIMM MAC arrays are modest
+ * (the paper's point is cost, not peak): ~0.25 TFLOP/s per DIMM x 8
+ * DIMMs = 2 TFLOP/s fp16 across the pool.  Decode GEMV is
+ * bandwidth-bound far below this, so the term only bites for prefill.
+ */
+inline constexpr double kNdpGemvTflops = 2.0;
+
+/**
+ * Host -> NDP offload command latency per dispatched layer: doorbell,
+ * descriptor fetch, and result-vector return over the channel
+ * (2502.16963 reports microsecond-scale kernel dispatch).
+ */
+inline constexpr Seconds kNdpCommandLatency = 5e-6;
+
+/** NDP pool capacity: commodity 256 GB DIMM pools per socket. */
+inline constexpr Bytes kNdpDimmCapacityPerSocket = 256ull * kGiB;
+
+/** NDP DIMM idle latency: DDR4 access plus the near-bank scheduler. */
+inline constexpr Seconds kNdpDimmLatency = 120e-9;
+
+// ---------------------------------------------------------------------
+// High Bandwidth Flash (Ma & Patterson, "Challenges and Research
+// Directions for Large Language Model Inference Hardware",
+// arXiv 2601.05047)
+// ---------------------------------------------------------------------
+// HBF stacks flash dies with a wide HBM-style interface: ~10x the
+// capacity of the same-footprint DRAM tier with HBM-like *streaming*
+// read bandwidth, at the cost of steep cold reads (flash array sensing
+// on first touch) and a finite program/erase (write-endurance) budget.
+
+/** Warm streaming read bandwidth: the stacked wide interface delivers
+ *  HBM-class rates once the access pipeline is primed (2601.05047:
+ *  "HBM-like bandwidth").  The PCIe link, not the device, caps the
+ *  host->GPU copy path. */
+inline constexpr double kHbfWarmReadGBs = 512.0;
+
+/** Cold (first-touch) read bandwidth at small buffers: flash array
+ *  sensing + ECC before the wide interface helps. */
+inline constexpr double kHbfColdReadSmallGBs = 16.0;
+
+/** Cold-read floor at large one-shot sweeps (no pipelining across
+ *  unpredicted pages). */
+inline constexpr double kHbfColdReadLargeGBs = 6.5;
+
+/** Buffer size at which cold-read decay begins. */
+inline constexpr Bytes kHbfColdReadKnee = 2ull * kGiB;
+
+/** Buffer size by which the cold decay has fully set in. */
+inline constexpr Bytes kHbfColdReadFloorAt = 64ull * kGiB;
+
+/** Program (write) bandwidth: flash programming is the slow direction. */
+inline constexpr double kHbfWriteGBs = 2.0;
+
+/** HBF capacity: 10x the platform's 1 TB NVDRAM tier (2601.05047's
+ *  "10X memory capacity" pitch). */
+inline constexpr Bytes kHbfCapacity = 10ull * kTiB;
+
+/**
+ * Lifetime write-endurance budget, tracked by HbfDevice as a counter:
+ * ~1000 P/E cycles across the full 10 TiB array = 10 PiB of program
+ * traffic before wear-out.  Read-mostly weight serving barely touches
+ * it; KV writeback does.
+ */
+inline constexpr Bytes kHbfEnduranceBytes = 10ull * 1024ull * kTiB;
+
+/** First-access latency: flash sensing, ~3 us (vs ~100 ns DRAM). */
+inline constexpr Seconds kHbfLatency = 3e-6;
+
+// ---------------------------------------------------------------------
 // GPU: NVIDIA A100-40GB (Table I)
 // ---------------------------------------------------------------------
 

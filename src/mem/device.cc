@@ -23,7 +23,14 @@ memory_kind_name(MemoryKind kind)
         return "FSDAX";
       case MemoryKind::kCxl:
         return "CXL";
+      case MemoryKind::kNdpDimm:
+        return "NDP-DIMM";
+      case MemoryKind::kHbf:
+        return "HBF";
     }
+    // Exhaustive by construction: -Wswitch-enum flags any new kind at
+    // compile time; this line is unreachable for in-range values.
+    HELM_ASSERT(false, "unknown MemoryKind");
     return "?";
 }
 
@@ -177,6 +184,50 @@ MemoryModeDevice::write_bandwidth(Bytes buffer, int node) const
     return Bandwidth::bytes_per_s(effective);
 }
 
+NdpDimmDevice::NdpDimmDevice(std::string name, Bytes capacity,
+                             BandwidthCurve read, BandwidthCurve write,
+                             Seconds latency, Bandwidth gemv_rate,
+                             double gemv_flops, Seconds command_latency)
+    : MemoryDevice(std::move(name), MemoryKind::kNdpDimm, capacity,
+                   std::move(read), std::move(write), latency),
+      gemv_rate_(gemv_rate),
+      gemv_flops_(gemv_flops),
+      command_latency_(command_latency)
+{
+    HELM_ASSERT(gemv_rate_.raw() > 0.0, "NDP GEMV rate must be positive");
+    HELM_ASSERT(gemv_flops_ > 0.0, "NDP GEMV FLOP/s must be positive");
+    HELM_ASSERT(command_latency_ >= 0.0,
+                "NDP command latency must be non-negative");
+}
+
+Seconds
+NdpDimmDevice::gemv_time(Bytes bytes, double flops) const
+{
+    const double stream_s =
+        static_cast<double>(bytes) / gemv_rate_.raw();
+    const double compute_s = flops / gemv_flops_;
+    return std::max(stream_s, compute_s);
+}
+
+HbfDevice::HbfDevice(std::string name, Bytes capacity,
+                     BandwidthCurve warm_read, BandwidthCurve cold_read,
+                     BandwidthCurve write, Seconds latency,
+                     Bytes endurance_budget)
+    : MemoryDevice(std::move(name), MemoryKind::kHbf, capacity,
+                   std::move(warm_read), std::move(write), latency),
+      cold_read_(std::move(cold_read)),
+      endurance_budget_(endurance_budget)
+{
+    HELM_ASSERT(endurance_budget_ > 0,
+                "HBF endurance budget must be positive");
+}
+
+Bandwidth
+HbfDevice::cold_read_bandwidth(Bytes buffer, int node) const
+{
+    return cold_read_.at(buffer).scaled(read_node_factor(node));
+}
+
 StorageDevice::StorageDevice(std::string name, MemoryKind kind,
                              Bytes capacity, BandwidthCurve read,
                              BandwidthCurve write, Seconds latency)
@@ -328,6 +379,38 @@ make_cxl_custom(const std::string &name, Bandwidth read_bw)
         BandwidthCurve(read_bw),
         BandwidthCurve(read_bw.scaled(cal::kCxlWriteFactor)),
         cal::kDramLatency + cal::kCxlAddedLatency);
+}
+
+std::shared_ptr<NdpDimmDevice>
+make_ndp_dimm()
+{
+    // Externally a DDR4 pool (DRAM-class flat curves); the near-data
+    // side is what differentiates it.
+    return std::make_shared<NdpDimmDevice>(
+        "NDP-DIMM", 2 * cal::kNdpDimmCapacityPerSocket,
+        BandwidthCurve(Bandwidth::gb_per_s(cal::kNdpDimmReadGBs)),
+        BandwidthCurve(Bandwidth::gb_per_s(cal::kNdpDimmWriteGBs)),
+        cal::kNdpDimmLatency, Bandwidth::gb_per_s(cal::kNdpGemvGBs),
+        cal::kNdpGemvTflops * 1e12, cal::kNdpCommandLatency);
+}
+
+std::shared_ptr<HbfDevice>
+make_hbf()
+{
+    return std::make_shared<HbfDevice>(
+        "HBF", cal::kHbfCapacity,
+        BandwidthCurve(Bandwidth::gb_per_s(cal::kHbfWarmReadGBs)),
+        // Cold first-touch curve: flat to the knee, then flash sensing
+        // dominates (same shape as Optane's Fig. 3a curve, steeper).
+        BandwidthCurve(std::vector<BandwidthCurve::Point>{
+            {256 * kMiB, Bandwidth::gb_per_s(cal::kHbfColdReadSmallGBs)},
+            {cal::kHbfColdReadKnee,
+             Bandwidth::gb_per_s(cal::kHbfColdReadSmallGBs)},
+            {cal::kHbfColdReadFloorAt,
+             Bandwidth::gb_per_s(cal::kHbfColdReadLargeGBs)},
+        }),
+        BandwidthCurve(Bandwidth::gb_per_s(cal::kHbfWriteGBs)),
+        cal::kHbfLatency, cal::kHbfEnduranceBytes);
 }
 
 } // namespace helm::mem

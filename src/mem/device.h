@@ -29,6 +29,8 @@ enum class MemoryKind
     kSsd,        //!< Optane as block storage (ext4, page cache)
     kFsdax,      //!< Optane as DAX storage (ext4-DAX, bounce buffer)
     kCxl,        //!< CXL Type-3 memory expander
+    kNdpDimm,    //!< near-data-processing DIMM pool (arXiv 2502.16963)
+    kHbf,        //!< High Bandwidth Flash tier (arXiv 2601.05047)
 };
 
 /** Printable name of a MemoryKind. */
@@ -232,6 +234,85 @@ class StorageDevice : public MemoryDevice
     bool is_storage() const override { return true; }
 };
 
+/**
+ * NDP-DIMM pool (arXiv 2502.16963): commodity DDR4 externally, plus
+ * near-bank GEMV units that execute host-resident layers in place.  The
+ * external curves are DRAM-class; the near-data side is described by a
+ * streaming rate, a compute rate, and a per-dispatch command latency
+ * that the engine's compute-site seam charges through the DES instead
+ * of an h2d transfer.
+ */
+class NdpDimmDevice : public MemoryDevice
+{
+  public:
+    NdpDimmDevice(std::string name, Bytes capacity, BandwidthCurve read,
+                  BandwidthCurve write, Seconds latency,
+                  Bandwidth gemv_rate, double gemv_flops,
+                  Seconds command_latency);
+
+    /** Aggregate near-bank operand streaming rate (unshared with host). */
+    Bandwidth gemv_rate() const { return gemv_rate_; }
+    /** Aggregate near-data compute rate, FLOP/s. */
+    double gemv_flops() const { return gemv_flops_; }
+    /** Host -> NDP offload dispatch latency per layer command. */
+    Seconds command_latency() const { return command_latency_; }
+
+    /**
+     * Time for one near-data GEMV execution streaming @p bytes of
+     * weights and performing @p flops: the units are jointly
+     * bandwidth- and compute-limited (no overlap across the two —
+     * the MACs consume the operand stream).  Excludes the per-dispatch
+     * command latency, which is paid once per offloaded step.
+     */
+    Seconds gemv_time(Bytes bytes, double flops) const;
+
+  private:
+    Bandwidth gemv_rate_;
+    double gemv_flops_;
+    Seconds command_latency_;
+};
+
+/**
+ * High Bandwidth Flash (arXiv 2601.05047): a ~10x-capacity tier below
+ * NVDRAM.  Warm streaming reads run at HBM-class rates (the PCIe link
+ * caps the copy path, not the device); cold first-touch reads decay
+ * steeply (flash sensing); writes are slow and consume a finite
+ * program/erase endurance budget tracked here as a byte counter.
+ */
+class HbfDevice : public MemoryDevice
+{
+  public:
+    HbfDevice(std::string name, Bytes capacity,
+              BandwidthCurve warm_read, BandwidthCurve cold_read,
+              BandwidthCurve write, Seconds latency,
+              Bytes endurance_budget);
+
+    /** Steep first-touch curve (flash array sensing per page). */
+    Bandwidth cold_read_bandwidth(Bytes buffer,
+                                  int node = 0) const override;
+
+    /** Charge @p bytes of program traffic against the endurance budget. */
+    void record_write(Bytes bytes) { written_bytes_ += bytes; }
+    /** Lifetime program traffic charged so far. */
+    Bytes written_bytes() const { return written_bytes_; }
+    /** Total program budget before wear-out. */
+    Bytes endurance_budget() const { return endurance_budget_; }
+    /** Program budget still available (0 once exhausted). */
+    Bytes
+    endurance_remaining() const
+    {
+        return written_bytes_ >= endurance_budget_
+                   ? 0
+                   : endurance_budget_ - written_bytes_;
+    }
+    bool endurance_exhausted() const { return endurance_remaining() == 0; }
+
+  private:
+    BandwidthCurve cold_read_;
+    Bytes endurance_budget_;
+    Bytes written_bytes_ = 0;
+};
+
 /** Owned device handle used throughout configuration code. */
 using DevicePtr = std::shared_ptr<MemoryDevice>;
 
@@ -261,6 +342,12 @@ DevicePtr make_cxl_asic();
 
 /** CXL expander with arbitrary read bandwidth (what-if sweeps). */
 DevicePtr make_cxl_custom(const std::string &name, Bandwidth read_bw);
+
+/** NDP-DIMM pool with near-bank GEMV units (arXiv 2502.16963). */
+std::shared_ptr<NdpDimmDevice> make_ndp_dimm();
+
+/** High Bandwidth Flash tier, 10x NVDRAM capacity (arXiv 2601.05047). */
+std::shared_ptr<HbfDevice> make_hbf();
 
 } // namespace helm::mem
 

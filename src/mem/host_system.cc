@@ -25,6 +25,8 @@ config_kind_name(ConfigKind kind)
       case ConfigKind::kCxlAsic:
         return "CXL-ASIC";
     }
+    // Exhaustive by construction (-Wswitch-enum); unreachable in range.
+    HELM_ASSERT(false, "unknown ConfigKind");
     return "?";
 }
 

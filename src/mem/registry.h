@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Device registry: the extensible "backend zoo".
+ *
+ * ConfigKind enumerates the paper's fixed Table II/III rows; the
+ * registry opens that set up.  Every device — the six paper
+ * configurations plus the zoo additions (NDP-DIMM, HBF) — registers a
+ * named factory here, and make_system() composes a full
+ * HostMemorySystem from a name: storage-class devices pair with a DRAM
+ * host tier (the Table II SSD/FSDAX pattern), byte-addressable devices
+ * become the host tier directly.  The runtime's `zoo_device` spec
+ * field, the `helmsim devices`/`zoo` subcommands, and the
+ * ParetoExplorer all resolve devices through this one table.
+ */
+#ifndef HELM_MEM_REGISTRY_H
+#define HELM_MEM_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/host_system.h"
+
+namespace helm::mem {
+
+/** One registered device: a named factory plus composition metadata. */
+struct RegisteredDevice
+{
+    std::string name;    //!< canonical label (also the system label)
+    std::string summary; //!< one-line description for listings
+    /** Builds a fresh device instance (devices are stateful: resident
+     *  sets, endurance counters — never share one across runs). */
+    std::function<DevicePtr()> make;
+    /** True when the device sits in the storage tier and pairs with a
+     *  DRAM host (Table II SSD/FSDAX pattern). */
+    bool storage_tier = false;
+};
+
+/**
+ * Ordered, name-addressed collection of device factories.  Lookup is
+ * case-insensitive; iteration order is registration order (stable, so
+ * listings and sweeps are deterministic).
+ */
+class DeviceRegistry
+{
+  public:
+    /** Empty registry (tests compose their own). */
+    DeviceRegistry() = default;
+
+    /** The built-in zoo: the six paper devices + NDP-DIMM + HBF. */
+    static const DeviceRegistry &builtin();
+
+    /** Add a device; rejects duplicate (case-insensitive) names. */
+    Status add(RegisteredDevice device);
+
+    /** Registered entry for @p name, or nullptr. */
+    const RegisteredDevice *find(const std::string &name) const;
+
+    /** Names in registration order. */
+    std::vector<std::string> names() const;
+
+    const std::vector<RegisteredDevice> &devices() const
+    {
+        return devices_;
+    }
+
+    /**
+     * Compose a HostMemorySystem for device @p name: storage-tier
+     * devices get a DRAM host in front (bounce-buffer semantics come
+     * from the device itself), byte-addressable devices become the
+     * host tier.  Fails with kInvalidArgument naming the unknown
+     * device and listing the registered ones.
+     */
+    Result<HostMemorySystem>
+    make_system(const std::string &name,
+                PcieLink pcie = PcieLink::gen4_x16()) const;
+
+  private:
+    std::vector<RegisteredDevice> devices_;
+};
+
+} // namespace helm::mem
+
+#endif // HELM_MEM_REGISTRY_H

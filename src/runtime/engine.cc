@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/summary.h"
+#include "mem/registry.h"
 #include "runtime/schedule.h"
 #include "sim/bandwidth_channel.h"
 #include "sim/resource.h"
@@ -54,7 +55,11 @@ class ScheduleDriver
           d2h_(sim_, "d2h-fabric",
                max_bw(system.pcie().d2h_effective(),
                       system.gpu_to_host_bw(kGiB))),
-          gpu_res_(sim_, "gpu-compute", 1)
+          gpu_res_(sim_, "gpu-compute", 1),
+          // Near-data GEMV units (compute-site seam).  Constructing an
+          // unused resource schedules no events, so GPU-only runs stay
+          // bit-for-bit.
+          ndp_res_(sim_, "ndp-compute", 1)
     {
         const std::size_t n = steps_.size();
         load_issue_.assign(n, 0.0);
@@ -189,9 +194,14 @@ class ScheduleDriver
                 latch->arrive();
             });
         }
-        // compute_layer(i, j).  With prefetch off, the context fetch was
-        // not overlapped with the previous step, so it gates compute.
-        if (!step.kv_prefetch && !step.kv_reads.empty()) {
+        // compute_layer(i, j).  NDP steps run on the near-data units:
+        // no h2d transfer fed them (issue_load saw cpu_bytes == 0) and
+        // no GPU launch overhead applies — step.compute already carries
+        // the offload command latency.  Only FFN layers offload, so the
+        // KV paths below never co-occur with an NDP step.
+        if (step.site == placement::ComputeSite::kNdp) {
+            ndp_res_.occupy(step.compute, [latch] { latch->arrive(); });
+        } else if (!step.kv_prefetch && !step.kv_reads.empty()) {
             auto reads = std::make_shared<sim::CountdownLatch>(
                 step.kv_reads.size());
             reads->on_zero([this, k, latch] {
@@ -217,6 +227,7 @@ class ScheduleDriver
     sim::BandwidthChannel pcie_;
     sim::BandwidthChannel d2h_;
     sim::FifoResource gpu_res_;
+    sim::FifoResource ndp_res_;
     std::vector<Seconds> load_issue_;
     std::vector<Seconds> load_done_;
     std::vector<Seconds> step_start_;
@@ -270,6 +281,51 @@ ServingSpec::validate() const
     // KV/batch feasibility: capacity enforcement can spill every weight
     // off the GPU, but the KV cache, hidden state, and staging buffers
     // for the effective batch must still fit.
+    // Zoo-device rules: the device must exist in the registry, at most
+    // one host-tier override may be active, and a compute site other
+    // than the GPU needs near-data units to run on.
+    if (zoo_device.has_value()) {
+        if (custom_cxl_bandwidth.has_value()) {
+            return Status::invalid_argument(
+                "zoo device '" + *zoo_device +
+                "' conflicts with the custom CXL bandwidth override — "
+                "they both replace the host tier");
+        }
+        const mem::RegisteredDevice *entry =
+            mem::DeviceRegistry::builtin().find(*zoo_device);
+        if (entry == nullptr) {
+            return Status::invalid_argument(
+                "unknown zoo device '" + *zoo_device + "' (see `helmsim "
+                "devices` for the registered zoo)");
+        }
+        if (!entry->storage_tier && effective.disk_percent > 0.0) {
+            return Status::invalid_argument(
+                "zoo device '" + entry->name +
+                "' has no storage tier but the policy assigns " +
+                std::to_string(effective.disk_percent) +
+                " % of weights to disk");
+        }
+    }
+    if (compute_site != placement::ComputeSiteMode::kGpuOnly) {
+        const std::string site_name =
+            placement::compute_site_mode_name(compute_site);
+        if (!zoo_device.has_value()) {
+            return Status::invalid_argument(
+                "compute site '" + site_name +
+                "' requires an NDP-capable zoo device (e.g. "
+                "NDP-DIMM), but no zoo device is set");
+        }
+        const mem::RegisteredDevice *entry =
+            mem::DeviceRegistry::builtin().find(*zoo_device);
+        if (entry != nullptr &&
+            entry->make()->kind() != mem::MemoryKind::kNdpDimm) {
+            return Status::invalid_argument(
+                "compute site '" + site_name + "' and zoo device '" +
+                entry->name + "' conflict: '" + entry->name +
+                "' has no near-data compute units");
+        }
+    }
+
     if (enforce_gpu_capacity) {
         const auto layers = helm::model::build_layers(
             model, compress_weights ? helm::model::DataType::kInt4Grouped
@@ -322,6 +378,12 @@ simulate_inference(const ServingSpec &spec)
     result.model_bytes = compiled.model_bytes;
     result.kv_stats = compiled.kv_stats;
     result.h2d_rate = driver.h2d_rate();
+    for (const ScheduledStep &step : driver.steps()) {
+        if (step.site == placement::ComputeSite::kNdp) {
+            ++result.ndp_steps;
+            result.ndp_bytes += step.ndp_bytes;
+        }
+    }
 
     const auto &all = driver.steps();
     const std::uint64_t tokens = compiled.tokens;

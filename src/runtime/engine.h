@@ -14,6 +14,7 @@
 #define HELM_RUNTIME_ENGINE_H
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +27,7 @@
 #include "placement/balanced.h"
 #include "placement/capacity.h"
 #include "placement/helm_placement.h"
+#include "placement/ndp_aware.h"
 #include "placement/placement.h"
 #include "placement/policy.h"
 #include "runtime/metrics.h"
@@ -82,6 +84,24 @@ struct ServingSpec
      * read bandwidth (Sec. V-D what-if sweeps); `memory` is ignored.
      */
     std::optional<Bandwidth> custom_cxl_bandwidth;
+    /**
+     * When set, the host memory system is composed from this
+     * DeviceRegistry entry (the backend zoo, mem/registry.h) instead of
+     * `memory`; `memory` is then ignored.  Storage-class zoo devices
+     * pair with a DRAM host tier, so the default placement policy
+     * follows the composed system (disk_offload vs host_offload).
+     * Mutually exclusive with `custom_cxl_bandwidth`.
+     */
+    std::optional<std::string> zoo_device;
+    /**
+     * Compute-site assignment (placement/ndp_aware.h).  The default
+     * kGpuOnly is today's path, bit-for-bit.  kNdpAuto/kNdpAll require
+     * an NDP-capable host tier (zoo_device = "NDP-DIMM"): offloaded
+     * layers skip their h2d weight transfer entirely and charge the
+     * near-data GEMV time through the DES instead.
+     */
+    placement::ComputeSiteMode compute_site =
+        placement::ComputeSiteMode::kGpuOnly;
     bool enforce_gpu_capacity = true; //!< spill weights that do not fit
     bool keep_records = true;         //!< retain per-step records
 
@@ -127,6 +147,11 @@ struct RunResult
     /** The h2d weight-transfer fabric's channel rate — the shared host
      *  port a single-GPU run contends on (trace utilization counters). */
     Bandwidth h2d_rate;
+    /** Steps executed near-data on the NDP tier (0 = all-GPU run). */
+    std::uint64_t ndp_steps = 0;
+    /** Host-resident weight bytes those steps kept off the h2d fabric,
+     *  summed over the whole run. */
+    Bytes ndp_bytes = 0;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "mem/registry.h"
 #include "model/footprint.h"
 #include "placement/balanced.h"
 #include "placement/helm_placement.h"
@@ -51,6 +52,27 @@ validate_shard(const ServingSpec &spec, const ShardOptions &shard,
     ServingSpec relaxed = spec;
     relaxed.enforce_gpu_capacity = false;
     return relaxed.validate();
+}
+
+/**
+ * The host memory system a spec resolves to: the zoo registry when
+ * `zoo_device` is set, the custom-CXL override next, the fixed
+ * ConfigKind table otherwise (bit-for-bit the pre-zoo path).
+ */
+Result<mem::HostMemorySystem>
+make_spec_system(const ServingSpec &spec)
+{
+    if (spec.zoo_device.has_value()) {
+        return mem::DeviceRegistry::builtin().make_system(
+            *spec.zoo_device, spec.pcie);
+    }
+    if (spec.custom_cxl_bandwidth.has_value()) {
+        return mem::HostMemorySystem(
+            "CXL-custom",
+            mem::make_cxl_custom("CXL-custom", *spec.custom_cxl_bandwidth),
+            nullptr, spec.pcie);
+    }
+    return mem::make_config(spec.memory, spec.pcie);
 }
 
 } // namespace
@@ -102,9 +124,6 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
         HELM_RETURN_IF_ERROR(spec.validate());
     }
 
-    placement::Policy policy =
-        spec.policy.value_or(default_policy(spec.memory));
-
     // ---- Model + shard slice -------------------------------------------
     auto geo_or = shard_geometry(spec, shard);
     if (!geo_or.is_ok())
@@ -114,14 +133,19 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
     const std::uint64_t first_layer = geo_or->first_layer;
     const double compute_scale = geo_or->compute_scale;
 
-    mem::HostMemorySystem system =
-        spec.custom_cxl_bandwidth.has_value()
-            ? mem::HostMemorySystem(
-                  "CXL-custom",
-                  mem::make_cxl_custom("CXL-custom",
-                                       *spec.custom_cxl_bandwidth),
-                  nullptr, spec.pcie)
-            : mem::make_config(spec.memory, spec.pcie);
+    auto system_or = make_spec_system(spec);
+    if (!system_or.is_ok())
+        return system_or.status();
+    mem::HostMemorySystem system = std::move(*system_or);
+
+    // Zoo devices default their policy from the composed system (the
+    // storage-class/host-class distinction Sec. V-A keys on), not from
+    // the ignored `memory` enum.
+    const placement::Policy policy = spec.policy.value_or(
+        spec.zoo_device.has_value()
+            ? (system.has_storage() ? placement::Policy::disk_offload()
+                                    : placement::Policy::host_offload())
+            : default_policy(spec.memory));
 
     const std::uint64_t effective_requests =
         spec.batch * spec.micro_batches;
@@ -151,10 +175,16 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
                     gpu::layer_compute_time(spec.gpu, work) +
                 spec.gpu.layer_overhead);
         }
-        // Representative transfer rate: a mid-sized weight chunk.
-        mem::HostMemorySystem probe =
-            mem::make_config(spec.memory, spec.pcie);
-        profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
+        // Representative transfer rate: a mid-sized weight chunk.  Zoo
+        // devices probe the composed system (no resident set applied
+        // yet); the legacy path keeps its historical make_config probe.
+        if (spec.zoo_device.has_value()) {
+            profile.transfer_bandwidth = system.host_to_gpu_bw(512 * kMiB);
+        } else {
+            mem::HostMemorySystem probe =
+                mem::make_config(spec.memory, spec.pcie);
+            profile.transfer_bandwidth = probe.host_to_gpu_bw(512 * kMiB);
+        }
         profile.gpu_weight_budget = gpu_weight_budget(
             spec.gpu, kv_model, layers, spec.shape, effective_requests,
             spec.compress_weights, spec.kv_resident_on_gpu());
@@ -237,6 +267,58 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
                                           effective_batch);
     }
     system.set_host_resident_bytes(resident);
+
+    // ---- Compute sites ---------------------------------------------------
+    // Per-layer GPU-vs-NDP verdicts.  Empty (= all-GPU) on the default
+    // path so the flattening below is bit-for-bit the pre-zoo code.
+    std::vector<placement::SiteDecision> sites;
+    placement::NdpProfile ndp_profile;
+    if (spec.compute_site != placement::ComputeSiteMode::kGpuOnly) {
+        const auto *ndp =
+            dynamic_cast<const mem::NdpDimmDevice *>(system.host().get());
+        if (ndp == nullptr) {
+            return Status::invalid_argument(
+                "compute site '" +
+                std::string(
+                    placement::compute_site_mode_name(spec.compute_site)) +
+                "' requires an NDP-capable host tier, but device '" +
+                system.label() + "' has no near-data compute units");
+        }
+        ndp_profile.h2d_bandwidth = system.host_to_gpu_bw(512 * kMiB);
+        ndp_profile.gemv_rate = ndp->gemv_rate();
+        ndp_profile.gemv_flops = ndp->gemv_flops();
+        ndp_profile.command_latency = ndp->command_latency();
+        std::vector<placement::LayerSiteWork> site_work(layers.size());
+        for (std::size_t li = 0; li < layers.size(); ++li) {
+            placement::LayerSiteWork &work = site_work[li];
+            const placement::LayerPlacement &lp = map.layers[li];
+            work.type = layers[li].type;
+            work.host_bytes = lp.bytes_on(Tier::kCpu);
+            work.total_bytes = lp.bytes_on(Tier::kGpu) +
+                               lp.bytes_on(Tier::kCpu) +
+                               lp.bytes_on(Tier::kDisk);
+            work.stream_bytes = work.host_bytes * spec.micro_batches;
+            // Decide on the latency-critical decode stage, mid-context
+            // (the same window BalancedPlacement profiles).
+            gpu::LayerWork decode;
+            decode.config = &spec.model;
+            decode.layer = layers[li].type;
+            decode.stage = gpu::Stage::kDecode;
+            decode.batch = spec.batch;
+            decode.prompt_tokens = spec.shape.prompt_tokens;
+            decode.context_tokens = spec.shape.prompt_tokens +
+                                    spec.shape.output_tokens / 2;
+            decode.compressed = spec.compress_weights;
+            const double per_step =
+                static_cast<double>(spec.micro_batches) * compute_scale;
+            work.flops = per_step * gpu::layer_flops(decode);
+            work.gpu_compute =
+                per_step * gpu::layer_compute_time(spec.gpu, decode) +
+                spec.gpu.layer_overhead;
+        }
+        sites = placement::assign_compute_sites(site_work, ndp_profile,
+                                                spec.compute_site);
+    }
 
     // ---- Flatten the schedule -------------------------------------------
     const std::uint64_t num_layers = layers.size();
@@ -332,6 +414,28 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
 
                 step.cpu_bytes = lp.bytes_on(Tier::kCpu);
                 step.disk_bytes = lp.bytes_on(Tier::kDisk);
+
+                if (!sites.empty() && stage == gpu::Stage::kDecode &&
+                    sites[li].site == placement::ComputeSite::kNdp) {
+                    // Near-data execution: the layer's weights never
+                    // cross h2d; the step instead occupies the NDP
+                    // units for the offloaded GEMV time plus one
+                    // dispatch command.  Decode only — prefill GEMMs
+                    // are compute-bound and would crawl on the GEMV
+                    // units, so they keep the GPU path (and its h2d
+                    // transfer), the split NDP serving systems use.
+                    step.site = placement::ComputeSite::kNdp;
+                    step.ndp_bytes = step.cpu_bytes;
+                    step.cpu_bytes = 0;
+                    step.compute =
+                        ndp_profile.command_latency +
+                        placement::ndp_execution_time(
+                            ndp_profile,
+                            step.ndp_bytes * spec.micro_batches,
+                            static_cast<double>(spec.micro_batches) *
+                                compute_scale * gpu::layer_flops(work));
+                }
+
                 step.cpu_cap = step.cpu_bytes > 0
                                    ? system.host_to_gpu_bw(step.cpu_bytes)
                                    : Bandwidth();
@@ -372,6 +476,7 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
     compiled.effective_batch = effective_batch;
     compiled.host_resident_bytes = resident;
     compiled.host_weight_bytes = compiled.placement.tier_total(Tier::kCpu);
+    compiled.sites = std::move(sites);
     return compiled;
 }
 

@@ -25,6 +25,7 @@
 #include "mem/host_system.h"
 #include "model/transformer.h"
 #include "placement/capacity.h"
+#include "placement/ndp_aware.h"
 #include "placement/placement.h"
 #include "runtime/engine.h"
 #include "runtime/planner.h"
@@ -65,6 +66,12 @@ struct ScheduledStep
     /** Overlap the reads with the previous step (weight-prefetch path);
      *  off = the reads gate this step's compute. */
     bool kv_prefetch = true;
+    /** Where this step's matrix work executes.  kNdp steps carry no
+     *  cpu_bytes (their weights never cross h2d); `compute` is the
+     *  near-data time including the offload command latency. */
+    placement::ComputeSite site = placement::ComputeSite::kGpu;
+    /** Host-tier weight bytes served near-data instead of over h2d. */
+    Bytes ndp_bytes = 0;
 };
 
 /**
@@ -110,6 +117,8 @@ struct CompiledSchedule
      *  read-only copy; KV overflow is private per GPU — the cluster
      *  sizes its shared-port working set from this split. */
     Bytes host_weight_bytes = 0;
+    /** Per-layer compute-site decisions (empty for GPU-only runs). */
+    std::vector<placement::SiteDecision> sites;
 };
 
 /**

@@ -135,6 +135,10 @@ spec_cache_key(const ServingSpec &spec)
     append_bool(key, "has_cxl", spec.custom_cxl_bandwidth.has_value());
     if (spec.custom_cxl_bandwidth.has_value())
         append_double(key, "cxl_bw", spec.custom_cxl_bandwidth->raw());
+    append_bool(key, "has_zoo", spec.zoo_device.has_value());
+    if (spec.zoo_device.has_value())
+        append_string(key, "zoo", *spec.zoo_device);
+    append_u64(key, "site", static_cast<std::uint64_t>(spec.compute_site));
     append_bool(key, "enforce_cap", spec.enforce_gpu_capacity);
     return key;
 }

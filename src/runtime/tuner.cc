@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "exec/parallel.h"
+#include "mem/registry.h"
 
 namespace helm::runtime {
 
@@ -19,12 +20,15 @@ TuneCandidate::describe() const
 {
     char buf[160];
     std::snprintf(
-        buf, sizeof(buf), "%s b=%llu mb=%llu%s%s",
+        buf, sizeof(buf), "%s b=%llu mb=%llu%s%s%s",
         placement::placement_kind_name(spec.placement),
         static_cast<unsigned long long>(spec.batch),
         static_cast<unsigned long long>(spec.micro_batches),
         spec.offload_kv_cache ? " kv-offload" : "",
-        spec.helm_splits.has_value() ? " custom-split" : "");
+        spec.helm_splits.has_value() ? " custom-split" : "",
+        spec.compute_site != placement::ComputeSiteMode::kGpuOnly
+            ? " ndp-auto"
+            : "");
     return buf;
 }
 
@@ -67,6 +71,22 @@ auto_tune(const TuneRequest &request, const TuneExecOptions &exec)
         return Status::invalid_argument("model config is incomplete");
     if (request.batch_limit < 1)
         return Status::invalid_argument("batch_limit must be >= 1");
+
+    // Compute-site candidates: GPU always; near-data decode when the
+    // requested zoo device carries NDP units.
+    std::vector<placement::ComputeSiteMode> site_options{
+        placement::ComputeSiteMode::kGpuOnly};
+    if (request.zoo_device.has_value()) {
+        const mem::RegisteredDevice *entry =
+            mem::DeviceRegistry::builtin().find(*request.zoo_device);
+        if (entry == nullptr) {
+            return Status::invalid_argument(
+                "unknown zoo device '" + *request.zoo_device +
+                "' (see `helmsim devices`)");
+        }
+        if (entry->make()->kind() == mem::MemoryKind::kNdpDimm)
+            site_options.push_back(placement::ComputeSiteMode::kNdpAuto);
+    }
 
     const auto layers = model::build_layers(
         request.model, request.compress_weights
@@ -130,20 +150,25 @@ auto_tune(const TuneRequest &request, const TuneExecOptions &exec)
                                   request.batch_limit)) {
                     if (batch == 0)
                         continue;
-                    ServingSpec spec;
-                    spec.model = request.model;
-                    spec.memory = request.memory;
-                    spec.placement = scheme.kind;
-                    spec.helm_splits = scheme.splits;
-                    spec.compress_weights = request.compress_weights;
-                    spec.batch = batch;
-                    spec.micro_batches = micro;
-                    spec.offload_kv_cache = kv_offload;
-                    spec.shape = request.shape;
-                    spec.repeats = 2;
-                    spec.gpu = request.gpu;
-                    spec.keep_records = false;
-                    candidates.push_back(std::move(spec));
+                    for (auto site : site_options) {
+                        ServingSpec spec;
+                        spec.model = request.model;
+                        spec.memory = request.memory;
+                        spec.zoo_device = request.zoo_device;
+                        spec.compute_site = site;
+                        spec.placement = scheme.kind;
+                        spec.helm_splits = scheme.splits;
+                        spec.compress_weights =
+                            request.compress_weights;
+                        spec.batch = batch;
+                        spec.micro_batches = micro;
+                        spec.offload_kv_cache = kv_offload;
+                        spec.shape = request.shape;
+                        spec.repeats = 2;
+                        spec.gpu = request.gpu;
+                        spec.keep_records = false;
+                        candidates.push_back(std::move(spec));
+                    }
                 }
             }
         }

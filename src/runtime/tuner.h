@@ -39,6 +39,12 @@ struct TuneRequest
 {
     model::TransformerConfig model;
     mem::ConfigKind memory = mem::ConfigKind::kNvdram;
+    /**
+     * Search on this backend-zoo device (mem/registry.h) instead of
+     * `memory`.  NDP-capable devices additionally enumerate
+     * compute-site candidates (near-data decode execution).
+     */
+    std::optional<std::string> zoo_device;
     bool compress_weights = true;
     model::SequenceShape shape;
     TuneObjective objective = TuneObjective::kThroughput;

@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "exec/parallel.h"
+#include "mem/registry.h"
 #include "model/zoo.h"
 
 namespace helm::sweep {
@@ -113,9 +114,10 @@ bool
 ServingSweep::is_recognized(const std::string &name)
 {
     static const std::vector<std::string> known{
-        "model",        "memory",       "placement",
+        "model",        "memory",        "placement",
         "batch",        "micro_batches", "kv_offload",
-        "compress",     "prompt_tokens", "output_tokens"};
+        "compress",     "prompt_tokens", "output_tokens",
+        "device",       "compute_site"};
     return std::find(known.begin(), known.end(), name) != known.end();
 }
 
@@ -127,7 +129,8 @@ ServingSweep::add_dimension(const std::string &name,
         return Status::invalid_argument(
             "unknown sweep dimension '" + name +
             "' (model, memory, placement, batch, micro_batches, "
-            "kv_offload, compress, prompt_tokens, output_tokens)");
+            "kv_offload, compress, prompt_tokens, output_tokens, "
+            "device, compute_site)");
     }
     return runner_.add_dimension(name, std::move(values));
 }
@@ -186,6 +189,28 @@ apply(runtime::ServingSpec &spec, const std::string &name,
         return as_u64(spec.shape.prompt_tokens);
     if (name == "output_tokens")
         return as_u64(spec.shape.output_tokens);
+    if (name == "device") {
+        const mem::RegisteredDevice *entry =
+            mem::DeviceRegistry::builtin().find(value);
+        if (entry == nullptr) {
+            return Status::not_found("unknown zoo device: " + value +
+                                     " (run `helmsim devices`)");
+        }
+        spec.zoo_device = entry->name;
+        return Status::ok();
+    }
+    if (name == "compute_site") {
+        for (auto mode : {placement::ComputeSiteMode::kGpuOnly,
+                          placement::ComputeSiteMode::kNdpAuto,
+                          placement::ComputeSiteMode::kNdpAll}) {
+            if (value == placement::compute_site_mode_name(mode)) {
+                spec.compute_site = mode;
+                return Status::ok();
+            }
+        }
+        return Status::not_found("unknown compute site: " + value +
+                                 " (gpu, auto, ndp)");
+    }
     if (name == "kv_offload") {
         spec.offload_kv_cache = value == "1" || value == "true";
         return Status::ok();

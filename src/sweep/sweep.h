@@ -90,7 +90,9 @@ class SweepRunner
  *
  * Recognized dimensions: "model" (zoo name), "memory" (config label),
  * "placement" (scheme name), "batch", "micro_batches", "kv_offload"
- * (0/1), "compress" (0/1), "prompt_tokens", "output_tokens".
+ * (0/1), "compress" (0/1), "prompt_tokens", "output_tokens", "device"
+ * (backend-zoo name, supersedes "memory"), "compute_site"
+ * (gpu | auto | ndp).
  */
 class ServingSweep
 {

@@ -66,6 +66,31 @@ TEST(BandwidthCurve, ScaledMultipliesEveryAnchor)
     EXPECT_NEAR(half.at(2 * kGiB).as_gb_per_s(), 7.5, 1e-9);
 }
 
+TEST(BandwidthCurve, ZeroByteTransferUsesFirstAnchor)
+{
+    // A zero-byte transfer must not hit the log2 interpolation (log2(0)
+    // is -inf); it clamps to the first anchor like any sub-anchor size.
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {4 * kKiB, Bandwidth::gb_per_s(8.0)},
+        {4 * kGiB, Bandwidth::gb_per_s(2.0)},
+    });
+    EXPECT_DOUBLE_EQ(curve.at(0).as_gb_per_s(), 8.0);
+}
+
+TEST(BandwidthCurve, SubPageTransfersClampToFirstAnchor)
+{
+    BandwidthCurve curve(std::vector<BandwidthCurve::Point>{
+        {4 * kKiB, Bandwidth::gb_per_s(8.0)},
+        {4 * kGiB, Bandwidth::gb_per_s(2.0)},
+    });
+    // 1 byte, 1 cacheline, half a page: all below the 4 KiB anchor.
+    EXPECT_DOUBLE_EQ(curve.at(1).as_gb_per_s(), 8.0);
+    EXPECT_DOUBLE_EQ(curve.at(64).as_gb_per_s(), 8.0);
+    EXPECT_DOUBLE_EQ(curve.at(2 * kKiB).as_gb_per_s(), 8.0);
+    // At exactly the anchor the same value holds (no seam).
+    EXPECT_DOUBLE_EQ(curve.at(4 * kKiB).as_gb_per_s(), 8.0);
+}
+
 TEST(BandwidthCurve, ThreeSegmentLookupPicksRightSegment)
 {
     BandwidthCurve curve(std::vector<BandwidthCurve::Point>{

@@ -168,5 +168,109 @@ TEST(Device, OptaneLatencyExceedsDram)
     EXPECT_GT(make_optane()->latency(), make_dram()->latency());
 }
 
+TEST(Device, NodeOneDeratesReadsAndWritesIndependently)
+{
+    MemoryDevice device("derated", MemoryKind::kDram, kGiB,
+                        BandwidthCurve(Bandwidth::gb_per_s(40.0)),
+                        BandwidthCurve(Bandwidth::gb_per_s(30.0)),
+                        100e-9);
+    device.set_read_node_factors({1.0, 0.6});
+    device.set_write_node_factors({1.0, 0.5});
+    // Node 0 (GPU-local) is untouched.
+    EXPECT_DOUBLE_EQ(device.read_bandwidth(kGiB, 0).as_gb_per_s(), 40.0);
+    EXPECT_DOUBLE_EQ(device.write_bandwidth(kGiB, 0).as_gb_per_s(), 30.0);
+    // Node 1 pays the cross-socket derate, per direction.
+    EXPECT_DOUBLE_EQ(device.read_bandwidth(kGiB, 1).as_gb_per_s(), 24.0);
+    EXPECT_DOUBLE_EQ(device.write_bandwidth(kGiB, 1).as_gb_per_s(), 15.0);
+    // The cold-copy default path inherits the read derate.
+    EXPECT_DOUBLE_EQ(device.cold_read_bandwidth(kGiB, 1).as_gb_per_s(),
+                     24.0);
+}
+
+TEST(Device, ColdNeverBeatsStreamingAcrossSizes)
+{
+    // Property over the devices with distinct cold curves (Optane's AIT
+    // misses, HBF's flash sensing): at every buffer size the one-shot
+    // cold copy is at most the steady-state streaming rate, and the
+    // cold curve itself never recovers as buffers grow — so the two
+    // curves cross at most once and stay crossed.
+    for (const DevicePtr &device :
+         {std::static_pointer_cast<MemoryDevice>(make_optane()),
+          std::static_pointer_cast<MemoryDevice>(make_hbf())}) {
+        double prev_cold = device->cold_read_bandwidth(kMiB).raw();
+        for (Bytes size = kMiB; size <= 256 * kGiB; size *= 2) {
+            const double cold =
+                device->cold_read_bandwidth(size).raw();
+            const double streaming = device->read_bandwidth(size).raw();
+            EXPECT_LE(cold, streaming * (1.0 + 1e-9))
+                << device->name() << " at " << size;
+            EXPECT_LE(cold, prev_cold * (1.0 + 1e-9))
+                << device->name() << " at " << size;
+            prev_cold = cold;
+        }
+    }
+}
+
+TEST(Device, NdpDimmGemvTimeIsJointlyLimited)
+{
+    auto ndp = make_ndp_dimm();
+    EXPECT_EQ(ndp->kind(), MemoryKind::kNdpDimm);
+    EXPECT_EQ(ndp->capacity(), 512 * kGiB); // 2 sockets x 256 GiB
+    // Bandwidth-bound regime: many bytes, trivial FLOPs.
+    const Bytes big = 64ull * kGiB;
+    EXPECT_NEAR(ndp->gemv_time(big, 1.0),
+                static_cast<double>(big) / ndp->gemv_rate().raw(), 1e-9);
+    // Compute-bound regime: trivial bytes, many FLOPs.
+    const double flops = 1e13;
+    EXPECT_NEAR(ndp->gemv_time(1, flops), flops / ndp->gemv_flops(),
+                1e-9);
+    // The time is max(stream, compute), not the sum: at the balance
+    // point both bounds coincide.
+    const Bytes balanced = static_cast<Bytes>(
+        ndp->gemv_rate().raw() * (flops / ndp->gemv_flops()));
+    EXPECT_NEAR(ndp->gemv_time(balanced, flops),
+                flops / ndp->gemv_flops(), 1e-6);
+}
+
+TEST(Device, HbfEnduranceCounterDrainsToZeroAndClamps)
+{
+    auto hbf = make_hbf();
+    EXPECT_EQ(hbf->kind(), MemoryKind::kHbf);
+    const Bytes budget = hbf->endurance_budget();
+    EXPECT_GT(budget, 0u);
+    EXPECT_EQ(hbf->written_bytes(), 0u);
+    EXPECT_EQ(hbf->endurance_remaining(), budget);
+    EXPECT_FALSE(hbf->endurance_exhausted());
+
+    hbf->record_write(kGiB);
+    EXPECT_EQ(hbf->written_bytes(), kGiB);
+    EXPECT_EQ(hbf->endurance_remaining(), budget - kGiB);
+
+    // Overshoot: remaining clamps at zero instead of wrapping.
+    hbf->record_write(budget);
+    EXPECT_EQ(hbf->endurance_remaining(), 0u);
+    EXPECT_TRUE(hbf->endurance_exhausted());
+}
+
+TEST(Device, HbfWarmReadsAreFastAndWritesSlow)
+{
+    auto hbf = make_hbf();
+    // Warm streaming runs at HBM-class rates (the PCIe link caps the
+    // copy path, not the device); programs crawl.
+    EXPECT_GT(hbf->read_bandwidth(kGiB).as_gb_per_s(), 100.0);
+    EXPECT_LT(hbf->write_bandwidth(kGiB).as_gb_per_s(), 4.0);
+    EXPECT_EQ(hbf->capacity(), 10 * kTiB);
+}
+
+TEST(Device, MemoryKindNamesCoverTheZoo)
+{
+    EXPECT_STREQ(memory_kind_name(MemoryKind::kNdpDimm), "NDP-DIMM");
+    EXPECT_STREQ(memory_kind_name(MemoryKind::kHbf), "HBF");
+    EXPECT_STREQ(memory_kind_name(MemoryKind::kDram), "DRAM");
+    EXPECT_EQ(make_ndp_dimm()->name(),
+              memory_kind_name(MemoryKind::kNdpDimm));
+    EXPECT_EQ(make_hbf()->name(), memory_kind_name(MemoryKind::kHbf));
+}
+
 } // namespace
 } // namespace helm::mem

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Engine tests for the backend-zoo seam: the default spec must stay
+ * byte-identical to the pre-zoo path (no NDP steps, identical metrics
+ * through the NVDRAM registry entry), near-data decode offload must
+ * engage only when asked for, and the compute-site validation must
+ * fail fast on non-NDP devices.
+ */
+#include <gtest/gtest.h>
+
+#include "model/opt.h"
+#include "runtime/engine.h"
+
+namespace helm::runtime {
+namespace {
+
+using model::OptVariant;
+
+ServingSpec
+base_spec()
+{
+    ServingSpec spec;
+    spec.model = model::opt_config(OptVariant::kOpt6_7B);
+    spec.memory = mem::ConfigKind::kNvdram;
+    spec.placement = placement::PlacementKind::kAllCpu;
+    spec.compress_weights = true;
+    spec.batch = 4;
+    spec.repeats = 2;
+    spec.keep_records = false;
+    return spec;
+}
+
+TEST(ZooEngine, DefaultSpecSchedulesNoNdpWork)
+{
+    // The gating contract: a spec that never mentions the zoo must not
+    // touch the NDP resource at all — zero offloaded steps, zero bytes
+    // kept off the h2d fabric.
+    const auto result = simulate_inference(base_spec());
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->ndp_steps, 0u);
+    EXPECT_EQ(result->ndp_bytes, 0u);
+}
+
+TEST(ZooEngine, NvdramRegistryEntryMatchesLegacyConfigExactly)
+{
+    // The registry's NVDRAM entry and the legacy ConfigKind path must
+    // produce the same simulation to the last bit — this is the anchor
+    // that keeps the zoo honest against the paper's tables.
+    const ServingSpec legacy = base_spec();
+    ServingSpec zoo = base_spec();
+    zoo.zoo_device = "NVDRAM";
+
+    const auto a = simulate_inference(legacy);
+    const auto b = simulate_inference(zoo);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(a->metrics.ttft, b->metrics.ttft);
+    EXPECT_EQ(a->metrics.tbt, b->metrics.tbt);
+    EXPECT_EQ(a->metrics.throughput, b->metrics.throughput);
+    EXPECT_EQ(a->model_bytes, b->model_bytes);
+    EXPECT_EQ(b->ndp_steps, 0u);
+}
+
+TEST(ZooEngine, NdpAutoOffloadsDecodeAndWins)
+{
+    ServingSpec gpu_path = base_spec();
+    gpu_path.zoo_device = "NDP-DIMM";
+
+    ServingSpec ndp_path = gpu_path;
+    ndp_path.compute_site = placement::ComputeSiteMode::kNdpAuto;
+
+    const auto gpu_run = simulate_inference(gpu_path);
+    const auto ndp_run = simulate_inference(ndp_path);
+    ASSERT_TRUE(gpu_run.is_ok());
+    ASSERT_TRUE(ndp_run.is_ok());
+
+    // All-CPU decode is h2d-bound, so the auto policy must offload the
+    // FFN layers and beat the GPU path on decode latency.
+    EXPECT_EQ(gpu_run->ndp_steps, 0u);
+    EXPECT_GT(ndp_run->ndp_steps, 0u);
+    EXPECT_GT(ndp_run->ndp_bytes, 0u);
+    EXPECT_LT(ndp_run->metrics.tbt, gpu_run->metrics.tbt);
+}
+
+TEST(ZooEngine, NdpOffloadIsDecodeOnly)
+{
+    // Prefill GEMMs are compute-bound and would crawl on the GEMV
+    // units, so only decode steps offload: the bytes kept off the h2d
+    // fabric must be bounded by decode-step count x FFN host bytes, and
+    // TTFT (prefill-dominated) must not regress versus the GPU path.
+    ServingSpec gpu_path = base_spec();
+    gpu_path.zoo_device = "NDP-DIMM";
+    ServingSpec ndp_path = gpu_path;
+    ndp_path.compute_site = placement::ComputeSiteMode::kNdpAuto;
+
+    const auto gpu_run = simulate_inference(gpu_path);
+    const auto ndp_run = simulate_inference(ndp_path);
+    ASSERT_TRUE(gpu_run.is_ok());
+    ASSERT_TRUE(ndp_run.is_ok());
+    EXPECT_LE(ndp_run->metrics.ttft,
+              gpu_run->metrics.ttft * (1.0 + 1e-9));
+}
+
+TEST(ZooEngine, ComputeSiteRequiresZooDevice)
+{
+    ServingSpec spec = base_spec();
+    spec.compute_site = placement::ComputeSiteMode::kNdpAuto;
+    const Status status = spec.validate();
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_NE(status.to_string().find("NDP-capable"), std::string::npos);
+}
+
+TEST(ZooEngine, ComputeSiteRejectsDevicesWithoutNdpUnits)
+{
+    ServingSpec spec = base_spec();
+    spec.zoo_device = "DRAM";
+    spec.compute_site = placement::ComputeSiteMode::kNdpAuto;
+    const Status status = spec.validate();
+    ASSERT_FALSE(status.is_ok());
+    // The diagnostic names the offending pair.
+    EXPECT_NE(status.to_string().find("auto"), std::string::npos);
+    EXPECT_NE(status.to_string().find("DRAM"), std::string::npos);
+}
+
+TEST(ZooEngine, UnknownZooDeviceFailsFast)
+{
+    ServingSpec spec = base_spec();
+    spec.zoo_device = "mercury-delay-line";
+    const Status status = spec.validate();
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_NE(status.to_string().find("mercury-delay-line"),
+              std::string::npos);
+}
+
+TEST(ZooEngine, ZooDeviceConflictsWithCustomCxlOverride)
+{
+    ServingSpec spec = base_spec();
+    spec.zoo_device = "CXL-ASIC";
+    spec.custom_cxl_bandwidth = Bandwidth::gb_per_s(32.0);
+    EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(ZooEngine, StorageZooDevicePairsWithDiskPolicy)
+{
+    // SSD through the zoo composes a DRAM host + storage tier, so the
+    // default disk_offload policy applies and the run places weight
+    // bytes on disk — same shape as the legacy kSsd config.
+    ServingSpec spec = base_spec();
+    spec.placement = placement::PlacementKind::kBaseline;
+    spec.zoo_device = "SSD";
+    const auto result = simulate_inference(spec);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_GT(result->placement.tier_total(placement::Tier::kDisk), 0u);
+}
+
+} // namespace
+} // namespace helm::runtime

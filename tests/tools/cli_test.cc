@@ -346,6 +346,81 @@ TEST(Cli, EdfTraceShowsKvSwapTrackAndFcfsTraceDoesNot)
     std::remove(fcfs_trace.c_str());
 }
 
+TEST(Cli, DevicesListsTheWholeZoo)
+{
+    const CliResult result = run_cli("devices");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    for (const char *name :
+         {"DRAM", "NVDRAM", "MemoryMode", "SSD", "FSDAX", "CXL-FPGA",
+          "CXL-ASIC", "NDP-DIMM", "HBF"}) {
+        EXPECT_NE(result.output.find(name), std::string::npos) << name;
+    }
+    // Tier column distinguishes host-tier from storage-tier devices.
+    EXPECT_NE(result.output.find("storage"), std::string::npos);
+    EXPECT_NE(result.output.find("host"), std::string::npos);
+}
+
+TEST(Cli, RunDeviceZooConflictsFailFastNamingThePair)
+{
+    // --memory and --device-zoo both select the host memory.
+    CliResult result = run_cli(
+        "run --model OPT-1.3B --memory NVDRAM --device-zoo NDP-DIMM");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--memory"), std::string::npos);
+    EXPECT_NE(result.output.find("--device-zoo"), std::string::npos);
+    // One-line diagnostic: no usage dump appended.
+    EXPECT_EQ(result.output.find("subcommands"), std::string::npos);
+
+    // --cxl-gbps and --device-zoo both replace the host tier.
+    result = run_cli(
+        "run --model OPT-1.3B --cxl-gbps 32 --device-zoo HBF");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--cxl-gbps"), std::string::npos);
+    EXPECT_NE(result.output.find("--device-zoo"), std::string::npos);
+
+    // --compute-site without an NDP-capable zoo device.
+    result = run_cli("run --model OPT-1.3B --compute-site auto");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--compute-site"), std::string::npos);
+    EXPECT_NE(result.output.find("--device-zoo"), std::string::npos);
+}
+
+TEST(Cli, RunOnZooDeviceReportsNearDataSteps)
+{
+    const CliResult result = run_cli_stdout(
+        "run --model OPT-1.3B --device-zoo NDP-DIMM "
+        "--compute-site auto --placement All-CPU --batch 4");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("near-data"), std::string::npos);
+}
+
+TEST(Cli, ZooSubcommandPrintsAFrontier)
+{
+    const CliResult result = run_cli_stdout(
+        "zoo --model OPT-1.3B --devices DRAM,NDP-DIMM --batches 1,4 "
+        "--no-anchor --no-hbf");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("frontier"), std::string::npos);
+    EXPECT_NE(result.output.find("NDP-DIMM"), std::string::npos);
+}
+
+TEST(Cli, ZooUnknownDeviceFailsFast)
+{
+    const CliResult result =
+        run_cli("zoo --model OPT-1.3B --devices DRAM,abacus");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("abacus"), std::string::npos);
+}
+
+TEST(Cli, TuneDeviceZooConflictsWithMemory)
+{
+    const CliResult result = run_cli(
+        "tune --model OPT-1.3B --memory NVDRAM --device-zoo NDP-DIMM");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--memory"), std::string::npos);
+    EXPECT_NE(result.output.find("--device-zoo"), std::string::npos);
+}
+
 TEST(Cli, ClusterSaturateReportsPortUtilization)
 {
     const CliResult result = run_cli(

@@ -38,6 +38,19 @@ helm-bench-scheduler-v1 (bench_scheduler)
     nonzero demoted/promoted KV byte counts and resumes ==
     preemptions — every swapped-out request came back.
 
+helm-bench-pareto-v1 (bench_pareto)
+  * ``jobs_identical`` is true — the frontier must be byte-identical
+    between --jobs 1 and --jobs N;
+  * the ``on_frontier`` marks are re-derived from ``points``: every
+    marked point must be non-dominated on (cost_per_mtok, tbt_s) among
+    the ok+feasible points, and ``frontier_size`` must match;
+  * ``anchor`` ran and is ``identical`` — the zoo's NVDRAM entry
+    reproduces the legacy configuration path exactly;
+  * ``ndp_vs_dram`` is valid with ``ndp_dominates`` true — near-data
+    decode strictly beats the All-CPU DRAM point on TBT;
+  * ``hbf_exclusive`` ran with ``only_hbf`` true — the giant model is
+    admitted by exactly one device, the flash tier.
+
 Exit status 0 when the document passes, 1 otherwise (one message per
 problem on stderr).
 
@@ -208,10 +221,112 @@ def check_scheduler(doc, _args, errors):
                         preemption["kv_demoted_bytes"]))
 
 
+PARETO_POINT_KEYS = ("device", "placement", "site", "batch", "ok",
+                     "feasible", "ttft_s", "tbt_s", "tokens_per_s",
+                     "system_dollars", "cost_per_mtok", "ndp_steps",
+                     "on_frontier")
+
+PARETO_NUMBERS = {
+    "anchor": ("legacy_ttft_s", "legacy_tbt_s", "legacy_tokens_per_s",
+               "zoo_ttft_s", "zoo_tbt_s", "zoo_tokens_per_s"),
+    "ndp_vs_dram": ("batch", "dram_tbt_s", "ndp_tbt_s"),
+    "hbf_exclusive": ("weight_bytes", "admitting", "devices", "tbt_s",
+                      "tokens_per_s", "endurance_budget_bytes",
+                      "installs_supported"),
+}
+
+
+def is_set(value):
+    """bench_pareto writes booleans as 0/1 numbers."""
+    return value is True or value == 1
+
+
+def check_pareto(doc, _args, errors):
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("points: expected a non-empty list")
+        return
+    for i, point in enumerate(points):
+        for key in PARETO_POINT_KEYS:
+            if key not in point:
+                errors.append("points[%d]: missing key %r" % (i, key))
+    check_numbers(doc, PARETO_NUMBERS, errors)
+    if errors:
+        return
+
+    # Re-derive the frontier: a marked point must be non-dominated on
+    # (cost_per_mtok, tbt_s) among the ok+feasible points.
+    usable = [p for p in points
+              if is_set(p["ok"]) and is_set(p["feasible"])]
+    marked = 0
+    for p in points:
+        if not is_set(p["on_frontier"]):
+            continue
+        marked += 1
+        if p not in usable:
+            errors.append("frontier point %s/%s b=%s is not ok+feasible"
+                          % (p["device"], p["placement"], p["batch"]))
+            continue
+        for q in usable:
+            if q is p:
+                continue
+            if (q["cost_per_mtok"] <= p["cost_per_mtok"] and
+                    q["tbt_s"] <= p["tbt_s"] and
+                    (q["cost_per_mtok"] < p["cost_per_mtok"] or
+                     q["tbt_s"] < p["tbt_s"])):
+                errors.append(
+                    "frontier point %s/%s b=%s is dominated by "
+                    "%s/%s b=%s" %
+                    (p["device"], p["placement"], p["batch"],
+                     q["device"], q["placement"], q["batch"]))
+    if marked < 1:
+        errors.append("frontier is empty")
+    if marked != doc.get("frontier_size"):
+        errors.append("frontier_size %r != %d marked points" %
+                      (doc.get("frontier_size"), marked))
+
+    anchor = doc["anchor"]
+    if not is_set(anchor.get("ran")) or not is_set(anchor.get("identical")):
+        errors.append(
+            "anchor: the zoo's NVDRAM entry must reproduce the legacy "
+            "configuration path exactly (ran=%r identical=%r)" %
+            (anchor.get("ran"), anchor.get("identical")))
+    ndp = doc["ndp_vs_dram"]
+    if not is_set(ndp.get("valid")) or not is_set(ndp.get("ndp_dominates")):
+        errors.append(
+            "ndp_vs_dram: near-data decode must strictly beat the "
+            "All-CPU DRAM point on TBT (valid=%r dominates=%r)" %
+            (ndp.get("valid"), ndp.get("ndp_dominates")))
+    elif not ndp["ndp_tbt_s"] < ndp["dram_tbt_s"]:
+        errors.append("ndp_vs_dram: ndp_tbt_s %r is not below "
+                      "dram_tbt_s %r" %
+                      (ndp["ndp_tbt_s"], ndp["dram_tbt_s"]))
+    hbf = doc["hbf_exclusive"]
+    if not is_set(hbf.get("ran")) or not is_set(hbf.get("only_hbf")):
+        errors.append(
+            "hbf_exclusive: the giant model must be admitted by the "
+            "flash tier alone (ran=%r only_hbf=%r)" %
+            (hbf.get("ran"), hbf.get("only_hbf")))
+    elif hbf["admitting"] != 1:
+        errors.append("hbf_exclusive: admitting %r != 1" %
+                      hbf["admitting"])
+    if not is_set(doc.get("jobs_identical")):
+        errors.append(
+            "jobs_identical is %r: the frontier must be byte-identical "
+            "between --jobs 1 and --jobs N" % doc.get("jobs_identical"))
+    if not errors:
+        print("ok: %d points, frontier %d, anchor identical, NDP TBT "
+              "%.3fs < DRAM %.3fs, HBF sole fit for %s (%d/%d devices)"
+              % (len(points), marked, ndp["ndp_tbt_s"],
+                 ndp["dram_tbt_s"], hbf.get("model", "?"),
+                 hbf["admitting"], hbf["devices"]))
+
+
 CHECKERS = {
     "helm-bench-parallel-v1": check_parallel,
     "helm-bench-core-v1": check_core,
     "helm-bench-scheduler-v1": check_scheduler,
+    "helm-bench-pareto-v1": check_pareto,
 }
 
 

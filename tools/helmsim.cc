@@ -107,6 +107,46 @@ cmd_configs()
     return 0;
 }
 
+int
+cmd_devices()
+{
+    AsciiTable table("Backend zoo (mem/registry.h)");
+    table.set_header({"name", "kind", "tier", "capacity", "read@1MiB",
+                      "read@1GiB", "write@1MiB", "write@1GiB",
+                      "latency"});
+    table.align_right_from(3);
+    for (const auto &entry : mem::DeviceRegistry::builtin().devices()) {
+        const auto device = entry.make();
+        table.add_row(
+            {entry.name, mem::memory_kind_name(device->kind()),
+             entry.storage_tier ? "storage" : "host",
+             format_bytes(device->capacity()),
+             format_bandwidth(device->read_bandwidth(kMiB)),
+             format_bandwidth(device->read_bandwidth(kGiB)),
+             format_bandwidth(device->write_bandwidth(kMiB)),
+             format_bandwidth(device->write_bandwidth(kGiB)),
+             format_seconds(device->latency())});
+    }
+    table.print(std::cout);
+    std::cout << "`helmsim run --device-zoo <name>` serves weights from "
+                 "a zoo device;\n`helmsim zoo` sweeps all of them into "
+                 "a cost/latency frontier.\n";
+    return 0;
+}
+
+Result<placement::ComputeSiteMode>
+parse_compute_site(const std::string &name)
+{
+    for (auto mode : {placement::ComputeSiteMode::kGpuOnly,
+                      placement::ComputeSiteMode::kNdpAuto,
+                      placement::ComputeSiteMode::kNdpAll}) {
+        if (to_lower(name) == placement::compute_site_mode_name(mode))
+            return mode;
+    }
+    return Status::not_found("unknown compute site '" + name +
+                             "' (gpu, auto, ndp)");
+}
+
 Result<mem::ConfigKind>
 parse_memory(const std::string &name)
 {
@@ -463,13 +503,36 @@ cmd_run(const std::vector<std::string> &args)
                       "override the host tier with a custom CXL "
                       "expander of this bandwidth",
                       "0");
+    parser.add_option("device-zoo",
+                      "serve weights from this backend-zoo device "
+                      "(see `helmsim devices`; supersedes --memory)",
+                      "");
+    parser.add_option("compute-site",
+                      "per-layer execution site: gpu | auto | ndp "
+                      "(auto/ndp need an NDP-capable --device-zoo)",
+                      "gpu");
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
-    const Status conflicts = check_kv_flag_conflicts(parser);
+    Status conflicts = check_kv_flag_conflicts(parser);
+    if (conflicts.is_ok() && !parser.get("device-zoo").empty()) {
+        if (parser.is_set("memory")) {
+            conflicts = Status::invalid_argument(
+                "--memory and --device-zoo both select the host "
+                "memory; pick one");
+        } else if (parser.is_set("cxl-gbps")) {
+            conflicts = Status::invalid_argument(
+                "--cxl-gbps and --device-zoo both replace the host "
+                "tier; pick one");
+        }
+    } else if (conflicts.is_ok() && parser.is_set("compute-site")) {
+        conflicts = Status::invalid_argument(
+            "--compute-site requires --device-zoo with an NDP-capable "
+            "device (e.g. --device-zoo NDP-DIMM)");
+    }
     if (!conflicts.is_ok()) {
         std::cerr << conflicts.to_string() << "\n";
         return 2;
@@ -505,6 +568,15 @@ cmd_run(const std::vector<std::string> &args)
         spec.custom_cxl_bandwidth =
             Bandwidth::gb_per_s(parser.get_double("cxl-gbps"));
     }
+    if (!parser.get("device-zoo").empty()) {
+        spec.zoo_device = parser.get("device-zoo");
+        const auto site = parse_compute_site(parser.get("compute-site"));
+        if (!site.is_ok()) {
+            std::cerr << site.status().to_string() << "\n";
+            return 2;
+        }
+        spec.compute_site = *site;
+    }
 
     const auto result = runtime::simulate_inference(spec);
     if (!result.is_ok()) {
@@ -521,6 +593,12 @@ cmd_run(const std::vector<std::string> &args)
                "are scaled by")
         .set(result->h2d_rate.raw());
     telemetry::print_run_report(std::cout, registry);
+    if (result->ndp_steps > 0) {
+        std::cout << "near-data: " << result->ndp_steps
+                  << " steps executed on the NDP tier ("
+                  << format_bytes(result->ndp_bytes)
+                  << " of weights kept off the h2d fabric)\n";
+    }
 
     if (parser.is_set("energy")) {
         const auto energy = energy::estimate_energy(
@@ -1038,11 +1116,21 @@ cmd_tune(const std::vector<std::string> &args)
                       "worker threads for candidate evaluation (0 = all "
                       "hardware threads, 1 = sequential)",
                       "0");
+    parser.add_option("device-zoo",
+                      "search on this backend-zoo device (see `helmsim "
+                      "devices`; supersedes --memory, NDP devices add "
+                      "near-data candidates)",
+                      "");
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
+    }
+    if (!parser.get("device-zoo").empty() && parser.is_set("memory")) {
+        std::cerr << "--memory and --device-zoo both select the host "
+                     "memory; pick one\n";
+        return 2;
     }
     const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
@@ -1055,6 +1143,8 @@ cmd_tune(const std::vector<std::string> &args)
     runtime::TuneRequest request;
     request.model = *model_config;
     request.memory = *memory;
+    if (!parser.get("device-zoo").empty())
+        request.zoo_device = parser.get("device-zoo");
     request.compress_weights = parser.is_set("int4");
     request.shape.prompt_tokens = parser.get_u64("prompt-tokens");
     request.shape.output_tokens = parser.get_u64("output-tokens");
@@ -1084,6 +1174,9 @@ cmd_tune(const std::vector<std::string> &args)
               << " candidates explored)\n";
     return 0;
 }
+
+int
+cmd_zoo(const std::vector<std::string> &args);
 
 /** Split "a,b,c" into {"a","b","c"}. */
 std::vector<std::string>
@@ -1228,6 +1321,73 @@ cmd_sweep(const std::vector<std::string> &args)
         .gauge("helm_sweep_jobs", {}, "Worker threads used by the sweep")
         .set(static_cast<double>(jobs));
     return emit_artifacts(parser, registry);
+}
+
+int
+cmd_zoo(const std::vector<std::string> &args)
+{
+    ArgParser parser(
+        "helmsim zoo",
+        "sweep placements across the backend zoo into a cost/latency "
+        "Pareto frontier ($/token vs TBT, paper anchors included)");
+    parser.add_option("model", "model of the main grid", "OPT-30B");
+    parser.add_switch("fp16", "uncompressed weights (default int4)");
+    parser.add_option("batches", "comma-separated batch sizes", "1,8,32");
+    parser.add_option("devices",
+                      "comma-separated zoo devices (default: all, see "
+                      "`helmsim devices`)",
+                      "");
+    parser.add_option("jobs",
+                      "worker threads for point evaluation (0 = all "
+                      "hardware threads; the frontier is identical at "
+                      "any value)",
+                      "0");
+    parser.add_switch("no-anchor",
+                      "skip the NVDRAM legacy-vs-zoo identity anchor "
+                      "(two OPT-175B sims)");
+    parser.add_switch("no-hbf",
+                      "skip the HBF capacity demonstration (a ~1.9 TB "
+                      "fp16 model)");
+    parser.add_switch("help", "show this help");
+
+    const Status status = parser.parse(args);
+    if (!status.is_ok() || parser.is_set("help")) {
+        std::cerr << status.to_string() << "\n" << parser.help();
+        return status.is_ok() ? 0 : 2;
+    }
+    const auto model_config = parse_model(parser.get("model"));
+    if (!model_config.is_ok()) {
+        std::cerr << model_config.status().to_string() << "\n";
+        return 2;
+    }
+
+    backendzoo::ExploreOptions options;
+    options.model = *model_config;
+    options.compress_weights = !parser.is_set("fp16");
+    options.batches.clear();
+    for (const std::string &text : split_csv(parser.get("batches"))) {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0' || parsed == 0) {
+            std::cerr << "bad batch size '" << text << "'\n";
+            return 2;
+        }
+        options.batches.push_back(parsed);
+    }
+    if (!parser.get("devices").empty())
+        options.devices = split_csv(parser.get("devices"));
+    options.jobs = exec::resolve_jobs(parser.get_u64("jobs"));
+    options.include_anchor = !parser.is_set("no-anchor");
+    options.include_hbf_exclusive = !parser.is_set("no-hbf");
+
+    const auto report = backendzoo::explore(options);
+    if (!report.is_ok()) {
+        std::cerr << report.status().to_string() << "\n";
+        return 2;
+    }
+    std::cout << backendzoo::report_text(*report);
+    return 0;
 }
 
 int
@@ -1517,9 +1677,12 @@ usage()
            "streaming, admission, routing across replicas\n"
            "  sweep     cartesian parameter sweep with pivot tables\n"
            "  tune      QoS auto-tuner\n"
+           "  zoo       cost/latency Pareto frontier across the "
+           "backend zoo\n"
            "  membench  copy bandwidth sweep (Fig. 3)\n"
            "  models    list the model registry\n"
-           "  configs   list memory configurations\n\n"
+           "  configs   list memory configurations\n"
+           "  devices   list the backend-zoo device registry\n\n"
            "`helmsim <subcommand> --help` for options.\n";
 }
 
@@ -1549,12 +1712,16 @@ main(int argc, char **argv)
         return cmd_gateway(rest);
     if (command == "tune")
         return cmd_tune(rest);
+    if (command == "zoo")
+        return cmd_zoo(rest);
     if (command == "membench")
         return cmd_membench(rest);
     if (command == "models")
         return cmd_models();
     if (command == "configs")
         return cmd_configs();
+    if (command == "devices")
+        return cmd_devices();
     if (command == "--help" || command == "help") {
         usage();
         return 0;
