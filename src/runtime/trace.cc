@@ -8,22 +8,30 @@
 
 #include "model/transformer.h"
 #include "telemetry/export.h"
+#include "tracing/flight_recorder.h"
 
 namespace helm::runtime {
 
 namespace {
 
-/** Track (tid) layout inside each GPU's process row.  Managed-KV runs
+/** Track (tid) layout inside each GPU's process row.  The preemption
+ *  swap track owns a *reserved* tid so the KV tier tracks at
+ *  kKvTrackBase never shift with scheduler choice.  Managed-KV runs
  *  add one "KV <tier>" track per host tier at kKvTrackBase + tier
- *  order.  Cluster runs repeat the layout once per GPU, with the
- *  record's gpu_index as the trace pid, so every GPU gets its own
- *  compute-stream and PCIe-link rows. */
+ *  first-seen order.  Cluster runs repeat the layout once per GPU,
+ *  with the record's gpu_index as the trace pid, so every GPU gets its
+ *  own compute-stream and PCIe-link rows.  See trace.h for the full
+ *  documented scheme. */
 enum Track : int
 {
     kGpuTrack = 0,
     kTransferTrack = 1,
-    kKvTrackBase = 2,
+    kSwapTrack = 2,
+    kKvTrackBase = 3,
 };
+
+/** Process row that hosts retained per-request span trees. */
+constexpr int kRequestPid = 1000;
 
 /** %.3f for trace timestamps/values; bounded, so a stack buffer is safe
  *  (unlike names, which are caller-controlled strings). */
@@ -114,15 +122,15 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
 
     // Preemption swap track: only iteration schedulers populate
     // kv_swaps (single-GPU runs, pid 0), and an empty vector emits
-    // nothing, so fcfs traces are unchanged byte for byte.
-    const int swap_tid = kKvTrackBase + static_cast<int>(kv_tids.size());
+    // nothing, so fcfs traces are unchanged byte for byte.  The tid is
+    // kSwapTrack — reserved, never derived from tier count.
     const bool has_swaps = counters != nullptr && !counters->kv_swaps.empty();
     if (has_swaps) {
         if (!first)
             out << ",\n";
         first = false;
         out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0"
-            << ",\"tid\":" << swap_tid
+            << ",\"tid\":" << static_cast<int>(kSwapTrack)
             << ",\"args\":{\"name\":\"KV swap (preemption)\"}}";
     }
 
@@ -181,11 +189,84 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
             emit_event(out, first,
                        std::string("KV ") + direction + " r" +
                            std::to_string(swap.request_id),
-                       "kv-swap", 0, swap_tid, swap.start,
+                       "kv-swap", 0, kSwapTrack, swap.start,
                        swap.end - swap.start,
                        "{\"bytes\":" + std::to_string(swap.bytes) +
                            ",\"tenant\":" + std::to_string(swap.tenant) +
                            ",\"direction\":\"" + direction + "\"}");
+        }
+    }
+
+    // Retained flight-recorder span trees: one "requests" process row,
+    // one thread per trace in the recorder's sorted (kind, trace id)
+    // order, with flow arrows joining each root child to the next
+    // phase.  All ids are derived span ids, so the merge is as
+    // deterministic as the spans themselves.
+    if (counters != nullptr && counters->flight_recorder != nullptr &&
+        counters->flight_recorder->retained() > 0) {
+        const auto traces = counters->flight_recorder->sorted_traces();
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+            << kRequestPid << ",\"tid\":0,\"args\":{\"name\":"
+            << "\"requests (flight recorder)\"}}";
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            const tracing::Trace &trace = *traces[t];
+            const int tid = static_cast<int>(t);
+            std::string row_name =
+                trace.kind + " " + std::to_string(trace.trace_id);
+            if (trace.flags.shed)
+                row_name += " [shed]";
+            if (trace.flags.deadline_missed)
+                row_name += " [deadline-missed]";
+            if (trace.flags.preempted)
+                row_name += " [preempted]";
+            out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                << kRequestPid << ",\"tid\":" << tid
+                << ",\"args\":{\"name\":\""
+                << telemetry::json_escape(row_name) << "\"}}";
+            for (const tracing::Span &span : trace.spans) {
+                std::string args = "{\"phase\":\"" +
+                                   std::string(tracing::span_phase_name(
+                                       span.phase)) +
+                                   "\"";
+                for (const auto &[key, value] : span.attrs) {
+                    args += ",\"" + telemetry::json_escape(key) +
+                            "\":\"" + telemetry::json_escape(value) +
+                            "\"";
+                }
+                args += "}";
+                emit_event(out, first, span.name, "span", kRequestPid,
+                           tid, span.start, span.duration(), args);
+            }
+            // Flow arrows between consecutive direct children of the
+            // root; the id is the target span's derived id.
+            if (trace.spans.empty())
+                continue;
+            const tracing::Span &root = trace.spans.front();
+            const tracing::Span *prev = nullptr;
+            for (const tracing::Span &span : trace.spans) {
+                if (span.parent_id != root.span_id)
+                    continue;
+                if (prev != nullptr) {
+                    char id[24];
+                    std::snprintf(id, sizeof(id), "0x%llx",
+                                  static_cast<unsigned long long>(
+                                      span.span_id));
+                    out << ",\n{\"name\":\"handoff\",\"cat\":\"flow\","
+                        << "\"ph\":\"s\",\"id\":\"" << id
+                        << "\",\"pid\":" << kRequestPid
+                        << ",\"tid\":" << tid
+                        << ",\"ts\":" << format_us(prev->start) << "}"
+                        << ",\n{\"name\":\"handoff\",\"cat\":\"flow\","
+                        << "\"ph\":\"f\",\"bp\":\"e\",\"id\":\"" << id
+                        << "\",\"pid\":" << kRequestPid
+                        << ",\"tid\":" << tid
+                        << ",\"ts\":" << format_us(span.start) << "}";
+                }
+                prev = &span;
+            }
         }
     }
 

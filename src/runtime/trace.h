@@ -6,6 +6,24 @@
  * document with one track for GPU compute and one for the h2d transfer
  * fabric, so the compute/communication overlap the paper plots as bar
  * charts can be inspected interactively, step by step.
+ *
+ * Deterministic pid/tid/flow-id layout (pinned by trace_test):
+ *
+ *   pid <g>   — one process row per GPU appearing in the records
+ *     tid 0   — "GPU compute"
+ *     tid 1   — "h2d transfers"
+ *     tid 2   — "KV swap (preemption)"; tid reserved even when the run
+ *               had no preemptions, so tier tracks never shift
+ *     tid 3+i — "KV <tier>", i = the tier's first-seen order over the
+ *               records (engine records tiers in config order)
+ *   pid 1000  — "requests": retained flight-recorder span trees, one
+ *     tid per trace in the recorder's sorted (kind, trace id) order
+ *   Counter rows ("ph":"C") attach to pid 0.
+ *
+ * Flow-event ids are the *derived* span id of the flow's target span,
+ * rendered "0x%llx" — a pure function of (trace id, phase, seq) — so
+ * identical runs produce byte-identical documents regardless of
+ * `--jobs`, host, or allocation order.
  */
 #ifndef HELM_RUNTIME_TRACE_H
 #define HELM_RUNTIME_TRACE_H
@@ -15,6 +33,10 @@
 
 #include "common/status.h"
 #include "runtime/metrics.h"
+
+namespace helm::tracing {
+class FlightRecorder;
+}
 
 namespace helm::runtime {
 
@@ -39,6 +61,13 @@ struct TraceCounterOptions
      * metadata, keeping fcfs traces byte-identical.
      */
     std::vector<KvSwapEvent> kv_swaps;
+
+    /**
+     * Retained flight-recorder traces to merge as per-request span
+     * rows (pid 1000) with flow arrows joining consecutive phases.
+     * Null emits nothing, keeping span-free traces unchanged.
+     */
+    const tracing::FlightRecorder *flight_recorder = nullptr;
 };
 
 /**

@@ -1,6 +1,9 @@
 #include "serving_gateway/gateway.h"
 
 #include "runtime/scheduler.h"
+#include "telemetry/monitor.h"
+#include "tracing/synthesize.h"
+#include "tracing/tracer.h"
 
 #include <algorithm>
 #include <memory>
@@ -36,6 +39,65 @@ Gateway::Gateway(sim::Simulator &sim, GatewayConfig config,
     stats_.busy_seconds_per_replica.assign(replicas.size(), 0.0);
 }
 
+// ---- Observability taps --------------------------------------------
+// All three are no-ops when the corresponding obs_ member is null, so
+// an unobserved gateway run stays byte-identical and pays only a
+// pointer test per turn.
+
+void
+Gateway::observe_completed(std::uint32_t r, const TurnMetrics &metrics)
+{
+    if (obs_.monitor != nullptr)
+        obs_.monitor->on_completed(sim_.now(), metrics.output_tokens,
+                                   metrics.ttft);
+    if (obs_.tracer == nullptr)
+        return;
+    const tracing::OutlierFlags flags; // retention competes on TBT
+    if (!obs_.tracer->should_build(flags, metrics.tbt)) {
+        obs_.tracer->observe(tracing::kTurnTraceSpans, flags);
+        return;
+    }
+    tracing::TurnTraceInput input;
+    input.turn_id = metrics.turn;
+    input.session = metrics.session;
+    input.replica = r;
+    input.prompt_tokens = metrics.prompt_tokens;
+    input.output_tokens = metrics.output_tokens;
+    input.submitted = metrics.submitted;
+    input.dispatched = metrics.dispatched;
+    input.first_token = metrics.first_token;
+    input.completed = metrics.completed;
+    input.tbt = metrics.tbt;
+    obs_.tracer->finish(tracing::build_turn_trace(
+        input, obs_.tracer->config().max_spans_per_trace));
+}
+
+void
+Gateway::observe_shed(const PendingTurn &turn, RejectReason reason)
+{
+    if (obs_.monitor != nullptr)
+        obs_.monitor->on_shed(sim_.now());
+    if (obs_.tracer == nullptr)
+        return;
+    obs_.tracer->finish(tracing::build_shed_turn_trace(
+        turn.id, turn.session, turn.submitted, sim_.now(),
+        reject_reason_name(reason),
+        obs_.tracer->config().max_spans_per_trace));
+}
+
+void
+Gateway::observe_admission_shed()
+{
+    // Rejected before a turn id existed: count it, build nothing.
+    if (obs_.monitor != nullptr)
+        obs_.monitor->on_shed(sim_.now());
+    if (obs_.tracer != nullptr) {
+        tracing::OutlierFlags flags;
+        flags.shed = true;
+        obs_.tracer->observe(1, flags);
+    }
+}
+
 OpenOutcome
 Gateway::open_session()
 {
@@ -43,6 +105,7 @@ Gateway::open_session()
     if (!admission_.admit_session(sessions_.active())) {
         admission_.count_reject(RejectReason::kSessionLimit);
         ++stats_.turns_shed;
+        observe_admission_shed();
         outcome.reason = RejectReason::kSessionLimit;
         return outcome;
     }
@@ -73,6 +136,7 @@ Gateway::submit_turn(SessionId session_id, std::uint64_t prompt_tokens,
         // Closed or stale handle: the session cap is the nearest truth.
         admission_.count_reject(RejectReason::kSessionLimit);
         ++stats_.turns_shed;
+        observe_admission_shed();
         outcome.reason = RejectReason::kSessionLimit;
         return outcome;
     }
@@ -82,6 +146,7 @@ Gateway::submit_turn(SessionId session_id, std::uint64_t prompt_tokens,
         admission_.count_reject(RejectReason::kContextOverflow);
         ++stats_.turns_shed;
         ++session->turns_shed;
+        observe_admission_shed();
         outcome.reason = RejectReason::kContextOverflow;
         return outcome;
     }
@@ -90,6 +155,7 @@ Gateway::submit_turn(SessionId session_id, std::uint64_t prompt_tokens,
         admission_.count_reject(RejectReason::kAcceptQueueFull);
         ++stats_.turns_shed;
         ++session->turns_shed;
+        observe_admission_shed();
         outcome.reason = RejectReason::kAcceptQueueFull;
         return outcome;
     }
@@ -111,6 +177,9 @@ Gateway::submit_turn(SessionId session_id, std::uint64_t prompt_tokens,
     stats_.peak_accept_depth =
         std::max<std::uint64_t>(stats_.peak_accept_depth,
                                 replica.queue.size());
+    if (obs_.monitor != nullptr)
+        obs_.monitor->on_queue_depth(
+            sim_.now(), static_cast<double>(replica.queue.size()));
 
     outcome.turn = replica.queue.back().id;
     outcome.admitted = true;
@@ -307,6 +376,7 @@ Gateway::complete_turn(std::uint32_t r,
         event.metrics = &state->metrics;
         state->sink(event);
     }
+    observe_completed(r, m);
 }
 
 void
@@ -327,6 +397,7 @@ Gateway::shed_turn(PendingTurn &&turn, RejectReason reason)
         event.reason = reason;
         turn.sink(event);
     }
+    observe_shed(turn, reason);
 }
 
 ReplicaLoad

@@ -48,6 +48,14 @@ namespace helm::runtime {
 struct RequestMetrics;
 }
 
+namespace helm::telemetry {
+class ServingMonitor;
+}
+
+namespace helm::tracing {
+class Tracer;
+}
+
 namespace helm::gateway {
 
 /** Everything the gateway itself is configured by. */
@@ -80,6 +88,19 @@ struct GatewayStats
     std::uint64_t peak_accept_depth = 0;
     std::vector<std::uint64_t> routed_per_replica;
     std::vector<Seconds> busy_seconds_per_replica;
+};
+
+/**
+ * Optional observability sinks.  Both pointers may be null (the
+ * default — zero overhead, byte-identical output); when set they must
+ * outlive the gateway.  The tracer receives one "turn" trace per
+ * completed or backend-shed turn; the monitor receives completion,
+ * shed, and queue-depth signals on the sim clock.
+ */
+struct GatewayObservability
+{
+    tracing::Tracer *tracer = nullptr;
+    telemetry::ServingMonitor *monitor = nullptr;
 };
 
 /** Outcome of open_session(). */
@@ -141,6 +162,9 @@ class Gateway
     /** First backend failure, if any; dispatch stops after one. */
     const Status &health() const { return health_; }
 
+    /** Attach tracing / time-series sinks (see GatewayObservability). */
+    void set_observability(GatewayObservability obs) { obs_ = obs; }
+
   private:
     /** One accepted-but-undispatched turn. */
     struct PendingTurn
@@ -184,6 +208,10 @@ class Gateway
     /** Emit a shed event (and count it) for a turn or an open. */
     void shed_turn(PendingTurn &&turn, RejectReason reason);
     ReplicaLoad load_of(const Replica &replica) const;
+    /** Observability taps (no-ops when obs_ members are null). */
+    void observe_completed(std::uint32_t r, const TurnMetrics &metrics);
+    void observe_shed(const PendingTurn &turn, RejectReason reason);
+    void observe_admission_shed();
 
     sim::Simulator &sim_;
     GatewayConfig config_;
@@ -192,6 +220,7 @@ class Gateway
     SessionTable sessions_;
     std::vector<Replica> replicas_;
     GatewayStats stats_;
+    GatewayObservability obs_;
     TurnId next_turn_ = 1;
     Status health_ = Status::ok();
 };

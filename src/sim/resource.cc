@@ -21,12 +21,20 @@ FifoResource::update_busy_integral()
 }
 
 void
+FifoResource::notify_occupancy()
+{
+    if (occupancy_hook_)
+        occupancy_hook_(simulator_.now(), in_use_);
+}
+
+void
 FifoResource::acquire(std::function<void()> on_granted)
 {
     HELM_ASSERT(static_cast<bool>(on_granted), "grant callback required");
     if (in_use_ < capacity_ && waiters_.empty()) {
         update_busy_integral();
         ++in_use_;
+        notify_occupancy();
         on_granted();
         return;
     }
@@ -39,6 +47,7 @@ FifoResource::release()
     HELM_ASSERT(in_use_ > 0, "release without matching acquire");
     update_busy_integral();
     --in_use_;
+    notify_occupancy();
     if (!waiters_.empty()) {
         std::function<void()> next = std::move(waiters_.front());
         waiters_.pop_front();
@@ -47,6 +56,7 @@ FifoResource::release()
         simulator_.schedule(0.0, [this, next = std::move(next)]() mutable {
             update_busy_integral();
             ++in_use_;
+            notify_occupancy();
             next();
         });
     }

@@ -64,14 +64,29 @@ class FifoResource
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Observer invoked at every occupancy change with (sim time,
+     * holders in use).  Fires on grant and on release — the edges a
+     * tracer needs to derive DES resource spans and a monitor needs to
+     * sample utilization — never re-entrantly with user callbacks
+     * pending.  Null (the default) costs nothing on the hot path.
+     */
+    void set_occupancy_hook(
+        std::function<void(Seconds, std::size_t)> hook)
+    {
+        occupancy_hook_ = std::move(hook);
+    }
+
   private:
     void update_busy_integral();
+    void notify_occupancy();
 
     Simulator &simulator_;
     std::string name_;
     std::size_t capacity_;
     std::size_t in_use_ = 0;
     std::deque<std::function<void()>> waiters_;
+    std::function<void(Seconds, std::size_t)> occupancy_hook_;
     // busy-time integral bookkeeping
     Seconds busy_accum_ = 0.0;
     Seconds last_change_ = 0.0;

@@ -370,6 +370,52 @@ print_port_section(std::ostream &out, const MetricsRegistry &reg)
     table.print(out);
 }
 
+void
+print_alert_section(std::ostream &out, const MetricsRegistry &reg)
+{
+    AsciiTable table("SLO burn-rate alerts");
+    table.set_header(
+        {"slo", "state", "fires", "clears", "peak burn", "fast", "slow"});
+    table.align_right_from(2);
+    std::vector<std::string> slos;
+    for (const Labels &labels : reg.label_sets("helm_alert_active")) {
+        auto it = labels.find("slo");
+        if (it != labels.end())
+            slos.push_back(it->second);
+    }
+    for (const std::string &slo : slos) {
+        const Labels labels = {{"slo", slo}};
+        const bool active =
+            value(reg, "helm_alert_active", labels) > 0.0;
+        table.add_row(
+            {slo, active ? "FIRING" : "ok",
+             std::to_string(count(reg, "helm_alert_events_total",
+                                  {{"slo", slo},
+                                   {"transition", "fire"}})),
+             std::to_string(count(reg, "helm_alert_events_total",
+                                  {{"slo", slo},
+                                   {"transition", "clear"}})),
+             format_fixed(value(reg, "helm_alert_peak_burn", labels), 2),
+             format_fixed(value(reg, "helm_alert_fast_burn", labels), 2),
+             format_fixed(value(reg, "helm_alert_slow_burn", labels),
+                          2)});
+    }
+    table.print(out);
+}
+
+void
+print_trace_section(std::ostream &out, const MetricsRegistry &reg)
+{
+    out << "tracing:     " << count(reg, "helm_trace_retained")
+        << " traces retained of " << count(reg, "helm_trace_traces_total")
+        << " observed ("
+        << count(reg, "helm_trace_flagged_total") << " flagged, "
+        << count(reg, "helm_trace_evicted_total") << " evicted, bound "
+        << count(reg, "helm_trace_capacity_traces") << " x "
+        << count(reg, "helm_trace_capacity_spans_per_trace")
+        << " spans)\n";
+}
+
 } // namespace
 
 void
@@ -387,6 +433,12 @@ print_run_report(std::ostream &out, const MetricsRegistry &registry)
         print_gpu_section(out, registry);
     if (registry.has("helm_cluster_port_rate_bytes_per_s"))
         print_port_section(out, registry);
+    // Observability extras: families exist only when --alerts /
+    // --trace-out ran, so default output is byte-identical.
+    if (registry.has("helm_alert_active"))
+        print_alert_section(out, registry);
+    if (registry.has("helm_trace_retained"))
+        print_trace_section(out, registry);
 }
 
 } // namespace helm::telemetry

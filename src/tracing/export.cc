@@ -1,0 +1,206 @@
+#include "tracing/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "telemetry/export.h"
+
+namespace helm::tracing {
+namespace {
+
+/** Shortest-practical decimal that round-trips our sim timestamps. */
+std::string
+format_seconds_json(Seconds value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+std::string
+format_id(std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+void
+emit_flags(std::ostringstream &out, const OutlierFlags &flags)
+{
+    out << "[";
+    bool first = true;
+    auto put = [&](bool set, const char *name) {
+        if (!set)
+            return;
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\"";
+    };
+    put(flags.shed, "shed");
+    put(flags.deadline_missed, "deadline-missed");
+    put(flags.preempted, "preempted");
+    put(flags.pinned, "pinned");
+    out << "]";
+}
+
+void
+emit_span(std::ostringstream &out, const Span &span)
+{
+    out << "{\"span_id\":\"" << format_id(span.span_id)
+        << "\",\"parent_id\":\"" << format_id(span.parent_id)
+        << "\",\"phase\":\"" << span_phase_name(span.phase)
+        << "\",\"name\":\"" << telemetry::json_escape(span.name)
+        << "\",\"start_s\":" << format_seconds_json(span.start)
+        << ",\"end_s\":" << format_seconds_json(span.end)
+        << ",\"attrs\":{";
+    bool first = true;
+    for (const auto &[key, value] : span.attrs) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << telemetry::json_escape(key) << "\":\""
+            << telemetry::json_escape(value) << "\"";
+    }
+    out << "}}";
+}
+
+} // namespace
+
+std::string
+trace_json(const Tracer &tracer)
+{
+    const FlightRecorder &recorder = tracer.recorder();
+    const FlightRecorderStats &stats = recorder.stats();
+    std::ostringstream out;
+    out << "{\"schema\":\"helm-trace-v1\",\"stats\":{"
+        << "\"traces_seen\":" << stats.traces_seen
+        << ",\"spans_seen\":" << stats.spans_seen
+        << ",\"flagged\":" << stats.flagged_seen
+        << ",\"evicted\":" << stats.evicted
+        << ",\"dropped_spans\":" << stats.dropped_spans
+        << ",\"retained\":" << recorder.retained()
+        << ",\"retained_spans\":" << recorder.retained_spans()
+        << ",\"capacity_traces\":" << recorder.config().max_traces
+        << ",\"capacity_spans_per_trace\":"
+        << recorder.config().max_spans_per_trace << "},\"traces\":[";
+    bool first = true;
+    for (const Trace *trace : recorder.sorted_traces()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"trace_id\":" << trace->trace_id << ",\"kind\":\""
+            << telemetry::json_escape(trace->kind) << "\",\"flags\":";
+        emit_flags(out, trace->flags);
+        out << ",\"tbt_s\":" << format_seconds_json(trace->tbt)
+            << ",\"dropped_spans\":" << trace->dropped_spans
+            << ",\"spans\":[";
+        for (std::size_t s = 0; s < trace->spans.size(); ++s) {
+            if (s)
+                out << ",";
+            out << "\n";
+            emit_span(out, trace->spans[s]);
+        }
+        out << "]}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+Status
+write_trace_json(const Tracer &tracer, const std::string &path)
+{
+    return telemetry::write_text_file(path, trace_json(tracer));
+}
+
+Status
+validate_trace(const Trace &trace, double eps)
+{
+    if (trace.spans.empty())
+        return Status::failed_precondition(
+            "trace " + std::to_string(trace.trace_id) + " has no spans");
+    const Span &root = trace.spans.front();
+    if (root.parent_id != 0)
+        return Status::failed_precondition(
+            "trace " + std::to_string(trace.trace_id) +
+            ": first span is not a root (parent " +
+            format_id(root.parent_id) + ")");
+
+    std::unordered_map<std::uint64_t, const Span *> by_id;
+    by_id.reserve(trace.spans.size());
+    for (const Span &span : trace.spans) {
+        if (span.end < span.start - eps)
+            return Status::failed_precondition(
+                "span " + format_id(span.span_id) + " (" + span.name +
+                ") ends before it starts");
+        if (!by_id.emplace(span.span_id, &span).second)
+            return Status::failed_precondition(
+                "duplicate span id " + format_id(span.span_id));
+        if (&span == &root)
+            continue;
+        auto parent = by_id.find(span.parent_id);
+        if (parent == by_id.end())
+            return Status::failed_precondition(
+                "span " + format_id(span.span_id) + " (" + span.name +
+                ") references parent " + format_id(span.parent_id) +
+                " that does not precede it");
+        if (span.start < parent->second->start - eps ||
+            span.end > parent->second->end + eps)
+            return Status::failed_precondition(
+                "span " + format_id(span.span_id) + " (" + span.name +
+                ") [" + format_seconds_json(span.start) + ", " +
+                format_seconds_json(span.end) +
+                "] escapes its parent [" +
+                format_seconds_json(parent->second->start) + ", " +
+                format_seconds_json(parent->second->end) + "]");
+    }
+
+    // Root tiling: direct children, pairwise non-overlapping, so
+    // sum(phase durations) + idle gaps == root wall exactly.  Only
+    // per-request trees make that claim; a scheduler trace's batch
+    // windows may legitimately pipeline, so kServe roots get the
+    // containment checks above but not tiling.
+    if (root.phase == SpanPhase::kServe)
+        return Status::ok();
+    std::vector<const Span *> children;
+    for (const Span &span : trace.spans) {
+        if (&span != &root && span.parent_id == root.span_id)
+            children.push_back(&span);
+    }
+    std::sort(children.begin(), children.end(),
+              [](const Span *a, const Span *b) {
+                  return a->start < b->start;
+              });
+    Seconds phase_sum = 0.0;
+    Seconds cursor = root.start;
+    for (const Span *child : children) {
+        if (child->start < cursor - eps)
+            return Status::failed_precondition(
+                "root children overlap at span " +
+                format_id(child->span_id) + " (" + child->name + ")");
+        phase_sum += child->duration();
+        cursor = std::max(cursor, child->end);
+    }
+    const Seconds idle = root.duration() - phase_sum;
+    if (idle < -eps)
+        return Status::failed_precondition(
+            "trace " + std::to_string(trace.trace_id) +
+            ": phase sum " + format_seconds_json(phase_sum) +
+            " exceeds root wall " +
+            format_seconds_json(root.duration()));
+    return Status::ok();
+}
+
+Status
+validate_all(const Tracer &tracer, double eps)
+{
+    for (const Trace *trace : tracer.recorder().sorted_traces())
+        HELM_RETURN_IF_ERROR(validate_trace(*trace, eps));
+    return Status::ok();
+}
+
+} // namespace helm::tracing

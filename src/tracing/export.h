@@ -1,0 +1,60 @@
+/**
+ * @file
+ * helm-trace-v1 export and span-tree validation.
+ *
+ * The span dump is a single JSON document:
+ *
+ *   {"schema": "helm-trace-v1",
+ *    "stats": {"traces_seen": N, "spans_seen": N, "flagged": N,
+ *              "evicted": N, "dropped_spans": N,
+ *              "retained": N, "retained_spans": N,
+ *              "capacity_traces": N, "capacity_spans_per_trace": N},
+ *    "traces": [{"trace_id": N, "kind": "turn", "flags": ["shed"],
+ *                "tbt_s": X, "dropped_spans": N,
+ *                "spans": [{"span_id": "0x...", "parent_id": "0x0",
+ *                           "phase": "queue", "name": "...",
+ *                           "start_s": X, "end_s": X,
+ *                           "attrs": {...}}, ...]}, ...]}
+ *
+ * Span ids are hex *strings* (64-bit ids do not survive JSON number
+ * parsers).  Traces appear in (kind, trace_id) order and spans in
+ * parent-before-child order, so identical runs export byte-identical
+ * documents.  `tools/check_trace.py` is the schema gate.
+ */
+#ifndef HELM_TRACING_EXPORT_H
+#define HELM_TRACING_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tracing/tracer.h"
+
+namespace helm::tracing {
+
+/** Render the flight recorder's retained traces as helm-trace-v1. */
+std::string trace_json(const Tracer &tracer);
+
+/** Write trace_json() to @p path. */
+Status write_trace_json(const Tracer &tracer, const std::string &path);
+
+/**
+ * Validate one span tree:
+ *   - spans non-empty, the first span is the root (parent_id == 0);
+ *   - span ids unique, every parent_id names an *earlier* span;
+ *   - every child interval nests inside its parent (eps slack);
+ *   - the root's direct children are pairwise non-overlapping, so the
+ *     per-phase durations plus idle gaps tile the root wall exactly:
+ *     sum(direct children) + idle == root duration.  (Skipped for
+ *     kServe roots — scheduler batch windows may pipeline.)
+ *
+ * Returns ok or a one-line diagnostic naming the offending span.
+ */
+Status validate_trace(const Trace &trace, double eps = 1e-9);
+
+/** validate_trace over every retained trace. */
+Status validate_all(const Tracer &tracer, double eps = 1e-9);
+
+} // namespace helm::tracing
+
+#endif // HELM_TRACING_EXPORT_H

@@ -1,0 +1,115 @@
+#include "tracing/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace helm::tracing {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config)
+{
+    HELM_ASSERT(config_.max_traces >= 2,
+                "flight recorder needs at least 2 trace slots");
+    HELM_ASSERT(config_.max_spans_per_trace >= 1,
+                "flight recorder needs at least 1 span per trace");
+    flagged_cap_ = std::max<std::size_t>(1, config_.max_traces / 2);
+    outlier_cap_ = config_.max_traces - flagged_cap_;
+}
+
+bool
+FlightRecorder::would_retain(const OutlierFlags &flags, Seconds tbt) const
+{
+    if (flags.any())
+        return true;
+    if (outliers_.size() < outlier_cap_)
+        return true;
+    // Strictly greater: a tie keeps the incumbent, so retention cannot
+    // depend on replay order among equal-TBT traces.
+    return tbt > outlier_min_tbt_;
+}
+
+void
+FlightRecorder::count_skipped(std::size_t span_count,
+                              const OutlierFlags &flags)
+{
+    ++stats_.traces_seen;
+    stats_.spans_seen += span_count;
+    if (flags.any())
+        ++stats_.flagged_seen;
+}
+
+void
+FlightRecorder::admit(Trace &&trace)
+{
+    ++stats_.traces_seen;
+    stats_.spans_seen += trace.spans.size() + trace.dropped_spans;
+    stats_.dropped_spans += trace.dropped_spans;
+    if (trace.flags.any()) {
+        ++stats_.flagged_seen;
+        flagged_.push_back(std::move(trace));
+        if (flagged_.size() > flagged_cap_) {
+            flagged_.pop_front();
+            ++stats_.evicted;
+        }
+        return;
+    }
+    if (outliers_.size() < outlier_cap_) {
+        outliers_.push_back(std::move(trace));
+        if (outliers_.size() == outlier_cap_)
+            recompute_outlier_min();
+        return;
+    }
+    // Displace the smallest-TBT incumbent only when strictly slower;
+    // ties break toward the lower trace id deterministically.
+    if (trace.tbt > outlier_min_tbt_) {
+        outliers_[outlier_min_at_] = std::move(trace);
+        ++stats_.evicted;
+        recompute_outlier_min();
+    }
+}
+
+void
+FlightRecorder::recompute_outlier_min()
+{
+    std::size_t min_at = 0;
+    for (std::size_t i = 1; i < outliers_.size(); ++i) {
+        if (outliers_[i].tbt < outliers_[min_at].tbt ||
+            (outliers_[i].tbt == outliers_[min_at].tbt &&
+             outliers_[i].trace_id > outliers_[min_at].trace_id))
+            min_at = i;
+    }
+    outlier_min_at_ = min_at;
+    outlier_min_tbt_ = outliers_[min_at].tbt;
+}
+
+std::size_t
+FlightRecorder::retained_spans() const
+{
+    std::size_t total = 0;
+    for (const Trace &t : flagged_)
+        total += t.spans.size();
+    for (const Trace &t : outliers_)
+        total += t.spans.size();
+    return total;
+}
+
+std::vector<const Trace *>
+FlightRecorder::sorted_traces() const
+{
+    std::vector<const Trace *> out;
+    out.reserve(retained());
+    for (const Trace &t : flagged_)
+        out.push_back(&t);
+    for (const Trace &t : outliers_)
+        out.push_back(&t);
+    std::sort(out.begin(), out.end(),
+              [](const Trace *a, const Trace *b) {
+                  if (a->kind != b->kind)
+                      return a->kind < b->kind;
+                  return a->trace_id < b->trace_id;
+              });
+    return out;
+}
+
+} // namespace helm::tracing

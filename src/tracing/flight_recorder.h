@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bounded retention of interesting span trees.
+ *
+ * A million-request gateway run produces a million turn traces; keeping
+ * them all would defeat the point of simulating at scale.  The flight
+ * recorder bounds memory by construction:
+ *
+ *   - *flagged* traces (shed, deadline-missed, preempted, pinned) go to
+ *     a FIFO pool of `max_traces / 2` slots — newest evicts oldest;
+ *   - unflagged traces compete for the remaining slots on TBT: a trace
+ *     is retained only while it is among the top-K slowest seen so far
+ *     (the running approximation of "p99+ TBT"), with ties keeping the
+ *     incumbent so replay order cannot flap retention;
+ *   - every trace is capped at `max_spans_per_trace` spans at build
+ *     time (TraceBuilder counts the overflow in dropped_spans).
+ *
+ * Worst-case resident spans are therefore
+ * `max_traces * max_spans_per_trace`, independent of run length.
+ * `would_retain()` lets callers skip *building* a span tree that would
+ * not be kept — the tracer's fast path for the 1M-request drive.
+ */
+#ifndef HELM_TRACING_FLIGHT_RECORDER_H
+#define HELM_TRACING_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "tracing/span.h"
+
+namespace helm::tracing {
+
+struct FlightRecorderConfig
+{
+    /** Total retained-trace slots (flagged + outlier pools). */
+    std::size_t max_traces = 256;
+    /** Per-trace span cap enforced by TraceBuilder. */
+    std::size_t max_spans_per_trace = 64;
+};
+
+/** Retention accounting for helm_trace_* metrics. */
+struct FlightRecorderStats
+{
+    std::uint64_t traces_seen = 0; //!< admit() + count_skipped() calls
+    std::uint64_t spans_seen = 0;  //!< spans offered, stored or not
+    std::uint64_t flagged_seen = 0;
+    std::uint64_t evicted = 0;       //!< retained then displaced
+    std::uint64_t dropped_spans = 0; //!< per-trace cap overflow
+};
+
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightRecorderConfig config);
+
+    const FlightRecorderConfig &config() const { return config_; }
+
+    /**
+     * Would a trace with these flags and TBT survive admission right
+     * now?  Pure; callers use it to skip building doomed span trees.
+     */
+    bool would_retain(const OutlierFlags &flags, Seconds tbt) const;
+
+    /** Account a trace that was observed but not built (fast path). */
+    void count_skipped(std::size_t span_count, const OutlierFlags &flags);
+
+    /** Offer a built trace; retains or discards per the policy. */
+    void admit(Trace &&trace);
+
+    const FlightRecorderStats &stats() const { return stats_; }
+    std::size_t retained() const
+    {
+        return flagged_.size() + outliers_.size();
+    }
+    /** Resident spans across retained traces (the memory bound). */
+    std::size_t retained_spans() const;
+
+    /**
+     * All retained traces sorted by (kind, trace_id) — a deterministic
+     * order for export, independent of eviction history.
+     */
+    std::vector<const Trace *> sorted_traces() const;
+
+  private:
+    /** Re-derive the cached displacement victim of a full outlier
+     *  pool (smallest TBT, ties toward the higher trace id). */
+    void recompute_outlier_min();
+
+    FlightRecorderConfig config_;
+    std::size_t flagged_cap_;
+    std::size_t outlier_cap_;
+    std::deque<Trace> flagged_;   //!< FIFO, oldest evicts first
+    std::vector<Trace> outliers_; //!< top-K by (tbt, trace_id)
+    /** Cached victim of the full outlier pool so the per-request
+     *  would_retain() check is O(1), not O(pool). */
+    std::size_t outlier_min_at_ = 0;
+    Seconds outlier_min_tbt_ = 0.0;
+    FlightRecorderStats stats_;
+};
+
+} // namespace helm::tracing
+
+#endif // HELM_TRACING_FLIGHT_RECORDER_H

@@ -1,0 +1,90 @@
+#include "tracing/span.h"
+
+namespace helm::tracing {
+
+const char *
+span_phase_name(SpanPhase phase)
+{
+    switch (phase) {
+    case SpanPhase::kTurn:
+        return "turn";
+    case SpanPhase::kQueue:
+        return "queue";
+    case SpanPhase::kDispatch:
+        return "dispatch";
+    case SpanPhase::kStream:
+        return "stream";
+    case SpanPhase::kRequest:
+        return "request";
+    case SpanPhase::kPrefill:
+        return "prefill";
+    case SpanPhase::kDecode:
+        return "decode";
+    case SpanPhase::kBatch:
+        return "batch";
+    case SpanPhase::kKvSwap:
+        return "kv-swap";
+    case SpanPhase::kResource:
+        return "resource";
+    case SpanPhase::kServe:
+        return "serve";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+derive_span_id(std::uint64_t trace_id, SpanPhase phase, std::uint64_t seq)
+{
+    std::uint64_t hash = fnv1a64(&trace_id, sizeof(trace_id));
+    const std::uint32_t phase_raw = static_cast<std::uint32_t>(phase);
+    hash = fnv1a64(&phase_raw, sizeof(phase_raw), hash);
+    hash = fnv1a64(&seq, sizeof(seq), hash);
+    // 0 is reserved for "no parent"; fold it away deterministically.
+    return hash == 0 ? 1 : hash;
+}
+
+TraceBuilder::TraceBuilder(std::uint64_t trace_id, std::string kind,
+                           std::size_t max_spans)
+    : max_spans_(max_spans)
+{
+    trace_.trace_id = trace_id;
+    trace_.kind = std::move(kind);
+}
+
+std::uint64_t
+TraceBuilder::add_span(
+    SpanPhase phase, std::string name, Seconds start, Seconds end,
+    std::uint64_t parent_id,
+    std::vector<std::pair<std::string, std::string>> attrs)
+{
+    const std::uint64_t id =
+        derive_span_id(trace_.trace_id, phase, next_seq_++);
+    if (trace_.spans.size() >= max_spans_) {
+        ++trace_.dropped_spans;
+        return id;
+    }
+    Span span;
+    span.span_id = id;
+    span.parent_id = parent_id;
+    span.phase = phase;
+    span.name = std::move(name);
+    span.start = start;
+    span.end = end;
+    span.attrs = std::move(attrs);
+    trace_.spans.push_back(std::move(span));
+    return id;
+}
+
+} // namespace helm::tracing

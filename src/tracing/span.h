@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Span model for per-request distributed tracing.
+ *
+ * A Trace is one request's (or one scheduler run's) tree of timed
+ * phases: a gateway turn parenting queue/dispatch/stream spans, a
+ * backend request parenting queue/prefill/decode spans with KV-swap
+ * children, or a scheduler run parenting batch spans with DES-resource
+ * children.  Span identifiers are *derived*, not allocated: FNV-1a over
+ * (trace id, phase, sequence number), so the same run produces the
+ * same ids regardless of `--jobs`, host, or allocation order — traces
+ * from identical runs diff clean, byte for byte.
+ */
+#ifndef HELM_TRACING_SPAN_H
+#define HELM_TRACING_SPAN_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace helm::tracing {
+
+/** The phase vocabulary; every span carries exactly one. */
+enum class SpanPhase : std::uint32_t
+{
+    kTurn = 0,    //!< gateway turn root: client submit -> last token
+    kQueue = 1,   //!< admission-to-dispatch wait (gateway or scheduler)
+    kDispatch = 2, //!< dispatch-window serve: launch -> first token
+    kStream = 3,  //!< token streaming: first token -> completion
+    kRequest = 4, //!< backend request root: arrival -> last token
+    kPrefill = 5, //!< batch launch -> first token
+    kDecode = 6,  //!< first token -> last token
+    kBatch = 7,   //!< one formed batch on the scheduler timeline
+    kKvSwap = 8,  //!< preemption demote/promote interval
+    kResource = 9, //!< DES resource occupancy (h2d, port, NDP unit)
+    kServe = 10,  //!< scheduler-run root: first arrival -> makespan
+};
+
+/** Stable lower-case name of @p phase ("turn", "kv-swap", ...). */
+const char *span_phase_name(SpanPhase phase);
+
+/** Number of distinct phases (for exhaustive tables). */
+inline constexpr std::size_t kSpanPhaseCount = 11;
+
+/** 64-bit FNV-1a over @p data. */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/**
+ * The deterministic span id: FNV-1a over (trace id, phase, seq).
+ * @p seq is the span's ordinal within its trace (0 = root), so two
+ * spans of the same phase in one trace still get distinct ids.
+ */
+std::uint64_t derive_span_id(std::uint64_t trace_id, SpanPhase phase,
+                             std::uint64_t seq);
+
+/** One timed phase.  Intervals are simulation seconds. */
+struct Span
+{
+    std::uint64_t span_id = 0;
+    /** 0 for the root span; otherwise an earlier span's id. */
+    std::uint64_t parent_id = 0;
+    SpanPhase phase = SpanPhase::kTurn;
+    std::string name;
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    /** Key/value annotations, insertion order preserved. */
+    std::vector<std::pair<std::string, std::string>> attrs;
+
+    Seconds duration() const { return end - start; }
+};
+
+/** Why a trace is interesting enough for the flight recorder. */
+struct OutlierFlags
+{
+    bool shed = false;            //!< rejected / backend-shed
+    bool deadline_missed = false; //!< completed past its deadline
+    bool preempted = false;       //!< swapped out at least once
+    /** Always-retain (scheduler/system traces, tests). */
+    bool pinned = false;
+
+    bool
+    any() const
+    {
+        return shed || deadline_missed || preempted || pinned;
+    }
+};
+
+/** One request's span tree: root first, parents before children. */
+struct Trace
+{
+    std::uint64_t trace_id = 0;
+    /** "turn" (gateway), "request" (backend), "scheduler" (run). */
+    std::string kind;
+    OutlierFlags flags;
+    /** Mean time between tokens — the outlier-retention key. */
+    Seconds tbt = 0.0;
+    std::vector<Span> spans;
+    /** Spans discarded by the per-trace cap, counted not stored. */
+    std::uint64_t dropped_spans = 0;
+};
+
+/**
+ * Builds one Trace with derived span ids and a hard span cap; spans
+ * past the cap are counted in dropped_spans instead of stored, so a
+ * pathological request cannot blow the flight-recorder memory bound.
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder(std::uint64_t trace_id, std::string kind,
+                 std::size_t max_spans);
+
+    /**
+     * Append a span; returns its derived id (also when dropped by the
+     * cap, so children can still reference it — a dropped parent drops
+     * its children at validation, never at build time).
+     */
+    std::uint64_t add_span(
+        SpanPhase phase, std::string name, Seconds start, Seconds end,
+        std::uint64_t parent_id,
+        std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    Trace &trace() { return trace_; }
+    Trace take() { return std::move(trace_); }
+
+  private:
+    Trace trace_;
+    std::size_t max_spans_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace helm::tracing
+
+#endif // HELM_TRACING_SPAN_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Span-tree synthesis from the serving path's own timing records.
+ *
+ * The engine memoizes batch simulation by shape, so a live span per
+ * DES event would trace only the first execution of each distinct
+ * batch shape.  Instead, spans are *derived* from the authoritative
+ * per-request timing the schedulers already produce (gateway
+ * TurnMetrics, backend RequestMetrics, per-step LayerStepRecords,
+ * KvSwapEvents) — the same numbers every report and metric is computed
+ * from, so trace and report cannot disagree, and determinism across
+ * `--jobs` is inherited rather than re-proven.
+ *
+ * Two producers:
+ *   - the gateway builds one "turn" trace per completed/shed turn
+ *     (queue -> dispatch -> stream tiling the client-edge wall);
+ *   - `synthesize_serving_traces` maps a ServingReport onto "request"
+ *     traces (queue -> prefill -> decode, KV-swap children) plus one
+ *     pinned "scheduler" trace per GPU whose batch spans parent the
+ *     DES-resource (h2d) occupancy windows from the step records.
+ */
+#ifndef HELM_TRACING_SYNTHESIZE_H
+#define HELM_TRACING_SYNTHESIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tracing/tracer.h"
+
+namespace helm::runtime {
+struct LayerStepRecord;
+struct ServingReport;
+}
+
+namespace helm::tracing {
+
+/** Everything one gateway turn trace is derived from. */
+struct TurnTraceInput
+{
+    std::uint64_t turn_id = 0;
+    std::uint64_t session = 0;
+    std::uint32_t replica = 0;
+    std::uint64_t prompt_tokens = 0;
+    std::uint64_t output_tokens = 0;
+    Seconds submitted = 0.0;
+    Seconds dispatched = 0.0;
+    Seconds first_token = 0.0;
+    Seconds completed = 0.0;
+    Seconds tbt = 0.0;
+};
+
+/** Spans a built turn trace holds (for fast-path accounting). */
+inline constexpr std::size_t kTurnTraceSpans = 4;
+
+/** turn root + queue/dispatch/stream children tiling it exactly. */
+Trace build_turn_trace(const TurnTraceInput &input,
+                       std::size_t max_spans);
+
+/** A shed turn: root + queue span ending at the shed, flagged. */
+Trace build_shed_turn_trace(std::uint64_t turn_id, std::uint64_t session,
+                            Seconds submitted, Seconds shed_at,
+                            const char *reason, std::size_t max_spans);
+
+/**
+ * Offer one trace per completed request (queue/prefill/decode with
+ * KV-swap children, outlier-flagged from the metrics) plus — when step
+ * records were collected — one pinned "scheduler" trace per GPU whose
+ * batch spans parent h2d resource spans.  Rejected requests are
+ * counted as shed traces but carry no timing, so they are observed,
+ * not built.
+ */
+void synthesize_serving_traces(
+    Tracer &tracer, const runtime::ServingReport &report,
+    const std::vector<runtime::LayerStepRecord> &records);
+
+} // namespace helm::tracing
+
+#endif // HELM_TRACING_SYNTHESIZE_H

@@ -1,0 +1,53 @@
+#include "tracing/tracer.h"
+
+#include "telemetry/metrics.h"
+
+namespace helm::tracing {
+
+Tracer::Tracer(FlightRecorderConfig config) : recorder_(config) {}
+
+void
+Tracer::record(telemetry::MetricsRegistry &registry) const
+{
+    const FlightRecorderStats &stats = recorder_.stats();
+    registry
+        .counter("helm_trace_traces_total", {},
+                 "Traces observed by the tracer (built or skipped)")
+        .add(static_cast<double>(stats.traces_seen));
+    registry
+        .counter("helm_trace_spans_total", {},
+                 "Spans offered to the flight recorder")
+        .add(static_cast<double>(stats.spans_seen));
+    registry
+        .counter("helm_trace_flagged_total", {},
+                 "Outlier-flagged traces (shed / deadline-missed / "
+                 "preempted / pinned)")
+        .add(static_cast<double>(stats.flagged_seen));
+    registry
+        .counter("helm_trace_evicted_total", {},
+                 "Retained traces later displaced by the retention "
+                 "policy")
+        .add(static_cast<double>(stats.evicted));
+    registry
+        .counter("helm_trace_dropped_spans_total", {},
+                 "Spans discarded by the per-trace span cap")
+        .add(static_cast<double>(stats.dropped_spans));
+    registry
+        .gauge("helm_trace_retained", {},
+               "Traces resident in the flight recorder at run end")
+        .set(static_cast<double>(recorder_.retained()));
+    registry
+        .gauge("helm_trace_retained_spans", {},
+               "Spans resident in the flight recorder at run end")
+        .set(static_cast<double>(recorder_.retained_spans()));
+    registry
+        .gauge("helm_trace_capacity_traces", {},
+               "Flight-recorder trace-slot bound")
+        .set(static_cast<double>(recorder_.config().max_traces));
+    registry
+        .gauge("helm_trace_capacity_spans_per_trace", {},
+               "Flight-recorder per-trace span bound")
+        .set(static_cast<double>(recorder_.config().max_spans_per_trace));
+}
+
+} // namespace helm::tracing

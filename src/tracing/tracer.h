@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The tracer: the one observability handle the serving path carries.
+ *
+ * A Tracer owns a FlightRecorder and exposes the two-step protocol the
+ * hot path needs: `should_build()` (cheap — no allocation) decides
+ * whether a finished request's span tree is worth constructing, then
+ * either `finish()` hands the built Trace to the recorder or
+ * `observe()` just counts it.  Everything is deterministic: derived
+ * span ids, tie-stable retention, sorted export order.
+ */
+#ifndef HELM_TRACING_TRACER_H
+#define HELM_TRACING_TRACER_H
+
+#include "tracing/flight_recorder.h"
+
+namespace helm::telemetry {
+class MetricsRegistry;
+}
+
+namespace helm::tracing {
+
+class Tracer
+{
+  public:
+    explicit Tracer(FlightRecorderConfig config = {});
+
+    const FlightRecorderConfig &config() const
+    {
+        return recorder_.config();
+    }
+
+    /** Build the span tree only when this returns true. */
+    bool
+    should_build(const OutlierFlags &flags, Seconds tbt) const
+    {
+        return recorder_.would_retain(flags, tbt);
+    }
+
+    /** Count a trace whose spans were never built (fast path). */
+    void
+    observe(std::size_t span_count, const OutlierFlags &flags)
+    {
+        recorder_.count_skipped(span_count, flags);
+    }
+
+    /** Offer a built trace to the flight recorder. */
+    void finish(Trace &&trace) { recorder_.admit(std::move(trace)); }
+
+    const FlightRecorder &recorder() const { return recorder_; }
+
+    /** Record the helm_trace_* metric family into @p registry. */
+    void record(telemetry::MetricsRegistry &registry) const;
+
+  private:
+    FlightRecorder recorder_;
+};
+
+} // namespace helm::tracing
+
+#endif // HELM_TRACING_TRACER_H

@@ -7,10 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "kvcache/kvcache.h"
 #include "model/opt.h"
 #include "runtime/engine.h"
 #include "runtime/trace.h"
+#include "tracing/flight_recorder.h"
+#include "tracing/synthesize.h"
 
 namespace helm::runtime {
 namespace {
@@ -170,6 +174,128 @@ TEST(TraceCounters, ClusterPidLayoutCoexistsWithCounters)
         pos += 7;
     }
     EXPECT_GE(pid1_events, single);
+}
+
+TEST(TraceLayout, ThreadTracksArePinned)
+{
+    // The pid/tid scheme is part of the format contract (trace.h):
+    // tid 0 compute, tid 1 transfers, tid 2 reserved for KV swaps,
+    // KV tier tracks from tid 3 in first-seen order — even when the
+    // run had no swaps.  Hand-crafted records so both tiers move bytes.
+    LayerStepRecord step;
+    step.compute_time = 0.001;
+    step.transfer_time = 0.001;
+    step.transfer_bytes = 4096;
+    step.kv_read_bytes = 1024;
+    step.kv_tiers.push_back({"host", 1024, 0});
+    step.kv_tiers.push_back({"pmem", 0, 2048});
+    step.kv_write_time = 0.0005;
+
+    const std::string json = chrome_trace_json({step});
+    EXPECT_NE(json.find("\"tid\":0,\"args\":{\"name\":\"GPU compute\"}"),
+              std::string::npos);
+    EXPECT_NE(
+        json.find("\"tid\":1,\"args\":{\"name\":\"h2d transfers\"}"),
+        std::string::npos);
+    // No preemptions: the swap track stays silent but its tid stays
+    // reserved — the first tier row lands at tid 3, never tid 2.
+    EXPECT_EQ(json.find("KV swap (preemption)"), std::string::npos);
+    EXPECT_EQ(json.find("\"tid\":2,\"args\":{\"name\":\"KV "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":3,\"args\":{\"name\":\"KV host\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":4,\"args\":{\"name\":\"KV pmem\"}"),
+              std::string::npos);
+}
+
+TEST(TraceLayout, SwapTrackUsesTheReservedTid)
+{
+    const auto result = small_run(/*kv_tiering=*/true);
+    TraceCounterOptions counters;
+    KvSwapEvent swap;
+    swap.request_id = 7;
+    swap.demote = true;
+    swap.start = 0.5;
+    swap.end = 0.75;
+    swap.bytes = 4096;
+    counters.kv_swaps.push_back(swap);
+
+    const std::string json =
+        chrome_trace_json(result.records, counters);
+    EXPECT_TRUE(json_balanced(json));
+    EXPECT_NE(
+        json.find(
+            "\"tid\":2,\"args\":{\"name\":\"KV swap (preemption)\"}"),
+        std::string::npos);
+    EXPECT_NE(json.find("KV demote r7"), std::string::npos);
+}
+
+TEST(TraceLayout, FlightRecorderRowsAndFlowArrows)
+{
+    tracing::FlightRecorder recorder({8, 16});
+    tracing::TurnTraceInput input;
+    input.turn_id = 42;
+    input.session = 1;
+    input.prompt_tokens = 128;
+    input.output_tokens = 8;
+    input.submitted = 0.0;
+    input.dispatched = 0.25;
+    input.first_token = 0.5;
+    input.completed = 1.0;
+    input.tbt = 0.0625;
+    recorder.admit(tracing::build_turn_trace(input, 16));
+    recorder.admit(tracing::build_shed_turn_trace(
+        43, 1, 1.0, 1.25, "accept-queue-full", 16));
+
+    const auto result = small_run();
+    TraceCounterOptions counters;
+    counters.flight_recorder = &recorder;
+    const std::string json =
+        chrome_trace_json(result.records, counters);
+    EXPECT_TRUE(json_balanced(json));
+
+    // One "requests" process at the pinned pid, one thread row per
+    // retained trace in sorted order, flags suffixed to the row name.
+    EXPECT_NE(json.find("\"pid\":1000,\"tid\":0,\"args\":{\"name\":"
+                        "\"requests (flight recorder)\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"turn 42\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"turn 43 [shed]\""),
+              std::string::npos);
+
+    // Span events carry their phase; consecutive root children are
+    // joined by s/f flow pairs whose id is the target's derived span
+    // id — a pure function of (trace id, phase, seq).
+    EXPECT_NE(json.find("\"cat\":\"span\""), std::string::npos);
+    EXPECT_NE(json.find("\"phase\":\"queue\""), std::string::npos);
+    char flow_id[32];
+    std::snprintf(flow_id, sizeof(flow_id), "\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(tracing::derive_span_id(
+                      42, tracing::SpanPhase::kStream, 3)));
+    EXPECT_EQ(count_of(json, flow_id), 2u); // one s + one f event
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\""),
+              std::string::npos);
+}
+
+TEST(TraceLayout, IdenticalInputsRenderIdenticalBytes)
+{
+    const auto result = small_run(/*kv_tiering=*/true);
+    tracing::FlightRecorder recorder({8, 16});
+    tracing::TurnTraceInput input;
+    input.turn_id = 5;
+    input.completed = 1.0;
+    input.first_token = 0.5;
+    recorder.admit(tracing::build_turn_trace(input, 16));
+
+    TraceCounterOptions counters;
+    counters.host_port_rate_bytes_per_s = result.h2d_rate.raw();
+    counters.flight_recorder = &recorder;
+    const std::string once = chrome_trace_json(result.records, counters);
+    const std::string twice =
+        chrome_trace_json(result.records, counters);
+    ASSERT_FALSE(once.empty());
+    EXPECT_EQ(once, twice);
 }
 
 } // namespace

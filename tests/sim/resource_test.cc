@@ -68,6 +68,30 @@ TEST(FifoResource, CapacityTwoRunsTwoConcurrently)
     EXPECT_NEAR(done[3], 2.0, kTol);
 }
 
+TEST(FifoResource, OccupancyHookFiresOnGrantAndReleaseEdges)
+{
+    Simulator sim;
+    FifoResource res(sim, "h2d", 1);
+    std::vector<std::pair<Seconds, std::size_t>> edges;
+    res.set_occupancy_hook([&](Seconds t, std::size_t in_use) {
+        edges.emplace_back(t, in_use);
+    });
+    res.occupy(2.0, [] {});
+    res.occupy(3.0, [] {});
+    sim.run();
+    // Two holders on a unit resource: rise/fall, rise/fall — the edge
+    // stream a time-series consumer turns into utilization buckets.
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_NEAR(edges[0].first, 0.0, kTol);
+    EXPECT_EQ(edges[0].second, 1u);
+    EXPECT_NEAR(edges[1].first, 2.0, kTol);
+    EXPECT_EQ(edges[1].second, 0u);
+    EXPECT_NEAR(edges[2].first, 2.0, kTol);
+    EXPECT_EQ(edges[2].second, 1u);
+    EXPECT_NEAR(edges[3].first, 5.0, kTol);
+    EXPECT_EQ(edges[3].second, 0u);
+}
+
 TEST(FifoResource, OccupySerializesOnUnitCapacity)
 {
     Simulator sim;

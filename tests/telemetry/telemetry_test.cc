@@ -133,6 +133,27 @@ TEST(JsonEscape, QuotesBackslashesAndControls)
     EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
 }
 
+TEST(Exporters, HostileLabelValueSurvivesBothExporters)
+{
+    // One hostile label value (quote, backslash, newline) through both
+    // exporters: each must escape per its own grammar, and the JSON
+    // document must stay structurally parseable.
+    MetricsRegistry registry;
+    registry.counter("helm_bytes_total", {{"tier", "a\"b\\c\nd"}})
+        .add(1.0);
+
+    const std::string text = prometheus_text(registry);
+    EXPECT_NE(text.find("tier=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+        << text;
+    // The raw newline must not survive into the series line.
+    EXPECT_EQ(text.find("c\nd"), std::string::npos);
+
+    const std::string json = json_snapshot(registry);
+    EXPECT_TRUE(json_balanced(json)) << json;
+    EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos) << json;
+    EXPECT_EQ(json.find("c\nd"), std::string::npos);
+}
+
 TEST(Prometheus, RendersHelpTypeLabelsAndHistograms)
 {
     MetricsRegistry registry;

@@ -51,6 +51,19 @@ helm-bench-pareto-v1 (bench_pareto)
   * ``hbf_exclusive`` ran with ``only_hbf`` true — the giant model is
     admitted by exactly one device, the flash tier.
 
+helm-bench-trace-v1 (bench_trace)
+  * ``identity.report_identical`` and ``identity.metrics_identical``
+    are true — with the tracer and monitor attached (recording into a
+    side registry) the serve report text and metrics artifact are
+    byte-identical to the plain run;
+  * ``overhead.overhead_ratio`` is below the ceiling (default 0.05,
+    ``--max-overhead X`` overrides) — synthesizing spans for a
+    closed-loop gateway drive costs < 5 % wall time;
+  * ``recorder`` held the memory bound under a drive much larger than
+    its capacity: ``retained <= capacity_traces``,
+    ``retained_spans <= retained * capacity_spans_per_trace``, and
+    every retained span tree passed validate_trace (``validated``).
+
 Exit status 0 when the document passes, 1 otherwise (one message per
 problem on stderr).
 
@@ -58,6 +71,7 @@ Usage:
   python3 tools/check_bench.py BENCH_parallel.json
   python3 tools/check_bench.py BENCH_parallel.json --min-speedup 3.0
   python3 tools/check_bench.py BENCH_scheduler.json
+  python3 tools/check_bench.py BENCH_trace.json --max-overhead 0.05
 """
 
 import argparse
@@ -322,11 +336,72 @@ def check_pareto(doc, _args, errors):
                  hbf["admitting"], hbf["devices"]))
 
 
+TRACE_NUMBERS = {
+    "identity": ("requests",),
+    "overhead": ("requests", "plain_seconds", "traced_seconds",
+                 "overhead_ratio", "traces_seen"),
+    "recorder": ("requests", "traces_seen", "spans_seen", "retained",
+                 "retained_spans", "capacity_traces",
+                 "capacity_spans_per_trace", "evicted"),
+}
+
+
+def check_trace(doc, args, errors):
+    check_numbers(doc, TRACE_NUMBERS, errors)
+    identity = doc.get("identity")
+    if isinstance(identity, dict):
+        for key in ("report_identical", "metrics_identical"):
+            if not is_set(identity.get(key)):
+                errors.append(
+                    "identity.%s is %r: attaching the tracer/monitor "
+                    "must leave the report and metrics byte-identical"
+                    % (key, identity.get(key)))
+    recorder = doc.get("recorder")
+    if isinstance(recorder, dict) and not errors:
+        if recorder["retained"] > recorder["capacity_traces"]:
+            errors.append(
+                "recorder: retained %r exceeds capacity_traces %r — "
+                "the flight-recorder bound did not hold" %
+                (recorder["retained"], recorder["capacity_traces"]))
+        bound = recorder["retained"] * \
+            recorder["capacity_spans_per_trace"]
+        if recorder["retained_spans"] > bound:
+            errors.append(
+                "recorder: retained_spans %r exceeds retained x "
+                "spans-per-trace bound %r" %
+                (recorder["retained_spans"], bound))
+        if recorder["traces_seen"] <= recorder["capacity_traces"]:
+            errors.append(
+                "recorder: traces_seen %r must exceed capacity_traces "
+                "%r for the bound to be exercised" %
+                (recorder["traces_seen"], recorder["capacity_traces"]))
+        if not is_set(recorder.get("validated")):
+            errors.append(
+                "recorder.validated is %r: every retained span tree "
+                "must pass validate_trace" % recorder.get("validated"))
+    if not errors:
+        ratio = doc["overhead"]["overhead_ratio"]
+        if ratio >= args.max_overhead:
+            errors.append(
+                "overhead.overhead_ratio %.4f >= allowed %.4f" %
+                (ratio, args.max_overhead))
+    if not errors:
+        print("ok: identical with observers attached over %d requests, "
+              "overhead %.2f%% over %d requests, recorder %d/%d traces "
+              "(%d spans) from %d seen" %
+              (doc["identity"]["requests"],
+               100.0 * doc["overhead"]["overhead_ratio"],
+               doc["overhead"]["requests"], recorder["retained"],
+               recorder["capacity_traces"], recorder["retained_spans"],
+               recorder["traces_seen"]))
+
+
 CHECKERS = {
     "helm-bench-parallel-v1": check_parallel,
     "helm-bench-core-v1": check_core,
     "helm-bench-scheduler-v1": check_scheduler,
     "helm-bench-pareto-v1": check_pareto,
+    "helm-bench-trace-v1": check_trace,
 }
 
 
@@ -340,6 +415,9 @@ def main():
                         help="core-v1 only: also gate "
                              "queue.indexed_events_per_s >= this value "
                              "(default: record only)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="trace-v1 only: ceiling for "
+                             "overhead.overhead_ratio (default: 0.05)")
     args = parser.parse_args()
 
     try:

@@ -14,6 +14,9 @@ Checks:
   * every ``--min NAME=VALUE`` holds: the values of all
     counter/gauge series named NAME sum to at least VALUE (this is
     how CI gates e.g. a million completed gateway requests);
+  * every ``--max NAME=VALUE`` holds: the same sums stay at or below
+    VALUE (this is how CI gates e.g. the gateway shed count or the
+    tracer-overhead ratio);
   * when the time-attribution metrics are present, the decomposition
     tiles the wall clock: sum(helm_attribution_seconds) +
     helm_attribution_idle_seconds == helm_wall_seconds within 0.1 %.
@@ -142,6 +145,14 @@ def main(argv=None):
         help="fail unless the counter/gauge series named NAME sum to "
         "at least VALUE (repeatable)",
     )
+    parser.add_argument(
+        "--max",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fail unless the counter/gauge series named NAME sum to "
+        "at most VALUE (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     floors = []
@@ -154,6 +165,20 @@ def main(argv=None):
         if not sep or not name:
             print(
                 "check_metrics: bad --min %r, expected NAME=VALUE" % spec,
+                file=sys.stderr,
+            )
+            return 2
+
+    ceilings = []
+    for spec in args.max:
+        name, sep, value = spec.partition("=")
+        try:
+            ceilings.append((name, float(value)))
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            print(
+                "check_metrics: bad --max %r, expected NAME=VALUE" % spec,
                 file=sys.stderr,
             )
             return 2
@@ -198,6 +223,23 @@ def main(argv=None):
         if not total >= floor:
             errors.append(
                 "%s total %.9g < required minimum %.9g" % (name, total, floor)
+            )
+
+    for name, ceiling in ceilings:
+        if name not in names:
+            errors.append("--max metric missing: %s" % name)
+            continue
+        total = sum(
+            float(e.get("value", 0.0))
+            for e in metrics
+            if isinstance(e, dict)
+            and e.get("name") == name
+            and e.get("type") in ("counter", "gauge")
+        )
+        if not total <= ceiling:
+            errors.append(
+                "%s total %.9g > allowed maximum %.9g"
+                % (name, total, ceiling)
             )
 
     check_attribution([e for e in metrics if isinstance(e, dict)], errors)

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validate a helm-trace-v1 span dump (helmsim --trace-out).
+
+Standard library only — this is the CI gate for the tracing artifact,
+so it must run anywhere python3 does.
+
+Checks:
+  * the document parses and carries ``"schema": "helm-trace-v1"``;
+  * the ``stats`` block is present with non-negative integer fields
+    and internally consistent: ``retained <= capacity_traces``,
+    ``retained_spans <= retained * capacity_spans_per_trace``,
+    ``retained <= traces_seen``, ``flagged <= traces_seen`` — the
+    flight recorder's memory bound held;
+  * ``traces`` matches the stats (len == retained, total spans ==
+    retained_spans) and appears in (kind, trace_id) order;
+  * every span tree is valid: first span is the root (parent_id
+    "0x0"), span ids are unique hex strings, every parent precedes its
+    child, and every child interval nests inside its parent;
+  * every trace obeys the per-trace span cap.
+
+``--expect-traces N`` additionally gates ``stats.retained >= N`` so CI
+can assert the recorder actually captured outliers.
+
+Exit status 0 when the dump passes, 1 otherwise (one message per
+problem on stderr).
+
+Usage:
+  python3 tools/check_trace.py trace.json
+  python3 tools/check_trace.py trace.json --expect-traces 1
+"""
+
+import argparse
+import json
+import sys
+
+STATS_FIELDS = ("traces_seen", "spans_seen", "flagged", "evicted",
+                "dropped_spans", "retained", "retained_spans",
+                "capacity_traces", "capacity_spans_per_trace")
+
+SPAN_FIELDS = ("span_id", "parent_id", "phase", "name", "start_s",
+               "end_s", "attrs")
+
+# Slack for float timestamp comparisons, matching validate_trace().
+EPS = 1e-9
+
+
+def parse_id(text):
+    """Span ids are hex strings ("0x1a2b"); return int or None."""
+    if not isinstance(text, str) or not text.startswith("0x"):
+        return None
+    try:
+        return int(text, 16)
+    except ValueError:
+        return None
+
+
+def check_stats(stats, errors):
+    if not isinstance(stats, dict):
+        errors.append("stats is not an object")
+        return None
+    for field in STATS_FIELDS:
+        value = stats.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or \
+                value < 0:
+            errors.append("stats.%s: expected a non-negative integer, "
+                          "got %r" % (field, value))
+            return None
+    if stats["retained"] > stats["capacity_traces"]:
+        errors.append("stats: retained %d exceeds capacity_traces %d — "
+                      "the flight-recorder bound did not hold" %
+                      (stats["retained"], stats["capacity_traces"]))
+    if stats["retained_spans"] > \
+            stats["retained"] * stats["capacity_spans_per_trace"]:
+        errors.append(
+            "stats: retained_spans %d exceeds retained %d x "
+            "capacity_spans_per_trace %d" %
+            (stats["retained_spans"], stats["retained"],
+             stats["capacity_spans_per_trace"]))
+    if stats["retained"] > stats["traces_seen"]:
+        errors.append("stats: retained %d exceeds traces_seen %d" %
+                      (stats["retained"], stats["traces_seen"]))
+    if stats["flagged"] > stats["traces_seen"]:
+        errors.append("stats: flagged %d exceeds traces_seen %d" %
+                      (stats["flagged"], stats["traces_seen"]))
+    return stats
+
+
+def check_span_tree(trace, where, cap, errors):
+    """Structural span checks mirroring tracing::validate_trace."""
+    spans = trace.get("spans")
+    if not isinstance(spans, list) or not spans:
+        errors.append("%s: spans must be a non-empty list" % where)
+        return 0
+    if cap is not None and len(spans) > cap:
+        errors.append("%s: %d spans exceed capacity_spans_per_trace %d"
+                      % (where, len(spans), cap))
+    by_id = {}
+    root_id = None
+    for index, span in enumerate(spans):
+        swhere = "%s.spans[%d]" % (where, index)
+        if not isinstance(span, dict):
+            errors.append("%s: not an object" % swhere)
+            return len(spans)
+        for field in SPAN_FIELDS:
+            if field not in span:
+                errors.append("%s: missing %r" % (swhere, field))
+                return len(spans)
+        span_id = parse_id(span["span_id"])
+        parent_id = parse_id(span["parent_id"])
+        if span_id is None or parent_id is None:
+            errors.append("%s: ids must be hex strings" % swhere)
+            return len(spans)
+        if span_id in by_id or span_id == 0:
+            errors.append("%s: duplicate or zero span id %s" %
+                          (swhere, span["span_id"]))
+            return len(spans)
+        start, end = span["start_s"], span["end_s"]
+        if not isinstance(start, (int, float)) or \
+                not isinstance(end, (int, float)) or end < start - EPS:
+            errors.append("%s: bad interval [%r, %r]" %
+                          (swhere, start, end))
+            return len(spans)
+        if index == 0:
+            if parent_id != 0:
+                errors.append("%s: first span must be the root "
+                              "(parent_id 0x0)" % swhere)
+                return len(spans)
+            root_id = span_id
+        else:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                errors.append(
+                    "%s: parent %s does not precede it" %
+                    (swhere, span["parent_id"]))
+                return len(spans)
+            if start < parent["start_s"] - EPS or \
+                    end > parent["end_s"] + EPS:
+                errors.append(
+                    "%s: [%r, %r] escapes parent [%r, %r]" %
+                    (swhere, start, end, parent["start_s"],
+                     parent["end_s"]))
+        by_id[span_id] = span
+    del root_id
+    return len(spans)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a helm-trace-v1 span dump.")
+    parser.add_argument("path", help="path to the --trace-out JSON")
+    parser.add_argument("--expect-traces", type=int, default=0,
+                        metavar="N",
+                        help="fail unless at least N traces were "
+                             "retained (default: 0)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("check_trace: %s: %s" % (args.path, error),
+              file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(document, dict):
+        errors.append("top level is not an object")
+        document = {}
+    if document.get("schema") != "helm-trace-v1":
+        errors.append("schema is %r, expected 'helm-trace-v1'" %
+                      document.get("schema"))
+    stats = check_stats(document.get("stats"), errors)
+    traces = document.get("traces")
+    if not isinstance(traces, list):
+        errors.append("traces is not a list")
+        traces = []
+
+    cap = stats["capacity_spans_per_trace"] if stats else None
+    total_spans = 0
+    previous_key = None
+    for index, trace in enumerate(traces):
+        where = "traces[%d]" % index
+        if not isinstance(trace, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        kind = trace.get("kind")
+        trace_id = trace.get("trace_id")
+        if not isinstance(kind, str) or not isinstance(trace_id, int):
+            errors.append("%s: missing kind/trace_id" % where)
+            continue
+        key = (kind, trace_id)
+        if previous_key is not None and key <= previous_key:
+            errors.append(
+                "%s: out of order — (%r, %d) after (%r, %d); the dump "
+                "must be sorted by (kind, trace_id)" %
+                (where, kind, trace_id, previous_key[0],
+                 previous_key[1]))
+        previous_key = key
+        flags = trace.get("flags")
+        if not isinstance(flags, list) or not all(
+                isinstance(f, str) for f in flags):
+            errors.append("%s: flags must be a list of strings" % where)
+        total_spans += check_span_tree(trace, where, cap, errors)
+
+    if stats is not None:
+        if len(traces) != stats["retained"]:
+            errors.append("traces has %d entries but stats.retained is "
+                          "%d" % (len(traces), stats["retained"]))
+        if total_spans != stats["retained_spans"]:
+            errors.append("traces carry %d spans but "
+                          "stats.retained_spans is %d" %
+                          (total_spans, stats["retained_spans"]))
+        if args.expect_traces > 0 and \
+                stats["retained"] < args.expect_traces:
+            errors.append("stats.retained %d < expected %d" %
+                          (stats["retained"], args.expect_traces))
+
+    for message in errors:
+        print("check_trace: %s" % message, file=sys.stderr)
+    if not errors:
+        print("check_trace: %s OK (%d traces, %d spans, bound %dx%d)" %
+              (args.path, len(traces), total_spans,
+               stats["capacity_traces"] if stats else 0,
+               stats["capacity_spans_per_trace"] if stats else 0))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

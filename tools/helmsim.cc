@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <iostream>
+#include <optional>
 
 #include <unistd.h>
 
@@ -42,7 +43,11 @@
 #include "runtime/instrument.h"
 #include "telemetry/attribution.h"
 #include "telemetry/export.h"
+#include "telemetry/monitor.h"
 #include "telemetry/report.h"
+#include "tracing/export.h"
+#include "tracing/synthesize.h"
+#include "tracing/tracer.h"
 
 namespace {
 
@@ -450,6 +455,55 @@ wants_telemetry(const ArgParser &parser)
            !parser.get("prom-out").empty();
 }
 
+/** Observability flags shared by serve / cluster / gateway.  All
+ *  default-off: an unobserved run's stdout and artifacts stay
+ *  byte-identical. */
+void
+add_observability_options(ArgParser &parser)
+{
+    parser.add_option("trace-out",
+                      "write a helm-trace-v1 span dump (per-request "
+                      "span trees retained by the flight recorder) to "
+                      "this path",
+                      "");
+    parser.add_option("flight-recorder",
+                      "flight-recorder trace slots: half retain "
+                      "flagged outliers (shed / deadline-missed / "
+                      "preempted) FIFO, half the slowest-TBT requests",
+                      "256");
+    parser.add_switch("alerts",
+                      "evaluate sliding-window SLO burn-rate alerts "
+                      "(fast/slow window pairs) and add them to the "
+                      "report and metrics");
+}
+
+/** Build the tracer selected by --trace-out / --flight-recorder, or
+ *  nullopt when span tracing is off. */
+std::optional<tracing::Tracer>
+tracer_from_flags(const ArgParser &parser)
+{
+    if (parser.get("trace-out").empty())
+        return std::nullopt;
+    tracing::FlightRecorderConfig config;
+    config.max_traces = static_cast<std::size_t>(
+        std::max<std::uint64_t>(2, parser.get_u64("flight-recorder")));
+    return tracing::Tracer(config);
+}
+
+/** Write the --trace-out span dump; returns non-zero on I/O failure. */
+int
+emit_trace_dump(const ArgParser &parser, const tracing::Tracer &tracer)
+{
+    const std::string path = parser.get("trace-out");
+    const Status written = tracing::write_trace_json(tracer, path);
+    if (!written.is_ok()) {
+        std::cerr << written.to_string() << "\n";
+        return 1;
+    }
+    std::cout << "spans: " << path << "\n";
+    return 0;
+}
+
 /** Render the --report table and write --metrics-out / --prom-out from
  *  the registry every stdout table was printed from. */
 int
@@ -672,6 +726,52 @@ serve_workload_file(const runtime::ServingSpec &base,
  * write the optional Chrome trace, and emit --report/--metrics-out/
  * --prom-out artifacts.
  */
+/**
+ * Retrospectively drive a ServingMonitor from a finished backend run:
+ * completions in completion-time order (the DES never produced them
+ * otherwise), port-utilization samples per load window, and KV
+ * occupancy at every sampled step.  The backend report carries no
+ * rejection timestamps, so availability sheds are gateway-only.
+ */
+void
+feed_monitor_from_report(
+    telemetry::ServingMonitor &monitor,
+    const runtime::ServingReport &report,
+    const std::vector<runtime::LayerStepRecord> &records,
+    double port_rate_bytes_per_s)
+{
+    std::vector<const runtime::RequestMetrics *> done;
+    done.reserve(report.requests.size());
+    for (const runtime::RequestMetrics &metrics : report.requests)
+        done.push_back(&metrics);
+    std::sort(done.begin(), done.end(),
+              [](const runtime::RequestMetrics *a,
+                 const runtime::RequestMetrics *b) {
+                  const Seconds ta = a->arrival + a->e2e_latency;
+                  const Seconds tb = b->arrival + b->e2e_latency;
+                  return ta != tb ? ta < tb : a->id < b->id;
+              });
+    for (const runtime::RequestMetrics *metrics : done)
+        monitor.on_completed(metrics->arrival + metrics->e2e_latency,
+                             metrics->output_tokens, metrics->ttft);
+    for (const auto &rec : records) {
+        if (port_rate_bytes_per_s > 0.0 && rec.transfer_time > 0.0) {
+            const auto moved = rec.transfer_bytes + rec.kv_read_bytes;
+            if (moved > 0)
+                monitor.on_port_utilization(
+                    rec.transfer_start,
+                    static_cast<double>(moved) /
+                        (rec.transfer_time * port_rate_bytes_per_s));
+        }
+        for (const auto &occupancy : rec.kv_occupancy)
+            monitor.on_kv_occupancy(
+                rec.step_end, occupancy.tier,
+                static_cast<double>(occupancy.bytes) /
+                    (1024.0 * 1024.0));
+    }
+    monitor.finish(report.makespan);
+}
+
 int
 run_serving_backend(
     const ArgParser &parser, runtime::ServingBackend &backend,
@@ -680,7 +780,12 @@ run_serving_backend(
     const char *failure_prefix,
     const std::function<void(telemetry::MetricsRegistry &)> &extras)
 {
-    backend.enable_telemetry(!trace_path.empty());
+    std::optional<tracing::Tracer> tracer = tracer_from_flags(parser);
+    const bool want_alerts = parser.is_set("alerts");
+    // Step records feed the chrome trace, the scheduler span trees,
+    // and the monitor's port/KV windows.
+    backend.enable_telemetry(!trace_path.empty() ||
+                             tracer.has_value() || want_alerts);
     const Status submitted = backend.submit(stream);
     if (!submitted.is_ok()) {
         std::cerr << submitted.to_string() << "\n";
@@ -701,18 +806,41 @@ run_serving_backend(
     backend.attribution().record(registry);
     if (extras)
         extras(registry);
+
+    if (tracer.has_value()) {
+        tracing::synthesize_serving_traces(*tracer, *report,
+                                           backend.serving_records());
+        tracer->record(registry);
+    }
+    if (want_alerts) {
+        telemetry::MonitorConfig monitor_config;
+        monitor_config.ttft_target =
+            parser.get_double("slo-ttft-ms") * 1e-3;
+        telemetry::ServingMonitor monitor(monitor_config);
+        feed_monitor_from_report(monitor, *report,
+                                 backend.serving_records(),
+                                 backend.trace_port_rate());
+        monitor.record(registry);
+    }
     telemetry::print_run_report(std::cout, registry);
 
     if (!trace_path.empty()) {
         runtime::TraceCounterOptions counters;
         counters.host_port_rate_bytes_per_s = backend.trace_port_rate();
         counters.kv_swaps = report->kv_swap_events;
+        if (tracer.has_value())
+            counters.flight_recorder = &tracer->recorder();
         const Status trace_status = runtime::write_chrome_trace(
             backend.serving_records(), trace_path, counters);
         if (trace_status.is_ok())
             std::cout << "trace: " << trace_path << "\n";
         else
             std::cerr << trace_status.to_string() << "\n";
+    }
+    if (tracer.has_value()) {
+        const int dumped = emit_trace_dump(parser, *tracer);
+        if (dumped != 0)
+            return dumped;
     }
     return emit_artifacts(parser, registry);
 }
@@ -766,6 +894,7 @@ cmd_serve(const std::vector<std::string> &args)
                       "counters) to this path",
                       "");
     add_telemetry_options(parser);
+    add_observability_options(parser);
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -779,7 +908,8 @@ cmd_serve(const std::vector<std::string> &args)
         for (const char *flag :
              {"trace", "report", "metrics-out", "prom-out", "scheduler",
               "tenants", "deadline-ms", "max-preemptions",
-              "kv-swap-exposed"}) {
+              "kv-swap-exposed", "trace-out", "flight-recorder",
+              "alerts"}) {
             if (parser.is_set(flag)) {
                 conflicts = Status::invalid_argument(
                     std::string("--") + flag +
@@ -933,6 +1063,7 @@ cmd_cluster(const std::vector<std::string> &args)
     parser.add_option("trace",
                       "write a Chrome trace with one row per GPU", "");
     add_telemetry_options(parser);
+    add_observability_options(parser);
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -979,7 +1110,8 @@ cmd_cluster(const std::vector<std::string> &args)
               "max-queue-delay-ms", "max-queue", "slo-ttft-ms",
               "slo-e2e-ms", "scheduler", "tenants", "deadline-ms",
               "max-preemptions", "kv-swap-exposed", "burst-factor",
-              "burst-period", "burst-duty"}) {
+              "burst-period", "burst-duty", "trace-out",
+              "flight-recorder", "alerts"}) {
             if (parser.is_set(flag)) {
                 conflicts = Status::invalid_argument(
                     std::string("--") + flag +
@@ -1497,6 +1629,7 @@ cmd_gateway(const std::vector<std::string> &args)
                       "of every token (fewer DES events)");
     parser.add_option("seed", "driver RNG seed", "42");
     add_telemetry_options(parser);
+    add_observability_options(parser);
 
     const Status status = parser.parse(args);
     if (!status.is_ok() || parser.is_set("help")) {
@@ -1586,6 +1719,16 @@ cmd_gateway(const std::vector<std::string> &args)
 
     sim::Simulator sim;
     gateway::Gateway gate(sim, gateway_config, backends);
+    std::optional<tracing::Tracer> tracer = tracer_from_flags(parser);
+    std::optional<telemetry::ServingMonitor> monitor;
+    if (parser.is_set("alerts"))
+        monitor.emplace(telemetry::MonitorConfig{});
+    if (tracer.has_value() || monitor.has_value()) {
+        gateway::GatewayObservability obs;
+        obs.tracer = tracer.has_value() ? &*tracer : nullptr;
+        obs.monitor = monitor.has_value() ? &*monitor : nullptr;
+        gate.set_observability(obs);
+    }
     const auto report =
         gateway::run_closed_loop(sim, gate, driver_config);
     if (!report.is_ok()) {
@@ -1648,6 +1791,22 @@ cmd_gateway(const std::vector<std::string> &args)
 
     telemetry::MetricsRegistry registry;
     gateway::record_gateway(registry, gate, *report);
+    if (monitor.has_value()) {
+        monitor->finish(report->sim_makespan);
+        monitor->record(registry);
+    }
+    if (tracer.has_value())
+        tracer->record(registry);
+    if (monitor.has_value() || tracer.has_value()) {
+        // Only the new observability sections match gateway families,
+        // so unobserved stdout is untouched.
+        telemetry::print_run_report(std::cout, registry);
+    }
+    if (tracer.has_value()) {
+        const int dumped = emit_trace_dump(parser, *tracer);
+        if (dumped != 0)
+            return dumped;
+    }
     const int artifacts = emit_artifacts(parser, registry);
     if (artifacts != 0)
         return artifacts;
