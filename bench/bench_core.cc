@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/helm.h"
 #include "sim/legacy_simulator.h"
 
@@ -154,8 +155,30 @@ struct GatewayResult
     double events_per_second = 0.0;
 };
 
+/** Warm-up + min-of-N wrapper: a fresh workload per run (the DES
+ *  program is deterministic, so events/hash are per-run invariants and
+ *  only the wall varies).  Returns the last run's counters with the
+ *  reduced wall summary. */
+template <typename Kernel>
+TimersResult
+run_timers(std::size_t outstanding, Seconds horizon, int runs,
+           bench::WallStats &wall)
+{
+    TimersResult result;
+    bench::WallSamples samples;
+    for (int i = 0; i <= runs; ++i) {
+        TimersWorkload<Kernel> workload;
+        result = workload.run(outstanding, horizon);
+        if (i > 0) // run 0 is the warm-up
+            samples.add(result.seconds);
+    }
+    wall = samples.stats();
+    result.seconds = wall.min_seconds;
+    return result;
+}
+
 GatewayResult
-run_gateway()
+run_gateway(std::uint64_t &events_executed, double &wall_seconds)
 {
     runtime::ServingSpec spec;
     spec.model = model::opt_config(model::OptVariant::kOpt1_3B);
@@ -207,15 +230,9 @@ run_gateway()
     result.shed = gate.stats().turns_shed;
     result.requests_per_second = report->requests_per_second;
     result.events_per_second = report->events_per_second;
+    events_executed = report->events_executed;
+    wall_seconds = report->wall_seconds;
     return result;
-}
-
-void
-json_number(std::ostream &out, const char *key, double value)
-{
-    char buffer[64];
-    std::snprintf(buffer, sizeof buffer, "%.6g", value);
-    out << "\"" << key << "\": " << buffer;
 }
 
 } // namespace
@@ -230,17 +247,21 @@ main(int argc, char **argv)
 
     std::cout << "session-timer workload: " << outstanding
               << " outstanding events, " << format_seconds(horizon)
-              << " of virtual time\n";
+              << " of virtual time (min-of-3, build "
+              << bench::build_type() << ")\n";
 
-    TimersWorkload<sim::LegacySimulator> legacy;
-    const TimersResult baseline = legacy.run(outstanding, horizon);
+    const int runs = 3; // shared warm-up + min-of-N policy
+    bench::WallStats baseline_wall;
+    const TimersResult baseline = run_timers<sim::LegacySimulator>(
+        outstanding, horizon, runs, baseline_wall);
     std::cout << "  legacy priority_queue kernel: " << baseline.events
               << " events in " << format_seconds(baseline.seconds)
               << " (" << format_fixed(baseline.events_per_second() / 1e6, 2)
               << "M events/s)\n";
 
-    TimersWorkload<sim::Simulator> rewrite;
-    const TimersResult indexed = rewrite.run(outstanding, horizon);
+    bench::WallStats indexed_wall;
+    const TimersResult indexed = run_timers<sim::Simulator>(
+        outstanding, horizon, runs, indexed_wall);
     std::cout << "  two-tier slab kernel:         " << indexed.events
               << " events in " << format_seconds(indexed.seconds) << " ("
               << format_fixed(indexed.events_per_second() / 1e6, 2)
@@ -258,7 +279,22 @@ main(int argc, char **argv)
               << (identical ? "identical" : "DIVERGED") << ", speedup x"
               << format_fixed(speedup, 2) << "\n";
 
-    const GatewayResult gw = run_gateway();
+    GatewayResult gw;
+    std::uint64_t gw_events = 0;
+    bench::WallSamples gw_samples;
+    for (int i = 0; i <= runs; ++i) {
+        double wall = 0.0;
+        gw = run_gateway(gw_events, wall);
+        if (i > 0) // run 0 is the warm-up
+            gw_samples.add(wall);
+    }
+    const bench::WallStats gw_wall = gw_samples.stats();
+    if (gw_wall.min_seconds > 0.0) {
+        gw.requests_per_second =
+            static_cast<double>(gw.completed) / gw_wall.min_seconds;
+        gw.events_per_second =
+            static_cast<double>(gw_events) / gw_wall.min_seconds;
+    }
     std::cout << "gateway closed loop: " << gw.completed
               << " requests completed (" << gw.shed << " shed), "
               << format_fixed(gw.requests_per_second, 0)
@@ -272,22 +308,29 @@ main(int argc, char **argv)
         return 1;
     }
     out << "{\n  \"schema\": \"helm-bench-core-v1\",\n"
+        << "  \"build_type\": \"" << bench::build_type() << "\",\n"
         << "  \"queue\": {\n    \"outstanding\": " << outstanding
         << ",\n    \"events\": " << indexed.events << ",\n    ";
-    json_number(out, "baseline_events_per_s",
-                baseline.events_per_second());
+    bench::json_number(out, "baseline_events_per_s",
+                       baseline.events_per_second());
     out << ",\n    ";
-    json_number(out, "indexed_events_per_s",
-                indexed.events_per_second());
+    bench::json_number(out, "indexed_events_per_s",
+                       indexed.events_per_second());
     out << ",\n    ";
-    json_number(out, "speedup", speedup);
+    bench::json_wall(out, "baseline_wall", baseline_wall);
+    out << ",\n    ";
+    bench::json_wall(out, "indexed_wall", indexed_wall);
+    out << ",\n    ";
+    bench::json_number(out, "speedup", speedup);
     out << ",\n    \"identical\": " << (identical ? "true" : "false")
         << "\n  },\n  \"gateway\": {\n    \"requests_completed\": "
         << gw.completed << ",\n    \"requests_shed\": " << gw.shed
         << ",\n    ";
-    json_number(out, "requests_per_s", gw.requests_per_second);
+    bench::json_number(out, "requests_per_s", gw.requests_per_second);
     out << ",\n    ";
-    json_number(out, "events_per_s", gw.events_per_second);
+    bench::json_number(out, "events_per_s", gw.events_per_second);
+    out << ",\n    ";
+    bench::json_wall(out, "wall", gw_wall);
     out << "\n  }\n}\n";
     out.close();
 

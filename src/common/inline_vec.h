@@ -1,0 +1,179 @@
+/**
+ * @file
+ * InlineVec: a small-vector with inline storage for the engine's
+ * per-step flow lists.
+ *
+ * Every flattened ScheduledStep carries its KV read/write flows and a
+ * per-tier occupancy sample.  A run compiles layers x tokens x repeats
+ * steps, so with plain std::vector those three fields alone cost three
+ * heap allocations per step — the single largest allocation source in
+ * the steady-state decode loop.  Real schedules touch at most a
+ * handful of KV tiers, so the elements almost always fit inline; the
+ * heap is only a correctness fallback for pathological tier counts.
+ *
+ * Deliberately minimal: the engine needs push_back / clear / iteration
+ * / copies, nothing else.  Elements must be copyable; inline elements
+ * are value-initialized lazily on push_back.
+ */
+#ifndef HELM_COMMON_INLINE_VEC_H
+#define HELM_COMMON_INLINE_VEC_H
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace helm {
+
+template <typename T, std::size_t N>
+class InlineVec
+{
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    InlineVec() = default;
+
+    InlineVec(const InlineVec &other) { assign_from(other); }
+
+    InlineVec(InlineVec &&other) noexcept(
+        std::is_nothrow_move_constructible_v<T>)
+    {
+        move_from(std::move(other));
+    }
+
+    InlineVec &
+    operator=(const InlineVec &other)
+    {
+        if (this != &other) {
+            clear_storage();
+            assign_from(other);
+        }
+        return *this;
+    }
+
+    InlineVec &
+    operator=(InlineVec &&other) noexcept(
+        std::is_nothrow_move_constructible_v<T>)
+    {
+        if (this != &other) {
+            clear_storage();
+            move_from(std::move(other));
+        }
+        return *this;
+    }
+
+    ~InlineVec() = default;
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ < N && spill_.empty()) {
+            inline_[size_] = value;
+            ++size_;
+            return;
+        }
+        spill_to_heap();
+        spill_.push_back(value);
+        ++size_;
+    }
+
+    void
+    push_back(T &&value)
+    {
+        if (size_ < N && spill_.empty()) {
+            inline_[size_] = std::move(value);
+            ++size_;
+            return;
+        }
+        spill_to_heap();
+        spill_.push_back(std::move(value));
+        ++size_;
+    }
+
+    void
+    clear()
+    {
+        clear_storage();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > N && spill_.empty())
+            spill_to_heap();
+        if (!spill_.empty() || n > N)
+            spill_.reserve(n);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *data() { return spill_.empty() ? inline_.data() : spill_.data(); }
+    const T *
+    data() const
+    {
+        return spill_.empty() ? inline_.data() : spill_.data();
+    }
+
+    iterator begin() { return data(); }
+    iterator end() { return data() + size_; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &back() { return data()[size_ - 1]; }
+    const T &back() const { return data()[size_ - 1]; }
+
+  private:
+    void
+    assign_from(const InlineVec &other)
+    {
+        for (const T &value : other)
+            push_back(value);
+    }
+
+    void
+    move_from(InlineVec &&other)
+    {
+        if (!other.spill_.empty()) {
+            spill_ = std::move(other.spill_);
+            size_ = other.size_;
+        } else {
+            for (std::size_t i = 0; i < other.size_; ++i)
+                push_back(std::move(other.inline_[i]));
+        }
+        other.clear_storage();
+    }
+
+    void
+    clear_storage()
+    {
+        spill_.clear();
+        for (std::size_t i = 0; i < (size_ < N ? size_ : N); ++i)
+            inline_[i] = T{};
+        size_ = 0;
+    }
+
+    /** Move the inline prefix onto the heap before the first spill. */
+    void
+    spill_to_heap()
+    {
+        if (!spill_.empty() || size_ == 0)
+            return;
+        spill_.reserve(size_ + 1);
+        for (std::size_t i = 0; i < size_; ++i)
+            spill_.push_back(std::move(inline_[i]));
+    }
+
+    std::array<T, N> inline_{};
+    std::vector<T> spill_;
+    std::size_t size_ = 0;
+};
+
+} // namespace helm
+
+#endif // HELM_COMMON_INLINE_VEC_H

@@ -118,6 +118,22 @@ class ShardedMemo
         return total;
     }
 
+    /**
+     * Drop every cached entry (hit/miss counters keep their values).
+     * Callers must ensure no get_or_compute for a dropped key is still
+     * in flight; in-flight entries keep their waiters alive through the
+     * shared_ptr, but a racing recompute would break the once-per-key
+     * accounting.
+     */
+    void
+    clear()
+    {
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            shard->entries.clear();
+        }
+    }
+
   private:
     struct Entry
     {

@@ -351,7 +351,7 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
             // Sample per-tier occupancy right after the cache update so
             // trace counters can plot tier fill over time.  Skipped for
             // GPU-only configs, where the counter would be flat.
-            std::vector<Bytes> kv_occupancy;
+            ScheduledStep::KvOccupancyList kv_occupancy;
             bool has_host_tier = false;
             for (std::size_t t = 0; t < kv_manager.tier_count(); ++t)
                 has_host_tier |= !kv_manager.tier(t).is_gpu;
@@ -360,8 +360,8 @@ compile_schedule(const ServingSpec &spec, const ShardOptions &shard)
                 for (std::size_t t = 0; t < kv_manager.tier_count(); ++t)
                     kv_occupancy.push_back(kv_manager.tier_occupancy(t));
             }
-            std::vector<KvFlowSpec> kv_reads;
-            std::vector<KvFlowSpec> kv_writes;
+            ScheduledStep::KvFlowList kv_reads;
+            ScheduledStep::KvFlowList kv_writes;
             Bytes kv_read_total = 0;
             Bytes kv_write_total = 0;
             for (std::size_t t = 0; t < kv_manager.tier_count(); ++t) {

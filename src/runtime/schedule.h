@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "gpu/compute_model.h"
@@ -54,15 +55,21 @@ struct ScheduledStep
     Bytes disk_bytes = 0;
     Bandwidth cpu_cap;  //!< effective host->GPU rate for this chunk
     Bandwidth disk_cap; //!< effective storage->GPU rate
+    /** Per-step flow lists use inline small-vector storage: a schedule
+     *  compiles layers x tokens x repeats steps and real configs touch
+     *  at most a few KV tiers, so std::vector here was three heap
+     *  allocations per step — the hot-loop's dominant churn. */
+    using KvFlowList = InlineVec<KvFlowSpec, 4>;
+    using KvOccupancyList = InlineVec<Bytes, 4>;
     /** Host-tier -> GPU context fetches (decode steps, MHA layers). */
-    std::vector<KvFlowSpec> kv_reads;
+    KvFlowList kv_reads;
     /** GPU -> host-tier K/V appends + block demotions. */
-    std::vector<KvFlowSpec> kv_writes;
+    KvFlowList kv_writes;
     Bytes kv_read_bytes = 0;  //!< sum over kv_reads
     Bytes kv_write_bytes = 0; //!< sum over kv_writes
     /** Occupancy per KV tier (kv_tier_names order) sampled right after
      *  this step's cache update; empty when not sampled. */
-    std::vector<Bytes> kv_occupancy;
+    KvOccupancyList kv_occupancy;
     /** Overlap the reads with the previous step (weight-prefetch path);
      *  off = the reads gate this step's compute. */
     bool kv_prefetch = true;

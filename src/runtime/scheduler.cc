@@ -7,6 +7,7 @@
 
 #include "common/summary.h"
 #include "runtime/instrument.h"
+#include "runtime/step_cache.h"
 
 namespace helm::runtime {
 
@@ -193,6 +194,14 @@ Server::run_batch(const workload::Batch &batch)
     if (cached != memo_.end() &&
         (!telemetry_ || extras_.count(key) > 0))
         return cached->second;
+
+    // A fresh batch signature on a warm server marks a steady-state
+    // boundary: batch re-formation changed the decode timeline digest,
+    // so the step cache cannot replay and must simulate this shape.
+    if (!memo_.empty()) {
+        step_cache().note_invalidation(
+            StepCacheInvalidation::kBatchReformation);
+    }
 
     ServingSpec spec = base_;
     spec.batch = batch.size();

@@ -33,14 +33,16 @@ enum Track : int
 /** Process row that hosts retained per-request span trees. */
 constexpr int kRequestPid = 1000;
 
-/** %.3f for trace timestamps/values; bounded, so a stack buffer is safe
- *  (unlike names, which are caller-controlled strings). */
-std::string
-format_us(Seconds seconds)
+/** Append %.3f microseconds straight into @p out — the record loop
+ *  calls this several times per step, so no per-call std::string.
+ *  The value is bounded, so a stack buffer is safe (unlike names,
+ *  which are caller-controlled strings). */
+void
+put_us(std::ostringstream &out, Seconds seconds)
 {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
-    return buf;
+    out << buf;
 }
 
 void
@@ -51,10 +53,13 @@ emit_event(std::ostringstream &out, bool &first, const std::string &name,
     if (!first)
         out << ",\n";
     first = false;
-    out << "{\"name\":\"" << telemetry::json_escape(name)
-        << "\",\"cat\":\"" << category << "\",\"ph\":\"X\",\"ts\":"
-        << format_us(start) << ",\"dur\":" << format_us(duration)
-        << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    out << "{\"name\":\"";
+    telemetry::json_escape_append_stream(out, name);
+    out << "\",\"cat\":\"" << category << "\",\"ph\":\"X\",\"ts\":";
+    put_us(out, start);
+    out << ",\"dur\":";
+    put_us(out, duration);
+    out << ",\"pid\":" << pid << ",\"tid\":" << tid;
     if (!args_json.empty())
         out << ",\"args\":" << args_json;
     out << "}";
@@ -69,8 +74,9 @@ emit_counter(std::ostringstream &out, bool &first, const char *name,
         out << ",\n";
     first = false;
     out << "{\"name\":\"" << name << "\",\"cat\":\"counter\","
-        << "\"ph\":\"C\",\"ts\":" << format_us(at)
-        << ",\"pid\":0,\"args\":" << args_json;
+        << "\"ph\":\"C\",\"ts\":";
+    put_us(out, at);
+    out << ",\"pid\":0,\"args\":" << args_json;
     out << "}";
 }
 
@@ -134,51 +140,82 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
             << ",\"args\":{\"name\":\"KV swap (preemption)\"}}";
     }
 
-    for (const auto &rec : records) {
-        const int pid = static_cast<int>(rec.gpu_index);
-        const std::string type_name = model::layer_type_name(rec.type);
-        const std::string step_suffix = " L" + std::to_string(rec.layer) +
-                                        " t" + std::to_string(rec.token);
-        emit_event(out, first, type_name + step_suffix, "compute", pid,
-                   kGpuTrack, rec.step_start, rec.compute_time,
-                   "{\"stage\":\"" +
-                       std::string(gpu::stage_name(rec.stage)) +
-                       "\",\"batch\":" + std::to_string(rec.batch_index) +
-                       "}");
-        if (rec.transfer_time > 0.0 &&
-            (rec.transfer_bytes > 0 || rec.kv_read_bytes > 0)) {
-            emit_event(out, first,
-                       "load " + type_name + " L" +
-                           std::to_string(rec.layer),
-                       "transfer", pid, kTransferTrack,
-                       rec.transfer_start, rec.transfer_time,
-                       "{\"weight_bytes\":" +
-                           std::to_string(rec.transfer_bytes) +
-                           ",\"kv_bytes\":" +
-                           std::to_string(rec.kv_read_bytes) + "}");
-        }
-        // Per-tier KV traffic.  Reads span the prefetch window (the
-        // weight-load overlap) unless the step stalled on them; writes
-        // span the writeback drain measured by the driver.
-        for (const auto &tier : rec.kv_tiers) {
-            const int tid = kv_tids.at(tier.tier);
-            if (tier.read_bytes > 0) {
-                const bool stalled = rec.kv_stall_time > 0.0;
-                const Seconds start =
-                    stalled ? rec.step_start : rec.transfer_start;
-                const Seconds duration =
-                    stalled ? rec.kv_stall_time : rec.transfer_time;
-                emit_event(out, first, "KV read" + step_suffix, "kv-read",
-                           pid, tid, start, duration,
-                           "{\"bytes\":" +
-                               std::to_string(tier.read_bytes) + "}");
+    // Step-record loop: the trace body is O(records), so the name and
+    // args strings are hoisted and refilled in place — their capacity
+    // survives across iterations and the loop settles into zero
+    // steady-state allocations.
+    {
+        std::string name;
+        std::string args;
+        std::string step_suffix;
+        char num[48];
+        auto append_u64 = [&](std::string &dst, std::uint64_t v) {
+            std::snprintf(num, sizeof(num), "%llu",
+                          static_cast<unsigned long long>(v));
+            dst += num;
+        };
+        for (const auto &rec : records) {
+            const int pid = static_cast<int>(rec.gpu_index);
+            const char *type_name = model::layer_type_name(rec.type);
+            step_suffix.assign(" L");
+            std::snprintf(num, sizeof(num), "%d", rec.layer);
+            step_suffix += num;
+            step_suffix += " t";
+            append_u64(step_suffix, rec.token);
+
+            name.assign(type_name);
+            name += step_suffix;
+            args.assign("{\"stage\":\"");
+            args += gpu::stage_name(rec.stage);
+            args += "\",\"batch\":";
+            append_u64(args, rec.batch_index);
+            args += "}";
+            emit_event(out, first, name, "compute", pid, kGpuTrack,
+                       rec.step_start, rec.compute_time, args);
+            if (rec.transfer_time > 0.0 &&
+                (rec.transfer_bytes > 0 || rec.kv_read_bytes > 0)) {
+                name.assign("load ");
+                name += type_name;
+                name += " L";
+                std::snprintf(num, sizeof(num), "%d", rec.layer);
+                name += num;
+                args.assign("{\"weight_bytes\":");
+                append_u64(args, rec.transfer_bytes);
+                args += ",\"kv_bytes\":";
+                append_u64(args, rec.kv_read_bytes);
+                args += "}";
+                emit_event(out, first, name, "transfer", pid,
+                           kTransferTrack, rec.transfer_start,
+                           rec.transfer_time, args);
             }
-            if (tier.write_bytes > 0 && rec.kv_write_time > 0.0) {
-                emit_event(out, first, "KV write" + step_suffix,
-                           "kv-write", pid, tid, rec.step_start,
-                           rec.kv_write_time,
-                           "{\"bytes\":" +
-                               std::to_string(tier.write_bytes) + "}");
+            // Per-tier KV traffic.  Reads span the prefetch window (the
+            // weight-load overlap) unless the step stalled on them;
+            // writes span the writeback drain measured by the driver.
+            for (const auto &tier : rec.kv_tiers) {
+                const int tid = kv_tids.at(tier.tier);
+                if (tier.read_bytes > 0) {
+                    const bool stalled = rec.kv_stall_time > 0.0;
+                    const Seconds start =
+                        stalled ? rec.step_start : rec.transfer_start;
+                    const Seconds duration =
+                        stalled ? rec.kv_stall_time : rec.transfer_time;
+                    name.assign("KV read");
+                    name += step_suffix;
+                    args.assign("{\"bytes\":");
+                    append_u64(args, tier.read_bytes);
+                    args += "}";
+                    emit_event(out, first, name, "kv-read", pid, tid,
+                               start, duration, args);
+                }
+                if (tier.write_bytes > 0 && rec.kv_write_time > 0.0) {
+                    name.assign("KV write");
+                    name += step_suffix;
+                    args.assign("{\"bytes\":");
+                    append_u64(args, tier.write_bytes);
+                    args += "}";
+                    emit_event(out, first, name, "kv-write", pid, tid,
+                               rec.step_start, rec.kv_write_time, args);
+                }
             }
         }
     }
@@ -226,15 +263,17 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
                 << kRequestPid << ",\"tid\":" << tid
                 << ",\"args\":{\"name\":\""
                 << telemetry::json_escape(row_name) << "\"}}";
+            std::string args;
             for (const tracing::Span &span : trace.spans) {
-                std::string args = "{\"phase\":\"" +
-                                   std::string(tracing::span_phase_name(
-                                       span.phase)) +
-                                   "\"";
+                args.assign("{\"phase\":\"");
+                args += tracing::span_phase_name(span.phase);
+                args += "\"";
                 for (const auto &[key, value] : span.attrs) {
-                    args += ",\"" + telemetry::json_escape(key) +
-                            "\":\"" + telemetry::json_escape(value) +
-                            "\"";
+                    args += ",\"";
+                    telemetry::json_escape_append(args, key);
+                    args += "\":\"";
+                    telemetry::json_escape_append(args, value);
+                    args += "\"";
                 }
                 args += "}";
                 emit_event(out, first, span.name, "span", kRequestPid,
@@ -257,13 +296,15 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
                     out << ",\n{\"name\":\"handoff\",\"cat\":\"flow\","
                         << "\"ph\":\"s\",\"id\":\"" << id
                         << "\",\"pid\":" << kRequestPid
-                        << ",\"tid\":" << tid
-                        << ",\"ts\":" << format_us(prev->start) << "}"
+                        << ",\"tid\":" << tid << ",\"ts\":";
+                    put_us(out, prev->start);
+                    out << "}"
                         << ",\n{\"name\":\"handoff\",\"cat\":\"flow\","
                         << "\"ph\":\"f\",\"bp\":\"e\",\"id\":\"" << id
                         << "\",\"pid\":" << kRequestPid
-                        << ",\"tid\":" << tid
-                        << ",\"ts\":" << format_us(span.start) << "}";
+                        << ",\"tid\":" << tid << ",\"ts\":";
+                    put_us(out, span.start);
+                    out << "}";
                 }
                 prev = &span;
             }
@@ -274,6 +315,9 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
         // Host-port utilization: each load window contributes a rise at
         // its start and a fall at its end, valued at the fraction of
         // the shared port the window's bytes consumed.
+        // Both counter loops are O(records); the args buffer is hoisted
+        // for the same reason as the event loop above.
+        std::string args;
         if (counters->host_port_rate_bytes_per_s > 0.0) {
             for (const auto &rec : records) {
                 const Bytes moved = rec.transfer_bytes + rec.kv_read_bytes;
@@ -285,10 +329,11 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
                      counters->host_port_rate_bytes_per_s);
                 char value[48];
                 std::snprintf(value, sizeof(value), "%.4f", utilization);
+                args.assign("{\"utilization\":");
+                args += value;
+                args += "}";
                 emit_counter(out, first, "host-port utilization",
-                             rec.transfer_start,
-                             std::string("{\"utilization\":") + value +
-                                 "}");
+                             rec.transfer_start, args);
                 emit_counter(out, first, "host-port utilization",
                              rec.transfer_start + rec.transfer_time,
                              "{\"utilization\":0}");
@@ -298,7 +343,7 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
         for (const auto &rec : records) {
             if (rec.kv_occupancy.empty())
                 continue;
-            std::string args = "{";
+            args.assign("{");
             for (std::size_t t = 0; t < rec.kv_occupancy.size(); ++t) {
                 char mib[48];
                 std::snprintf(mib, sizeof(mib), "%.3f",
@@ -307,9 +352,11 @@ trace_json_impl(const std::vector<LayerStepRecord> &records,
                                   (1024.0 * 1024.0));
                 if (t > 0)
                     args += ",";
-                args += "\"" +
-                        telemetry::json_escape(rec.kv_occupancy[t].tier) +
-                        "\":" + mib;
+                args += "\"";
+                telemetry::json_escape_append(args,
+                                              rec.kv_occupancy[t].tier);
+                args += "\":";
+                args += mib;
             }
             args += "}";
             emit_counter(out, first, "KV tier occupancy (MiB)",

@@ -1,6 +1,7 @@
 #include "serving_gateway/gateway.h"
 
 #include "runtime/scheduler.h"
+#include "runtime/step_cache.h"
 #include "telemetry/monitor.h"
 #include "tracing/synthesize.h"
 #include "tracing/tracer.h"
@@ -261,14 +262,27 @@ Gateway::dispatch(std::uint32_t r)
     by_id.reserve(window.size());
     for (PendingTurn &turn : window)
         by_id.emplace(turn.id, std::move(turn));
+    const bool fast = runtime::step_cache_enabled();
+    std::vector<FastDelivery> fast_batch;
+    if (fast)
+        fast_batch.reserve(report->requests.size());
     for (const runtime::RequestMetrics &metrics : report->requests) {
         auto it = by_id.find(metrics.id);
         if (it == by_id.end())
             continue;
         ++replica.inflight;
-        schedule_deliveries(r, std::move(it->second), metrics, now);
+        if (fast) {
+            FastDelivery delivery;
+            delivery.sink = std::move(it->second.sink);
+            delivery.metrics = turn_metrics_for(it->second, metrics, now);
+            fast_batch.push_back(std::move(delivery));
+        } else {
+            schedule_deliveries(r, std::move(it->second), metrics, now);
+        }
         by_id.erase(it);
     }
+    if (fast)
+        fast_forward_window(r, std::move(fast_batch));
     // Whatever the backend did not complete, it shed.
     for (auto &left : by_id)
         shed_turn(std::move(left.second), RejectReason::kBackendShed);
@@ -286,14 +300,12 @@ struct Gateway::DeliveryState
     TurnMetrics metrics;
 };
 
-void
-Gateway::schedule_deliveries(std::uint32_t r, PendingTurn &&turn,
-                             const runtime::RequestMetrics &metrics,
-                             Seconds dispatched)
+TurnMetrics
+Gateway::turn_metrics_for(const PendingTurn &turn,
+                          const runtime::RequestMetrics &metrics,
+                          Seconds dispatched) const
 {
-    auto state = std::make_shared<DeliveryState>();
-    state->sink = std::move(turn.sink);
-    TurnMetrics &m = state->metrics;
+    TurnMetrics m;
     m.turn = turn.id;
     m.session = turn.session;
     m.prompt_tokens = turn.prompt_tokens;
@@ -306,12 +318,113 @@ Gateway::schedule_deliveries(std::uint32_t r, PendingTurn &&turn,
     m.ttft = m.first_token - turn.submitted;
     m.tbt = metrics.tbt;
     m.e2e = m.completed - turn.submitted;
+    return m;
+}
+
+void
+Gateway::schedule_deliveries(std::uint32_t r, PendingTurn &&turn,
+                             const runtime::RequestMetrics &metrics,
+                             Seconds dispatched)
+{
+    auto state = std::make_shared<DeliveryState>();
+    state->sink = std::move(turn.sink);
+    state->metrics = turn_metrics_for(turn, metrics, dispatched);
+    const TurnMetrics &m = state->metrics;
 
     // The chain: token 0 at first_token, then either every token
     // (spaced tbt, final one pinned to the exact completion time) or a
     // straight jump to completion when coalescing.
     sim_.schedule_at(std::max(m.first_token, sim_.now()),
                      [this, r, state] { deliver_token(r, state, 0); });
+}
+
+void
+Gateway::fast_forward_window(std::uint32_t r,
+                             std::vector<FastDelivery> &&batch)
+{
+    // Turns arrive in report order; at equal completion times the slow
+    // path's per-turn chains retire them in that same order, so a
+    // stable sort by completion time reproduces the retire order while
+    // letting every turn that completes at one timestamp share a
+    // single DES event.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const FastDelivery &a, const FastDelivery &b) {
+                         return a.metrics.completed < b.metrics.completed;
+                     });
+    auto shared =
+        std::make_shared<std::vector<FastDelivery>>(std::move(batch));
+    std::size_t begin = 0;
+    while (begin < shared->size()) {
+        const Seconds at = (*shared)[begin].metrics.completed;
+        std::size_t end = begin + 1;
+        while (end < shared->size() &&
+               (*shared)[end].metrics.completed == at)
+            ++end;
+        sim_.schedule_at(at, [this, r, shared, begin, end] {
+            for (std::size_t i = begin; i < end; ++i)
+                replay_turn(r, (*shared)[i]);
+        });
+        begin = end;
+    }
+}
+
+void
+Gateway::replay_turn(std::uint32_t r, FastDelivery &delivery)
+{
+    const TurnMetrics &m = delivery.metrics;
+    if (delivery.sink) {
+        // Replay the token stream the delivery chain would have fired,
+        // with arithmetically identical timestamps (see FastDelivery).
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::kFirstToken;
+        event.turn = m.turn;
+        event.session = m.session;
+        event.token_index = 0;
+        event.time = std::max(m.first_token, m.dispatched);
+        delivery.sink(event);
+        if (config_.per_token_stream) {
+            event.kind = StreamEvent::Kind::kToken;
+            Seconds prev = event.time;
+            const std::uint64_t tokens = m.output_tokens;
+            for (std::uint64_t token = 1; token < tokens; ++token) {
+                Seconds at = token + 1 == tokens
+                                 ? m.completed
+                                 : m.first_token +
+                                       static_cast<double>(token) * m.tbt;
+                at = std::min(at, m.completed);
+                at = std::max(at, prev);
+                event.token_index = token;
+                event.time = at;
+                delivery.sink(event);
+                prev = at;
+            }
+        }
+    }
+    runtime::step_cache().note_stream_hit();
+
+    // Retire the turn: bookkeeping identical to complete_turn().
+    Replica &replica = replicas_[r];
+    HELM_ASSERT(replica.inflight > 0,
+                "turn completion without a dispatched turn in flight");
+    --replica.inflight;
+    ++stats_.turns_completed;
+    stats_.tokens_delivered += m.output_tokens;
+    if (Session *session = sessions_.find(m.session)) {
+        ++session->turns_completed;
+        --session->inflight;
+    }
+    if (delivery.sink) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::kCompleted;
+        event.turn = m.turn;
+        event.session = m.session;
+        event.token_index =
+            m.output_tokens > 0 ? m.output_tokens - 1 : 0;
+        event.time = sim_.now();
+        event.metrics = &delivery.metrics;
+        delivery.sink(event);
+    }
+    observe_completed(r, m);
 }
 
 void

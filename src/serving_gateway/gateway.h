@@ -190,14 +190,44 @@ class Gateway
     /** Shared state of one turn's token-delivery chain. */
     struct DeliveryState;
 
+    /**
+     * One turn of a fast-forwarded dispatch window (the step-cache
+     * stream path).  Instead of one DES event per token, the whole
+     * window schedules one event per *distinct completion time*; that
+     * event replays each turn's token stream back-to-back with the
+     * exact per-token timestamps the event chain would have produced
+     * (StreamEvent::time carries the delivery time, so a sink that
+     * reads event times observes a byte-identical stream).  Token
+     * callbacks therefore fire while the simulator clock sits at the
+     * completion time — sinks must treat kFirstToken/kToken as
+     * passive notifications (every in-tree sink does; the closed-loop
+     * driver acts only on turn boundaries).  `--no-step-cache`
+     * restores true-time per-token delivery.
+     */
+    struct FastDelivery
+    {
+        StreamSink sink;
+        TurnMetrics metrics;
+    };
+
     /** Arm a time-0 dispatch event for an idle replica with work. */
     void maybe_schedule_dispatch(std::uint32_t r);
     /** Form a window, serve it, and map the report onto the clock. */
     void dispatch(std::uint32_t r);
+    /** Client-edge metrics of one dispatched turn (report mapping). */
+    TurnMetrics turn_metrics_for(const PendingTurn &turn,
+                                 const runtime::RequestMetrics &metrics,
+                                 Seconds dispatched) const;
     /** Schedule one turn's token/completion deliveries. */
     void schedule_deliveries(std::uint32_t r, PendingTurn &&turn,
                              const runtime::RequestMetrics &metrics,
                              Seconds dispatched);
+    /** Group a window's turns by completion time and schedule one
+     *  replay event per distinct time (step-cache stream path). */
+    void fast_forward_window(std::uint32_t r,
+                             std::vector<FastDelivery> &&batch);
+    /** Replay one turn's token stream and retire it (fast path). */
+    void replay_turn(std::uint32_t r, FastDelivery &delivery);
     /** Deliver token @p token and chain the next delivery. */
     void deliver_token(std::uint32_t r,
                        const std::shared_ptr<DeliveryState> &state,

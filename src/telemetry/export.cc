@@ -31,14 +31,15 @@ format_double(double value)
     return buf;
 }
 
-/** {a="x",b="y"} body (no braces); empty string for no labels. */
-std::string
-prometheus_labels(const Labels &labels)
+/** Append the {a="x",b="y"} body (no braces) onto @p out. */
+void
+append_prometheus_labels(std::string &out, const Labels &labels)
 {
-    std::string out;
+    bool first = true;
     for (const auto &[key, value] : labels) {
-        if (!out.empty())
+        if (!first)
             out += ",";
+        first = false;
         out += key;
         out += "=\"";
         // Prometheus label values escape backslash, quote, newline.
@@ -59,38 +60,45 @@ prometheus_labels(const Labels &labels)
         }
         out += "\"";
     }
-    return out;
 }
 
-/** name{labels} or name{labels,extra} with optional extra label. */
-std::string
-prometheus_series(const std::string &name, const Labels &labels,
-                  const std::string &extra = "")
+/** Refill @p out with name{labels} or name{labels,extra}.  Exporter
+ *  loops pass one hoisted buffer, so a series render reuses capacity
+ *  instead of constructing fresh strings per sample. */
+void
+refill_prometheus_series(std::string &out, const std::string &name,
+                         const Labels &labels, const char *extra = nullptr)
 {
-    std::string body = prometheus_labels(labels);
-    if (!extra.empty()) {
-        if (!body.empty())
-            body += ",";
-        body += extra;
+    out.assign(name);
+    if (labels.empty() && extra == nullptr)
+        return;
+    out += "{";
+    append_prometheus_labels(out, labels);
+    if (extra != nullptr) {
+        if (!labels.empty())
+            out += ",";
+        out += extra;
     }
-    if (body.empty())
-        return name;
-    return name + "{" + body + "}";
+    out += "}";
 }
 
-std::string
-json_labels(const Labels &labels)
+/** Append the JSON label object onto @p out. */
+void
+append_json_labels(std::string &out, const Labels &labels)
 {
-    std::string out = "{";
+    out += "{";
     bool first = true;
     for (const auto &[key, value] : labels) {
         if (!first)
             out += ",";
         first = false;
-        out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+        out += "\"";
+        json_escape_append(out, key);
+        out += "\":\"";
+        json_escape_append(out, value);
+        out += "\"";
     }
     out += "}";
-    return out;
 }
 
 } // namespace
@@ -100,6 +108,13 @@ json_escape(const std::string &raw)
 {
     std::string out;
     out.reserve(raw.size());
+    json_escape_append(out, raw);
+    return out;
+}
+
+void
+json_escape_append(std::string &out, const std::string &raw)
+{
     for (unsigned char c : raw) {
         switch (c) {
         case '"':
@@ -133,44 +148,78 @@ json_escape(const std::string &raw)
             }
         }
     }
-    return out;
+}
+
+void
+json_escape_append_stream(std::ostream &out, const std::string &raw)
+{
+    // Fast path: nothing to escape, one bulk write.
+    std::size_t clean = 0;
+    while (clean < raw.size()) {
+        const unsigned char c = static_cast<unsigned char>(raw[clean]);
+        if (c == '"' || c == '\\' || c < 0x20)
+            break;
+        ++clean;
+    }
+    if (clean == raw.size()) {
+        out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+        return;
+    }
+    std::string escaped;
+    escaped.reserve(raw.size() + 8);
+    json_escape_append(escaped, raw);
+    out.write(escaped.data(), static_cast<std::streamsize>(escaped.size()));
 }
 
 std::string
 prometheus_text(const MetricsRegistry &registry)
 {
     std::ostringstream out;
+    // Hoisted render buffers: the family/series loops refill these in
+    // place instead of constructing strings per sample.
+    std::string series;
+    std::string derived_name;
+    std::string extra;
     for (const auto &[name, fam] : registry.families()) {
         if (!fam.help.empty())
             out << "# HELP " << name << " " << fam.help << "\n";
         out << "# TYPE " << name << " " << metric_kind_name(fam.kind)
             << "\n";
         for (const auto &[labels, counter] : fam.counters) {
-            out << prometheus_series(name, labels) << " "
-                << format_double(counter.value()) << "\n";
+            refill_prometheus_series(series, name, labels);
+            out << series << " " << format_double(counter.value())
+                << "\n";
         }
         for (const auto &[labels, gauge] : fam.gauges) {
-            out << prometheus_series(name, labels) << " "
-                << format_double(gauge.value()) << "\n";
+            refill_prometheus_series(series, name, labels);
+            out << series << " " << format_double(gauge.value()) << "\n";
         }
         for (const auto &[labels, hist] : fam.histograms) {
             std::uint64_t cumulative = 0;
             const auto &bounds = hist.bounds();
             const auto &counts = hist.counts();
+            derived_name.assign(name);
+            derived_name += "_bucket";
             for (std::size_t i = 0; i < bounds.size(); ++i) {
                 cumulative += counts[i];
-                out << prometheus_series(
-                           name + "_bucket", labels,
-                           "le=\"" + format_double(bounds[i]) + "\"")
-                    << " " << cumulative << "\n";
+                extra.assign("le=\"");
+                extra += format_double(bounds[i]);
+                extra += "\"";
+                refill_prometheus_series(series, derived_name, labels,
+                                         extra.c_str());
+                out << series << " " << cumulative << "\n";
             }
-            out << prometheus_series(name + "_bucket", labels,
-                                     "le=\"+Inf\"")
-                << " " << hist.count() << "\n";
-            out << prometheus_series(name + "_sum", labels) << " "
-                << format_double(hist.sum()) << "\n";
-            out << prometheus_series(name + "_count", labels) << " "
-                << hist.count() << "\n";
+            refill_prometheus_series(series, derived_name, labels,
+                                     "le=\"+Inf\"");
+            out << series << " " << hist.count() << "\n";
+            derived_name.assign(name);
+            derived_name += "_sum";
+            refill_prometheus_series(series, derived_name, labels);
+            out << series << " " << format_double(hist.sum()) << "\n";
+            derived_name.assign(name);
+            derived_name += "_count";
+            refill_prometheus_series(series, derived_name, labels);
+            out << series << " " << hist.count() << "\n";
         }
     }
     return out.str();
@@ -182,13 +231,18 @@ json_snapshot(const MetricsRegistry &registry)
     std::ostringstream out;
     out << "{\"schema\":\"helm-metrics-v1\",\"metrics\":[";
     bool first = true;
+    std::string labels_json; // hoisted across the metric loops
     auto begin_metric = [&](const std::string &name, const char *type,
                             const Labels &labels) {
         if (!first)
             out << ",";
         first = false;
-        out << "{\"name\":\"" << json_escape(name) << "\",\"type\":\""
-            << type << "\",\"labels\":" << json_labels(labels);
+        out << "{\"name\":\"";
+        json_escape_append_stream(out, name);
+        out << "\",\"type\":\"" << type << "\",\"labels\":";
+        labels_json.clear();
+        append_json_labels(labels_json, labels);
+        out << labels_json;
     };
     for (const auto &[name, fam] : registry.families()) {
         for (const auto &[labels, counter] : fam.counters) {

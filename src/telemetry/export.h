@@ -8,6 +8,7 @@
 #ifndef HELM_TELEMETRY_EXPORT_H
 #define HELM_TELEMETRY_EXPORT_H
 
+#include <ostream>
 #include <string>
 
 #include "common/status.h"
@@ -21,6 +22,13 @@ namespace helm::telemetry {
  * writer so event names survive arbitrary tier labels.
  */
 std::string json_escape(const std::string &raw);
+
+/** Escape @p raw onto the end of @p out without a temporary — for
+ *  exporter loops that refill one hoisted buffer per iteration. */
+void json_escape_append(std::string &out, const std::string &raw);
+
+/** Escape @p raw straight into @p out — for exporters that stream. */
+void json_escape_append_stream(std::ostream &out, const std::string &raw);
 
 /**
  * Prometheus text exposition format (# HELP / # TYPE lines, cumulative

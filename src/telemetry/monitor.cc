@@ -128,21 +128,31 @@ ServingMonitor::on_queue_depth(Seconds t, double depth)
     queue_.record(t, depth);
 }
 
+ServingMonitor::KvTierHandle
+ServingMonitor::kv_tier_handle(const std::string &tier)
+{
+    for (KvTierHandle handle = 0; handle < kv_tiers_.size(); ++handle)
+        if (kv_tiers_[handle].first == tier)
+            return handle;
+    kv_tiers_.emplace_back(
+        tier, SlidingWindow(config_.fast_window /
+                                static_cast<double>(config_.buckets),
+                            config_.buckets));
+    return kv_tiers_.size() - 1;
+}
+
 void
 ServingMonitor::on_kv_occupancy(Seconds t, const std::string &tier,
                                 double occupancy)
 {
-    auto it = kv_tiers_.find(tier);
-    if (it == kv_tiers_.end()) {
-        it = kv_tiers_
-                 .emplace(tier,
-                          SlidingWindow(config_.fast_window /
-                                            static_cast<double>(
-                                                config_.buckets),
-                                        config_.buckets))
-                 .first;
-    }
-    it->second.record(t, occupancy);
+    on_kv_occupancy(t, kv_tier_handle(tier), occupancy);
+}
+
+void
+ServingMonitor::on_kv_occupancy(Seconds t, KvTierHandle tier,
+                                double occupancy)
+{
+    kv_tiers_[tier].second.record(t, occupancy);
 }
 
 void

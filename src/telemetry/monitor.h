@@ -15,10 +15,12 @@
 #ifndef HELM_TELEMETRY_MONITOR_H
 #define HELM_TELEMETRY_MONITOR_H
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "telemetry/burnrate.h"
 #include "telemetry/timeseries.h"
@@ -58,9 +60,20 @@ class ServingMonitor
     void on_shed(Seconds t);
     /** Sampled queue depth (accept queue or scheduler queue). */
     void on_queue_depth(Seconds t, double depth);
+    /** Pre-resolved tier identity for the per-sample occupancy path.
+     *  Resolving by name per sample costs a string lookup for every
+     *  step record; hot feeders resolve the handle once per tier and
+     *  pass the integer thereafter.  Handles are dense indices, stable
+     *  for the monitor's lifetime, ordered by first sighting. */
+    using KvTierHandle = std::size_t;
+    /** Find-or-create the handle for @p tier. */
+    KvTierHandle kv_tier_handle(const std::string &tier);
     /** Sampled KV occupancy for one memory tier (caller's units —
-     *  the CLI feeds MiB). */
+     *  the CLI feeds MiB).  Name overload resolves per call; prefer
+     *  the handle overload inside per-record loops. */
     void on_kv_occupancy(Seconds t, const std::string &tier,
+                         double occupancy);
+    void on_kv_occupancy(Seconds t, KvTierHandle tier,
                          double occupancy);
     /** Sampled port utilization fraction. */
     void on_port_utilization(Seconds t, double fraction);
@@ -91,7 +104,11 @@ class ServingMonitor
     SlidingWindow traffic_; //!< completed count
     SlidingWindow queue_;   //!< queue-depth samples
     SlidingWindow ports_;   //!< port-utilization samples
-    std::map<std::string, SlidingWindow> kv_tiers_;
+    /** Tier windows in handle order (first sighting).  Lookup by name
+     *  is a short linear scan (runs carry at most a few tiers); the
+     *  metrics registry sorts label sets at export, so emission order
+     *  here never reaches the artifacts. */
+    std::vector<std::pair<std::string, SlidingWindow>> kv_tiers_;
     BurnRateEvaluator availability_;
     std::unique_ptr<BurnRateEvaluator> latency_;
 };

@@ -28,6 +28,26 @@ format_id(std::uint64_t id)
     return buf;
 }
 
+/** Stream-direct variants for the per-span emit loop: no per-call
+ *  std::string.  The string-returning forms above stay for the
+ *  validation error paths, where readability wins. */
+void
+put_seconds_json(std::ostringstream &out, Seconds value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out << buf;
+}
+
+void
+put_id(std::ostringstream &out, std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(id));
+    out << buf;
+}
+
 void
 emit_flags(std::ostringstream &out, const OutlierFlags &flags)
 {
@@ -51,20 +71,28 @@ emit_flags(std::ostringstream &out, const OutlierFlags &flags)
 void
 emit_span(std::ostringstream &out, const Span &span)
 {
-    out << "{\"span_id\":\"" << format_id(span.span_id)
-        << "\",\"parent_id\":\"" << format_id(span.parent_id)
-        << "\",\"phase\":\"" << span_phase_name(span.phase)
-        << "\",\"name\":\"" << telemetry::json_escape(span.name)
-        << "\",\"start_s\":" << format_seconds_json(span.start)
-        << ",\"end_s\":" << format_seconds_json(span.end)
-        << ",\"attrs\":{";
+    out << "{\"span_id\":\"";
+    put_id(out, span.span_id);
+    out << "\",\"parent_id\":\"";
+    put_id(out, span.parent_id);
+    out << "\",\"phase\":\"" << span_phase_name(span.phase)
+        << "\",\"name\":\"";
+    telemetry::json_escape_append_stream(out, span.name);
+    out << "\",\"start_s\":";
+    put_seconds_json(out, span.start);
+    out << ",\"end_s\":";
+    put_seconds_json(out, span.end);
+    out << ",\"attrs\":{";
     bool first = true;
     for (const auto &[key, value] : span.attrs) {
         if (!first)
             out << ",";
         first = false;
-        out << "\"" << telemetry::json_escape(key) << "\":\""
-            << telemetry::json_escape(value) << "\"";
+        out << "\"";
+        telemetry::json_escape_append_stream(out, key);
+        out << "\":\"";
+        telemetry::json_escape_append_stream(out, value);
+        out << "\"";
     }
     out << "}}";
 }
@@ -93,11 +121,13 @@ trace_json(const Tracer &tracer)
         if (!first)
             out << ",";
         first = false;
-        out << "\n{\"trace_id\":" << trace->trace_id << ",\"kind\":\""
-            << telemetry::json_escape(trace->kind) << "\",\"flags\":";
+        out << "\n{\"trace_id\":" << trace->trace_id << ",\"kind\":\"";
+        telemetry::json_escape_append_stream(out, trace->kind);
+        out << "\",\"flags\":";
         emit_flags(out, trace->flags);
-        out << ",\"tbt_s\":" << format_seconds_json(trace->tbt)
-            << ",\"dropped_spans\":" << trace->dropped_spans
+        out << ",\"tbt_s\":";
+        put_seconds_json(out, trace->tbt);
+        out << ",\"dropped_spans\":" << trace->dropped_spans
             << ",\"spans\":[";
         for (std::size_t s = 0; s < trace->spans.size(); ++s) {
             if (s)

@@ -51,6 +51,18 @@ helm-bench-pareto-v1 (bench_pareto)
   * ``hbf_exclusive`` ran with ``only_hbf`` true — the giant model is
     admitted by exactly one device, the flash tier.
 
+helm-bench-engine-v1 (bench_engine)
+  * ``serve.identical`` is ``true`` — replaying the memoized OPT-175B
+    All-CPU run must serialize byte-identically to simulating it;
+  * ``gateway.report_identical``, ``gateway.metrics_identical``, and
+    ``gateway.trace_identical`` are all ``true`` — the cached-stream
+    fast-forward must reproduce the driver report (every latency
+    sample), the metrics snapshot, and the chrome-trace bit for bit;
+  * serve/gateway walls and throughput numbers are present and finite.
+  The measured speedups are recorded, NOT gated, by default (they
+  depend on the runner).  ``--min-speedup X`` gates
+  ``gateway.speedup`` for runners with known performance.
+
 helm-bench-trace-v1 (bench_trace)
   * ``identity.report_identical`` and ``identity.metrics_identical``
     are true — with the tracer and monitor attached (recording into a
@@ -396,12 +408,59 @@ def check_trace(doc, args, errors):
                recorder["traces_seen"]))
 
 
+ENGINE_NUMBERS = {
+    "serve": ("batch", "speedup"),
+    "serve.off_wall": ("min_seconds", "median_seconds", "runs"),
+    "serve.on_wall": ("min_seconds", "median_seconds", "runs"),
+    "gateway": ("requests", "completed", "off_events", "on_events",
+                "off_events_per_s", "on_events_per_s", "requests_per_s",
+                "speedup"),
+    "gateway.off_wall": ("min_seconds", "median_seconds", "runs"),
+    "gateway.on_wall": ("min_seconds", "median_seconds", "runs"),
+}
+
+
+def check_engine(doc, args, errors):
+    check_numbers(doc, ENGINE_NUMBERS, errors)
+    serve = doc.get("serve")
+    if isinstance(serve, dict) and not is_set(serve.get("identical")):
+        errors.append(
+            "serve.identical is %r: replaying the memoized run must "
+            "serialize byte-identically to simulating it" %
+            serve.get("identical"))
+    gateway = doc.get("gateway")
+    if isinstance(gateway, dict):
+        for key in ("report_identical", "metrics_identical",
+                    "trace_identical"):
+            if not is_set(gateway.get(key)):
+                errors.append(
+                    "gateway.%s is %r: the cached-stream fast-forward "
+                    "must reproduce the artifact bit for bit" %
+                    (key, gateway.get(key)))
+    if errors:
+        return
+    if gateway["completed"] < 1:
+        errors.append("gateway.completed must be >= 1")
+    if args.min_speedup > 0.0 and \
+            gateway["speedup"] < args.min_speedup:
+        errors.append("gateway.speedup %.3f < required %.3f" %
+                      (gateway["speedup"], args.min_speedup))
+    if not errors:
+        print("ok: serve x%.1f identical, gateway %d turns x%.2f "
+              "(%.2fM events/s cached vs %.2fM uncached), artifacts "
+              "identical" %
+              (serve["speedup"], gateway["completed"],
+               gateway["speedup"], gateway["on_events_per_s"] / 1e6,
+               gateway["off_events_per_s"] / 1e6))
+
+
 CHECKERS = {
     "helm-bench-parallel-v1": check_parallel,
     "helm-bench-core-v1": check_core,
     "helm-bench-scheduler-v1": check_scheduler,
     "helm-bench-pareto-v1": check_pareto,
     "helm-bench-trace-v1": check_trace,
+    "helm-bench-engine-v1": check_engine,
 }
 
 

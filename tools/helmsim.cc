@@ -41,6 +41,7 @@
 #include "model/zoo.h"
 #include "runtime/backend.h"
 #include "runtime/instrument.h"
+#include "runtime/step_cache.h"
 #include "telemetry/attribution.h"
 #include "telemetry/export.h"
 #include "telemetry/monitor.h"
@@ -203,7 +204,18 @@ add_common_options(ArgParser &parser)
     parser.add_switch("int4", "4-bit group-wise weight quantization");
     parser.add_option("prompt-tokens", "input prompt length", "128");
     parser.add_option("output-tokens", "tokens to generate", "21");
+    parser.add_switch("no-step-cache",
+                      "disable the steady-state step-schedule cache "
+                      "and gateway stream fast-forward (exact but "
+                      "slower; the cached path is byte-identical)");
     parser.add_switch("help", "show this help");
+}
+
+/** Apply --no-step-cache before any simulation runs. */
+void
+apply_step_cache_option(const ArgParser &parser)
+{
+    runtime::set_step_cache_enabled(!parser.is_set("no-step-cache"));
 }
 
 void
@@ -505,11 +517,15 @@ emit_trace_dump(const ArgParser &parser, const tracing::Tracer &tracer)
 }
 
 /** Render the --report table and write --metrics-out / --prom-out from
- *  the registry every stdout table was printed from. */
+ *  the registry every stdout table was printed from.  Every artifact
+ *  also carries the process-wide step-schedule cache counters
+ *  (helm_stepcache_*), so a run whose steady-state fast path keeps
+ *  missing is diagnosable from its own metrics snapshot. */
 int
 emit_artifacts(const ArgParser &parser,
-               const telemetry::MetricsRegistry &registry)
+               telemetry::MetricsRegistry &registry)
 {
+    runtime::step_cache().record(registry);
     if (parser.is_set("report")) {
         std::cout << telemetry::TimeAttribution::from_registry(registry)
                          .to_table();
@@ -571,6 +587,7 @@ cmd_run(const std::vector<std::string> &args)
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
+    apply_step_cache_option(parser);
     Status conflicts = check_kv_flag_conflicts(parser);
     if (conflicts.is_ok() && !parser.get("device-zoo").empty()) {
         if (parser.is_set("memory")) {
@@ -754,6 +771,12 @@ feed_monitor_from_report(
     for (const runtime::RequestMetrics *metrics : done)
         monitor.on_completed(metrics->arrival + metrics->e2e_latency,
                              metrics->output_tokens, metrics->ttft);
+    // Records list the same tiers in the same order every step;
+    // resolve each list position's monitor handle once and re-resolve
+    // only if the name at that position ever changes.
+    std::vector<std::pair<std::string,
+                          telemetry::ServingMonitor::KvTierHandle>>
+        tier_handles;
     for (const auto &rec : records) {
         if (port_rate_bytes_per_s > 0.0 && rec.transfer_time > 0.0) {
             const auto moved = rec.transfer_bytes + rec.kv_read_bytes;
@@ -763,11 +786,21 @@ feed_monitor_from_report(
                     static_cast<double>(moved) /
                         (rec.transfer_time * port_rate_bytes_per_s));
         }
-        for (const auto &occupancy : rec.kv_occupancy)
+        for (std::size_t i = 0; i < rec.kv_occupancy.size(); ++i) {
+            const auto &occupancy = rec.kv_occupancy[i];
+            if (i >= tier_handles.size())
+                tier_handles.emplace_back(
+                    occupancy.tier,
+                    monitor.kv_tier_handle(occupancy.tier));
+            else if (tier_handles[i].first != occupancy.tier)
+                tier_handles[i] = {
+                    occupancy.tier,
+                    monitor.kv_tier_handle(occupancy.tier)};
             monitor.on_kv_occupancy(
-                rec.step_end, occupancy.tier,
+                rec.step_end, tier_handles[i].second,
                 static_cast<double>(occupancy.bytes) /
                     (1024.0 * 1024.0));
+        }
     }
     monitor.finish(report.makespan);
 }
@@ -901,6 +934,7 @@ cmd_serve(const std::vector<std::string> &args)
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
+    apply_step_cache_option(parser);
     Status conflicts = check_kv_flag_conflicts(parser);
     if (conflicts.is_ok())
         conflicts = check_scheduler_flag_conflicts(parser);
@@ -1070,6 +1104,8 @@ cmd_cluster(const std::vector<std::string> &args)
         std::cerr << status.to_string() << "\n" << parser.help();
         return status.is_ok() ? 0 : 2;
     }
+
+    apply_step_cache_option(parser);
 
     // ---- Flag-conflict diagnostics (fail fast, one line) ---------------
     const auto parallelism =
@@ -1264,6 +1300,7 @@ cmd_tune(const std::vector<std::string> &args)
                      "memory; pick one\n";
         return 2;
     }
+    apply_step_cache_option(parser);
     const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
     if (!model_config.is_ok() || !memory.is_ok()) {
@@ -1637,6 +1674,7 @@ cmd_gateway(const std::vector<std::string> &args)
         return status.is_ok() ? 0 : 2;
     }
 
+    apply_step_cache_option(parser);
     const auto model_config = parse_model(parser.get("model"));
     const auto memory = parse_memory(parser.get("memory"));
     const auto scheme = parse_placement(parser.get("placement"));
